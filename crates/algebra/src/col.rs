@@ -1,0 +1,168 @@
+//! Column identifiers and column sets.
+//!
+//! Column names are interned per [`crate::plan::Plan`] (a `Col` is an index
+//! into the plan's name table). [`ColSet`] is a small sorted-vector set used
+//! pervasively by schema and property inference.
+
+/// Interned column name (index into the plan's column interner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Col(pub u32);
+
+/// A set of columns, stored as a sorted, deduplicated vector. Plans have at
+/// most a few dozen distinct column names, so linear/binary operations beat
+/// hash sets here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ColSet(Vec<Col>);
+
+impl ColSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        ColSet(Vec::new())
+    }
+
+    /// Set with a single member.
+    pub fn single(c: Col) -> Self {
+        ColSet(vec![c])
+    }
+
+    /// Build from an iterator (sorts and dedupes).
+    #[allow(clippy::should_implement_trait)] // also provided via FromIterator below
+    pub fn from_iter<I: IntoIterator<Item = Col>>(iter: I) -> Self {
+        let mut v: Vec<Col> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        ColSet(v)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: Col) -> bool {
+        self.0.binary_search(&c).is_ok()
+    }
+
+    /// Insert a column.
+    pub fn insert(&mut self, c: Col) {
+        if let Err(i) = self.0.binary_search(&c) {
+            self.0.insert(i, c);
+        }
+    }
+
+    /// Remove a column.
+    pub fn remove(&mut self, c: Col) {
+        if let Ok(i) = self.0.binary_search(&c) {
+            self.0.remove(i);
+        }
+    }
+
+    /// Union.
+    pub fn union(&self, other: &ColSet) -> ColSet {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        v.sort_unstable();
+        v.dedup();
+        ColSet(v)
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &ColSet) -> ColSet {
+        ColSet(self.0.iter().copied().filter(|c| other.contains(*c)).collect())
+    }
+
+    /// Set difference `self \ other`.
+    pub fn minus(&self, other: &ColSet) -> ColSet {
+        ColSet(self.0.iter().copied().filter(|c| !other.contains(*c)).collect())
+    }
+
+    /// Subset test.
+    pub fn is_subset(&self, other: &ColSet) -> bool {
+        self.0.iter().all(|c| other.contains(*c))
+    }
+
+    /// True if the sets share no member.
+    pub fn is_disjoint(&self, other: &ColSet) -> bool {
+        self.0.iter().all(|c| !other.contains(*c))
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Col> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Members as a slice.
+    pub fn as_slice(&self) -> &[Col] {
+        &self.0
+    }
+}
+
+impl FromIterator<Col> for ColSet {
+    fn from_iter<I: IntoIterator<Item = Col>>(iter: I) -> Self {
+        ColSet::from_iter(iter)
+    }
+}
+
+impl From<&[Col]> for ColSet {
+    fn from(slice: &[Col]) -> Self {
+        ColSet::from_iter(slice.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(ids: &[u32]) -> ColSet {
+        ColSet::from_iter(ids.iter().map(|&i| Col(i)))
+    }
+
+    #[test]
+    fn basic_ops() {
+        let a = cs(&[1, 3, 5]);
+        let b = cs(&[3, 4]);
+        assert_eq!(a.union(&b), cs(&[1, 3, 4, 5]));
+        assert_eq!(a.intersect(&b), cs(&[3]));
+        assert_eq!(a.minus(&b), cs(&[1, 5]));
+        assert!(cs(&[3]).is_subset(&a));
+        assert!(!cs(&[2]).is_subset(&a));
+        assert!(a.contains(Col(5)));
+        assert!(!a.contains(Col(2)));
+        assert!(cs(&[1]).is_disjoint(&cs(&[2])));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn insert_remove_keep_order() {
+        let mut s = cs(&[2, 8]);
+        s.insert(Col(5));
+        s.insert(Col(5));
+        assert_eq!(s, cs(&[2, 5, 8]));
+        s.remove(Col(2));
+        s.remove(Col(99));
+        assert_eq!(s, cs(&[5, 8]));
+    }
+
+    #[test]
+    fn from_iter_dedupes() {
+        let s = ColSet::from_iter([Col(3), Col(1), Col(3)]);
+        assert_eq!(s.len(), 2);
+        let members: Vec<Col> = s.iter().collect();
+        assert_eq!(members, vec![Col(1), Col(3)]);
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let e = ColSet::new();
+        assert!(e.is_empty());
+        assert!(e.is_subset(&cs(&[1])));
+        assert!(e.is_disjoint(&cs(&[1])));
+        assert_eq!(e.union(&cs(&[1])), cs(&[1]));
+    }
+}

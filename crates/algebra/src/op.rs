@@ -1,0 +1,113 @@
+//! Logical operators (paper Table 1).
+
+use crate::col::Col;
+use crate::pred::Pred;
+use crate::value::Value;
+
+/// A logical operator. Arity is implied: `Join`, `Cross` and `Union` are
+/// binary, `Doc`/`Lit` are leaves, everything else is unary.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// ⊚ — plan root: serialize column `item` in the order given by column
+    /// `pos` (paper: "serialize column b₁ by order in b₂").
+    Serialize {
+        /// Column holding the node reference (`pre` rank).
+        item: Col,
+        /// Column holding the sequence order.
+        pos: Col,
+    },
+    /// π — projection *with renaming*: each `(out, in)` pair emits input
+    /// column `in` under the name `out`. Duplication is allowed.
+    Project(Vec<(Col, Col)>),
+    /// σₚ — keep rows satisfying the conjunctive predicate.
+    Select(Pred),
+    /// ⋈ₚ — join two inputs on a conjunctive predicate (schemas disjoint).
+    Join(Pred),
+    /// × — Cartesian product (schemas disjoint).
+    Cross,
+    /// δ — duplicate row elimination.
+    Distinct,
+    /// @a:c — attach a constant column.
+    Attach(Col, Value),
+    /// #a — attach an arbitrary unique row id.
+    RowId(Col),
+    /// ϱ a:⟨b₁,…,bₙ⟩ — attach the row's rank in `(b₁,…,bₙ)` order
+    /// (`RANK() OVER (ORDER BY b₁,…,bₙ)`; ties receive equal ranks).
+    Rank {
+        /// Output rank column.
+        out: Col,
+        /// Ordering criteria.
+        by: Vec<Col>,
+    },
+    /// The XML infoset encoding table (leaf).
+    Doc,
+    /// A literal table (leaf).
+    Lit {
+        /// Column names.
+        cols: Vec<Col>,
+        /// Rows (each the same width as `cols`).
+        rows: Vec<Vec<Value>>,
+    },
+    /// ∪ — disjoint (bag) union of two inputs with identical schemas.
+    /// Extension beyond Table 1, used to compile sequence expressions
+    /// `(e1, e2)`; documented in DESIGN.md.
+    Union,
+}
+
+impl Op {
+    /// Number of plan inputs the operator takes.
+    pub fn arity(&self) -> usize {
+        match self {
+            Op::Doc | Op::Lit { .. } => 0,
+            Op::Join(_) | Op::Cross | Op::Union => 2,
+            _ => 1,
+        }
+    }
+
+    /// Operator name for printers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Serialize { .. } => "serialize",
+            Op::Project(_) => "project",
+            Op::Select(_) => "select",
+            Op::Join(_) => "join",
+            Op::Cross => "cross",
+            Op::Distinct => "distinct",
+            Op::Attach(_, _) => "attach",
+            Op::RowId(_) => "rowid",
+            Op::Rank { .. } => "rank",
+            Op::Doc => "doc",
+            Op::Lit { .. } => "lit",
+            Op::Union => "union",
+        }
+    }
+
+    /// Is this one of the *blocking* operators the isolation procedure moves
+    /// into the plan tail (δ and ϱ)?
+    pub fn is_blocking(&self) -> bool {
+        matches!(self, Op::Distinct | Op::Rank { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arities() {
+        assert_eq!(Op::Doc.arity(), 0);
+        assert_eq!(Op::Cross.arity(), 2);
+        assert_eq!(Op::Union.arity(), 2);
+        assert_eq!(Op::Distinct.arity(), 1);
+        assert_eq!(Op::Join(vec![]).arity(), 2);
+        assert_eq!(Op::Lit { cols: vec![], rows: vec![] }.arity(), 0);
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Op::Distinct.is_blocking());
+        assert!(Op::Rank { out: Col(0), by: vec![] }.is_blocking());
+        assert!(!Op::Join(vec![]).is_blocking());
+        assert!(!Op::Select(vec![]).is_blocking());
+    }
+}

@@ -1,0 +1,488 @@
+//! Plan DAGs with structural sharing.
+//!
+//! A [`Plan`] is an append-only arena of operator [`Node`]s. Node creation
+//! hash-conses: structurally identical `(op, inputs)` pairs yield the same
+//! [`NodeId`]. This gives the DAG sharing of paper Fig. 4 (one `doc` leaf
+//! serves every node reference) for free, and it makes rewrite rule (19) —
+//! which requires a self-join's two inputs to be *the same* plan — fire
+//! reliably (`#a` is deterministic, so unifying equal subplans is sound).
+//!
+//! Column names are interned per plan; [`Plan::fresh`] generates new unique
+//! names for the compiler's renamed columns (`pre°`, `item1`, …).
+
+use crate::col::{Col, ColSet};
+use crate::op::Op;
+use crate::pred::{pred_cols, DocCols};
+use jgi_xml::Interner;
+use std::collections::HashMap;
+
+/// Index of a node in its [`Plan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// An operator node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The operator.
+    pub op: Op,
+    /// Plan inputs (length = `op.arity()`).
+    pub inputs: Vec<NodeId>,
+    /// Output schema, computed at construction.
+    pub schema: ColSet,
+}
+
+/// A DAG-shaped logical plan.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// Column-name interner.
+    pub cols: Interner,
+    nodes: Vec<Node>,
+    memo: HashMap<(Op, Vec<NodeId>), NodeId>,
+    fresh: u32,
+}
+
+/// The fixed column names of the `doc` table, in row order.
+pub const DOC_COL_NAMES: [&str; 8] =
+    ["pre", "size", "level", "kind", "name", "value", "data", "parent"];
+
+impl Plan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Plan::default()
+    }
+
+    /// Intern a column name.
+    pub fn col(&mut self, name: &str) -> Col {
+        Col(self.cols.intern(name))
+    }
+
+    /// Resolve a column back to its name.
+    pub fn col_name(&self, c: Col) -> &str {
+        self.cols.resolve(c.0)
+    }
+
+    /// Generate a fresh column name derived from `base` (`base'N`).
+    pub fn fresh(&mut self, base: &str) -> Col {
+        loop {
+            self.fresh += 1;
+            let name = format!("{base}'{}", self.fresh);
+            if self.cols.get(&name).is_none() {
+                return Col(self.cols.intern(&name));
+            }
+        }
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Output schema of a node.
+    pub fn schema(&self, id: NodeId) -> &ColSet {
+        &self.nodes[id.0 as usize].schema
+    }
+
+    /// Number of distinct nodes allocated (shared nodes count once).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes exist.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Core constructor: add (or find) a node.
+    ///
+    /// # Panics
+    /// Panics if arity or schema constraints are violated — plans are built
+    /// by the compiler/rewriter, where such violations are bugs.
+    pub fn add(&mut self, op: Op, inputs: Vec<NodeId>) -> NodeId {
+        assert_eq!(op.arity(), inputs.len(), "operator arity mismatch for {}", op.name());
+        if let Some(&id) = self.memo.get(&(op.clone(), inputs.clone())) {
+            return id;
+        }
+        let schema = self.compute_schema(&op, &inputs);
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { op: op.clone(), inputs: inputs.clone(), schema });
+        self.memo.insert((op, inputs), id);
+        id
+    }
+
+    fn compute_schema(&mut self, op: &Op, inputs: &[NodeId]) -> ColSet {
+        match op {
+            Op::Serialize { item, pos } => {
+                let s = self.schema(inputs[0]);
+                assert!(s.contains(*item) && s.contains(*pos), "serialize columns missing");
+                s.clone()
+            }
+            Op::Project(mapping) => {
+                let s = self.schema(inputs[0]);
+                for (_, src) in mapping {
+                    assert!(
+                        s.contains(*src),
+                        "projection source column `{}` missing from input schema",
+                        self.col_name(*src)
+                    );
+                }
+                let outs = ColSet::from_iter(mapping.iter().map(|(out, _)| *out));
+                assert_eq!(
+                    outs.len(),
+                    mapping.len(),
+                    "projection output names must be unique"
+                );
+                outs
+            }
+            Op::Select(p) => {
+                let s = self.schema(inputs[0]);
+                assert!(
+                    pred_cols(p).is_subset(s),
+                    "selection predicate references columns outside the input schema"
+                );
+                s.clone()
+            }
+            Op::Join(p) => {
+                let l = self.schema(inputs[0]);
+                let r = self.schema(inputs[1]);
+                assert!(l.is_disjoint(r), "join input schemas must be disjoint");
+                let joined = l.union(r);
+                assert!(
+                    pred_cols(p).is_subset(&joined),
+                    "join predicate references columns outside the input schemas"
+                );
+                joined
+            }
+            Op::Cross => {
+                let l = self.schema(inputs[0]);
+                let r = self.schema(inputs[1]);
+                assert!(l.is_disjoint(r), "cross input schemas must be disjoint");
+                l.union(r)
+            }
+            Op::Distinct => self.schema(inputs[0]).clone(),
+            Op::Attach(c, _) | Op::RowId(c) => {
+                let s = self.schema(inputs[0]);
+                assert!(!s.contains(*c), "attached column `{}` already exists", self.col_name(*c));
+                let mut s = s.clone();
+                s.insert(*c);
+                s
+            }
+            Op::Rank { out, by } => {
+                let s = self.schema(inputs[0]);
+                assert!(!s.contains(*out), "rank column already exists");
+                for b in by {
+                    assert!(s.contains(*b), "rank criterion column missing");
+                }
+                let mut s = s.clone();
+                s.insert(*out);
+                s
+            }
+            Op::Doc => {
+                let cols: Vec<Col> =
+                    DOC_COL_NAMES.iter().map(|n| Col(self.cols.intern(n))).collect();
+                ColSet::from_iter(cols)
+            }
+            Op::Lit { cols, rows } => {
+                for row in rows {
+                    assert_eq!(row.len(), cols.len(), "literal row width mismatch");
+                }
+                ColSet::from_iter(cols.iter().copied())
+            }
+            Op::Union => {
+                let l = self.schema(inputs[0]).clone();
+                let r = self.schema(inputs[1]);
+                assert_eq!(&l, r, "union input schemas must match");
+                l
+            }
+        }
+    }
+
+    // ---- convenience constructors ------------------------------------------
+
+    /// The `doc` leaf.
+    pub fn doc(&mut self) -> NodeId {
+        self.add(Op::Doc, vec![])
+    }
+
+    /// The standard `doc` column handles.
+    pub fn doc_cols(&mut self) -> DocCols {
+        DocCols {
+            pre: self.col("pre"),
+            size: self.col("size"),
+            level: self.col("level"),
+            kind: self.col("kind"),
+            name: self.col("name"),
+            parent: self.col("parent"),
+        }
+    }
+
+    /// π — projection with rename pairs `(out, in)`.
+    pub fn project(&mut self, input: NodeId, mapping: Vec<(Col, Col)>) -> NodeId {
+        self.add(Op::Project(mapping), vec![input])
+    }
+
+    /// π — identity projection onto `cols`.
+    pub fn project_same(&mut self, input: NodeId, cols: &[Col]) -> NodeId {
+        self.project(input, cols.iter().map(|&c| (c, c)).collect())
+    }
+
+    /// σ.
+    pub fn select(&mut self, input: NodeId, pred: crate::pred::Pred) -> NodeId {
+        if pred.is_empty() {
+            return input;
+        }
+        self.add(Op::Select(pred), vec![input])
+    }
+
+    /// ⋈ₚ.
+    pub fn join(&mut self, l: NodeId, r: NodeId, pred: crate::pred::Pred) -> NodeId {
+        self.add(Op::Join(pred), vec![l, r])
+    }
+
+    /// ×.
+    pub fn cross(&mut self, l: NodeId, r: NodeId) -> NodeId {
+        self.add(Op::Cross, vec![l, r])
+    }
+
+    /// δ.
+    pub fn distinct(&mut self, input: NodeId) -> NodeId {
+        self.add(Op::Distinct, vec![input])
+    }
+
+    /// @a:c.
+    pub fn attach(&mut self, input: NodeId, c: Col, v: crate::value::Value) -> NodeId {
+        self.add(Op::Attach(c, v), vec![input])
+    }
+
+    /// #a.
+    pub fn row_id(&mut self, input: NodeId, c: Col) -> NodeId {
+        self.add(Op::RowId(c), vec![input])
+    }
+
+    /// ϱ.
+    pub fn rank(&mut self, input: NodeId, out: Col, by: Vec<Col>) -> NodeId {
+        self.add(Op::Rank { out, by }, vec![input])
+    }
+
+    /// Literal table.
+    pub fn lit(&mut self, cols: Vec<Col>, rows: Vec<Vec<crate::value::Value>>) -> NodeId {
+        self.add(Op::Lit { cols, rows }, vec![])
+    }
+
+    /// ∪.
+    pub fn union(&mut self, l: NodeId, r: NodeId) -> NodeId {
+        self.add(Op::Union, vec![l, r])
+    }
+
+    /// ⊚ — plan root.
+    pub fn serialize(&mut self, input: NodeId, item: Col, pos: Col) -> NodeId {
+        self.add(Op::Serialize { item, pos }, vec![input])
+    }
+
+    /// Re-add a node with different inputs (used by the rewriter).
+    pub fn with_inputs(&mut self, id: NodeId, inputs: Vec<NodeId>) -> NodeId {
+        let op = self.node(id).op.clone();
+        self.add(op, inputs)
+    }
+
+    /// Node ids reachable from `root` (including it), in topological order
+    /// (inputs before consumers).
+    pub fn topo_order(&self, root: NodeId) -> Vec<NodeId> {
+        let mut visited = vec![false; self.nodes.len()];
+        let mut order = Vec::new();
+        // Iterative post-order.
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if expanded {
+                order.push(id);
+                continue;
+            }
+            if visited[id.0 as usize] {
+                continue;
+            }
+            visited[id.0 as usize] = true;
+            stack.push((id, true));
+            for &i in &self.node(id).inputs {
+                stack.push((i, false));
+            }
+        }
+        order
+    }
+
+    /// Count of nodes reachable from `root`.
+    pub fn reachable_count(&self, root: NodeId) -> usize {
+        self.topo_order(root).len()
+    }
+
+    /// Parent (consumer) lists for all nodes reachable from `root`.
+    pub fn parents(&self, root: NodeId) -> HashMap<NodeId, Vec<NodeId>> {
+        let mut map: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for id in self.topo_order(root) {
+            map.entry(id).or_default();
+            for &i in &self.node(id).inputs {
+                map.entry(i).or_default().push(id);
+            }
+        }
+        map
+    }
+}
+
+/// Free helper: schema of a node (for call sites holding only `&Plan`).
+pub fn schema_cols(plan: &Plan, id: NodeId) -> &ColSet {
+    plan.schema(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Atom, CmpOp, Scalar};
+    use crate::value::Value;
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut p = Plan::new();
+        let d1 = p.doc();
+        let d2 = p.doc();
+        assert_eq!(d1, d2);
+        let iter = p.col("iter");
+        let a1 = p.attach(d1, iter, Value::Int(1));
+        let a2 = p.attach(d2, iter, Value::Int(1));
+        assert_eq!(a1, a2);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn doc_schema() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let pre = p.col("pre");
+        let parent = p.col("parent");
+        assert!(p.schema(d).contains(pre));
+        assert!(p.schema(d).contains(parent));
+        assert_eq!(p.schema(d).len(), 8);
+    }
+
+    #[test]
+    fn project_renames() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let pre = p.col("pre");
+        let item = p.col("item");
+        let proj = p.project(d, vec![(item, pre)]);
+        assert!(p.schema(proj).contains(item));
+        assert!(!p.schema(proj).contains(pre));
+        assert_eq!(p.schema(proj).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn join_rejects_overlapping_schemas() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        p.join(d, d, vec![]);
+    }
+
+    #[test]
+    fn join_schema_unions() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let pre = p.col("pre");
+        let item = p.col("item");
+        let iter = p.col("iter");
+        let lit = p.lit(vec![iter, item], vec![vec![Value::Int(1), Value::Int(3)]]);
+        let j = p.join(d, lit, vec![Atom::col_eq(pre, item)]);
+        assert_eq!(p.schema(j).len(), 10);
+    }
+
+    #[test]
+    fn select_empty_pred_is_identity() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        assert_eq!(p.select(d, vec![]), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the input schema")]
+    fn select_checks_columns() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let lit = p.lit(vec![iter], vec![]);
+        let ghost = p.col("ghost");
+        p.select(lit, vec![Atom::new(Scalar::col(ghost), CmpOp::Eq, Scalar::int(1))]);
+    }
+
+    #[test]
+    fn topo_order_inputs_first() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let iter = p.col("iter");
+        let lit = p.lit(vec![iter], vec![vec![Value::Int(1)]]);
+        let c = p.cross(d, lit);
+        let dd = p.distinct(c);
+        let order = p.topo_order(dd);
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(d) < pos(c));
+        assert!(pos(lit) < pos(c));
+        assert!(pos(c) < pos(dd));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn parents_map() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let s1 = p.distinct(d);
+        let pre = p.col("pre");
+        let item = p.col("item");
+        let s2 = p.project(d, vec![(item, pre)]);
+        // Tie both into one root so everything is reachable.
+        let root = p.cross(s1, s2);
+        let _ = root;
+        let parents = p.parents(root);
+        let dp = &parents[&d];
+        assert!(dp.contains(&s1) && dp.contains(&s2));
+        assert!(parents[&root].is_empty());
+    }
+
+    #[test]
+    fn fresh_names_unique() {
+        let mut p = Plan::new();
+        let a = p.fresh("pre");
+        let b = p.fresh("pre");
+        assert_ne!(a, b);
+        assert_ne!(p.col_name(a), p.col_name(b));
+    }
+
+    #[test]
+    fn union_schema_checked() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let l1 = p.lit(vec![iter], vec![]);
+        let l2 = p.lit(vec![iter], vec![vec![Value::Int(2)]]);
+        let u = p.union(l1, l2);
+        assert_eq!(p.schema(u).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn union_rejects_mismatched_schemas() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let pos = p.col("pos");
+        let l1 = p.lit(vec![iter], vec![]);
+        let l2 = p.lit(vec![pos], vec![]);
+        p.union(l1, l2);
+    }
+
+    #[test]
+    fn rank_and_rowid_extend_schema() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let pos = p.col("pos");
+        let l = p.lit(vec![iter], vec![]);
+        let r = p.rank(l, pos, vec![iter]);
+        assert_eq!(p.schema(r).len(), 2);
+        let inner = p.col("inner");
+        let ri = p.row_id(r, inner);
+        assert_eq!(p.schema(ri).len(), 3);
+    }
+}

@@ -1,0 +1,194 @@
+//! Constant values appearing in plans (attach constants, literal tables,
+//! predicate constants) and at runtime in the engine.
+
+use jgi_xml::NodeKind;
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A constant/runtime value.
+///
+/// `Value` has a *total* order so it can key B-trees and sorts: within a
+/// numeric class `Int`/`Dec` compare numerically; across classes the order is
+/// `Null < Kind < numbers < Str`. SQL three-valued logic is approximated the
+/// way the fragment needs it: comparisons *against* `Null` are false, which
+/// the engine enforces before consulting `Ord` (a row without a string value
+/// never satisfies a `value` predicate).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// Absent value (e.g. `value` column of a node with `size > 1`).
+    Null,
+    /// Node kind constant (`DOC`, `ELEM`, …).
+    Kind(NodeKind),
+    /// Integer (used for `pre`, `size`, `level`, row ids, ranks, constants).
+    Int(i64),
+    /// Decimal (`data` column, numeric literals).
+    Dec(f64),
+    /// String (`name`/`value` columns, string literals).
+    Str(String),
+}
+
+impl Value {
+    /// Class rank for cross-class ordering.
+    fn class(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Kind(_) => 1,
+            Value::Int(_) | Value::Dec(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Numeric view of `Int`/`Dec`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Dec(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Kind(a), Value::Kind(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Dec(a), Value::Dec(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Dec(b)) => (*a as f64).total_cmp(b),
+            (Value::Dec(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => a.class().cmp(&b.class()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Kind(k) => {
+                1u8.hash(state);
+                (*k as u8).hash(state);
+            }
+            // Int and an equal-valued Dec must hash alike (they compare
+            // equal); hash the f64 bit pattern of the numeric value.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Dec(d) => {
+                2u8.hash(state);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Kind(k) => write!(f, "{}", k.tag()),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Dec(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert_eq!(Value::Int(5), Value::Dec(5.0));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::Dec(5.0)));
+        assert!(Value::Int(5) < Value::Dec(5.5));
+        assert!(Value::Dec(4.9) < Value::Int(5));
+    }
+
+    #[test]
+    fn cross_class_total_order() {
+        let mut vs = vec![
+            Value::Str("a".into()),
+            Value::Int(1),
+            Value::Null,
+            Value::Kind(NodeKind::Elem),
+            Value::Dec(0.5),
+        ];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![
+                Value::Null,
+                Value::Kind(NodeKind::Elem),
+                Value::Dec(0.5),
+                Value::Int(1),
+                Value::Str("a".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Str("o'hara".into()).to_string(), "'o''hara'");
+        assert_eq!(Value::Kind(NodeKind::Elem).to_string(), "ELEM");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn string_order_is_lexicographic() {
+        assert!(Value::Str("1993".into()) < Value::Str("1994".into()));
+        assert!(Value::Str("person0".into()) < Value::Str("person1".into()));
+    }
+}

@@ -1,0 +1,34 @@
+//! Per-axis step benchmarks on the join-graph back-end — descendant vs
+//! child vs the reverse axes, the building blocks whose reordering/reversal
+//! §4.1 is about.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jgi_bench::Workload;
+use jgi_core::{Engine, Session};
+
+fn bench_axes(c: &mut Criterion) {
+    let w = Workload { xmark_scale: 0.01, dblp_pubs: 0, runs: 1 };
+    let mut session: Session = w.xmark_session();
+    let queries = [
+        ("descendant", r#"doc("auction.xml")/descendant::bidder"#),
+        ("child_chain", r#"doc("auction.xml")/child::site/child::open_auctions/child::open_auction"#),
+        ("parent", r#"doc("auction.xml")/descendant::price/parent::node()"#),
+        ("ancestor", r#"doc("auction.xml")/descendant::bidder/ancestor::open_auction"#),
+        ("following_sibling", r#"doc("auction.xml")/descendant::initial/following-sibling::bidder"#),
+        ("attribute", r#"doc("auction.xml")/descendant::itemref/attribute::item"#),
+    ];
+    let mut group = c.benchmark_group("axis");
+    group.sample_size(10);
+    for (name, text) in queries {
+        let prepared = session.prepare(text, None).unwrap();
+        let warm = session.execute(&prepared, Engine::JoinGraph);
+        assert!(warm.finished(), "{name}");
+        group.bench_function(name, |b| {
+            b.iter(|| session.execute(&prepared, Engine::JoinGraph).len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_axes);
+criterion_main!(benches);

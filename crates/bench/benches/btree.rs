@@ -1,0 +1,50 @@
+//! B+tree micro-benchmarks: bulk load, point probes, range scans — the
+//! primitives every IXSCAN in the paper's plans bottoms out in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jgi_algebra::Value;
+use jgi_engine::btree::BTree;
+
+fn bench_btree(c: &mut Criterion) {
+    let n: i64 = 100_000;
+    let entries: Vec<(Vec<Value>, u32)> =
+        (0..n).map(|i| (vec![Value::Int(i * 7 % n), Value::Int(i)], i as u32)).collect();
+
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(10);
+    group.bench_function("bulk_load_100k", |b| {
+        b.iter(|| BTree::bulk_load(2, entries.clone()))
+    });
+
+    let tree = BTree::bulk_load(2, entries.clone());
+    group.bench_function("point_probe", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 101) % n;
+            let probe = [Value::Int(k)];
+            tree.scan_prefix(&probe).count()
+        })
+    });
+    group.bench_function("range_scan_1pct", |b| {
+        let mut k = 0i64;
+        b.iter(|| {
+            k = (k + 101) % (n - n / 100);
+            let lo = [Value::Int(k)];
+            let hi = [Value::Int(k + n / 100)];
+            tree.scan(&lo, false, &hi, false).count()
+        })
+    });
+    group.bench_function("insert_10k_descending", |b| {
+        b.iter(|| {
+            let mut t = BTree::new(1);
+            for i in (0..10_000i64).rev() {
+                t.insert(vec![Value::Int(i)], i as u32);
+            }
+            t.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the paper queries on the join-graph
+//! back-end (plus the navigational comparison points for Q1/Q3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jgi_bench::Workload;
+use jgi_core::queries::{context_doc, Q1, Q2, Q3, Q4};
+use jgi_core::{Engine, Session};
+
+fn bench_queries(c: &mut Criterion) {
+    let w = Workload { xmark_scale: 0.01, dblp_pubs: 2000, runs: 1 };
+    let mut session = w.xmark_session();
+    let mut group = c.benchmark_group("xmark");
+    group.sample_size(10);
+    for (name, text) in [("Q1", Q1), ("Q2", Q2), ("Q3", Q3), ("Q4", Q4)] {
+        let prepared = session.prepare(text, context_doc(name)).unwrap();
+        // Force index construction outside the measurement.
+        let _ = session.execute(&prepared, Engine::JoinGraph);
+        group.bench_function(format!("{name}/joingraph"), |b| {
+            b.iter(|| {
+                let out = session.execute(&prepared, Engine::JoinGraph);
+                assert!(out.finished());
+                out.len()
+            })
+        });
+        if name == "Q1" || name == "Q3" {
+            group.bench_function(format!("{name}/nav-whole"), |b| {
+                b.iter(|| session.execute(&prepared, Engine::NavWhole).len())
+            });
+            group.bench_function(format!("{name}/nav-segmented"), |b| {
+                b.iter(|| session.execute(&prepared, Engine::NavSegmented).len())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

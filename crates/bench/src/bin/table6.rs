@@ -1,0 +1,43 @@
+//! Regenerate paper Table 6: B-tree indexes proposed by the advisor for the
+//! prototypical Q2 workload.
+//!
+//! ```sh
+//! cargo run --release -p jgi-bench --bin table6 -- [xmark_scale]
+//! ```
+
+use jgi_bench::Workload;
+use jgi_core::queries::{Q1, Q2};
+use jgi_engine::advisor::advise;
+use jgi_engine::Database;
+
+fn main() {
+    let w = Workload::from_args();
+    let mut session = w.xmark_session();
+    println!(
+        "Table 6 reproduction — advisor run over the Q1/Q2 workload \
+         (XMark scale {}, {} nodes)\n",
+        w.xmark_scale,
+        session.store().len()
+    );
+    let mut cqs = Vec::new();
+    for text in [Q1, Q2] {
+        let p = session.prepare(text, None).expect("query compiles");
+        cqs.push(p.cq.expect("paper queries are extractable"));
+    }
+    let db = Database::new(session.store().clone());
+    let recs = advise(&db, &cqs);
+    println!("{:<10} {:<70} {:>12} {:>8}", "Index key", "Index deployment", "benefit", "greedy");
+    println!("{}", "-".repeat(104));
+    for r in &recs {
+        println!(
+            "{:<10} {:<70} {:>12.0} {:>8}",
+            r.name,
+            r.deployment,
+            r.benefit,
+            if r.greedy { "yes" } else { "" }
+        );
+    }
+    println!(
+        "\npaper Table 6 key family: nksp, nkspl, nlkps, nlkp, nlkpv, vnlkp, nkdlp, p|nvkls"
+    );
+}

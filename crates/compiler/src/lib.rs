@@ -1,0 +1,22 @@
+//! # jgi-compiler — the loop-lifting XQuery compiler (paper §2.3, Appendix A)
+//!
+//! Implements the judgment **Γ; loop ⊢ e ⇒ q**: given an environment Γ
+//! mapping XQuery variables to their algebraic plan equivalents and a `loop`
+//! table holding one `iter` value per active iteration, an XQuery Core
+//! expression `e` compiles into a plan `q` over schema `iter | pos | item` —
+//! a row `[i, p, v]` means "in iteration `i`, `e` returned the node with
+//! `pre` rank `v` at sequence position `p`".
+//!
+//! The rules Doc, Ddo, Step, If, ValComp, Comp, Let, For and Var are
+//! transcribed from paper Fig. 13; two additions are documented in
+//! DESIGN.md:
+//!
+//! * **Ebv** — `fn:boolean(e)` over a node sequence (needed by Q1's
+//!   normalized form) compiles to `@item:1(@pos:1(δ(π_iter(q))))`, the same
+//!   existential encoding the comparison rules produce;
+//! * **Seq** — sequence expressions `(e₁, e₂)` compile via disjoint union
+//!   with an `ord` tag column spliced into the order criteria.
+
+pub mod rules;
+
+pub use rules::{compile, CompileError, Compiled};

@@ -1,0 +1,369 @@
+//! Sessions: documents + prepared queries + the four back-ends.
+
+use jgi_algebra::{ConjunctiveQuery, NodeId, Plan};
+use jgi_engine::logical_exec::{execute_serialized, ExecBudget, ExecError};
+use jgi_engine::{optimizer, physical, Database};
+use jgi_nav::{NavDb, NavError, NavMode, NavOptions};
+use jgi_rewrite::{extract_cq, isolate, ExtractError, IsolateStats};
+use jgi_xml::serialize::{serialize_nodes, serialized_node_count};
+use jgi_xml::{DocStore, Tree};
+use jgi_xquery::{normalize, parse_query, Core, ParserOptions};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// The four execution back-ends of paper Table 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Isolated join graph through the cost-based relational engine
+    /// ("DB2 + Pathfinder, join graph").
+    JoinGraph,
+    /// The unrewritten compiler output, executed operator-at-a-time
+    /// ("DB2 + Pathfinder, stacked").
+    Stacked,
+    /// Navigational evaluation over the monolithic document
+    /// ("pureXML, whole").
+    NavWhole,
+    /// Navigational evaluation with XMLPATTERN-like value indexes
+    /// ("pureXML, segmented").
+    NavSegmented,
+}
+
+impl Engine {
+    /// All four, in Table 9 column order.
+    pub fn all() -> [Engine; 4] {
+        [Engine::JoinGraph, Engine::Stacked, Engine::NavWhole, Engine::NavSegmented]
+    }
+
+    /// Column label used by the benchmark harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            Engine::JoinGraph => "join graph",
+            Engine::Stacked => "stacked",
+            Engine::NavWhole => "nav (whole)",
+            Engine::NavSegmented => "nav (segmented)",
+        }
+    }
+}
+
+/// Session-level error.
+#[derive(Debug)]
+pub enum SessionError {
+    /// Parse/normalization/compilation failure.
+    Frontend(String),
+    /// The join-graph back-end needs an extractable plan.
+    Extract(ExtractError),
+    /// Unknown document.
+    Document(String),
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Frontend(m) => write!(f, "{m}"),
+            SessionError::Extract(e) => write!(f, "join graph extraction failed: {e}"),
+            SessionError::Document(u) => write!(f, "document not loaded: {u}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// Outcome of one execution: the node sequence, or a *dnf* marker, plus
+/// wall-clock time.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Result node sequence (`pre` ranks), `None` when the engine did not
+    /// finish within its budget.
+    pub nodes: Option<Vec<u32>>,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+}
+
+impl QueryOutcome {
+    /// Did the engine finish?
+    pub fn finished(&self) -> bool {
+        self.nodes.is_some()
+    }
+
+    /// Result length (0 for dnf).
+    pub fn len(&self) -> usize {
+        self.nodes.as_ref().map(|n| n.len()).unwrap_or(0)
+    }
+
+    /// True if the (finished) result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A compiled query with all artifacts the paper talks about.
+pub struct Prepared {
+    /// The query text.
+    pub text: String,
+    /// Normalized XQuery Core.
+    pub core: Core,
+    /// The plan arena (holds both the stacked and the isolated DAG).
+    pub plan: Plan,
+    /// Root of the unrewritten (stacked) plan.
+    pub stacked_root: NodeId,
+    /// Root after join graph isolation.
+    pub isolated_root: NodeId,
+    /// Rewrite statistics.
+    pub stats: IsolateStats,
+    /// The extracted join graph (None when the plan shape falls outside the
+    /// extractable fragment — execution then falls back to `Stacked`).
+    pub cq: Option<ConjunctiveQuery>,
+    /// The join-graph SQL block (paper Figs. 8/9), if extractable.
+    pub sql: Option<String>,
+    /// The stacked CTE SQL.
+    pub stacked_sql: String,
+}
+
+/// A session: loaded documents plus engines.
+pub struct Session {
+    store: DocStore,
+    nav: NavDb,
+    db: Option<Database>,
+    /// Budget for the stacked interpreter (rows) — the dnf cutoff.
+    pub stacked_budget: ExecBudget,
+    /// Budget for the navigational evaluator (node visits).
+    pub nav_budget: u64,
+}
+
+impl Session {
+    /// Empty session.
+    pub fn new() -> Session {
+        Session {
+            store: DocStore::new(),
+            nav: NavDb::new(),
+            db: None,
+            stacked_budget: ExecBudget::default(),
+            nav_budget: 500_000_000,
+        }
+    }
+
+    /// Load a document from XML text.
+    pub fn load_xml(&mut self, uri: &str, xml: &str) -> Result<(), SessionError> {
+        let tree = jgi_xml::parse(uri, xml)
+            .map_err(|e| SessionError::Frontend(e.to_string()))?;
+        self.add_tree(tree);
+        Ok(())
+    }
+
+    /// Load an already-built tree (e.g. from the synthetic generators).
+    pub fn add_tree(&mut self, tree: Tree) {
+        self.store.add_tree(&tree);
+        self.nav.add_tree(tree);
+        self.db = None; // indexes must be rebuilt
+    }
+
+    /// The tabular encoding (for inspection/serialization).
+    pub fn store(&self) -> &DocStore {
+        &self.store
+    }
+
+    /// The relational database (builds the Table 6 index set on first use).
+    pub fn database(&mut self) -> &Database {
+        if self.db.is_none() {
+            self.db = Some(Database::with_default_indexes(self.store.clone()));
+        }
+        self.db.as_ref().expect("just built")
+    }
+
+    /// Parse, normalize, compile, isolate, and extract a query.
+    ///
+    /// `context_doc` names the document a rooted path (`/site/…`) refers to.
+    pub fn prepare(
+        &mut self,
+        query: &str,
+        context_doc: Option<&str>,
+    ) -> Result<Prepared, SessionError> {
+        let opts = ParserOptions { context_doc: context_doc.map(|s| s.to_string()) };
+        let ast =
+            parse_query(query, &opts).map_err(|e| SessionError::Frontend(e.to_string()))?;
+        let core = normalize(&ast).map_err(|e| SessionError::Frontend(e.to_string()))?;
+        let compiled =
+            jgi_compiler::compile(&core).map_err(|e| SessionError::Frontend(e.to_string()))?;
+        let mut plan = compiled.plan;
+        let stacked_root = compiled.root;
+        let (isolated_root, stats) = isolate(&mut plan, stacked_root);
+        let cq = extract_cq(&plan, isolated_root).ok();
+        let sql = cq.as_ref().map(jgi_sql::join_graph_sql);
+        let stacked_sql = jgi_sql::stacked_sql(&plan, stacked_root);
+        Ok(Prepared {
+            text: query.to_string(),
+            core,
+            plan,
+            stacked_root,
+            isolated_root,
+            stats,
+            cq,
+            sql,
+            stacked_sql,
+        })
+    }
+
+    /// Execute a prepared query on the chosen back-end.
+    pub fn execute(&mut self, prepared: &Prepared, engine: Engine) -> QueryOutcome {
+        let start = Instant::now();
+        let nodes: Option<Vec<u32>> = match engine {
+            Engine::JoinGraph => match &prepared.cq {
+                Some(cq) => {
+                    let db = self.database();
+                    let plan = optimizer::plan(db, cq);
+                    Some(physical::execute(db, &plan))
+                }
+                // Plan outside the extractable fragment: execute the
+                // *isolated* plan with the interpreter (still faster than
+                // stacked, but honest about the missing SQL hand-off).
+                None => match execute_serialized(
+                    &prepared.plan,
+                    prepared.isolated_root,
+                    &self.store,
+                    self.stacked_budget,
+                ) {
+                    Ok(v) => Some(v),
+                    Err(ExecError::BudgetExceeded) => None,
+                    Err(e) => panic!("isolated plan execution failed: {e}"),
+                },
+            },
+            Engine::Stacked => match execute_serialized(
+                &prepared.plan,
+                prepared.stacked_root,
+                &self.store,
+                self.stacked_budget,
+            ) {
+                Ok(v) => Some(v),
+                Err(ExecError::BudgetExceeded) => None,
+                Err(e) => panic!("stacked plan execution failed: {e}"),
+            },
+            Engine::NavWhole | Engine::NavSegmented => {
+                let mode = if engine == Engine::NavWhole {
+                    NavMode::Whole
+                } else {
+                    NavMode::Segmented
+                };
+                match self
+                    .nav
+                    .eval(&prepared.core, NavOptions { mode, budget: self.nav_budget })
+                {
+                    Ok(refs) => Some(self.nav.to_pre(&refs, &self.store.doc_roots.clone())),
+                    Err(NavError::Budget) => None,
+                    Err(e) => panic!("navigational evaluation failed: {e}"),
+                }
+            }
+        };
+        QueryOutcome { nodes, wall: start.elapsed() }
+    }
+
+    /// Explain the join-graph physical plan (paper Figs. 10/11 style).
+    pub fn explain(&mut self, prepared: &Prepared) -> Result<String, SessionError> {
+        let cq = prepared
+            .cq
+            .as_ref()
+            .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
+            .clone();
+        let db = self.database();
+        let plan = optimizer::plan(db, &cq);
+        Ok(jgi_engine::explain::render(db, &plan))
+    }
+
+    /// Serialize a node sequence to XML text.
+    pub fn serialize(&self, nodes: &[u32]) -> String {
+        serialize_nodes(&self.store, nodes)
+    }
+
+    /// Total serialized node count (the "# nodes" of paper Table 9).
+    pub fn node_count(&self, nodes: &[u32]) -> u64 {
+        serialized_node_count(&self.store, nodes)
+    }
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Session::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_xml::generate::{generate_xmark, XmarkConfig};
+
+    fn xmark_session() -> Session {
+        let mut s = Session::new();
+        s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+        s
+    }
+
+    #[test]
+    fn all_engines_agree_on_q1() {
+        let mut s = xmark_session();
+        let p = s
+            .prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None)
+            .unwrap();
+        assert!(p.cq.is_some(), "Q1 must be extractable");
+        assert!(p.sql.as_ref().unwrap().contains("SELECT DISTINCT"));
+        let results: Vec<Vec<u32>> = Engine::all()
+            .into_iter()
+            .map(|e| s.execute(&p, e).nodes.expect("all engines finish"))
+            .collect();
+        assert!(!results[0].is_empty());
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut s = xmark_session();
+        let p = s
+            .prepare(r#"doc("auction.xml")/descendant::bidder"#, None)
+            .unwrap();
+        let out = s.execute(&p, Engine::JoinGraph);
+        let nodes = out.nodes.unwrap();
+        let xml = s.serialize(&nodes);
+        assert!(xml.starts_with("<bidder>"));
+        assert_eq!(xml.matches("<bidder>").count(), nodes.len());
+        assert!(s.node_count(&nodes) > nodes.len() as u64);
+    }
+
+    #[test]
+    fn rooted_paths_use_the_context_document() {
+        let mut s = xmark_session();
+        let p = s.prepare("/site/open_auctions/open_auction", Some("auction.xml")).unwrap();
+        let out = s.execute(&p, Engine::JoinGraph);
+        assert!(!out.nodes.unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_renders() {
+        let mut s = xmark_session();
+        let p = s
+            .prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None)
+            .unwrap();
+        let text = s.explain(&p).unwrap();
+        assert!(text.contains("RETURN") && text.contains("IXSCAN"), "{text}");
+    }
+
+    #[test]
+    fn load_from_xml_text() {
+        let mut s = Session::new();
+        s.load_xml("t.xml", "<a><b>1</b><b>2</b></a>").unwrap();
+        let p = s.prepare(r#"doc("t.xml")/child::a/child::b"#, None).unwrap();
+        let out = s.execute(&p, Engine::JoinGraph);
+        assert_eq!(out.len(), 2);
+        assert!(s.load_xml("bad.xml", "<a>").is_err());
+    }
+
+    #[test]
+    fn dnf_reporting() {
+        let mut s = xmark_session();
+        s.stacked_budget = ExecBudget { max_rows: 100 };
+        let p = s
+            .prepare(r#"doc("auction.xml")/descendant::node()/descendant::node()"#, None)
+            .unwrap();
+        let out = s.execute(&p, Engine::Stacked);
+        assert!(!out.finished());
+    }
+}

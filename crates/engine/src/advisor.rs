@@ -1,0 +1,259 @@
+//! A db2advis-like index advisor (paper Table 6 and §4, "Autonomous index
+//! design").
+//!
+//! Given a workload of join-graph blocks, the advisor (1) generates
+//! candidate composite B-tree keys from the predicate usage patterns —
+//! name/kind tests become low-cardinality key prefixes, `data`/`value`
+//! comparisons contribute typed/untyped value columns, structural atoms
+//! contribute `p`/`s`/`l`/`q` suffixes — and (2) scores each candidate by
+//! *what-if* planning: the workload is re-optimized against a hypothetical
+//! catalog and candidates are kept greedily while they reduce the total
+//! estimated cost.
+
+use crate::catalog::{Database, Index, IndexCol};
+use crate::optimizer;
+use crate::btree::BTree;
+use jgi_algebra::cq::{CqScalar, DocCol};
+use jgi_algebra::pred::CmpOp;
+use jgi_algebra::ConjunctiveQuery;
+
+/// One advisor recommendation.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Index name in letter notation (`nkspl`, `vnlkp`, `p|nvkls`).
+    pub name: String,
+    /// What the index supports (the "Index deployment" column of Table 6).
+    pub deployment: String,
+    /// Estimated workload cost reduction attributable to this index.
+    pub benefit: f64,
+    /// Chosen by the greedy what-if selection (false: eligible candidate
+    /// with standalone benefit, kept in the report like db2advis's full
+    /// proposal list).
+    pub greedy: bool,
+}
+
+/// Run the advisor over a workload.
+pub fn advise(db: &Database, workload: &[ConjunctiveQuery]) -> Vec<Recommendation> {
+    let candidates = generate_candidates(workload);
+    // What-if database: same store/stats, hypothetical (empty) indexes —
+    // planning consults only key shapes and statistics.
+    let mut hypo = Database { store: db.store.clone(), stats: db.stats.clone(), indexes: vec![] };
+    let baseline: f64 = workload.iter().map(|q| optimizer::plan(&hypo, q).est_cost).sum();
+    let mut picked: Vec<Recommendation> = Vec::new();
+    let mut current_cost = baseline;
+    // Greedy: repeatedly add the candidate with the largest cost reduction.
+    let mut remaining = candidates;
+    while !remaining.is_empty() {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, cand) in remaining.iter().enumerate() {
+            hypo.indexes.push(hypothetical_index(cand));
+            let cost: f64 = workload.iter().map(|q| optimizer::plan(&hypo, q).est_cost).sum();
+            hypo.indexes.pop();
+            let gain = current_cost - cost;
+            if std::env::var_os("JGI_TRACE_ADVISOR").is_some() {
+                eprintln!("cand {} gain {:.1} (cost {:.1} vs {:.1})", cand.name, gain, cost, current_cost);
+            }
+            if gain > 1e-6 && best.map(|(_, g)| gain > g).unwrap_or(true) {
+                best = Some((i, gain));
+            }
+        }
+        let Some((i, gain)) = best else { break };
+        let cand = remaining.remove(i);
+        hypo.indexes.push(hypothetical_index(&cand));
+        current_cost -= gain;
+        picked.push(Recommendation {
+            name: cand.name.clone(),
+            deployment: cand.deployment.clone(),
+            benefit: gain,
+            greedy: true,
+        });
+    }
+    // Remaining candidates with positive *standalone* benefit stay in the
+    // report (db2advis proposes the full eligible family; the greedy subset
+    // marks what a space-constrained deployment would keep).
+    for cand in remaining {
+        hypo.indexes.clear();
+        hypo.indexes.push(hypothetical_index(&cand));
+        let cost: f64 = workload.iter().map(|q| optimizer::plan(&hypo, q).est_cost).sum();
+        let standalone = baseline - cost;
+        if standalone > 1e-6 {
+            picked.push(Recommendation {
+                name: cand.name.clone(),
+                deployment: cand.deployment.clone(),
+                benefit: standalone,
+                greedy: false,
+            });
+        }
+    }
+    picked
+}
+
+/// A candidate key with its rationale.
+#[derive(Debug, Clone, PartialEq)]
+struct Candidate {
+    name: String,
+    key: Vec<IndexCol>,
+    include: Vec<IndexCol>,
+    deployment: String,
+}
+
+fn hypothetical_index(c: &Candidate) -> Index {
+    Index {
+        name: c.name.clone(),
+        key: c.key.clone(),
+        include: c.include.clone(),
+        btree: BTree::new(c.key.len()),
+    }
+}
+
+fn mk(key: &str, include: &str, deployment: &str) -> Candidate {
+    let parse = |s: &str| -> Vec<IndexCol> {
+        s.chars().map(|c| IndexCol::from_letter(c).expect("candidate letters valid")).collect()
+    };
+    let name = if include.is_empty() { key.to_string() } else { format!("{key}|{include}") };
+    Candidate {
+        name,
+        key: parse(key),
+        include: parse(include),
+        deployment: deployment.to_string(),
+    }
+}
+
+/// Candidate generation from workload predicate patterns.
+fn generate_candidates(workload: &[ConjunctiveQuery]) -> Vec<Candidate> {
+    let mut has_name_test = false;
+    let mut has_child_level = false;
+    let mut has_data_pred = false;
+    let mut has_value_join = false;
+    let mut has_sibling = false;
+    let mut has_structural = false;
+    for q in workload {
+        for p in &q.predicates {
+            match (&p.lhs, &p.rhs, p.op) {
+                (CqScalar::Col(c), CqScalar::Const(_), CmpOp::Eq) if c.col == DocCol::Name => {
+                    has_name_test = true;
+                }
+                (CqScalar::Col(c), CqScalar::Const(_), _) if c.col == DocCol::Data => {
+                    has_data_pred = true;
+                }
+                (CqScalar::Col(a), CqScalar::Col(b), CmpOp::Eq)
+                    if a.col == DocCol::Value && b.col == DocCol::Value =>
+                {
+                    has_value_join = true;
+                }
+                (CqScalar::Col(a), CqScalar::Col(b), CmpOp::Eq)
+                    if a.col == DocCol::Parent && b.col == DocCol::Parent =>
+                {
+                    has_sibling = true;
+                }
+                (CqScalar::ColPlusInt(c, 1), _, CmpOp::Eq)
+                | (_, CqScalar::ColPlusInt(c, 1), CmpOp::Eq)
+                    if c.col == DocCol::Level =>
+                {
+                    has_child_level = true;
+                }
+                (CqScalar::Col(c), _, CmpOp::Lt | CmpOp::Le)
+                | (_, CqScalar::Col(c), CmpOp::Lt | CmpOp::Le)
+                    if c.col == DocCol::Pre =>
+                {
+                    has_structural = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if has_name_test && has_structural {
+        out.push(mk("nksp", "", "XPath node test and axis step, access document node (doc(·))"));
+        out.push(mk("nlkp", "", "XPath node test and axis step"));
+        out.push(mk("nlkps", "", "XPath node test and axis step"));
+    }
+    if has_name_test && has_child_level {
+        out.push(mk("nkspl", "", "XPath node test and child/attribute step"));
+    }
+    if has_data_pred {
+        out.push(mk("nkdlp", "", "Typed value comparison with subsequent/preceding XPath step"));
+    }
+    if has_value_join {
+        out.push(mk("vnlkp", "", "Atomization, value comparison with subsequent/preceding XPath step"));
+        out.push(mk("nlkpv", "", "Atomization, value comparison"));
+    }
+    if has_sibling {
+        out.push(mk("nkqp", "", "Sibling axis steps (parent-qualified)"));
+    }
+    // Serialization support: pre-keyed with covering payload.
+    out.push(mk("p", "nvkls", "Serialization support (covering)"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Database;
+    use jgi_compiler::compile;
+    use jgi_rewrite::{extract_cq, isolate};
+    use jgi_xml::generate::{generate_xmark, XmarkConfig};
+    use jgi_xml::DocStore;
+    use jgi_xquery::compile_to_core;
+
+    fn cq_of(q: &str) -> ConjunctiveQuery {
+        let core = compile_to_core(q).unwrap();
+        let c = compile(&core).unwrap();
+        let mut plan = c.plan;
+        let (root, _) = isolate(&mut plan, c.root);
+        extract_cq(&plan, root).unwrap()
+    }
+
+    /// The Q2 workload must recover the key shapes of paper Table 6.
+    #[test]
+    fn q2_workload_reproduces_table6_family() {
+        let t = generate_xmark(XmarkConfig { scale: 0.003, seed: 11 });
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let db = Database::new(store);
+        let q2 = cq_of(
+            r#"let $a := doc("auction.xml")
+               for $ca in $a//closed_auction[price > 500],
+                   $i in $a//item,
+                   $c in $a//category
+               where $ca/itemref/@item = $i/@id
+                 and $i/incategory/@category = $c/@id
+               return $c/name"#,
+        );
+        // Candidate generation covers the Table 6 key family.
+        let cands = generate_candidates(&[q2.clone()]);
+        let cand_names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        for expected in ["nksp", "nkspl", "nlkp", "nlkps", "nkdlp", "vnlkp", "nlkpv", "p|nvkls"] {
+            assert!(cand_names.contains(&expected), "missing candidate {expected}: {cand_names:?}");
+        }
+        // Greedy what-if selection keeps a structural index and a
+        // value-comparison index (the test instance is small, so marginal
+        // candidates may be dropped — the paper's 110 MB instance keeps
+        // more).
+        let recs = advise(&db, &[q2]);
+        let names: Vec<&str> = recs.iter().map(|r| r.name.as_str()).collect();
+        assert!(
+            names.iter().any(|n| n.starts_with("nk") || n.starts_with("nl")),
+            "{names:?}"
+        );
+        assert!(
+            names.iter().any(|n| n.contains('v') || n.contains('d')),
+            "value index missing: {names:?}"
+        );
+        // Benefits are positive and the first pick dominates.
+        assert!(recs.iter().all(|r| r.benefit > 0.0));
+        assert!(recs[0].benefit >= recs.last().unwrap().benefit);
+    }
+
+    #[test]
+    fn no_structural_predicates_no_structural_indexes() {
+        let t = generate_xmark(XmarkConfig { scale: 0.002, seed: 5 });
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let db = Database::new(store);
+        // Workload of nothing: only the serialization candidate exists, and
+        // with no queries it yields no benefit.
+        let recs = advise(&db, &[]);
+        assert!(recs.is_empty());
+    }
+}

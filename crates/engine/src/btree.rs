@@ -1,0 +1,416 @@
+//! A B+tree with composite keys.
+//!
+//! This is the *only* index structure in the system, mirroring the paper's
+//! setup ("we exclusively rely on the vanilla B-tree indexes that are
+//! provided by any RDBMS kernel"). Keys are tuples of [`Value`]s compared
+//! lexicographically; duplicates are allowed; leaves are chained for range
+//! scans. Trees can be bulk-loaded from sorted entries (how the catalog
+//! builds them) and support single inserts (exercised by the property
+//! tests against `std::collections::BTreeMap`).
+
+use jgi_algebra::Value;
+use std::cmp::Ordering;
+
+/// Maximum entries per node (fan-out). 64 keeps the tree shallow while
+/// making splits observable in tests.
+const ORDER: usize = 64;
+
+/// Composite key.
+pub type Key = Vec<Value>;
+
+/// Compare `probe` (a possibly shorter prefix) against a full key: missing
+/// trailing components compare as "matches anything" — i.e. the prefix is
+/// equal to any extension. Used for prefix range scans.
+pub fn cmp_prefix(probe: &[Value], key: &[Value]) -> Ordering {
+    for (p, k) in probe.iter().zip(key.iter()) {
+        match p.cmp(k) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Full lexicographic comparison (shorter key sorts first on ties).
+fn cmp_key(a: &[Value], b: &[Value]) -> Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Separator keys: `keys[i]` is the smallest key reachable under
+        /// `children[i + 1]`.
+        keys: Vec<Key>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        keys: Vec<Key>,
+        vals: Vec<u32>,
+        next: Option<usize>,
+    },
+}
+
+/// The B+tree.
+#[derive(Debug, Clone)]
+pub struct BTree {
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    /// Number of key components.
+    pub key_width: usize,
+}
+
+impl BTree {
+    /// Empty tree for keys of the given width.
+    pub fn new(key_width: usize) -> Self {
+        BTree {
+            nodes: vec![Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None }],
+            root: 0,
+            len: 0,
+            key_width,
+        }
+    }
+
+    /// Bulk-load from entries; sorts them and builds the leaf level plus
+    /// internal levels bottom-up (the classic index build).
+    pub fn bulk_load(key_width: usize, mut entries: Vec<(Key, u32)>) -> Self {
+        entries.sort_by(|a, b| cmp_key(&a.0, &b.0).then(a.1.cmp(&b.1)));
+        let mut tree = BTree { nodes: Vec::new(), root: 0, len: entries.len(), key_width };
+        if entries.is_empty() {
+            tree.nodes.push(Node::Leaf { keys: Vec::new(), vals: Vec::new(), next: None });
+            return tree;
+        }
+        // Leaf level.
+        let mut level: Vec<(Key, usize)> = Vec::new(); // (first key, node idx)
+        let mut i = 0;
+        let mut prev_leaf: Option<usize> = None;
+        while i < entries.len() {
+            let end = (i + ORDER).min(entries.len());
+            let chunk = &entries[i..end];
+            let idx = tree.nodes.len();
+            tree.nodes.push(Node::Leaf {
+                keys: chunk.iter().map(|(k, _)| k.clone()).collect(),
+                vals: chunk.iter().map(|(_, v)| *v).collect(),
+                next: None,
+            });
+            if let Some(p) = prev_leaf {
+                if let Node::Leaf { next, .. } = &mut tree.nodes[p] {
+                    *next = Some(idx);
+                }
+            }
+            prev_leaf = Some(idx);
+            level.push((chunk[0].0.clone(), idx));
+            i = end;
+        }
+        // Internal levels.
+        while level.len() > 1 {
+            let mut next_level = Vec::new();
+            let mut i = 0;
+            while i < level.len() {
+                let end = (i + ORDER).min(level.len());
+                let chunk = &level[i..end];
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node::Internal {
+                    keys: chunk[1..].iter().map(|(k, _)| k.clone()).collect(),
+                    children: chunk.iter().map(|(_, c)| *c).collect(),
+                });
+                next_level.push((chunk[0].0.clone(), idx));
+                i = end;
+            }
+            level = next_level;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height (levels), for tests/explain.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { children, .. } => {
+                    cur = children[0];
+                    h += 1;
+                }
+                Node::Leaf { .. } => return h,
+            }
+        }
+    }
+
+    /// Insert one entry.
+    pub fn insert(&mut self, key: Key, val: u32) {
+        assert_eq!(key.len(), self.key_width, "key width mismatch");
+        self.len += 1;
+        if let Some((sep, right)) = self.insert_at(self.root, key, val) {
+            // Root split: grow a level.
+            let old_root = self.root;
+            let idx = self.nodes.len();
+            self.nodes.push(Node::Internal { keys: vec![sep], children: vec![old_root, right] });
+            self.root = idx;
+        }
+    }
+
+    /// Recursive insert; returns `(separator, new right sibling)` on split.
+    fn insert_at(&mut self, node: usize, key: Key, val: u32) -> Option<(Key, usize)> {
+        match &mut self.nodes[node] {
+            Node::Leaf { keys, vals, next } => {
+                let pos = keys.partition_point(|k| cmp_key(k, &key) != Ordering::Greater);
+                keys.insert(pos, key);
+                vals.insert(pos, val);
+                if keys.len() <= ORDER {
+                    return None;
+                }
+                // Split.
+                let mid = keys.len() / 2;
+                let rkeys = keys.split_off(mid);
+                let rvals = vals.split_off(mid);
+                let old_next = *next;
+                let sep = rkeys[0].clone();
+                let ridx = self.nodes.len();
+                if let Node::Leaf { next, .. } = &mut self.nodes[node] {
+                    *next = Some(ridx);
+                }
+                self.nodes.push(Node::Leaf { keys: rkeys, vals: rvals, next: old_next });
+                Some((sep, ridx))
+            }
+            Node::Internal { keys, children } => {
+                let pos = keys.partition_point(|k| cmp_key(k, &key) != Ordering::Greater);
+                let child = children[pos];
+                let (sep, right) = self.insert_at(child, key, val)?;
+                if let Node::Internal { keys, children } = &mut self.nodes[node] {
+                    keys.insert(pos, sep);
+                    children.insert(pos + 1, right);
+                    if keys.len() <= ORDER {
+                        return None;
+                    }
+                    let mid = keys.len() / 2;
+                    let sep_up = keys[mid].clone();
+                    let rkeys = keys.split_off(mid + 1);
+                    keys.pop(); // the separator moves up
+                    let rchildren = children.split_off(mid + 1);
+                    let ridx = self.nodes.len();
+                    self.nodes.push(Node::Internal { keys: rkeys, children: rchildren });
+                    return Some((sep_up, ridx));
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    /// Range scan: all entries with `lo ≤ key ≤ hi` under prefix
+    /// comparison (strict bounds exclude equal-prefix keys). Passing an
+    /// empty `lo`/`hi` leaves that end unbounded.
+    pub fn scan<'a>(
+        &'a self,
+        lo: &'a [Value],
+        lo_strict: bool,
+        hi: &'a [Value],
+        hi_strict: bool,
+    ) -> Scan<'a> {
+        // Descend to the first candidate leaf.
+        let mut cur = self.root;
+        loop {
+            match &self.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    let pos = if lo.is_empty() {
+                        0
+                    } else {
+                        keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+                    };
+                    cur = children[pos];
+                }
+                Node::Leaf { keys, .. } => {
+                    let pos = if lo.is_empty() {
+                        0
+                    } else if lo_strict {
+                        keys.partition_point(|k| cmp_prefix(lo, k) != Ordering::Less)
+                    } else {
+                        keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+                    };
+                    // The lower bound travels with the cursor: a duplicate
+                    // run may span leaves, so the bound must be re-checked
+                    // after following a `next` pointer.
+                    return Scan { tree: self, leaf: cur, pos, lo, lo_strict, hi, hi_strict };
+                }
+            }
+        }
+    }
+
+    /// All entries with key prefix exactly `prefix`.
+    pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> Scan<'a> {
+        self.scan(prefix, false, prefix, false)
+    }
+
+    /// Iterate everything (for tests and stats).
+    pub fn iter(&self) -> Scan<'_> {
+        self.scan(&[], false, &[], false)
+    }
+}
+
+/// Leaf-chain iterator produced by [`BTree::scan`].
+pub struct Scan<'a> {
+    tree: &'a BTree,
+    leaf: usize,
+    pos: usize,
+    lo: &'a [Value],
+    lo_strict: bool,
+    hi: &'a [Value],
+    hi_strict: bool,
+}
+
+impl<'a> Iterator for Scan<'a> {
+    type Item = (&'a [Value], u32);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let Node::Leaf { keys, vals, next } = &self.tree.nodes[self.leaf] else {
+                unreachable!("scan cursors sit on leaves")
+            };
+            if self.pos < keys.len() {
+                let k = &keys[self.pos];
+                if !self.lo.is_empty() {
+                    let c = cmp_prefix(self.lo, k);
+                    if c == Ordering::Greater || (self.lo_strict && c == Ordering::Equal) {
+                        self.pos += 1;
+                        continue;
+                    }
+                }
+                if !self.hi.is_empty() {
+                    let c = cmp_prefix(self.hi, k);
+                    if c == Ordering::Less || (self.hi_strict && c == Ordering::Equal) {
+                        return None;
+                    }
+                }
+                let v = vals[self.pos];
+                self.pos += 1;
+                return Some((k.as_slice(), v));
+            }
+            match next {
+                Some(n) => {
+                    self.leaf = *n;
+                    self.pos = 0;
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ik(i: i64) -> Key {
+        vec![Value::Int(i)]
+    }
+
+    #[test]
+    fn bulk_load_and_scan() {
+        let entries: Vec<(Key, u32)> = (0..1000).map(|i| (ik(i), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        assert_eq!(t.len(), 1000);
+        assert!(t.height() >= 2);
+        let lo = ik(100);
+        let hi = ik(110);
+        let got: Vec<u32> = t.scan(&lo, false, &hi, false).map(|(_, v)| v).collect();
+        assert_eq!(got, (100..=110).collect::<Vec<u32>>());
+        // Strict bounds.
+        let got: Vec<u32> = t.scan(&lo, true, &hi, true).map(|(_, v)| v).collect();
+        assert_eq!(got, (101..=109).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn inserts_split_and_stay_sorted() {
+        let mut t = BTree::new(1);
+        // Insert in adversarial (descending) order.
+        for i in (0..500).rev() {
+            t.insert(ik(i), i as u32);
+        }
+        assert_eq!(t.len(), 500);
+        let all: Vec<u32> = t.iter().map(|(_, v)| v).collect();
+        assert_eq!(all, (0..500).collect::<Vec<u32>>());
+        assert!(t.height() >= 2);
+    }
+
+    #[test]
+    fn duplicates_are_kept() {
+        let mut t = BTree::new(1);
+        for i in 0..100 {
+            t.insert(ik(7), i);
+        }
+        let k = ik(7);
+        let hits: Vec<u32> = t.scan_prefix(&k).map(|(_, v)| v).collect();
+        assert_eq!(hits.len(), 100);
+        let k8 = ik(8);
+        assert!(t.scan_prefix(&k8).next().is_none());
+    }
+
+    #[test]
+    fn composite_keys_and_prefix_scan() {
+        // Key = (name, kind, pre): like the paper's `nkp` indexes.
+        let mut entries = Vec::new();
+        for (n, name) in ["bidder", "item", "price"].iter().enumerate() {
+            for pre in 0..50u32 {
+                entries.push((
+                    vec![
+                        Value::Str(name.to_string()),
+                        Value::Int(1),
+                        Value::Int((pre * 3 + n as u32) as i64),
+                    ],
+                    pre * 3 + n as u32,
+                ));
+            }
+        }
+        let t = BTree::bulk_load(3, entries);
+        // Prefix scan on name alone.
+        let p = [Value::Str("item".to_string())];
+        let items: Vec<u32> = t.scan_prefix(&p).map(|(_, v)| v).collect();
+        assert_eq!(items.len(), 50);
+        // Prefix equality + range on pre: item elements with pre in [30, 60].
+        let lo = [Value::Str("item".into()), Value::Int(1), Value::Int(30)];
+        let hi = [Value::Str("item".into()), Value::Int(1), Value::Int(60)];
+        let ranged: Vec<u32> = t.scan(&lo, false, &hi, false).map(|(_, v)| v).collect();
+        assert!(ranged.iter().all(|&p| (30..=60).contains(&p)));
+        assert!(!ranged.is_empty());
+    }
+
+    #[test]
+    fn empty_and_unbounded() {
+        let t = BTree::new(2);
+        assert!(t.is_empty());
+        assert!(t.iter().next().is_none());
+        let t = BTree::bulk_load(1, vec![(ik(5), 5)]);
+        let all: Vec<u32> = t.scan(&[], false, &[], false).map(|(_, v)| v).collect();
+        assert_eq!(all, vec![5]);
+        // Unbounded below, bounded above.
+        let hi = ik(4);
+        let some: Vec<u32> = t.scan(&[], false, &hi, false).map(|(_, v)| v).collect();
+        assert!(some.is_empty());
+    }
+
+    #[test]
+    fn prefix_cmp_semantics() {
+        use Ordering::*;
+        assert_eq!(cmp_prefix(&[Value::Int(3)], &[Value::Int(3), Value::Int(9)]), Equal);
+        assert_eq!(cmp_prefix(&[Value::Int(2)], &[Value::Int(3), Value::Int(9)]), Less);
+        assert_eq!(cmp_prefix(&[], &[Value::Int(3)]), Equal);
+    }
+}

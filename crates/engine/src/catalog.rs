@@ -1,0 +1,245 @@
+//! The database: one `doc` relation, its statistics, and its B-tree indexes.
+
+use crate::btree::BTree;
+use crate::stats::DocStats;
+use jgi_algebra::cq::DocCol;
+use jgi_algebra::Value;
+use jgi_xml::encode::{NO_NAME, NO_PARENT, NO_VALUE};
+use jgi_xml::DocStore;
+
+/// A column usable in an index key: a base `doc` column or the computed
+/// column `s = pre + size` (paper Table 6: "s:pre + size" — the subtree end
+/// bound, which makes containment ranges sargable from either side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexCol {
+    /// A base column.
+    Col(DocCol),
+    /// `pre + size`.
+    PreSize,
+}
+
+impl IndexCol {
+    /// One-letter code used in index names (paper Table 6 footnote:
+    /// `p:pre, s:pre + size, l:level, k:kind, n:name, v:value, d:data`;
+    /// we add `q:parent`).
+    pub fn letter(self) -> char {
+        match self {
+            IndexCol::Col(DocCol::Size) => 'z', // raw size (not used by default keys)
+            IndexCol::Col(c) => c.letter(),
+            IndexCol::PreSize => 's',
+        }
+    }
+
+    /// Parse a letter code.
+    pub fn from_letter(c: char) -> Option<IndexCol> {
+        Some(match c {
+            'p' => IndexCol::Col(DocCol::Pre),
+            's' => IndexCol::PreSize,
+            'l' => IndexCol::Col(DocCol::Level),
+            'k' => IndexCol::Col(DocCol::Kind),
+            'n' => IndexCol::Col(DocCol::Name),
+            'v' => IndexCol::Col(DocCol::Value),
+            'd' => IndexCol::Col(DocCol::Data),
+            'q' => IndexCol::Col(DocCol::Parent),
+            'z' => IndexCol::Col(DocCol::Size),
+            _ => return None,
+        })
+    }
+}
+
+/// A B-tree index over the `doc` relation.
+#[derive(Debug, Clone)]
+pub struct Index {
+    /// Name in the paper's letter convention (`nkspl`, `vnlkp`, …; include
+    /// columns after a `|`, e.g. `p|nvkls`).
+    pub name: String,
+    /// Key columns, most significant first.
+    pub key: Vec<IndexCol>,
+    /// Included (covering) columns — they don't participate in ordering.
+    pub include: Vec<IndexCol>,
+    /// The tree; entry values are `pre` ranks.
+    pub btree: BTree,
+}
+
+/// The database a join graph runs against.
+#[derive(Debug, Clone)]
+pub struct Database {
+    /// The XML infoset encoding.
+    pub store: DocStore,
+    /// Collected statistics.
+    pub stats: DocStats,
+    /// Available indexes.
+    pub indexes: Vec<Index>,
+}
+
+impl Database {
+    /// Load a store; collects statistics, creates no indexes.
+    pub fn new(store: DocStore) -> Database {
+        let stats = DocStats::collect(&store);
+        Database { store, stats, indexes: Vec::new() }
+    }
+
+    /// Load a store and create the paper's Table 6 index family.
+    pub fn with_default_indexes(store: DocStore) -> Database {
+        let mut db = Database::new(store);
+        for spec in DEFAULT_INDEXES {
+            db.create_index_by_name(spec).expect("default index specs are valid");
+        }
+        db
+    }
+
+    /// Value of an index column for row `pre`.
+    pub fn col_value(&self, pre: u32, col: IndexCol) -> Value {
+        let p = pre as usize;
+        match col {
+            IndexCol::PreSize => Value::Int(pre as i64 + self.store.size[p] as i64),
+            IndexCol::Col(DocCol::Pre) => Value::Int(pre as i64),
+            IndexCol::Col(DocCol::Size) => Value::Int(self.store.size[p] as i64),
+            IndexCol::Col(DocCol::Level) => Value::Int(self.store.level[p] as i64),
+            IndexCol::Col(DocCol::Kind) => Value::Kind(self.store.kind[p]),
+            IndexCol::Col(DocCol::Name) => match self.store.name[p] {
+                NO_NAME => Value::Null,
+                id => Value::Str(self.store.names.resolve(id).to_string()),
+            },
+            IndexCol::Col(DocCol::Value) => match self.store.value[p] {
+                NO_VALUE => Value::Null,
+                id => Value::Str(self.store.values.resolve(id).to_string()),
+            },
+            IndexCol::Col(DocCol::Data) => {
+                let d = self.store.data[p];
+                if d.is_nan() {
+                    Value::Null
+                } else {
+                    Value::Dec(d)
+                }
+            }
+            IndexCol::Col(DocCol::Parent) => match self.store.parent[p] {
+                NO_PARENT => Value::Null,
+                pp => Value::Int(pp as i64),
+            },
+        }
+    }
+
+    /// Create an index with the given key/include columns; returns its slot.
+    pub fn create_index(&mut self, key: Vec<IndexCol>, include: Vec<IndexCol>) -> usize {
+        let mut name: String = key.iter().map(|c| c.letter()).collect();
+        if !include.is_empty() {
+            name.push('|');
+            name.extend(include.iter().map(|c| c.letter()));
+        }
+        if let Some(pos) = self.indexes.iter().position(|i| i.name == name) {
+            return pos; // idempotent
+        }
+        let entries: Vec<(Vec<Value>, u32)> = (0..self.store.len() as u32)
+            .map(|pre| (key.iter().map(|&c| self.col_value(pre, c)).collect(), pre))
+            .collect();
+        let btree = BTree::bulk_load(key.len(), entries);
+        self.indexes.push(Index { name, key, include, btree });
+        self.indexes.len() - 1
+    }
+
+    /// Create an index from its letter name (`"nkspl"`, `"p|nvkls"`).
+    pub fn create_index_by_name(&mut self, spec: &str) -> Result<usize, String> {
+        let (key_s, inc_s) = match spec.split_once('|') {
+            Some((k, i)) => (k, i),
+            None => (spec, ""),
+        };
+        let parse = |s: &str| -> Result<Vec<IndexCol>, String> {
+            s.chars()
+                .map(|c| IndexCol::from_letter(c).ok_or_else(|| format!("bad index letter `{c}`")))
+                .collect()
+        };
+        Ok(self.create_index(parse(key_s)?, parse(inc_s)?))
+    }
+
+    /// Find an index by name.
+    pub fn index_by_name(&self, name: &str) -> Option<&Index> {
+        self.indexes.iter().find(|i| i.name == name)
+    }
+}
+
+/// The default index family of paper Table 6 (plus `nkqp`, which serves the
+/// sibling axes via the `parent` column — see DESIGN.md).
+pub const DEFAULT_INDEXES: &[&str] = &[
+    "nksp",    // node test + descendant preparation, document node access
+    "nkspl",   // … + level for child steps
+    "nlkps",   // level-organized variant
+    "nlkp",    // raw path traversal
+    "nlkpv",   // node test + value retrieval
+    "vnlkp",   // value-prefixed: atomization/value comparisons
+    "nkdlp",   // typed-value comparisons (price > 500)
+    "p|nvkls", // serialization support (pre-keyed, covering)
+    "nkqp",    // sibling axes (parent-qualified)
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_xml::generate::{generate_xmark, XmarkConfig};
+
+    fn db() -> Database {
+        let t = generate_xmark(XmarkConfig { scale: 0.002, seed: 5 });
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        Database::with_default_indexes(store)
+    }
+
+    #[test]
+    fn default_indexes_built() {
+        let db = db();
+        assert_eq!(db.indexes.len(), DEFAULT_INDEXES.len());
+        for idx in &db.indexes {
+            assert_eq!(idx.btree.len(), db.store.len());
+        }
+        assert!(db.index_by_name("nkspl").is_some());
+        assert!(db.index_by_name("p|nvkls").is_some());
+        assert!(db.index_by_name("zzz").is_none());
+    }
+
+    #[test]
+    fn index_names_round_trip() {
+        let mut db = Database::new(DocStore::new());
+        let i = db.create_index_by_name("nkdlp").unwrap();
+        assert_eq!(db.indexes[i].name, "nkdlp");
+        assert_eq!(db.indexes[i].key.len(), 5);
+        assert!(db.create_index_by_name("x").is_err());
+        // Idempotent.
+        let j = db.create_index_by_name("nkdlp").unwrap();
+        assert_eq!(i, j);
+    }
+
+    #[test]
+    fn name_prefixed_index_partitions_by_tag() {
+        let db = db();
+        let idx = db.index_by_name("nksp").unwrap();
+        let probe = [Value::Str("price".to_string()), Value::Kind(jgi_xml::NodeKind::Elem)];
+        let prices: Vec<u32> = idx.btree.scan_prefix(&probe).map(|(_, v)| v).collect();
+        let expected = db.stats.name_count("price", jgi_xml::NodeKind::Elem);
+        assert_eq!(prices.len() as u64, expected);
+        // All hits really are price elements.
+        for pre in prices {
+            assert_eq!(db.store.name_str(pre), Some("price"));
+        }
+    }
+
+    #[test]
+    fn computed_s_column() {
+        let db = db();
+        let pre = 1u32;
+        let s = db.col_value(pre, IndexCol::PreSize);
+        assert_eq!(s, Value::Int(1 + db.store.size[1] as i64));
+    }
+
+    #[test]
+    fn value_prefixed_index_finds_by_value() {
+        let db = db();
+        let idx = db.index_by_name("vnlkp").unwrap();
+        // person0 id attribute value must be findable.
+        let probe = [Value::Str("person0".to_string())];
+        let hits: Vec<u32> = idx.btree.scan_prefix(&probe).map(|(_, v)| v).collect();
+        assert!(!hits.is_empty());
+        for pre in hits {
+            assert_eq!(db.store.value_str(pre), Some("person0"));
+        }
+    }
+}

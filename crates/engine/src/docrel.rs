@@ -1,0 +1,86 @@
+//! The `doc` encoding table as a relation.
+
+use jgi_algebra::{Col, Value};
+use jgi_xml::encode::{NO_NAME, NO_PARENT, NO_VALUE};
+use jgi_xml::DocStore;
+
+use crate::table::Table;
+
+/// Column order of the materialized `doc` relation (matches
+/// `jgi_algebra::plan::DOC_COL_NAMES`).
+pub const DOC_WIDTH: usize = 8;
+
+/// Produce the [`Value`] row for node `pre` in the layout
+/// `pre | size | level | kind | name | value | data | parent`.
+pub fn doc_row(store: &DocStore, pre: u32) -> [Value; DOC_WIDTH] {
+    let p = pre as usize;
+    [
+        Value::Int(pre as i64),
+        Value::Int(store.size[p] as i64),
+        Value::Int(store.level[p] as i64),
+        Value::Kind(store.kind[p]),
+        match store.name[p] {
+            NO_NAME => Value::Null,
+            id => Value::Str(store.names.resolve(id).to_string()),
+        },
+        match store.value[p] {
+            NO_VALUE => Value::Null,
+            id => Value::Str(store.values.resolve(id).to_string()),
+        },
+        if store.data[p].is_nan() { Value::Null } else { Value::Dec(store.data[p]) },
+        match store.parent[p] {
+            NO_PARENT => Value::Null,
+            pp => Value::Int(pp as i64),
+        },
+    ]
+}
+
+/// Materialize the whole `doc` relation with the given column ids (the
+/// logical plan's interned `pre`,…,`parent`). Rows come out in `pre` order.
+pub fn materialize_doc(store: &DocStore, cols: [Col; DOC_WIDTH]) -> Table {
+    let mut rows = Vec::with_capacity(store.len());
+    for pre in 0..store.len() as u32 {
+        rows.push(doc_row(store, pre).to_vec());
+    }
+    Table { cols: cols.to_vec(), rows, ordered_by: Some(cols[0]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_xml::Tree;
+
+    #[test]
+    fn rows_match_encoding() {
+        let mut t = Tree::new("u.xml");
+        let e = t.add_element(t.root(), "a");
+        t.add_attr(e, "id", "7");
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let row = doc_row(&store, 2);
+        assert_eq!(row[0], Value::Int(2)); // pre
+        assert_eq!(row[3], Value::Kind(jgi_xml::NodeKind::Attr));
+        assert_eq!(row[4], Value::Str("id".into()));
+        assert_eq!(row[5], Value::Str("7".into()));
+        assert_eq!(row[6], Value::Dec(7.0));
+        assert_eq!(row[7], Value::Int(1)); // parent = <a>
+        // Root row has no parent and no value (size > 1? size=2, no value).
+        let root = doc_row(&store, 0);
+        assert_eq!(root[7], Value::Null);
+        assert_eq!(root[5], Value::Null);
+    }
+
+    #[test]
+    fn materialized_doc_is_pre_ordered() {
+        let mut t = Tree::new("u.xml");
+        let e = t.add_element(t.root(), "a");
+        t.add_text(e, "x");
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let cols = core::array::from_fn(|i| Col(i as u32));
+        let table = materialize_doc(&store, cols);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table.ordered_by, Some(Col(0)));
+        assert_eq!(table.rows[1][0], Value::Int(1));
+    }
+}

@@ -1,0 +1,299 @@
+//! Compiled predicate atoms for the inner loops.
+//!
+//! The generic [`CqAtom`] evaluator materializes [`Value`]s — including a
+//! `String` per `name`/`value` column access — which is far too expensive
+//! for the per-row residual checks of index nested-loop joins. At plan time
+//! (the [`crate::optimizer`] has the [`Database`] at hand) every residual
+//! atom is compiled into a [`FastAtom`]: structural comparisons run on
+//! plain integers, name/kind/value equality compares interned ids, and only
+//! genuinely string-ordered comparisons touch string data.
+
+use crate::catalog::Database;
+use jgi_algebra::cq::{CqAtom, CqScalar, DocCol};
+use jgi_algebra::pred::CmpOp;
+use jgi_algebra::Value;
+use jgi_xml::encode::{NO_NAME, NO_PARENT, NO_VALUE};
+use jgi_xml::NodeKind;
+
+/// Integer-valued column expression (`NULL` ⇒ `None`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IntExpr {
+    /// `pre` of an alias.
+    Pre(usize),
+    /// `size`.
+    Size(usize),
+    /// `level`.
+    Level(usize),
+    /// `parent`.
+    Parent(usize),
+    /// `pre + size` (subtree end).
+    PreEnd(usize),
+    /// Expression plus constant.
+    Plus(DocCol, usize, i64),
+    /// Constant.
+    Const(i64),
+}
+
+impl IntExpr {
+    /// Evaluate against the binding tuple.
+    #[inline]
+    pub fn eval(self, db: &Database, bindings: &[u32]) -> Option<i64> {
+        let pre = |a: usize| bindings[a] as usize;
+        Some(match self {
+            IntExpr::Pre(a) => bindings[a] as i64,
+            IntExpr::Size(a) => db.store.size[pre(a)] as i64,
+            IntExpr::Level(a) => db.store.level[pre(a)] as i64,
+            IntExpr::Parent(a) => {
+                let p = db.store.parent[pre(a)];
+                if p == NO_PARENT {
+                    return None;
+                }
+                p as i64
+            }
+            IntExpr::PreEnd(a) => bindings[a] as i64 + db.store.size[pre(a)] as i64,
+            IntExpr::Plus(col, a, d) => {
+                let base = match col {
+                    DocCol::Pre => bindings[a] as i64,
+                    DocCol::Size => db.store.size[pre(a)] as i64,
+                    DocCol::Level => db.store.level[pre(a)] as i64,
+                    DocCol::Parent => {
+                        let p = db.store.parent[pre(a)];
+                        if p == NO_PARENT {
+                            return None;
+                        }
+                        p as i64
+                    }
+                    _ => return None,
+                };
+                base + d
+            }
+            IntExpr::Const(c) => c,
+        })
+    }
+}
+
+/// A compiled predicate atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FastAtom {
+    /// Integer comparison over structural columns.
+    Int(IntExpr, CmpOp, IntExpr),
+    /// `kind op constant`.
+    Kind(usize, CmpOp, NodeKind),
+    /// `name = constant` (id-compared; an unseen name matches nothing).
+    NameEq(usize, Option<u32>),
+    /// `value = constant` (id-compared).
+    ValueEqConst(usize, Option<u32>),
+    /// `value op constant` for non-equality string comparisons.
+    ValueCmpConst(usize, CmpOp, String),
+    /// `data op constant`.
+    DataCmp(usize, CmpOp, f64),
+    /// `value op value` between two aliases (ids for =/≠, strings else).
+    ValueValue(usize, CmpOp, usize),
+    /// Anything else: fall back to the generic evaluator.
+    Generic(CqAtom),
+}
+
+impl FastAtom {
+    /// Evaluate against the binding tuple (NULL ⇒ false, like SQL).
+    #[inline]
+    pub fn eval(&self, db: &Database, bindings: &[u32]) -> bool {
+        match self {
+            FastAtom::Int(l, op, r) => match (l.eval(db, bindings), r.eval(db, bindings)) {
+                (Some(a), Some(b)) => op.test(a.cmp(&b)),
+                _ => false,
+            },
+            FastAtom::Kind(a, op, k) => {
+                let actual = db.store.kind[bindings[*a] as usize];
+                op.test((actual as u8).cmp(&(*k as u8)))
+            }
+            FastAtom::NameEq(a, id) => match id {
+                Some(id) => db.store.name[bindings[*a] as usize] == *id,
+                None => false,
+            },
+            FastAtom::ValueEqConst(a, id) => match id {
+                Some(id) => db.store.value[bindings[*a] as usize] == *id,
+                None => false,
+            },
+            FastAtom::ValueCmpConst(a, op, s) => {
+                let vid = db.store.value[bindings[*a] as usize];
+                if vid == NO_VALUE {
+                    return false;
+                }
+                op.test(db.store.values.resolve(vid).cmp(s.as_str()))
+            }
+            FastAtom::DataCmp(a, op, c) => {
+                let d = db.store.data[bindings[*a] as usize];
+                if d.is_nan() {
+                    return false;
+                }
+                op.test(d.total_cmp(c))
+            }
+            FastAtom::ValueValue(a, op, b) => {
+                let va = db.store.value[bindings[*a] as usize];
+                let vb = db.store.value[bindings[*b] as usize];
+                if va == NO_VALUE || vb == NO_VALUE {
+                    return false;
+                }
+                match op {
+                    CmpOp::Eq => va == vb,
+                    CmpOp::Ne => va != vb,
+                    _ => op.test(
+                        db.store.values.resolve(va).cmp(db.store.values.resolve(vb)),
+                    ),
+                }
+            }
+            FastAtom::Generic(atom) => crate::physical::eval_cq_atom(db, atom, bindings),
+        }
+    }
+}
+
+/// Compile one atom. Interned-id lookups happen here, once.
+pub fn compile_atom(db: &Database, atom: &CqAtom) -> FastAtom {
+    // Structural integer expressions.
+    let int_expr = |s: &CqScalar| -> Option<IntExpr> {
+        match s {
+            CqScalar::Col(c) => Some(match c.col {
+                DocCol::Pre => IntExpr::Pre(c.alias),
+                DocCol::Size => IntExpr::Size(c.alias),
+                DocCol::Level => IntExpr::Level(c.alias),
+                DocCol::Parent => IntExpr::Parent(c.alias),
+                _ => return None,
+            }),
+            CqScalar::ColPlusInt(c, d) => match c.col {
+                DocCol::Pre | DocCol::Size | DocCol::Level | DocCol::Parent => {
+                    Some(IntExpr::Plus(c.col, c.alias, *d))
+                }
+                _ => None,
+            },
+            CqScalar::ColPlusCol(a, b)
+                if a.alias == b.alias && a.col == DocCol::Pre && b.col == DocCol::Size =>
+            {
+                Some(IntExpr::PreEnd(a.alias))
+            }
+            CqScalar::Const(Value::Int(i)) => Some(IntExpr::Const(*i)),
+            _ => None,
+        }
+    };
+    if let (Some(l), Some(r)) = (int_expr(&atom.lhs), int_expr(&atom.rhs)) {
+        return FastAtom::Int(l, atom.op, r);
+    }
+    // Column-vs-constant forms (both orientations).
+    let oriented = match (&atom.lhs, &atom.rhs) {
+        (CqScalar::Col(c), CqScalar::Const(v)) => Some((c, atom.op, v)),
+        (CqScalar::Const(v), CqScalar::Col(c)) => Some((c, atom.op.flipped(), v)),
+        _ => None,
+    };
+    if let Some((c, op, v)) = oriented {
+        match (c.col, v) {
+            (DocCol::Kind, Value::Kind(k)) => return FastAtom::Kind(c.alias, op, *k),
+            (DocCol::Name, Value::Str(s)) if op == CmpOp::Eq => {
+                let id = db.store.names.get(s).filter(|&i| i != NO_NAME);
+                return FastAtom::NameEq(c.alias, id);
+            }
+            (DocCol::Value, Value::Str(s)) => {
+                if op == CmpOp::Eq {
+                    let id = db.store.values.get(s).filter(|&i| i != NO_VALUE);
+                    return FastAtom::ValueEqConst(c.alias, id);
+                }
+                return FastAtom::ValueCmpConst(c.alias, op, s.clone());
+            }
+            (DocCol::Data, Value::Dec(d)) => return FastAtom::DataCmp(c.alias, op, *d),
+            (DocCol::Data, Value::Int(i)) => {
+                return FastAtom::DataCmp(c.alias, op, *i as f64)
+            }
+            _ => {}
+        }
+    }
+    // value = value joins.
+    if let (CqScalar::Col(a), CqScalar::Col(b)) = (&atom.lhs, &atom.rhs) {
+        if a.col == DocCol::Value && b.col == DocCol::Value {
+            return FastAtom::ValueValue(a.alias, atom.op, b.alias);
+        }
+    }
+    FastAtom::Generic(atom.clone())
+}
+
+/// Compile a conjunction.
+pub fn compile_atoms(db: &Database, atoms: &[CqAtom]) -> Vec<FastAtom> {
+    atoms.iter().map(|a| compile_atom(db, a)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_algebra::cq::ColRef;
+    use jgi_xml::{DocStore, Tree};
+
+    fn db() -> Database {
+        let mut t = Tree::new("u.xml");
+        let a = t.add_element(t.root(), "a");
+        t.add_attr(a, "id", "7");
+        t.add_text_element(a, "b", "x");
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        Database::new(store)
+    }
+
+    fn col(alias: usize, col: DocCol) -> CqScalar {
+        CqScalar::Col(ColRef { alias, col })
+    }
+
+    #[test]
+    fn fast_atoms_match_generic_evaluation() {
+        let db = db();
+        let atoms = vec![
+            CqAtom { lhs: col(0, DocCol::Kind), op: CmpOp::Eq, rhs: CqScalar::Const(Value::Kind(NodeKind::Elem)) },
+            CqAtom { lhs: col(0, DocCol::Name), op: CmpOp::Eq, rhs: CqScalar::Const(Value::Str("a".into())) },
+            CqAtom { lhs: col(0, DocCol::Value), op: CmpOp::Eq, rhs: CqScalar::Const(Value::Str("7".into())) },
+            CqAtom { lhs: col(0, DocCol::Value), op: CmpOp::Lt, rhs: CqScalar::Const(Value::Str("z".into())) },
+            CqAtom { lhs: col(0, DocCol::Data), op: CmpOp::Gt, rhs: CqScalar::Const(Value::Dec(5.0)) },
+            CqAtom { lhs: col(0, DocCol::Pre), op: CmpOp::Lt, rhs: col(1, DocCol::Pre) },
+            CqAtom {
+                lhs: col(0, DocCol::Pre),
+                op: CmpOp::Le,
+                rhs: CqScalar::ColPlusCol(
+                    ColRef { alias: 1, col: DocCol::Pre },
+                    ColRef { alias: 1, col: DocCol::Size },
+                ),
+            },
+            CqAtom {
+                lhs: CqScalar::ColPlusInt(ColRef { alias: 0, col: DocCol::Level }, 1),
+                op: CmpOp::Eq,
+                rhs: col(1, DocCol::Level),
+            },
+            CqAtom { lhs: col(0, DocCol::Value), op: CmpOp::Eq, rhs: col(1, DocCol::Value) },
+            CqAtom { lhs: col(0, DocCol::Parent), op: CmpOp::Eq, rhs: col(1, DocCol::Parent) },
+        ];
+        let n = db.store.len() as u32;
+        for atom in &atoms {
+            let fast = compile_atom(&db, atom);
+            assert!(
+                !matches!(fast, FastAtom::Generic(_)),
+                "atom should compile to a fast form: {atom}"
+            );
+            for a in 0..n {
+                for b in 0..n {
+                    let bindings = vec![a, b];
+                    assert_eq!(
+                        fast.eval(&db, &bindings),
+                        crate::physical::eval_cq_atom(&db, atom, &bindings),
+                        "mismatch for {atom} at bindings {bindings:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_match_nothing() {
+        let db = db();
+        let atom = CqAtom {
+            lhs: col(0, DocCol::Name),
+            op: CmpOp::Eq,
+            rhs: CqScalar::Const(Value::Str("nonexistent".into())),
+        };
+        let fast = compile_atom(&db, &atom);
+        assert_eq!(fast, FastAtom::NameEq(0, None));
+        assert!(!fast.eval(&db, &[1]));
+    }
+}

@@ -1,0 +1,138 @@
+//! Materialized tables.
+//!
+//! Simple row-major tables of [`Value`]s keyed by the logical plan's
+//! interned column ids. Used by the logical (stacked-plan) interpreter and
+//! as the result format of the physical executor's `SORT`/`RETURN` tail.
+
+use jgi_algebra::{Col, Value};
+
+/// A materialized table: a bag of rows over named columns.
+///
+/// `ordered_by` records that the rows are currently sorted ascending by one
+/// column; the interpreter uses it to run bounded-range (interval) joins by
+/// binary search instead of nested loops — the moral equivalent of the
+/// B-tree access the real back-end would use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Column ids, in row layout order.
+    pub cols: Vec<Col>,
+    /// Rows; each row has `cols.len()` values.
+    pub rows: Vec<Vec<Value>>,
+    /// Column by which `rows` are sorted ascending, if known.
+    pub ordered_by: Option<Col>,
+}
+
+impl Table {
+    /// Empty table with the given columns.
+    pub fn empty(cols: Vec<Col>) -> Table {
+        Table { cols, rows: Vec::new(), ordered_by: None }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Position of column `c` in the row layout.
+    pub fn col_index(&self, c: Col) -> Option<usize> {
+        self.cols.iter().position(|&x| x == c)
+    }
+
+    /// Position of column `c`, panicking with the column id if absent.
+    pub fn col_index_or_panic(&self, c: Col) -> usize {
+        self.col_index(c)
+            .unwrap_or_else(|| panic!("column Col({}) not in table layout", c.0))
+    }
+
+    /// Sort rows ascending by the given columns (stable; `Value` total
+    /// order). Updates `ordered_by` to the first criterion.
+    pub fn sort_by_cols(&mut self, by: &[Col]) {
+        let idxs: Vec<usize> = by.iter().map(|&c| self.col_index_or_panic(c)).collect();
+        self.rows.sort_by(|a, b| {
+            for &i in &idxs {
+                let ord = a[i].cmp(&b[i]);
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        self.ordered_by = by.first().copied();
+    }
+
+    /// Remove duplicate rows (sorts all columns first).
+    pub fn distinct(&mut self) {
+        self.rows.sort();
+        self.rows.dedup();
+        self.ordered_by = if self.cols.len() == 1 { Some(self.cols[0]) } else { None };
+    }
+
+    /// First row index whose value in column-index `idx` is `>=`/`>` the
+    /// probe, by binary search (requires rows sorted by that column).
+    pub fn lower_bound(&self, idx: usize, probe: &Value, strict: bool) -> usize {
+        self.rows.partition_point(|row| {
+            let ord = row[idx].cmp(probe);
+            if strict {
+                ord != std::cmp::Ordering::Greater
+            } else {
+                ord == std::cmp::Ordering::Less
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Table {
+        Table {
+            cols: vec![Col(0), Col(1)],
+            rows: vec![
+                vec![Value::Int(3), Value::Str("c".into())],
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(1), Value::Str("a".into())],
+            ],
+            ordered_by: None,
+        }
+    }
+
+    #[test]
+    fn sort_and_order_marker() {
+        let mut table = t();
+        table.sort_by_cols(&[Col(0)]);
+        let firsts: Vec<i64> = table.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(firsts, vec![1, 1, 2, 3]);
+        assert_eq!(table.ordered_by, Some(Col(0)));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut table = t();
+        table.distinct();
+        assert_eq!(table.len(), 3);
+    }
+
+    #[test]
+    fn binary_search_bounds() {
+        let mut table = t();
+        table.sort_by_cols(&[Col(0)]);
+        assert_eq!(table.lower_bound(0, &Value::Int(1), false), 0);
+        assert_eq!(table.lower_bound(0, &Value::Int(1), true), 2);
+        assert_eq!(table.lower_bound(0, &Value::Int(4), false), 4);
+        assert_eq!(table.lower_bound(0, &Value::Int(0), false), 0);
+    }
+
+    #[test]
+    fn col_lookup() {
+        let table = t();
+        assert_eq!(table.col_index(Col(1)), Some(1));
+        assert_eq!(table.col_index(Col(9)), None);
+    }
+}

@@ -1,0 +1,645 @@
+//! Plan property inference (paper §3.1, Tables 2–5).
+//!
+//! Properties are inferred over the *shared DAG*: `icols` of a node is the
+//! union of what every consumer needs; `set` holds only if *every* consumer
+//! path performs duplicate elimination (∧ over parents).
+
+use jgi_algebra::pred::pred_cols;
+use jgi_algebra::{Col, ColSet, NodeId, Op, Plan, Value};
+use std::collections::HashMap;
+
+/// Inferred properties for every node reachable from the root.
+#[derive(Debug, Clone, Default)]
+pub struct Props {
+    /// Table 2: columns strictly required to evaluate the node's upstream
+    /// plan (top-down).
+    pub icols: HashMap<NodeId, ColSet>,
+    /// Table 3: constant columns with their values (bottom-up).
+    pub consts: HashMap<NodeId, Vec<(Col, Value)>>,
+    /// Table 4: candidate keys (bottom-up).
+    pub keys: HashMap<NodeId, Vec<ColSet>>,
+    /// Table 5: will the node's output undergo duplicate elimination
+    /// upstream on every consumer path (top-down)?
+    pub set: HashMap<NodeId, bool>,
+    /// Column equivalence (engineering extension, see crate docs): for each
+    /// node, a map from column to the canonical representative of its
+    /// equal-in-every-row class. Derived from duplicating projections and
+    /// `col = col` predicates; used to canonicalize references so that the
+    /// order-isomorphic copies made by rule (9) stay visible to rule (19).
+    pub eq: HashMap<NodeId, HashMap<Col, Col>>,
+}
+
+impl Props {
+    /// `icols` of a node (empty if unseen).
+    pub fn icols(&self, id: NodeId) -> ColSet {
+        self.icols.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Constant columns of a node.
+    pub fn consts(&self, id: NodeId) -> &[(Col, Value)] {
+        self.consts.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The set of constant column names of a node.
+    pub fn const_cols(&self, id: NodeId) -> ColSet {
+        ColSet::from_iter(self.consts(id).iter().map(|(c, _)| *c))
+    }
+
+    /// Constant value of column `c` at node `id`, if any.
+    pub fn const_of(&self, id: NodeId, c: Col) -> Option<&Value> {
+        self.consts(id).iter().find(|(cc, _)| *cc == c).map(|(_, v)| v)
+    }
+
+    /// Candidate keys of a node.
+    pub fn keys(&self, id: NodeId) -> &[ColSet] {
+        self.keys.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Is `{c}` a key of node `id`?
+    pub fn is_single_key(&self, id: NodeId, c: Col) -> bool {
+        self.keys(id).iter().any(|k| k.len() == 1 && k.contains(c))
+    }
+
+    /// `set` property of a node.
+    pub fn set(&self, id: NodeId) -> bool {
+        self.set.get(&id).copied().unwrap_or(false)
+    }
+
+    /// Canonical representative of `c`'s equal-columns class at node `id`.
+    pub fn canon(&self, id: NodeId, c: Col) -> Col {
+        self.eq.get(&id).and_then(|m| m.get(&c)).copied().unwrap_or(c)
+    }
+}
+
+/// Infer all four properties for the DAG under `root`.
+pub fn infer(plan: &Plan, root: NodeId) -> Props {
+    let topo = plan.topo_order(root);
+    let mut props = Props::default();
+
+    // ---- bottom-up: const and key (Tables 3 and 4) -------------------------
+    for &id in &topo {
+        let node = plan.node(id);
+        let (consts, mut keys) = infer_up(plan, &props, id, node);
+        // Constant columns discriminate nothing: a key stays a key when its
+        // constant members are dropped (engineering refinement of Table 4).
+        let const_set = ColSet::from_iter(consts.iter().map(|(c, _)| *c));
+        let extra: Vec<ColSet> = keys
+            .iter()
+            .filter(|k| !k.intersect(&const_set).is_empty())
+            .map(|k| k.minus(&const_set))
+            .filter(|k| !k.is_empty() && !keys.contains(k))
+            .collect();
+        keys.extend(extra);
+        keys.sort_by_key(|k| k.len());
+        keys.dedup();
+        props.consts.insert(id, consts);
+        props.keys.insert(id, keys);
+    }
+
+    // ---- bottom-up: column equivalence --------------------------------------
+    for &id in &topo {
+        let eq = infer_eq(plan, &props, id);
+        props.eq.insert(id, eq);
+    }
+
+    // ---- top-down: icols and set (Tables 2 and 5) --------------------------
+    // Root seeds: serialize needs {item,pos} (via its own Table-2 row) and
+    // set(root) = false; all other nodes start from the identities of the
+    // respective lattices (∅ for icols, true for set) and accumulate from
+    // every consumer.
+    for &id in &topo {
+        props.icols.insert(id, ColSet::new());
+        props.set.insert(id, true);
+    }
+    props.set.insert(root, false);
+    for &id in topo.iter().rev() {
+        let node = plan.node(id);
+        let my_icols = props.icols(id);
+        let my_set = props.set(id);
+        match &node.op {
+            Op::Serialize { item, pos } => {
+                let e = node.inputs[0];
+                let mut add = my_icols.clone();
+                add.insert(*item);
+                add.insert(*pos);
+                merge_icols(&mut props, e, &add);
+                merge_set(&mut props, e, false);
+            }
+            Op::Project(mapping) => {
+                let e = node.inputs[0];
+                let add = ColSet::from_iter(
+                    mapping
+                        .iter()
+                        .filter(|(out, _)| my_icols.contains(*out))
+                        .map(|(_, src)| *src),
+                );
+                merge_icols(&mut props, e, &add);
+                merge_set(&mut props, e, my_set);
+            }
+            Op::Select(p) => {
+                let e = node.inputs[0];
+                let add = my_icols.union(&pred_cols(p));
+                merge_icols(&mut props, e, &add);
+                merge_set(&mut props, e, my_set);
+            }
+            Op::Join(p) => {
+                let need = my_icols.union(&pred_cols(p));
+                for k in 0..2 {
+                    let e = node.inputs[k];
+                    let add = need.intersect(plan.schema(e));
+                    merge_icols(&mut props, e, &add);
+                    merge_set(&mut props, e, my_set);
+                }
+            }
+            Op::Cross => {
+                for k in 0..2 {
+                    let e = node.inputs[k];
+                    let add = my_icols.intersect(plan.schema(e));
+                    merge_icols(&mut props, e, &add);
+                    merge_set(&mut props, e, my_set);
+                }
+            }
+            Op::Distinct => {
+                let e = node.inputs[0];
+                merge_icols(&mut props, e, &my_icols);
+                merge_set(&mut props, e, true);
+            }
+            Op::Attach(c, _) => {
+                let e = node.inputs[0];
+                let mut add = my_icols.clone();
+                add.remove(*c);
+                merge_icols(&mut props, e, &add);
+                merge_set(&mut props, e, my_set);
+            }
+            Op::RowId(c) => {
+                let e = node.inputs[0];
+                let mut add = my_icols.clone();
+                add.remove(*c);
+                merge_icols(&mut props, e, &add);
+                // Row ids observe multiplicity: duplicates may never be
+                // removed below a # (Table 5).
+                merge_set(&mut props, e, false);
+            }
+            Op::Rank { out, by } => {
+                let e = node.inputs[0];
+                let mut add = my_icols.clone();
+                add.remove(*out);
+                for b in by {
+                    add.insert(*b);
+                }
+                merge_icols(&mut props, e, &add);
+                merge_set(&mut props, e, my_set);
+            }
+            Op::Union => {
+                for k in 0..2 {
+                    let e = node.inputs[k];
+                    merge_icols(&mut props, e, &my_icols);
+                    // Bag union preserves multiplicities from both sides.
+                    merge_set(&mut props, e, my_set);
+                }
+            }
+            Op::Doc | Op::Lit { .. } => {}
+        }
+    }
+    props
+}
+
+/// Infer the equal-columns map of one node (bottom-up). Every column of the
+/// node's schema maps to its class representative (the smallest column id of
+/// the class, for determinism).
+fn infer_eq(plan: &Plan, props: &Props, id: NodeId) -> HashMap<Col, Col> {
+    let node = plan.node(id);
+    let input_eq = |k: usize| props.eq.get(&node.inputs[k]).cloned().unwrap_or_default();
+    let identity = |plan: &Plan, id: NodeId| -> HashMap<Col, Col> {
+        plan.schema(id).iter().map(|c| (c, c)).collect()
+    };
+    let mut eq: HashMap<Col, Col> = match &node.op {
+        Op::Project(m) => {
+            let inp = input_eq(0);
+            // Outputs whose sources are equal in the input are equal.
+            let mut first: HashMap<Col, Col> = HashMap::new(); // canon src -> rep out
+            let mut eq = HashMap::new();
+            for (out, src) in m {
+                let key = *inp.get(src).unwrap_or(src);
+                let rep = *first.entry(key).or_insert(*out);
+                eq.insert(*out, rep);
+            }
+            eq
+        }
+        Op::Select(_) | Op::Distinct | Op::Serialize { .. } => input_eq(0),
+        Op::Join(_) | Op::Cross => {
+            let mut eq = input_eq(0);
+            eq.extend(input_eq(1));
+            eq
+        }
+        Op::Attach(c, _) => {
+            let mut eq = input_eq(0);
+            eq.insert(*c, *c);
+            eq
+        }
+        Op::RowId(c) => {
+            let mut eq = input_eq(0);
+            eq.insert(*c, *c);
+            eq
+        }
+        Op::Rank { out, .. } => {
+            let mut eq = input_eq(0);
+            eq.insert(*out, *out);
+            eq
+        }
+        Op::Doc | Op::Lit { .. } => identity(plan, id),
+        Op::Union => {
+            // c ~ d in the union iff c ~ d in both branches.
+            let e1 = input_eq(0);
+            let e2 = input_eq(1);
+            let mut first: HashMap<(Col, Col), Col> = HashMap::new();
+            let mut eq = HashMap::new();
+            let mut cols: Vec<Col> = plan.schema(id).iter().collect();
+            cols.sort();
+            for c in cols {
+                let key = (*e1.get(&c).unwrap_or(&c), *e2.get(&c).unwrap_or(&c));
+                let rep = *first.entry(key).or_insert(c);
+                eq.insert(c, rep);
+            }
+            eq
+        }
+    };
+    // Merge classes connected by col=col equality predicates.
+    if let Op::Select(p) | Op::Join(p) = &node.op {
+        for atom in p {
+            if let Some((a, b)) = atom.as_col_eq() {
+                let ra = *eq.get(&a).unwrap_or(&a);
+                let rb = *eq.get(&b).unwrap_or(&b);
+                if ra != rb {
+                    let (keep, gone) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                    for v in eq.values_mut() {
+                        if *v == gone {
+                            *v = keep;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    eq
+}
+
+fn merge_icols(props: &mut Props, id: NodeId, add: &ColSet) {
+    let cur = props.icols.entry(id).or_default();
+    *cur = cur.union(add);
+}
+
+fn merge_set(props: &mut Props, id: NodeId, v: bool) {
+    let cur = props.set.entry(id).or_insert(true);
+    *cur = *cur && v;
+}
+
+/// Bottom-up const/key inference for one node.
+fn infer_up(
+    plan: &Plan,
+    props: &Props,
+    _id: NodeId,
+    node: &jgi_algebra::Node,
+) -> (Vec<(Col, Value)>, Vec<ColSet>) {
+    let input_consts = |k: usize| props.consts(node.inputs[k]).to_vec();
+    let input_keys = |k: usize| props.keys(node.inputs[k]).to_vec();
+    match &node.op {
+        Op::Serialize { .. } | Op::Select(_) | Op::Distinct => {
+            let mut keys = input_keys(0);
+            if matches!(node.op, Op::Distinct) {
+                // After δ the full schema is a key (Table 4).
+                let schema = plan.schema(node.inputs[0]).clone();
+                if !keys.contains(&schema) {
+                    keys.push(schema);
+                }
+            }
+            (input_consts(0), keys)
+        }
+        Op::Project(mapping) => {
+            let ic = input_consts(0);
+            let mut consts = Vec::new();
+            for (out, src) in mapping {
+                if let Some((_, v)) = ic.iter().find(|(c, _)| c == src) {
+                    consts.push((*out, v.clone()));
+                }
+            }
+            // A key survives if all its columns are projected; pick the
+            // first output alias per source column.
+            let mut keys = Vec::new();
+            for k in input_keys(0) {
+                let mut renamed = ColSet::new();
+                let mut ok = true;
+                for c in k.iter() {
+                    match mapping.iter().find(|(_, src)| *src == c) {
+                        Some((out, _)) => renamed.insert(*out),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok && !keys.contains(&renamed) {
+                    keys.push(renamed);
+                }
+            }
+            (consts, keys)
+        }
+        Op::Join(p) => {
+            let mut consts = input_consts(0);
+            consts.extend(input_consts(1));
+            let k1 = input_keys(0);
+            let k2 = input_keys(1);
+            let mut keys = Vec::new();
+            // Table 4's refined inference applies to single-atom equi-joins.
+            let eq = if p.len() == 1 { p[0].as_col_eq() } else { None };
+            if let Some((a, b)) = eq {
+                // Orient: a on the left input, b on the right.
+                let (a, b) = if plan.schema(node.inputs[0]).contains(a) { (a, b) } else { (b, a) };
+                let a_key = k1.iter().any(|k| k.len() == 1 && k.contains(a));
+                let b_key = k2.iter().any(|k| k.len() == 1 && k.contains(b));
+                if b_key {
+                    keys.extend(k1.iter().cloned()); // {k1 | {b} ∈ e2.key}
+                }
+                if a_key {
+                    keys.extend(k2.iter().cloned()); // {k2 | {a} ∈ e1.key}
+                }
+                if b_key {
+                    for ka in &k1 {
+                        for kb in &k2 {
+                            let mut k = ka.clone();
+                            k.remove(a);
+                            let k = k.union(kb);
+                            keys.push(k);
+                        }
+                    }
+                }
+                if a_key {
+                    for ka in &k1 {
+                        for kb in &k2 {
+                            let mut k = kb.clone();
+                            k.remove(b);
+                            let k = ka.union(&k);
+                            keys.push(k);
+                        }
+                    }
+                }
+            }
+            for ka in &k1 {
+                for kb in &k2 {
+                    keys.push(ka.union(kb));
+                }
+            }
+            keys.sort_by_key(|k| k.len());
+            keys.dedup();
+            keys.truncate(16); // cap combinatorial growth
+            (consts, keys)
+        }
+        Op::Cross => {
+            let mut consts = input_consts(0);
+            consts.extend(input_consts(1));
+            let mut keys = Vec::new();
+            for ka in input_keys(0) {
+                for kb in input_keys(1) {
+                    keys.push(ka.union(&kb));
+                }
+            }
+            keys.truncate(16);
+            (consts, keys)
+        }
+        Op::Attach(c, v) => {
+            let mut consts = input_consts(0);
+            consts.push((*c, v.clone()));
+            (consts, input_keys(0))
+        }
+        Op::RowId(c) => {
+            let mut keys = input_keys(0);
+            keys.push(ColSet::single(*c));
+            (input_consts(0), keys)
+        }
+        Op::Rank { out, by } => {
+            let mut keys = input_keys(0);
+            let by_set = ColSet::from_iter(by.iter().copied());
+            let extra: Vec<ColSet> = keys
+                .iter()
+                .filter(|k| !k.intersect(&by_set).is_empty())
+                .map(|k| {
+                    let mut nk = k.minus(&by_set);
+                    nk.insert(*out);
+                    nk
+                })
+                .collect();
+            keys.extend(extra);
+            keys.sort_by_key(|k| k.len());
+            keys.dedup();
+            keys.truncate(16);
+            (input_consts(0), keys)
+        }
+        Op::Doc => {
+            let pre = Col(plan.cols.get("pre").expect("doc plan has pre"));
+            (Vec::new(), vec![ColSet::single(pre)])
+        }
+        Op::Lit { cols, rows } => {
+            let mut consts = Vec::new();
+            let mut keys = Vec::new();
+            for (i, &c) in cols.iter().enumerate() {
+                if let Some(first) = rows.first() {
+                    if rows.iter().all(|r| r[i] == first[i]) {
+                        consts.push((c, first[i].clone()));
+                    }
+                }
+                let mut vals: Vec<&Value> = rows.iter().map(|r| &r[i]).collect();
+                vals.sort();
+                vals.dedup();
+                if vals.len() == rows.len() {
+                    keys.push(ColSet::single(c));
+                }
+            }
+            if rows.len() <= 1 {
+                // Every column set keys a 0/1-row table; singles suffice.
+                for &c in cols {
+                    let s = ColSet::single(c);
+                    if !keys.contains(&s) {
+                        keys.push(s);
+                    }
+                }
+            }
+            (consts, keys)
+        }
+        Op::Union => {
+            // Constants must agree across both branches; keys don't survive.
+            let c1 = input_consts(0);
+            let c2 = input_consts(1);
+            let consts = c1
+                .into_iter()
+                .filter(|(c, v)| c2.iter().any(|(c2, v2)| c2 == c && v2 == v))
+                .collect();
+            (consts, Vec::new())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_algebra::pred::{Atom, CmpOp, Scalar};
+
+    /// Build:  serialize(rank(distinct(project(attach(lit)))))
+    #[test]
+    fn end_to_end_property_flow() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let item = p.col("item");
+        let pos = p.col("pos");
+        let lit = p.lit(
+            vec![iter, item],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(1), Value::Int(20)],
+            ],
+        );
+        let att = p.attach(lit, pos, Value::Int(1));
+        let root = p.serialize(att, item, pos);
+        let props = infer(&p, root);
+
+        // iter is constant 1 in the literal; pos constant from attach.
+        assert_eq!(props.const_of(lit, iter), Some(&Value::Int(1)));
+        assert_eq!(props.const_of(att, pos), Some(&Value::Int(1)));
+        // item is unique -> single-column key.
+        assert!(props.is_single_key(lit, item));
+        assert!(!props.is_single_key(lit, iter));
+        // serialize needs item and pos from its input.
+        let icols = props.icols(att);
+        assert!(icols.contains(item) && icols.contains(pos));
+        // No duplicate elimination upstream of the root.
+        assert!(!props.set(att));
+    }
+
+    #[test]
+    fn icols_through_select_and_project() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let kind = p.col("kind");
+        let pre = p.col("pre");
+        let item = p.col("item");
+        let pos = p.col("pos");
+        let sel = p.select(
+            d,
+            vec![Atom::col_eq_const(kind, Value::Kind(jgi_xml::NodeKind::Elem))],
+        );
+        let proj = p.project(sel, vec![(item, pre), (pos, pre)]);
+        let root = p.serialize(proj, item, pos);
+        let props = infer(&p, root);
+        // The selection needs kind (its predicate) plus pre (for the π).
+        let icols = props.icols(d);
+        assert!(icols.contains(kind));
+        assert!(icols.contains(pre));
+        assert!(!icols.contains(p.cols.get("value").map(Col).unwrap()));
+        // doc's key is pre; the π transfers it to item/pos.
+        assert!(props.is_single_key(d, pre));
+        assert!(props.is_single_key(proj, item));
+    }
+
+    #[test]
+    fn set_property_under_distinct_and_rowid() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let item = p.col("item");
+        let pos = p.col("pos");
+        let lit = p.lit(vec![iter, item], vec![vec![Value::Int(1), Value::Int(5)]]);
+        let dd = p.distinct(lit);
+        let att = p.attach(dd, pos, Value::Int(1));
+        let root = p.serialize(att, item, pos);
+        let props = infer(&p, root);
+        assert!(props.set(lit), "below δ duplicates don't matter");
+        assert!(!props.set(dd), "above δ they do (root serializes)");
+
+        // With a rowid in between, set is false below it.
+        let mut p2 = Plan::new();
+        let iter = p2.col("iter");
+        let item = p2.col("item");
+        let pos = p2.col("pos");
+        let inner = p2.col("inner");
+        let lit = p2.lit(vec![iter, item, pos], vec![]);
+        let rid = p2.row_id(lit, inner);
+        let dd = p2.distinct(rid);
+        let root = p2.serialize(dd, item, pos);
+        let props2 = infer(&p2, root);
+        assert!(!props2.set(lit), "# observes multiplicity");
+    }
+
+    #[test]
+    fn set_is_conjunctive_over_consumers() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let item = p.col("item");
+        let pos = p.col("pos");
+        let iter2 = p.col("iter2");
+        let lit = p.lit(vec![iter, item, pos], vec![]);
+        // Consumer 1: distinct (would set true); consumer 2: plain project
+        // into the root (sets false). Conjunction: false.
+        let dd = p.distinct(lit);
+        let renamed = p.project(dd, vec![(iter2, iter)]);
+        let joined = p.join(lit, renamed, vec![Atom::col_eq(iter, iter2)]);
+        let root = p.serialize(joined, item, pos);
+        let props = infer(&p, root);
+        assert!(!props.set(lit));
+    }
+
+    #[test]
+    fn join_key_inference_single_atom() {
+        let mut p = Plan::new();
+        let d = p.doc();
+        let pre = p.col("pre");
+        let item = p.col("item");
+        let iter = p.col("iter");
+        let lit = p.lit(
+            vec![iter, item],
+            vec![vec![Value::Int(1), Value::Int(3)], vec![Value::Int(2), Value::Int(3)]],
+        );
+        // iter unique; item not. Join doc.pre = lit.item: doc side key {pre}
+        // is an equi-key, so lit keys survive.
+        let j = p.join(d, lit, vec![Atom::col_eq(pre, item)]);
+        let pos = p.col("pos");
+        let att = p.attach(j, pos, Value::Int(1));
+        let root = p.serialize(att, item, pos);
+        let props = infer(&p, root);
+        assert!(props.is_single_key(j, iter), "keys: {:?}", props.keys(j));
+    }
+
+    #[test]
+    fn rank_key_extension() {
+        let mut p = Plan::new();
+        let iter = p.col("iter");
+        let item = p.col("item");
+        let pos = p.col("pos");
+        let lit = p.lit(
+            vec![iter, item],
+            vec![vec![Value::Int(1), Value::Int(9)], vec![Value::Int(2), Value::Int(8)]],
+        );
+        let r = p.rank(lit, pos, vec![item]);
+        let root = p.serialize(r, item, pos);
+        let props = infer(&p, root);
+        // {item} was a key and item ∈ by ⇒ {pos} becomes a key.
+        assert!(props.is_single_key(r, pos), "keys: {:?}", props.keys(r));
+    }
+
+    #[test]
+    fn non_equi_join_unions_keys() {
+        let mut p = Plan::new();
+        let a = p.col("a");
+        let b = p.col("b");
+        let l1 = p.lit(vec![a], vec![vec![Value::Int(1)]]);
+        let l2 = p.lit(vec![b], vec![vec![Value::Int(2)]]);
+        let j = p.join(
+            l1,
+            l2,
+            vec![Atom::new(Scalar::col(a), CmpOp::Lt, Scalar::col(b))],
+        );
+        let pos = p.col("pos");
+        let att = p.attach(j, pos, Value::Int(1));
+        let root = p.serialize(att, a, pos);
+        let props = infer(&p, root);
+        assert!(props.keys(j).iter().any(|k| k.contains(a) && k.contains(b))
+            || props.is_single_key(j, a));
+    }
+}

@@ -1,0 +1,330 @@
+//! SQL emission.
+
+use jgi_algebra::cq::{CqScalar, DocCol};
+use jgi_algebra::pred::{Atom, CmpOp, Scalar};
+use jgi_algebra::{Col, ConjunctiveQuery, NodeId, Op, Plan, Value};
+use std::fmt::Write as _;
+
+/// Print a constant as a SQL literal.
+fn sql_value(v: &Value) -> String {
+    match v {
+        Value::Kind(k) => format!("'{}'", k.tag()),
+        other => other.to_string(),
+    }
+}
+
+fn sql_scalar(s: &CqScalar) -> String {
+    match s {
+        CqScalar::Col(c) => c.to_string(),
+        CqScalar::ColPlusInt(c, i) => {
+            if *i >= 0 {
+                format!("{c} + {i}")
+            } else {
+                format!("{c} - {}", -i)
+            }
+        }
+        CqScalar::ColPlusCol(a, b) => format!("{a} + {b}"),
+        CqScalar::Const(v) => sql_value(v),
+    }
+}
+
+/// Emit the join-graph block (paper Figs. 8/9).
+///
+/// Containment pairs `dB.pre < dA.pre ∧ dA.pre <= dB.pre + dB.size` are
+/// printed with the paper's `BETWEEN` sugar:
+/// `dA.pre BETWEEN dB.pre + 1 AND dB.pre + dB.size`.
+pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
+    let mut out = String::new();
+    // SELECT list.
+    out.push_str("SELECT DISTINCT ");
+    let sel: Vec<String> = cq
+        .select
+        .iter()
+        .enumerate()
+        .map(|(i, o)| {
+            if i == cq.item_output {
+                format!("{} AS item", o.col)
+            } else {
+                format!("{}", o.col)
+            }
+        })
+        .collect();
+    out.push_str(&sel.join(", "));
+    // FROM.
+    out.push_str("\nFROM   ");
+    let from: Vec<String> = (0..cq.aliases).map(|a| format!("doc AS d{}", a + 1)).collect();
+    out.push_str(&from.join(", "));
+    // WHERE with BETWEEN folding.
+    let mut printed = vec![false; cq.predicates.len()];
+    let mut clauses: Vec<String> = Vec::new();
+    for (i, p) in cq.predicates.iter().enumerate() {
+        if printed[i] {
+            continue;
+        }
+        // Look for the partner atom forming a containment pair.
+        if p.op == CmpOp::Lt {
+            if let (CqScalar::Col(b), CqScalar::Col(a)) = (&p.lhs, &p.rhs) {
+                if a.col == DocCol::Pre && b.col == DocCol::Pre {
+                    let partner = cq.predicates.iter().enumerate().find(|(j, q)| {
+                        !printed[*j]
+                            && *j != i
+                            && q.op == CmpOp::Le
+                            && matches!(&q.lhs, CqScalar::Col(x) if x == a)
+                            && matches!(&q.rhs, CqScalar::ColPlusCol(x, y)
+                                if x.alias == b.alias && x.col == DocCol::Pre
+                                && y.alias == b.alias && y.col == DocCol::Size)
+                    });
+                    if let Some((j, _)) = partner {
+                        printed[i] = true;
+                        printed[j] = true;
+                        clauses.push(format!(
+                            "{a} BETWEEN {b} + 1 AND {b} + d{}.size",
+                            b.alias + 1
+                        ));
+                        continue;
+                    }
+                }
+            }
+        }
+        printed[i] = true;
+        clauses.push(format!("{} {} {}", sql_scalar(&p.lhs), p.op.sql(), sql_scalar(&p.rhs)));
+    }
+    if !clauses.is_empty() {
+        out.push_str("\nWHERE  ");
+        out.push_str(&clauses.join("\nAND    "));
+    }
+    // ORDER BY.
+    if !cq.order_by.is_empty() {
+        out.push_str("\nORDER BY ");
+        let ord: Vec<String> = cq.order_by.iter().map(|c| c.to_string()).collect();
+        out.push_str(&ord.join(", "));
+    }
+    out
+}
+
+/// Emit the *stacked* plan as a `WITH …` CTE chain — the translation of the
+/// unrewritten compiler output that paper §4 benchmarks as the "stacked"
+/// configuration. Every DAG node becomes one CTE; δ becomes `DISTINCT`, ϱ
+/// becomes `RANK() OVER (ORDER BY …)`, # becomes `ROW_NUMBER() OVER ()`.
+pub fn stacked_sql(plan: &Plan, root: NodeId) -> String {
+    let topo = plan.topo_order(root);
+    let mut out = String::new();
+    out.push_str("WITH\n");
+    let cte = |id: NodeId| format!("t{}", id.0);
+    let cols_of = |id: NodeId| -> Vec<Col> {
+        let mut v: Vec<Col> = plan.schema(id).iter().collect();
+        v.sort();
+        v
+    };
+    let name = |c: Col| plan.col_name(c).replace('\'', "_").replace('°', "o").replace('@', "_");
+    let mut parts: Vec<String> = Vec::new();
+    for &id in &topo {
+        let node = plan.node(id);
+        let mut q = String::new();
+        match &node.op {
+            Op::Doc => {
+                q.push_str("SELECT pre, size, level, kind, name, value, data, parent FROM doc");
+            }
+            Op::Lit { cols, rows } => {
+                if rows.is_empty() {
+                    let sel: Vec<String> =
+                        cols.iter().map(|&c| format!("NULL AS {}", name(c))).collect();
+                    let _ = write!(q, "SELECT {} WHERE 1 = 0", sel.join(", "));
+                } else {
+                    let mut unions = Vec::new();
+                    for row in rows {
+                        let sel: Vec<String> = cols
+                            .iter()
+                            .zip(row)
+                            .map(|(&c, v)| format!("{} AS {}", sql_value(v), name(c)))
+                            .collect();
+                        unions.push(format!("SELECT {}", sel.join(", ")));
+                    }
+                    q.push_str(&unions.join(" UNION ALL "));
+                }
+            }
+            Op::Project(m) => {
+                let sel: Vec<String> = m
+                    .iter()
+                    .map(|(o, s)| {
+                        if o == s {
+                            name(*o)
+                        } else {
+                            format!("{} AS {}", name(*s), name(*o))
+                        }
+                    })
+                    .collect();
+                let _ = write!(q, "SELECT {} FROM {}", sel.join(", "), cte(node.inputs[0]));
+            }
+            Op::Select(p) => {
+                let preds: Vec<String> =
+                    p.iter().map(|a| atom_sql(plan, a, None, None)).collect();
+                let _ = write!(
+                    q,
+                    "SELECT * FROM {} WHERE {}",
+                    cte(node.inputs[0]),
+                    preds.join(" AND ")
+                );
+            }
+            Op::Join(p) => {
+                let preds: Vec<String> = p
+                    .iter()
+                    .map(|a| atom_sql(plan, a, Some(node.inputs[0]), Some(node.inputs[1])))
+                    .collect();
+                let _ = write!(
+                    q,
+                    "SELECT * FROM {} AS l, {} AS r WHERE {}",
+                    cte(node.inputs[0]),
+                    cte(node.inputs[1]),
+                    preds.join(" AND ")
+                );
+            }
+            Op::Cross => {
+                let _ = write!(
+                    q,
+                    "SELECT * FROM {} AS l, {} AS r",
+                    cte(node.inputs[0]),
+                    cte(node.inputs[1])
+                );
+            }
+            Op::Distinct => {
+                let _ = write!(q, "SELECT DISTINCT * FROM {}", cte(node.inputs[0]));
+            }
+            Op::Attach(c, v) => {
+                let _ = write!(
+                    q,
+                    "SELECT *, {} AS {} FROM {}",
+                    sql_value(v),
+                    name(*c),
+                    cte(node.inputs[0])
+                );
+            }
+            Op::RowId(c) => {
+                let _ = write!(
+                    q,
+                    "SELECT *, ROW_NUMBER() OVER () AS {} FROM {}",
+                    name(*c),
+                    cte(node.inputs[0])
+                );
+            }
+            Op::Rank { out: o, by } => {
+                let ord: Vec<String> = by.iter().map(|&b| name(b)).collect();
+                let _ = write!(
+                    q,
+                    "SELECT *, RANK() OVER (ORDER BY {}) AS {} FROM {}",
+                    ord.join(", "),
+                    name(*o),
+                    cte(node.inputs[0])
+                );
+            }
+            Op::Union => {
+                let cols: Vec<String> = cols_of(id).iter().map(|&c| name(c)).collect();
+                let _ = write!(
+                    q,
+                    "SELECT {c} FROM {} UNION ALL SELECT {c} FROM {}",
+                    cte(node.inputs[0]),
+                    cte(node.inputs[1]),
+                    c = cols.join(", ")
+                );
+            }
+            Op::Serialize { item, pos } => {
+                // Final SELECT, not a CTE.
+                let _ = write!(
+                    out,
+                    "{}\nSELECT {} AS item FROM {} ORDER BY {}, {}",
+                    parts.join(",\n"),
+                    name(*item),
+                    cte(node.inputs[0]),
+                    name(*pos),
+                    name(*item)
+                );
+                return out;
+            }
+        }
+        parts.push(format!("{} AS ({q})", cte(id)));
+    }
+    // No serialize root: just select everything from the last CTE.
+    let last = *topo.last().expect("non-empty plan");
+    let _ = write!(out, "{}\nSELECT * FROM {}", parts.join(",\n"), cte(last));
+    out
+}
+
+fn atom_sql(plan: &Plan, a: &Atom, left: Option<NodeId>, right: Option<NodeId>) -> String {
+    format!(
+        "{} {} {}",
+        scalar_rec(plan, &a.lhs, left, right),
+        a.op.sql(),
+        scalar_rec(plan, &a.rhs, left, right)
+    )
+}
+
+fn scalar_rec(plan: &Plan, s: &Scalar, left: Option<NodeId>, right: Option<NodeId>) -> String {
+    match s {
+        Scalar::Col(c) => {
+            let base =
+                plan.col_name(*c).replace('\'', "_").replace('°', "o").replace('@', "_");
+            match (left, right) {
+                (Some(l), Some(_)) => {
+                    if plan.schema(l).contains(*c) {
+                        format!("l.{base}")
+                    } else {
+                        format!("r.{base}")
+                    }
+                }
+                _ => base,
+            }
+        }
+        Scalar::Const(v) => sql_value(v),
+        Scalar::Add(x, y) => {
+            format!("{} + {}", scalar_rec(plan, x, left, right), scalar_rec(plan, y, left, right))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_compiler::compile;
+    use jgi_rewrite::{extract_cq, isolate};
+    use jgi_xquery::compile_to_core;
+
+    fn q1_cq() -> ConjunctiveQuery {
+        let core =
+            compile_to_core(r#"doc("auction.xml")/descendant::open_auction[bidder]"#).unwrap();
+        let c = compile(&core).unwrap();
+        let mut plan = c.plan;
+        let (root, _) = isolate(&mut plan, c.root);
+        extract_cq(&plan, root).unwrap()
+    }
+
+    /// The emitted SQL for Q1 must carry the Fig. 8 ingredients.
+    #[test]
+    fn q1_sql_matches_fig8_shape() {
+        let sql = join_graph_sql(&q1_cq());
+        assert!(sql.starts_with("SELECT DISTINCT"), "{sql}");
+        assert!(sql.contains("FROM   doc AS d1, doc AS d2, doc AS d3"), "{sql}");
+        assert!(sql.contains("= 'DOC'"), "{sql}");
+        assert!(sql.contains("= 'auction.xml'"), "{sql}");
+        assert!(sql.contains("= 'open_auction'"), "{sql}");
+        assert!(sql.contains("= 'bidder'"), "{sql}");
+        assert!(sql.contains("BETWEEN"), "{sql}");
+        assert!(sql.contains("ORDER BY"), "{sql}");
+        // The child step's level predicate.
+        assert!(sql.contains(".level + 1 ="), "{sql}");
+    }
+
+    #[test]
+    fn stacked_sql_has_rank_and_distinct_clauses() {
+        let core =
+            compile_to_core(r#"doc("auction.xml")/descendant::open_auction[bidder]"#).unwrap();
+        let c = compile(&core).unwrap();
+        let sql = stacked_sql(&c.plan, c.root);
+        assert!(sql.starts_with("WITH"), "{sql}");
+        assert!(sql.contains("RANK() OVER"), "{sql}");
+        assert!(sql.contains("SELECT DISTINCT"), "{sql}");
+        assert!(sql.contains("ROW_NUMBER() OVER ()"), "{sql}");
+        assert!(sql.trim_end().ends_with("ORDER BY pos, item") || sql.contains("ORDER BY"), "{sql}");
+        // Many CTE stages — the tall stacked shape.
+        assert!(sql.matches(" AS (").count() >= 20, "{sql}");
+    }
+}

@@ -1,0 +1,22 @@
+//! # jgi-sql — SQL as the interchange format
+//!
+//! The paper's punchline is that the isolated join graph travels to the
+//! back-end as a *standard SQL block* "in a declarative fashion barring any
+//! XQuery-specific annotations or similar clues" (§3.3). This crate
+//! provides that interchange surface:
+//!
+//! * [`emit::join_graph_sql`] prints a [`jgi_algebra::ConjunctiveQuery`] as
+//!   the `SELECT DISTINCT … FROM doc AS d1,… WHERE … ORDER BY` block of
+//!   paper Figs. 8/9 (with the `BETWEEN` sugar for containment ranges);
+//! * [`emit::stacked_sql`] prints the *unrewritten* compiler output as a
+//!   `WITH …` common-table-expression chain whose `RANK() OVER` /
+//!   `DISTINCT` clauses mirror the stacked plan — the shape §4 reports as
+//!   overwhelming the optimizer;
+//! * [`parse::parse_join_graph`] reads the restricted dialect back into a
+//!   `ConjunctiveQuery`, so the SQL text can literally drive the engine.
+
+pub mod emit;
+pub mod parse;
+
+pub use emit::{join_graph_sql, stacked_sql};
+pub use parse::{parse_join_graph, SqlParseError};

@@ -1,0 +1,435 @@
+//! Parser for the restricted join-graph SQL dialect.
+//!
+//! "The SQL language subset used to describe the XQuery join graphs — flat
+//! self-join chains, simple ordering criteria, and no grouping or
+//! aggregation — is sufficiently simple" (paper §4); simple enough to parse
+//! back into a [`ConjunctiveQuery`], closing the loop: the engine is
+//! literally driven by the SQL text.
+
+use jgi_algebra::cq::{ColRef, CqAtom, CqScalar, DocCol, OutputCol};
+use jgi_algebra::pred::CmpOp;
+use jgi_algebra::{ConjunctiveQuery, Value};
+use jgi_xml::NodeKind;
+use std::fmt;
+
+/// Parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlParseError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for SqlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for SqlParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Str(String),
+    Num(f64),
+    Sym(char),
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SqlParseError> {
+    let b = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(SqlParseError {
+                                offset: start,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((start, Tok::Str(s)));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'.') {
+                    i += 1;
+                }
+                let n: f64 = input[start..i].parse().map_err(|_| SqlParseError {
+                    offset: start,
+                    message: "bad number".into(),
+                })?;
+                out.push((start, Tok::Num(n)));
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push((start, Tok::Word(input[start..i].to_uppercase())));
+            }
+            b'<' if b.get(i + 1) == Some(&b'=') => {
+                out.push((i, Tok::Le));
+                i += 2;
+            }
+            b'>' if b.get(i + 1) == Some(&b'=') => {
+                out.push((i, Tok::Ge));
+                i += 2;
+            }
+            b'<' if b.get(i + 1) == Some(&b'>') => {
+                out.push((i, Tok::Ne));
+                i += 2;
+            }
+            b'!' if b.get(i + 1) == Some(&b'=') => {
+                out.push((i, Tok::Ne));
+                i += 2;
+            }
+            b'=' | b'<' | b'>' | b',' | b'.' | b'+' | b'-' | b'(' | b')' | b'*' => {
+                out.push((i, Tok::Sym(c as char)));
+                i += 1;
+            }
+            _ => {
+                return Err(SqlParseError {
+                    offset: i,
+                    message: format!("unexpected character `{}`", c as char),
+                })
+            }
+        }
+    }
+    out.push((input.len(), Tok::Eof));
+    Ok(out)
+}
+
+struct P {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].1
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].1.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> SqlParseError {
+        SqlParseError { offset: self.toks[self.pos].0, message: msg.into() }
+    }
+
+    fn expect_word(&mut self, w: &str) -> Result<(), SqlParseError> {
+        match self.bump() {
+            Tok::Word(s) if s == w => Ok(()),
+            other => Err(self.err(format!("expected {w}, found {other:?}"))),
+        }
+    }
+
+    fn at_word(&self, w: &str) -> bool {
+        matches!(self.peek(), Tok::Word(s) if s == w)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.at_word(w) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `dN.col`
+    fn colref(&mut self) -> Result<ColRef, SqlParseError> {
+        let alias = match self.bump() {
+            Tok::Word(w) if w.starts_with('D') => w[1..]
+                .parse::<usize>()
+                .map_err(|_| self.err("expected alias dN"))?,
+            other => return Err(self.err(format!("expected alias, found {other:?}"))),
+        };
+        if alias == 0 {
+            return Err(self.err("aliases are 1-based"));
+        }
+        match self.bump() {
+            Tok::Sym('.') => {}
+            other => return Err(self.err(format!("expected `.`, found {other:?}"))),
+        }
+        let col = match self.bump() {
+            Tok::Word(w) => DocCol::from_sql(&w.to_lowercase())
+                .ok_or_else(|| self.err(format!("unknown column {w}")))?,
+            other => return Err(self.err(format!("expected column, found {other:?}"))),
+        };
+        Ok(ColRef { alias: alias - 1, col })
+    }
+
+    /// Scalar: `dN.col [+ dN.col | + int | - int]` or a constant.
+    fn scalar(&mut self) -> Result<CqScalar, SqlParseError> {
+        match self.peek().clone() {
+            Tok::Num(n) => {
+                self.bump();
+                Ok(CqScalar::Const(num_value(n)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                // Kind constants print as 'ELEM' etc.
+                if let Some(k) = NodeKind::from_tag(&s) {
+                    Ok(CqScalar::Const(Value::Kind(k)))
+                } else {
+                    Ok(CqScalar::Const(Value::Str(s)))
+                }
+            }
+            Tok::Word(_) => {
+                let c = self.colref()?;
+                match self.peek() {
+                    Tok::Sym('+') => {
+                        self.bump();
+                        match self.peek().clone() {
+                            Tok::Num(n) => {
+                                self.bump();
+                                Ok(CqScalar::ColPlusInt(c, n as i64))
+                            }
+                            Tok::Word(_) => {
+                                let c2 = self.colref()?;
+                                Ok(CqScalar::ColPlusCol(c, c2))
+                            }
+                            other => Err(self.err(format!("expected operand, found {other:?}"))),
+                        }
+                    }
+                    Tok::Sym('-') => {
+                        self.bump();
+                        match self.bump() {
+                            Tok::Num(n) => Ok(CqScalar::ColPlusInt(c, -(n as i64))),
+                            other => Err(self.err(format!("expected number, found {other:?}"))),
+                        }
+                    }
+                    _ => Ok(CqScalar::Col(c)),
+                }
+            }
+            other => Err(self.err(format!("expected scalar, found {other:?}"))),
+        }
+    }
+}
+
+fn num_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Dec(n)
+    }
+}
+
+/// Parse a join-graph block back into a [`ConjunctiveQuery`].
+pub fn parse_join_graph(input: &str) -> Result<ConjunctiveQuery, SqlParseError> {
+    let toks = lex(input)?;
+    let mut p = P { toks, pos: 0 };
+    p.expect_word("SELECT")?;
+    let distinct = p.eat_word("DISTINCT");
+    // Select list.
+    let mut select: Vec<OutputCol> = Vec::new();
+    let mut item_output = 0usize;
+    loop {
+        let col = p.colref()?;
+        let mut name = None;
+        if p.eat_word("AS") {
+            match p.bump() {
+                Tok::Word(w) => {
+                    if w == "ITEM" {
+                        item_output = select.len();
+                    }
+                    name = Some(w.to_lowercase());
+                }
+                other => return Err(p.err(format!("expected output name, found {other:?}"))),
+            }
+        }
+        select.push(OutputCol { col, name });
+        if !matches!(p.peek(), Tok::Sym(',')) {
+            break;
+        }
+        p.bump();
+    }
+    // FROM doc AS d1, …
+    p.expect_word("FROM")?;
+    let mut aliases = 0usize;
+    loop {
+        p.expect_word("DOC")?;
+        p.expect_word("AS")?;
+        match p.bump() {
+            Tok::Word(w) if w.starts_with('D') => {
+                let n: usize =
+                    w[1..].parse().map_err(|_| p.err("bad alias in FROM"))?;
+                aliases = aliases.max(n);
+            }
+            other => return Err(p.err(format!("expected alias, found {other:?}"))),
+        }
+        if !matches!(p.peek(), Tok::Sym(',')) {
+            break;
+        }
+        p.bump();
+    }
+    // WHERE conjuncts.
+    let mut predicates: Vec<CqAtom> = Vec::new();
+    if p.eat_word("WHERE") {
+        loop {
+            let lhs = p.scalar()?;
+            if p.eat_word("BETWEEN") {
+                // x BETWEEN lo AND hi  ⇒  lo <= x ∧ x <= hi; the emitter's
+                // `dB.pre + 1` lower bound folds back to `dB.pre < x`.
+                let lo = p.scalar()?;
+                p.expect_word("AND")?;
+                let hi = p.scalar()?;
+                match lo {
+                    CqScalar::ColPlusInt(c, 1) => predicates.push(CqAtom {
+                        lhs: CqScalar::Col(c),
+                        op: CmpOp::Lt,
+                        rhs: lhs.clone(),
+                    }),
+                    other => predicates.push(CqAtom {
+                        lhs: other,
+                        op: CmpOp::Le,
+                        rhs: lhs.clone(),
+                    }),
+                }
+                predicates.push(CqAtom { lhs, op: CmpOp::Le, rhs: hi });
+            } else {
+                let op = match p.bump() {
+                    Tok::Sym('=') => CmpOp::Eq,
+                    Tok::Sym('<') => CmpOp::Lt,
+                    Tok::Sym('>') => CmpOp::Gt,
+                    Tok::Le => CmpOp::Le,
+                    Tok::Ge => CmpOp::Ge,
+                    Tok::Ne => CmpOp::Ne,
+                    other => return Err(p.err(format!("expected comparison, found {other:?}"))),
+                };
+                let rhs = p.scalar()?;
+                predicates.push(CqAtom { lhs, op, rhs });
+            }
+            if !p.eat_word("AND") {
+                break;
+            }
+        }
+    }
+    // ORDER BY.
+    let mut order_by = Vec::new();
+    if p.eat_word("ORDER") {
+        p.expect_word("BY")?;
+        loop {
+            order_by.push(p.colref()?);
+            if !matches!(p.peek(), Tok::Sym(',')) {
+                break;
+            }
+            p.bump();
+        }
+    }
+    if !matches!(p.peek(), Tok::Eof) {
+        return Err(p.err("trailing input after query"));
+    }
+    Ok(ConjunctiveQuery { aliases, predicates, select, distinct, order_by, item_output })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emit::join_graph_sql;
+    use jgi_compiler::compile;
+    use jgi_rewrite::{extract_cq, isolate};
+    use jgi_xquery::compile_to_core;
+
+    fn cq_of(q: &str) -> ConjunctiveQuery {
+        let core = compile_to_core(q).unwrap();
+        let c = compile(&core).unwrap();
+        let mut plan = c.plan;
+        let (root, _) = isolate(&mut plan, c.root);
+        extract_cq(&plan, root).unwrap()
+    }
+
+    /// Emitting and re-parsing must reproduce the query (atom order and the
+    /// BETWEEN folding normalize away).
+    #[test]
+    fn q1_round_trips() {
+        let cq = cq_of(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        let sql = join_graph_sql(&cq);
+        let back = parse_join_graph(&sql).unwrap();
+        assert_eq!(back.aliases, cq.aliases);
+        assert_eq!(back.distinct, cq.distinct);
+        assert_eq!(back.order_by, cq.order_by);
+        assert_eq!(back.item_output, cq.item_output);
+        assert_eq!(back.predicates.len(), cq.predicates.len());
+        for pred in &cq.predicates {
+            assert!(back.predicates.contains(pred), "missing {pred} in re-parse");
+        }
+    }
+
+    #[test]
+    fn q2_round_trips() {
+        let cq = cq_of(
+            r#"let $a := doc("auction.xml")
+               for $ca in $a//closed_auction[price > 500],
+                   $i in $a//item,
+                   $c in $a//category
+               where $ca/itemref/@item = $i/@id
+                 and $i/incategory/@category = $c/@id
+               return $c/name"#,
+        );
+        let sql = join_graph_sql(&cq);
+        let back = parse_join_graph(&sql).unwrap();
+        assert_eq!(back.aliases, 12);
+        for pred in &cq.predicates {
+            assert!(back.predicates.contains(pred), "missing {pred}");
+        }
+        assert_eq!(back.order_by.len(), 4);
+    }
+
+    #[test]
+    fn hand_written_sql_parses() {
+        let sql = "SELECT DISTINCT d2.pre AS item \
+                   FROM doc AS d1, doc AS d2 \
+                   WHERE d1.kind = 'DOC' AND d1.name = 'x.xml' \
+                   AND d2.pre BETWEEN d1.pre + 1 AND d1.pre + d1.size \
+                   AND d2.data > 500 \
+                   ORDER BY d2.pre";
+        let cq = parse_join_graph(sql).unwrap();
+        assert_eq!(cq.aliases, 2);
+        assert!(cq.distinct);
+        assert_eq!(cq.predicates.len(), 5); // BETWEEN expands to two atoms
+        assert_eq!(cq.select[cq.item_output].col.col, DocCol::Pre);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_join_graph("SELECT").is_err());
+        assert!(parse_join_graph("SELECT d1.pre FROM tbl AS d1").is_err());
+        assert!(parse_join_graph("SELECT d1.bogus FROM doc AS d1").is_err());
+        assert!(parse_join_graph("SELECT d1.pre FROM doc AS d1 WHERE d1.pre @ 3").is_err());
+        assert!(parse_join_graph("SELECT d1.pre FROM doc AS d1 extra").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Error type for XML parsing and encoding.
+
+use std::fmt;
+
+/// Error raised while lexing/parsing XML text or building the tabular
+/// encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset into the input at which the problem was detected.
+    pub offset: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl XmlError {
+    /// Create a new error at `offset` with the given message.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        XmlError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Convenience alias used throughout the crate.
+pub type XmlResult<T> = Result<T, XmlError>;

@@ -1,0 +1,256 @@
+//! Synthetic DBLP-like bibliography generator.
+//!
+//! Mirrors the DBLP XML dump shape: a flat `dblp` root with publication
+//! elements (`article`, `inproceedings`, `proceedings`, `phdthesis`, `book`,
+//! `incollection`), each carrying `@key`/`@mdate` and `author*`, `title`,
+//! `year`, plus type-specific children. Guarantees the fixtures the paper's
+//! queries need:
+//!
+//! * exactly one `proceedings` with `@key = "conf/vldb2001"`, an `editor`
+//!   and a `title` (query Q5);
+//! * a population of `phdthesis` entries whose `year` text spans 1970–2009,
+//!   so `year < "1994"` (string comparison on 4-digit years ≡ numeric) is
+//!   selective but non-empty (query Q6).
+
+use super::{person_name, words};
+use crate::tree::{NodeId, Tree};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`generate_dblp`].
+#[derive(Debug, Clone, Copy)]
+pub struct DblpConfig {
+    /// Number of publication entries. The paper's 400 MB instance holds
+    /// about 1 000 000 publications of ~30 nodes each.
+    pub publications: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DblpConfig {
+    fn default() -> Self {
+        DblpConfig { publications: 10_000, seed: 42 }
+    }
+}
+
+/// Generate a DBLP-like document with URI `dblp.xml`.
+pub fn generate_dblp(cfg: DblpConfig) -> Tree {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut t = Tree::new("dblp.xml");
+    let dblp = t.add_element(t.root(), "dblp");
+
+    // The fixed proceedings entry Q5 looks for.
+    gen_vldb2001(&mut t, &mut rng, dblp);
+
+    for i in 0..cfg.publications {
+        // Publication mix loosely follows DBLP: mostly articles and
+        // inproceedings, a few percent theses/books/proceedings.
+        let roll = rng.gen_range(0..100);
+        match roll {
+            0..=44 => gen_article(&mut t, &mut rng, dblp, i),
+            45..=84 => gen_inproceedings(&mut t, &mut rng, dblp, i),
+            85..=89 => gen_proceedings(&mut t, &mut rng, dblp, i),
+            90..=93 => gen_phdthesis(&mut t, &mut rng, dblp, i),
+            94..=96 => gen_book(&mut t, &mut rng, dblp, i),
+            _ => gen_incollection(&mut t, &mut rng, dblp, i),
+        }
+    }
+    t
+}
+
+fn common(t: &mut Tree, rng: &mut SmallRng, pubn: NodeId, key: &str) {
+    t.add_attr(pubn, "key", key);
+    let mdate = format!(
+        "{}-{:02}-{:02}",
+        rng.gen_range(2002..2010),
+        rng.gen_range(1..13),
+        rng.gen_range(1..29)
+    );
+    t.add_attr(pubn, "mdate", &mdate);
+}
+
+fn authors(t: &mut Tree, rng: &mut SmallRng, pubn: NodeId, max: usize) {
+    for _ in 0..rng.gen_range(1..=max) {
+        let a = person_name(rng);
+        t.add_text_element(pubn, "author", &a);
+    }
+}
+
+fn title_year(t: &mut Tree, rng: &mut SmallRng, pubn: NodeId) -> String {
+    let n = rng.gen_range(3..8);
+    let title = format!("On {}", words(rng, n));
+    t.add_text_element(pubn, "title", &title);
+    let year = rng.gen_range(1970..2010).to_string();
+    t.add_text_element(pubn, "year", &year);
+    year
+}
+
+fn gen_article(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "article");
+    let j = rng.gen_range(0..50);
+    common(t, rng, a, &format!("journals/j{j}/{i}"));
+    authors(t, rng, a, 4);
+    title_year(t, rng, a);
+    let journal = format!("Journal of {}", words(rng, 2));
+    t.add_text_element(a, "journal", &journal);
+    let volume = rng.gen_range(1..40).to_string();
+    t.add_text_element(a, "volume", &volume);
+    let p0 = rng.gen_range(1..500);
+    let pages = format!("{}-{}", p0, p0 + rng.gen_range(5..30));
+    t.add_text_element(a, "pages", &pages);
+    if rng.gen_bool(0.5) {
+        let ee = format!("db/journals/j{}.html", i);
+        t.add_text_element(a, "ee", &ee);
+    }
+}
+
+fn gen_inproceedings(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "inproceedings");
+    let c = rng.gen_range(0..80);
+    common(t, rng, a, &format!("conf/c{c}/{i}"));
+    authors(t, rng, a, 5);
+    title_year(t, rng, a);
+    let bt = format!("Proc. {}", words(rng, 1).to_uppercase());
+    t.add_text_element(a, "booktitle", &bt);
+    let p0 = rng.gen_range(1..800);
+    let pages = format!("{}-{}", p0, p0 + rng.gen_range(8..15));
+    t.add_text_element(a, "pages", &pages);
+    let cr = format!("conf/c{}/{}", rng.gen_range(0..80), 2000 + i % 10);
+    t.add_text_element(a, "crossref", &cr);
+}
+
+fn gen_proceedings(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "proceedings");
+    let c = rng.gen_range(0..80);
+    common(t, rng, a, &format!("conf/c{}/{}", c, 1990 + i % 20));
+    // Proceedings have editors rather than authors.
+    for _ in 0..rng.gen_range(1..4) {
+        let e = person_name(rng);
+        t.add_text_element(a, "editor", &e);
+    }
+    title_year(t, rng, a);
+    let publisher = words(rng, 1);
+    t.add_text_element(a, "publisher", &publisher);
+    let isbn = format!("1-55860-{:03}-{}", rng.gen_range(0..999), rng.gen_range(0..10));
+    t.add_text_element(a, "isbn", &isbn);
+}
+
+fn gen_vldb2001(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId) {
+    let a = t.add_element(dblp, "proceedings");
+    common(t, rng, a, "conf/vldb2001");
+    let e1 = person_name(rng);
+    t.add_text_element(a, "editor", &e1);
+    let e2 = person_name(rng);
+    t.add_text_element(a, "editor", &e2);
+    t.add_text_element(a, "title", "VLDB 2001, Proceedings of 27th International Conference on Very Large Data Bases");
+    t.add_text_element(a, "year", "2001");
+    t.add_text_element(a, "publisher", "Morgan Kaufmann");
+    t.add_text_element(a, "isbn", "1-55860-804-4");
+}
+
+fn gen_phdthesis(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "phdthesis");
+    common(t, rng, a, &format!("phd/thesis{i}"));
+    authors(t, rng, a, 1);
+    title_year(t, rng, a);
+    let school = format!("University of {}", words(rng, 1));
+    t.add_text_element(a, "school", &school);
+}
+
+fn gen_book(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "book");
+    common(t, rng, a, &format!("books/b{i}"));
+    authors(t, rng, a, 3);
+    title_year(t, rng, a);
+    let publisher = words(rng, 1);
+    t.add_text_element(a, "publisher", &publisher);
+}
+
+fn gen_incollection(t: &mut Tree, rng: &mut SmallRng, dblp: NodeId, i: usize) {
+    let a = t.add_element(dblp, "incollection");
+    common(t, rng, a, &format!("books/collections/{i}"));
+    authors(t, rng, a, 3);
+    title_year(t, rng, a);
+    let bt = format!("Readings in {}", words(rng, 1));
+    t.add_text_element(a, "booktitle", &bt);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::DocStore;
+    use crate::serialize::tree_to_xml;
+    use crate::tree::NodeKind;
+
+    #[test]
+    fn deterministic_and_preorder() {
+        let cfg = DblpConfig { publications: 200, seed: 3 };
+        let a = generate_dblp(cfg);
+        a.assert_preorder();
+        assert_eq!(tree_to_xml(&a), tree_to_xml(&generate_dblp(cfg)));
+    }
+
+    #[test]
+    fn q5_fixture_exists() {
+        let t = generate_dblp(DblpConfig { publications: 50, seed: 1 });
+        let mut found = false;
+        let dblp = t.content_children(t.root())[0];
+        for &c in t.content_children(dblp) {
+            let is_key = t.attrs(c).iter().any(|&a| {
+                t.name(a) == Some("key") && t.string_value(a) == "conf/vldb2001"
+            });
+            if is_key {
+                found = true;
+                let names: Vec<_> = t
+                    .content_children(c)
+                    .iter()
+                    .map(|&k| t.name(k).unwrap().to_string())
+                    .collect();
+                assert!(names.contains(&"editor".to_string()));
+                assert!(names.contains(&"title".to_string()));
+            }
+        }
+        assert!(found, "conf/vldb2001 proceedings missing");
+    }
+
+    #[test]
+    fn q6_phdthesis_year_spread() {
+        let t = generate_dblp(DblpConfig { publications: 2000, seed: 7 });
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let thesis = store.names.get("phdthesis").unwrap();
+        let year = store.names.get("year").unwrap();
+        let mut old = 0;
+        let mut total = 0;
+        for pre in 0..store.len() as u32 {
+            let p = pre as usize;
+            if store.kind[p] == NodeKind::Elem && store.name[p] == thesis {
+                total += 1;
+                // Scan the thesis subtree for its year child.
+                for q in pre + 1..=pre + store.size[p] {
+                    let qq = q as usize;
+                    if store.kind[qq] == NodeKind::Elem && store.name[qq] == year {
+                        if store.value_str(q).unwrap() < "1994" {
+                            old += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(total > 20, "too few phdthesis entries: {total}");
+        assert!(old > 0 && old < total, "year<1994 should be selective: {old}/{total}");
+    }
+
+    #[test]
+    fn publication_mix() {
+        let t = generate_dblp(DblpConfig { publications: 1000, seed: 2 });
+        let dblp = t.content_children(t.root())[0];
+        let mut articles = 0;
+        for &c in t.content_children(dblp) {
+            if t.name(c) == Some("article") {
+                articles += 1;
+            }
+        }
+        assert!((300..600).contains(&articles), "articles: {articles}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Synthetic workload generators.
+//!
+//! The paper benchmarks on a 110 MB XMark `auction.xml` instance and a
+//! 400 MB XML dump of the DBLP bibliography. Neither original instance is
+//! available here, so we generate *structurally faithful* synthetic stand-ins
+//! (same element/attribute vocabulary, same entity cardinality ratios, same
+//! value distributions where a query's selectivity depends on them), scaled
+//! by a factor so experiments run at laptop scale. See `DESIGN.md` for the
+//! substitution argument.
+//!
+//! All generators are deterministic given `(scale, seed)`.
+
+pub mod dblp;
+pub mod xmark;
+
+pub use dblp::{generate_dblp, DblpConfig};
+pub use xmark::{generate_xmark, XmarkConfig};
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Word pool for filler text (descriptions, annotations).
+const WORDS: &[&str] = &[
+    "gold", "silver", "vintage", "rare", "mint", "classic", "antique", "modern", "large",
+    "small", "red", "blue", "green", "heavy", "light", "fast", "slow", "quiet", "loud",
+    "smooth", "rough", "bright", "dark", "ornate", "plain", "carved", "woven", "painted",
+];
+
+/// Produce `n` space-separated filler words.
+pub(crate) fn words(rng: &mut SmallRng, n: usize) -> String {
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    s
+}
+
+/// A synthetic person/author name.
+pub(crate) fn person_name(rng: &mut SmallRng) -> String {
+    const FIRST: &[&str] = &[
+        "Ada", "Alan", "Grace", "Edgar", "Barbara", "Donald", "Leslie", "Tony", "Jim",
+        "Hector", "Pat", "Michael", "Moshe", "Serge", "Jennifer", "David", "Maria",
+    ];
+    const LAST: &[&str] = &[
+        "Lovelace", "Turing", "Hopper", "Codd", "Liskov", "Knuth", "Lamport", "Hoare",
+        "Gray", "Garcia-Molina", "Selinger", "Stonebraker", "Vardi", "Abiteboul", "Widom",
+    ];
+    format!(
+        "{} {}",
+        FIRST[rng.gen_range(0..FIRST.len())],
+        LAST[rng.gen_range(0..LAST.len())]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn words_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        assert_eq!(words(&mut a, 5), words(&mut b, 5));
+    }
+
+    #[test]
+    fn word_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(words(&mut rng, 4).split(' ').count(), 4);
+        assert_eq!(words(&mut rng, 0), "");
+    }
+}

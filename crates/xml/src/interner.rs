@@ -1,0 +1,107 @@
+//! A simple string interner.
+//!
+//! Element/attribute names and node string values are stored once and
+//! referred to by dense `u32` ids. The `doc` encoding table and the
+//! relational engine both key their statistics and B-tree entries on these
+//! ids (comparisons on interned ids are resolved back to string order where
+//! the semantics require it).
+
+use std::collections::HashMap;
+
+/// Interns strings to dense `u32` ids, with O(1) lookup in both directions.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, u32>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`, returning its id (existing or fresh).
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Look up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if no string has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate over `(id, string)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_and_resolves() {
+        let mut i = Interner::new();
+        let a = i.intern("bidder");
+        let b = i.intern("price");
+        let a2 = i.intern("bidder");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "bidder");
+        assert_eq!(i.resolve(b), "price");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let id = i.intern("x");
+        assert_eq!(i.get("x"), Some(id));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_occurrence() {
+        let mut i = Interner::new();
+        for (n, s) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(s), n as u32);
+        }
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

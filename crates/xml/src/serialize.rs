@@ -1,0 +1,284 @@
+//! XML serialization.
+//!
+//! Serialization works directly from the tabular encoding: a subtree is the
+//! contiguous row range `[pre, pre + size]`, scanned once in `pre` order
+//! (paper §2.1: "serialized again via a table scan in pre order"). A second
+//! entry point serializes an in-memory [`Tree`]; both produce identical text
+//! for the same document, which the round-trip tests exploit.
+
+use crate::encode::DocStore;
+use crate::text::{escape_attr, escape_text};
+use crate::tree::{NodeId, NodeKind, Tree};
+
+/// Serialize the subtree rooted at row `pre` of `store` into `out`.
+///
+/// If `pre` is a `DOC` row, the whole document content is emitted.
+pub fn serialize_subtree(store: &DocStore, pre: u32, out: &mut String) {
+    let end = pre + store.size[pre as usize]; // inclusive
+    // Stack of open elements: (level, name id).
+    let mut stack: Vec<(u16, u32, bool)> = Vec::new(); // (level, name, tag_open)
+    for row in pre..=end {
+        let p = row as usize;
+        let kind = store.kind[p];
+        let level = store.level[p];
+        if kind == NodeKind::Attr {
+            // Attribute of the innermost still-open element.
+            if let Some(&mut (olevel, _, ref mut open)) = stack.last_mut() {
+                if *open && olevel + 1 == level {
+                    out.push(' ');
+                    out.push_str(store.name_str(row).unwrap_or(""));
+                    out.push_str("=\"");
+                    escape_attr(store.value_str(row).unwrap_or(""), out);
+                    out.push('"');
+                    continue;
+                }
+            }
+            // An attribute serialized standalone (e.g. result of an
+            // attribute axis step at top level): emit name="value".
+            close_to(store, &mut stack, level, out);
+            out.push_str(store.name_str(row).unwrap_or(""));
+            out.push_str("=\"");
+            escape_attr(store.value_str(row).unwrap_or(""), out);
+            out.push('"');
+            continue;
+        }
+        close_to(store, &mut stack, level, out);
+        match kind {
+            NodeKind::Doc => {} // content follows as ordinary rows
+            NodeKind::Elem => {
+                finish_open_tag(&mut stack, out);
+                out.push('<');
+                out.push_str(store.name_str(row).unwrap_or(""));
+                stack.push((level, store.name[p], true));
+            }
+            NodeKind::Text => {
+                finish_open_tag(&mut stack, out);
+                escape_text(store.value_str(row).unwrap_or(""), out);
+            }
+            NodeKind::Comment => {
+                finish_open_tag(&mut stack, out);
+                out.push_str("<!--");
+                out.push_str(store.value_str(row).unwrap_or(""));
+                out.push_str("-->");
+            }
+            NodeKind::Pi => {
+                finish_open_tag(&mut stack, out);
+                out.push_str("<?");
+                out.push_str(store.name_str(row).unwrap_or(""));
+                if let Some(d) = store.value_str(row) {
+                    if !d.is_empty() {
+                        out.push(' ');
+                        out.push_str(d);
+                    }
+                }
+                out.push_str("?>");
+            }
+            NodeKind::Attr => unreachable!(),
+        }
+    }
+    close_to(store, &mut stack, 0, out);
+}
+
+/// Close all open elements with level >= `level`.
+fn close_to(store: &DocStore, stack: &mut Vec<(u16, u32, bool)>, level: u16, out: &mut String) {
+    while let Some(&(l, name, open)) = stack.last() {
+        if l < level {
+            break;
+        }
+        stack.pop();
+        if open {
+            out.push_str("/>");
+        } else {
+            out.push_str("</");
+            out.push_str(store.names.resolve(name));
+            out.push('>');
+        }
+    }
+}
+
+/// If the innermost element's start tag is still open, emit its `>`.
+fn finish_open_tag(stack: &mut [(u16, u32, bool)], out: &mut String) {
+    if let Some((_, _, open)) = stack.last_mut() {
+        if *open {
+            out.push('>');
+            *open = false;
+        }
+    }
+}
+
+/// Serialize a sequence of nodes (result of a query) to one string.
+pub fn serialize_nodes(store: &DocStore, pres: &[u32]) -> String {
+    let mut out = String::new();
+    for &pre in pres {
+        serialize_subtree(store, pre, &mut out);
+    }
+    out
+}
+
+/// Total number of nodes a sequence serializes (each node plus its subtree) —
+/// the "# nodes" result-size metric of paper Table 9.
+pub fn serialized_node_count(store: &DocStore, pres: &[u32]) -> u64 {
+    pres.iter().map(|&p| 1 + store.size[p as usize] as u64).sum()
+}
+
+/// Serialize an in-memory [`Tree`] node (and its subtree) into `out`.
+pub fn serialize_tree_node(tree: &Tree, id: NodeId, out: &mut String) {
+    let node = tree.node(id);
+    match node.kind {
+        NodeKind::Doc => {
+            for &c in tree.content_children(id) {
+                serialize_tree_node(tree, c, out);
+            }
+        }
+        NodeKind::Elem => {
+            out.push('<');
+            out.push_str(tree.name(id).unwrap_or(""));
+            for &a in tree.attrs(id) {
+                out.push(' ');
+                out.push_str(tree.name(a).unwrap_or(""));
+                out.push_str("=\"");
+                escape_attr(tree.node(a).text.as_deref().unwrap_or(""), out);
+                out.push('"');
+            }
+            let content = tree.content_children(id);
+            if content.is_empty() {
+                out.push_str("/>");
+            } else {
+                out.push('>');
+                for &c in content {
+                    serialize_tree_node(tree, c, out);
+                }
+                out.push_str("</");
+                out.push_str(tree.name(id).unwrap_or(""));
+                out.push('>');
+            }
+        }
+        NodeKind::Attr => {
+            out.push_str(tree.name(id).unwrap_or(""));
+            out.push_str("=\"");
+            escape_attr(tree.node(id).text.as_deref().unwrap_or(""), out);
+            out.push('"');
+        }
+        NodeKind::Text => escape_text(tree.node(id).text.as_deref().unwrap_or(""), out),
+        NodeKind::Comment => {
+            out.push_str("<!--");
+            out.push_str(tree.node(id).text.as_deref().unwrap_or(""));
+            out.push_str("-->");
+        }
+        NodeKind::Pi => {
+            out.push_str("<?");
+            out.push_str(tree.name(id).unwrap_or(""));
+            if let Some(d) = node.text.as_deref() {
+                if !d.is_empty() {
+                    out.push(' ');
+                    out.push_str(d);
+                }
+            }
+            out.push_str("?>");
+        }
+    }
+}
+
+/// Serialize a whole [`Tree`] to XML text.
+pub fn tree_to_xml(tree: &Tree) -> String {
+    let mut out = String::new();
+    serialize_tree_node(tree, tree.root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::tree::Tree;
+
+    fn fig2_tree() -> Tree {
+        let mut t = Tree::new("auction.xml");
+        let oa = t.add_element(t.root(), "open_auction");
+        t.add_attr(oa, "id", "1");
+        t.add_text_element(oa, "initial", "15");
+        let bidder = t.add_element(oa, "bidder");
+        t.add_text_element(bidder, "time", "18:43");
+        t.add_text_element(bidder, "increase", "4.20");
+        t
+    }
+
+    const FIG2: &str = "<open_auction id=\"1\"><initial>15</initial><bidder>\
+                        <time>18:43</time><increase>4.20</increase></bidder></open_auction>";
+
+    #[test]
+    fn store_and_tree_serializers_agree() {
+        let t = fig2_tree();
+        let mut store = DocStore::new();
+        let root = store.add_tree(&t);
+        let mut from_store = String::new();
+        serialize_subtree(&store, root, &mut from_store);
+        assert_eq!(from_store, FIG2);
+        assert_eq!(tree_to_xml(&t), FIG2);
+    }
+
+    #[test]
+    fn parse_serialize_round_trip() {
+        let t = parse("u", FIG2).unwrap();
+        assert_eq!(tree_to_xml(&t), FIG2);
+    }
+
+    #[test]
+    fn subtree_serialization() {
+        let t = fig2_tree();
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        // pre 5 is <bidder>.
+        let mut out = String::new();
+        serialize_subtree(&store, 5, &mut out);
+        assert_eq!(out, "<bidder><time>18:43</time><increase>4.20</increase></bidder>");
+        // pre 2 is the id attribute.
+        let mut out = String::new();
+        serialize_subtree(&store, 2, &mut out);
+        assert_eq!(out, "id=\"1\"");
+    }
+
+    #[test]
+    fn node_sequences_and_counts() {
+        let t = fig2_tree();
+        let mut store = DocStore::new();
+        store.add_tree(&t);
+        let s = serialize_nodes(&store, &[6, 8]);
+        assert_eq!(s, "<time>18:43</time><increase>4.20</increase>");
+        assert_eq!(serialized_node_count(&store, &[6, 8]), 4);
+        assert_eq!(serialized_node_count(&store, &[1]), 9);
+        assert_eq!(serialized_node_count(&store, &[]), 0);
+    }
+
+    #[test]
+    fn escaping_in_serialization() {
+        let t = parse("u", "<a x=\"&quot;&amp;\">a &lt; b</a>").unwrap();
+        let mut store = DocStore::new();
+        let root = store.add_tree(&t);
+        let mut out = String::new();
+        serialize_subtree(&store, root, &mut out);
+        assert_eq!(out, "<a x=\"&quot;&amp;\">a &lt; b</a>");
+    }
+
+    #[test]
+    fn empty_elements() {
+        let t = parse("u", "<a><b/><c></c></a>").unwrap();
+        assert_eq!(tree_to_xml(&t), "<a><b/><c/></a>");
+        let mut store = DocStore::new();
+        let root = store.add_tree(&t);
+        let mut out = String::new();
+        serialize_subtree(&store, root, &mut out);
+        assert_eq!(out, "<a><b/><c/></a>");
+    }
+
+    #[test]
+    fn comments_and_pis_round_trip() {
+        let src = "<a><!-- note --><?pi data?></a>";
+        let t = parse("u", src).unwrap();
+        let mut store = DocStore::new();
+        let root = store.add_tree(&t);
+        let mut out = String::new();
+        serialize_subtree(&store, root, &mut out);
+        assert_eq!(out, src);
+    }
+}

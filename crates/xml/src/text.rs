@@ -1,0 +1,140 @@
+//! XML character data escaping and entity resolution.
+
+use crate::error::{XmlError, XmlResult};
+
+/// Escape `s` for use as element content (`<`, `&`, `>`).
+pub fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escape `s` for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Resolve the five predefined XML entities plus decimal/hex character
+/// references in `s` (which may contain raw text in between).
+///
+/// `offset` is the byte position of `s` in the overall input, used for error
+/// reporting only.
+pub fn unescape(s: &str, offset: usize) -> XmlResult<String> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the longest entity-free run in one go.
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'&' {
+                i += 1;
+            }
+            out.push_str(&s[start..i]);
+            continue;
+        }
+        let end = s[i..]
+            .find(';')
+            .map(|p| i + p)
+            .ok_or_else(|| XmlError::new(offset + i, "unterminated entity reference"))?;
+        let ent = &s[i + 1..end];
+        match ent {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "apos" => out.push('\''),
+            "quot" => out.push('"'),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| {
+                    XmlError::new(offset + i, format!("bad hex character reference &{ent};"))
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::new(offset + i, format!("invalid code point in &{ent};"))
+                })?);
+            }
+            _ if ent.starts_with('#') => {
+                let cp = ent[1..].parse::<u32>().map_err(|_| {
+                    XmlError::new(offset + i, format!("bad character reference &{ent};"))
+                })?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::new(offset + i, format!("invalid code point in &{ent};"))
+                })?);
+            }
+            _ => {
+                return Err(XmlError::new(
+                    offset + i,
+                    format!("unknown entity &{ent}; (no DTD support)"),
+                ))
+            }
+        }
+        i = end + 1;
+    }
+    Ok(out)
+}
+
+/// True if `s` consists solely of XML whitespace characters.
+pub fn is_xml_whitespace(s: &str) -> bool {
+    s.bytes().all(|b| matches!(b, b' ' | b'\t' | b'\r' | b'\n'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_text() {
+        let mut out = String::new();
+        escape_text("a<b&c>d", &mut out);
+        assert_eq!(out, "a&lt;b&amp;c&gt;d");
+        assert_eq!(unescape(&out, 0).unwrap(), "a<b&c>d");
+    }
+
+    #[test]
+    fn escape_round_trips_attr() {
+        let mut out = String::new();
+        escape_attr("say \"hi\" & <go>", &mut out);
+        assert_eq!(out, "say &quot;hi&quot; &amp; <go>".replace("<go>", "&lt;go>"));
+        assert_eq!(unescape(&out, 0).unwrap(), "say \"hi\" & <go>");
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#X43;", 0).unwrap(), "ABC");
+        assert_eq!(unescape("&#x20AC;", 0).unwrap(), "\u{20AC}");
+    }
+
+    #[test]
+    fn plain_text_fast_path() {
+        assert_eq!(unescape("no entities here", 0).unwrap(), "no entities here");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(unescape("&nbsp;", 5).is_err());
+        assert!(unescape("&unterminated", 0).is_err());
+        assert!(unescape("&#xZZ;", 0).is_err());
+        assert!(unescape("&#2147483648;", 0).is_err());
+    }
+
+    #[test]
+    fn whitespace_detection() {
+        assert!(is_xml_whitespace("  \t\r\n"));
+        assert!(!is_xml_whitespace(" x "));
+        assert!(is_xml_whitespace(""));
+    }
+}

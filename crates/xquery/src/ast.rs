@@ -1,0 +1,341 @@
+//! Surface abstract syntax (paper Fig. 1 plus the standard abbreviations).
+
+use std::fmt;
+
+/// The 12 XPath axes of XQuery's full axis feature (paper: "supports the 12
+/// axes"; the `namespace` axis is deprecated and excluded, `attribute` is
+/// included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `child::`
+    Child,
+    /// `descendant::`
+    Descendant,
+    /// `descendant-or-self::`
+    DescendantOrSelf,
+    /// `self::`
+    SelfAxis,
+    /// `attribute::` (also the `@` abbreviation)
+    Attribute,
+    /// `following-sibling::`
+    FollowingSibling,
+    /// `following::`
+    Following,
+    /// `parent::`
+    Parent,
+    /// `ancestor::`
+    Ancestor,
+    /// `ancestor-or-self::`
+    AncestorOrSelf,
+    /// `preceding-sibling::`
+    PrecedingSibling,
+    /// `preceding::`
+    Preceding,
+}
+
+impl Axis {
+    /// The axis keyword as written in queries.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::Following => "following",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Preceding => "preceding",
+        }
+    }
+
+    /// Parse an axis keyword.
+    pub fn from_name(s: &str) -> Option<Axis> {
+        Some(match s {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            "following-sibling" => Axis::FollowingSibling,
+            "following" => Axis::Following,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "preceding" => Axis::Preceding,
+            _ => return None,
+        })
+    }
+
+    /// True for the forward axes (document-order direction).
+    pub fn is_forward(self) -> bool {
+        !matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf
+                | Axis::Preceding | Axis::PrecedingSibling
+        )
+    }
+
+    /// All 12 axes, for exhaustive tests.
+    pub fn all() -> [Axis; 12] {
+        [
+            Axis::Child,
+            Axis::Descendant,
+            Axis::DescendantOrSelf,
+            Axis::SelfAxis,
+            Axis::Attribute,
+            Axis::FollowingSibling,
+            Axis::Following,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::AncestorOrSelf,
+            Axis::PrecedingSibling,
+            Axis::Preceding,
+        ]
+    }
+}
+
+/// XPath node test (name test or kind test).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// `name` — element (or attribute, on the attribute axis) with this tag.
+    Name(String),
+    /// `*` — any element (any attribute on the attribute axis).
+    Wildcard,
+    /// `node()`.
+    AnyKind,
+    /// `text()`.
+    Text,
+    /// `comment()`.
+    Comment,
+    /// `processing-instruction()` with optional target.
+    Pi(Option<String>),
+    /// `element()` / `element(name)`.
+    Element(Option<String>),
+    /// `attribute()` / `attribute(name)` kind test.
+    AttributeTest(Option<String>),
+    /// `document-node()`.
+    Document,
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => write!(f, "{n}"),
+            NodeTest::Wildcard => write!(f, "*"),
+            NodeTest::AnyKind => write!(f, "node()"),
+            NodeTest::Text => write!(f, "text()"),
+            NodeTest::Comment => write!(f, "comment()"),
+            NodeTest::Pi(None) => write!(f, "processing-instruction()"),
+            NodeTest::Pi(Some(t)) => write!(f, "processing-instruction({t})"),
+            NodeTest::Element(None) => write!(f, "element()"),
+            NodeTest::Element(Some(n)) => write!(f, "element({n})"),
+            NodeTest::AttributeTest(None) => write!(f, "attribute()"),
+            NodeTest::AttributeTest(Some(n)) => write!(f, "attribute({n})"),
+            NodeTest::Document => write!(f, "document-node()"),
+        }
+    }
+}
+
+/// General comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CompOp {
+    /// Operator with its arguments swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CompOp {
+        match self {
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Ne => CompOp::Ne,
+            CompOp::Lt => CompOp::Gt,
+            CompOp::Le => CompOp::Ge,
+            CompOp::Gt => CompOp::Lt,
+            CompOp::Ge => CompOp::Le,
+        }
+    }
+
+    /// The SQL/XQuery surface syntax of the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CompOp::Eq => "=",
+            CompOp::Ne => "!=",
+            CompOp::Lt => "<",
+            CompOp::Le => "<=",
+            CompOp::Gt => ">",
+            CompOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluate the comparison on an [`std::cmp::Ordering`].
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CompOp::Eq => ord == Equal,
+            CompOp::Ne => ord != Equal,
+            CompOp::Lt => ord == Less,
+            CompOp::Le => ord != Greater,
+            CompOp::Gt => ord == Greater,
+            CompOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Literals (paper Fig. 1: NumericLiteral | StringLiteral).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A string literal.
+    String(String),
+    /// A numeric (decimal) literal.
+    Number(f64),
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::String(s) => write!(f, "\"{s}\""),
+            Literal::Number(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Surface expression tree produced by the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `for $var in seq return body` (multi-binding `for` is parsed into a
+    /// nest of these).
+    For {
+        /// Bound variable name (without `$`).
+        var: String,
+        /// Sequence expression iterated over.
+        seq: Box<Expr>,
+        /// Loop body.
+        body: Box<Expr>,
+    },
+    /// `let $var := value return body`.
+    Let {
+        /// Bound variable name (without `$`).
+        var: String,
+        /// Bound expression.
+        value: Box<Expr>,
+        /// Body.
+        body: Box<Expr>,
+    },
+    /// `$var`.
+    Var(String),
+    /// `if (cond) then then_branch else else_branch` — the fragment requires
+    /// `else ()`; the parser accepts general `else` and normalization
+    /// rejects non-empty ones.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then branch.
+        then: Box<Expr>,
+        /// Else branch (must normalize to the empty sequence).
+        els: Box<Expr>,
+    },
+    /// `doc("uri")` / `fn:doc("uri")`.
+    Doc(String),
+    /// A location step `input/axis::test`.
+    Step {
+        /// Context expression.
+        input: Box<Expr>,
+        /// The axis.
+        axis: Axis,
+        /// The node test.
+        test: NodeTest,
+    },
+    /// A predicate filter `input[pred]`.
+    Filter {
+        /// Filtered expression.
+        input: Box<Expr>,
+        /// Predicate, evaluated with the context item bound.
+        pred: Box<Expr>,
+    },
+    /// General comparison `lhs op rhs`.
+    Comparison {
+        /// Operator.
+        op: CompOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `lhs and rhs`.
+    And(Box<Expr>, Box<Expr>),
+    /// Literal value.
+    Literal(Literal),
+    /// Sequence expression `(e1, e2, …)`; `Seq(vec![])` is `()`.
+    Seq(Vec<Expr>),
+    /// The context item `.` (only valid inside predicates).
+    ContextItem,
+    /// `data(e)` / `fn:data(e)` — atomization marker.
+    Data(Box<Expr>),
+    /// `fs:ddo(e)` — explicit distinct-doc-order (appears in already
+    /// normalized queries such as the paper's rendering of Q1).
+    Ddo(Box<Expr>),
+    /// `fn:boolean(e)` — explicit effective-boolean-value.
+    Boolean(Box<Expr>),
+}
+
+impl Expr {
+    /// True if this is the empty sequence `()`.
+    pub fn is_empty_seq(&self) -> bool {
+        matches!(self, Expr::Seq(v) if v.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_round_trip() {
+        for axis in Axis::all() {
+            assert_eq!(Axis::from_name(axis.name()), Some(axis));
+        }
+        assert_eq!(Axis::from_name("sideways"), None);
+    }
+
+    #[test]
+    fn forward_reverse_partition() {
+        let forward: Vec<_> = Axis::all().into_iter().filter(|a| a.is_forward()).collect();
+        assert_eq!(forward.len(), 7);
+        assert!(!Axis::Ancestor.is_forward());
+        assert!(Axis::Attribute.is_forward());
+    }
+
+    #[test]
+    fn comp_op_flip_is_involutive_on_order() {
+        use std::cmp::Ordering;
+        for op in [CompOp::Eq, CompOp::Ne, CompOp::Lt, CompOp::Le, CompOp::Gt, CompOp::Ge] {
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                // a op b  ==  b flipped(op) a
+                assert_eq!(op.test(ord), op.flipped().test(ord.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn node_test_display() {
+        assert_eq!(NodeTest::Name("bidder".into()).to_string(), "bidder");
+        assert_eq!(NodeTest::Text.to_string(), "text()");
+        assert_eq!(NodeTest::Pi(Some("xsl".into())).to_string(), "processing-instruction(xsl)");
+    }
+}

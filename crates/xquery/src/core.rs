@@ -1,0 +1,234 @@
+//! XQuery Core — the normalized dialect consumed by the loop-lifting
+//! compiler (paper §2.3 and Appendix A).
+//!
+//! Every node-sequence expression is one of the [`Core`] variants; Boolean
+//! positions (conditional tests) are [`BoolCore`], which keeps the paper's
+//! invariant that general comparisons only occur inside `fn:boolean(·)`.
+
+use crate::ast::{Axis, CompOp, Literal, NodeTest};
+use std::fmt;
+
+/// Normalized node-sequence expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Core {
+    /// `for $var in seq return body`.
+    For {
+        /// Bound variable.
+        var: String,
+        /// Iterated sequence.
+        seq: Box<Core>,
+        /// Body.
+        body: Box<Core>,
+    },
+    /// `let $var := value return body`.
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Bound value.
+        value: Box<Core>,
+        /// Body.
+        body: Box<Core>,
+    },
+    /// `$var`.
+    Var(String),
+    /// `if (cond) then then else ()`.
+    If {
+        /// Boolean condition (already wrapped in `fn:boolean` semantics).
+        cond: Box<BoolCore>,
+        /// Then branch.
+        then: Box<Core>,
+    },
+    /// `doc("uri")`.
+    Doc(String),
+    /// `fs:ddo(e)` — duplicate removal + document order.
+    Ddo(Box<Core>),
+    /// Location step `input/axis::test` (not `ddo`-wrapped; normalization
+    /// always wraps steps in [`Core::Ddo`]).
+    Step {
+        /// Context expression.
+        input: Box<Core>,
+        /// Axis.
+        axis: Axis,
+        /// Node test.
+        test: NodeTest,
+    },
+    /// Empty sequence `()`.
+    Empty,
+    /// Sequence concatenation `(e1, e2, …)` — extension beyond Fig. 1,
+    /// compiled via disjoint union (see `jgi-algebra`).
+    Seq(Vec<Core>),
+}
+
+/// Normalized Boolean expression (the operand of `fn:boolean`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BoolCore {
+    /// Effective boolean value of a node sequence: true iff non-empty.
+    Ebv(Core),
+    /// `e op literal` (rule ValComp).
+    ValCmp {
+        /// Node-sequence operand (atomized).
+        lhs: Core,
+        /// Comparison operator.
+        op: CompOp,
+        /// Literal operand.
+        rhs: Literal,
+    },
+    /// `e1 op e2` over two node sequences (rule Comp; existential general
+    /// comparison on untyped string values).
+    Cmp {
+        /// Left node sequence.
+        lhs: Core,
+        /// Operator.
+        op: CompOp,
+        /// Right node sequence.
+        rhs: Core,
+    },
+}
+
+impl Core {
+    /// Pretty-print with indentation (used in examples and docs/tests).
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.fmt_into(&mut s, 0);
+        s
+    }
+
+    fn fmt_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Core::For { var, seq, body } => {
+                out.push_str(&format!("{pad}for ${var} in\n"));
+                seq.fmt_into(out, indent + 1);
+                out.push_str(&format!("{pad}return\n"));
+                body.fmt_into(out, indent + 1);
+            }
+            Core::Let { var, value, body } => {
+                out.push_str(&format!("{pad}let ${var} :=\n"));
+                value.fmt_into(out, indent + 1);
+                out.push_str(&format!("{pad}return\n"));
+                body.fmt_into(out, indent + 1);
+            }
+            Core::Var(v) => out.push_str(&format!("{pad}${v}\n")),
+            Core::If { cond, then } => {
+                out.push_str(&format!("{pad}if (fn:boolean(\n"));
+                match cond.as_ref() {
+                    BoolCore::Ebv(e) => e.fmt_into(out, indent + 1),
+                    BoolCore::ValCmp { lhs, op, rhs } => {
+                        lhs.fmt_into(out, indent + 1);
+                        out.push_str(&format!("{pad}  {} {rhs}\n", op.symbol()));
+                    }
+                    BoolCore::Cmp { lhs, op, rhs } => {
+                        lhs.fmt_into(out, indent + 1);
+                        out.push_str(&format!("{pad}  {}\n", op.symbol()));
+                        rhs.fmt_into(out, indent + 1);
+                    }
+                }
+                out.push_str(&format!("{pad})) then\n"));
+                then.fmt_into(out, indent + 1);
+                out.push_str(&format!("{pad}else ()\n"));
+            }
+            Core::Doc(uri) => out.push_str(&format!("{pad}doc(\"{uri}\")\n")),
+            Core::Ddo(e) => {
+                out.push_str(&format!("{pad}fs:ddo(\n"));
+                e.fmt_into(out, indent + 1);
+                out.push_str(&format!("{pad})\n"));
+            }
+            Core::Step { input, axis, test } => {
+                out.push_str(&format!("{pad}step {}::{test} of\n", axis.name()));
+                input.fmt_into(out, indent + 1);
+            }
+            Core::Empty => out.push_str(&format!("{pad}()\n")),
+            Core::Seq(items) => {
+                out.push_str(&format!("{pad}(\n"));
+                for item in items {
+                    item.fmt_into(out, indent + 1);
+                }
+                out.push_str(&format!("{pad})\n"));
+            }
+        }
+    }
+
+    /// Free variables of the expression, in first-use order.
+    pub fn free_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.free_vars_into(&mut bound, &mut out);
+        out
+    }
+
+    fn free_vars_into(&self, bound: &mut Vec<String>, out: &mut Vec<String>) {
+        match self {
+            Core::For { var, seq, body } | Core::Let { var, value: seq, body } => {
+                seq.free_vars_into(bound, out);
+                bound.push(var.clone());
+                body.free_vars_into(bound, out);
+                bound.pop();
+            }
+            Core::Var(v) => {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Core::If { cond, then } => {
+                match cond.as_ref() {
+                    BoolCore::Ebv(e) => e.free_vars_into(bound, out),
+                    BoolCore::ValCmp { lhs, .. } => lhs.free_vars_into(bound, out),
+                    BoolCore::Cmp { lhs, rhs, .. } => {
+                        lhs.free_vars_into(bound, out);
+                        rhs.free_vars_into(bound, out);
+                    }
+                }
+                then.free_vars_into(bound, out);
+            }
+            Core::Doc(_) | Core::Empty => {}
+            Core::Ddo(e) => e.free_vars_into(bound, out),
+            Core::Step { input, .. } => input.free_vars_into(bound, out),
+            Core::Seq(items) => {
+                for item in items {
+                    item.free_vars_into(bound, out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.pretty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars() {
+        // for $x in $in return if ($x/child) then ($x, $y) else ()
+        let e = Core::For {
+            var: "x".into(),
+            seq: Box::new(Core::Var("in".into())),
+            body: Box::new(Core::If {
+                cond: Box::new(BoolCore::Ebv(Core::Step {
+                    input: Box::new(Core::Var("x".into())),
+                    axis: Axis::Child,
+                    test: NodeTest::Wildcard,
+                })),
+                then: Box::new(Core::Seq(vec![Core::Var("x".into()), Core::Var("y".into())])),
+            }),
+        };
+        assert_eq!(e.free_vars(), vec!["in".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn pretty_renders() {
+        let e = Core::Ddo(Box::new(Core::Step {
+            input: Box::new(Core::Doc("a.xml".into())),
+            axis: Axis::Descendant,
+            test: NodeTest::Name("bidder".into()),
+        }));
+        let p = e.pretty();
+        assert!(p.contains("fs:ddo"));
+        assert!(p.contains("descendant::bidder"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// Error raised by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the query text.
+    pub offset: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Create a new parse error.
+    pub fn new(offset: usize, message: impl Into<String>) -> Self {
+        ParseError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias.
+pub type ParseResult<T> = Result<T, ParseError>;

@@ -1,0 +1,351 @@
+//! Tokenizer for the XQuery workhorse fragment.
+
+use crate::error::{ParseError, ParseResult};
+
+/// A token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the token start.
+    pub offset: usize,
+    /// Token kind/payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A name (NCName or prefixed QName, e.g. `fs:ddo`). Keywords such as
+    /// `for` are delivered as names; the parser decides contextually.
+    Name(String),
+    /// String literal (quotes stripped, XQuery `""`/`''` doubling resolved).
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+    /// `$`
+    Dollar,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `::`
+    DoubleColon,
+    /// `:=`
+    Assign,
+    /// `,`
+    Comma,
+    /// `@`
+    At,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Name(n) => format!("name `{n}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Num(n) => format!("number {n}"),
+            TokenKind::Dollar => "`$`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::DoubleSlash => "`//`".into(),
+            TokenKind::DoubleColon => "`::`".into(),
+            TokenKind::Assign => "`:=`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::At => "`@`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Dot => "`.`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenize `input`, producing a trailing [`TokenKind::Eof`].
+///
+/// XQuery comments `(: … :)` (nestable) are skipped.
+pub fn tokenize(input: &str) -> ParseResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' if bytes.get(i + 1) == Some(&b':') => {
+                // Nestable XQuery comment.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while depth > 0 {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(start, "unterminated comment"));
+                    }
+                    if bytes[i] == b'(' && bytes[i + 1] == b':' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b':' && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' | b'\'' => {
+                let quote = b;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(ParseError::new(start, "unterminated string literal")),
+                        Some(&c) if c == quote => {
+                            // Doubled quote is an escaped quote.
+                            if bytes.get(i + 1) == Some(&quote) {
+                                s.push(quote as char);
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Copy one UTF-8 character.
+                            let ch_len = utf8_len(bytes[i]);
+                            s.push_str(&input[i..i + ch_len]);
+                            i += ch_len;
+                        }
+                    }
+                }
+                tokens.push(Token { offset: start, kind: TokenKind::Str(s) });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(start, format!("bad number `{text}`")))?;
+                tokens.push(Token { offset: start, kind: TokenKind::Num(n) });
+            }
+            _ if is_name_start(b) => {
+                let start = i;
+                while i < bytes.len() && is_name_char(bytes[i]) {
+                    // Treat `::` as a separator, not part of a QName: stop a
+                    // name before a double colon.
+                    if bytes[i] == b':' && bytes.get(i + 1) == Some(&b':') {
+                        break;
+                    }
+                    // Also stop before `:=`.
+                    if bytes[i] == b':' && bytes.get(i + 1) == Some(&b'=') {
+                        break;
+                    }
+                    i += 1;
+                }
+                // A trailing ':' cannot end a QName.
+                while i > start && bytes[i - 1] == b':' {
+                    i -= 1;
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Name(input[start..i].to_string()),
+                });
+            }
+            _ => {
+                let (kind, len) = match (b, bytes.get(i + 1).copied()) {
+                    (b'/', Some(b'/')) => (TokenKind::DoubleSlash, 2),
+                    (b'/', _) => (TokenKind::Slash, 1),
+                    (b':', Some(b':')) => (TokenKind::DoubleColon, 2),
+                    (b':', Some(b'=')) => (TokenKind::Assign, 2),
+                    (b'!', Some(b'=')) => (TokenKind::Ne, 2),
+                    (b'<', Some(b'=')) => (TokenKind::Le, 2),
+                    (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+                    (b'<', _) => (TokenKind::Lt, 1),
+                    (b'>', _) => (TokenKind::Gt, 1),
+                    (b'=', _) => (TokenKind::Eq, 1),
+                    (b'$', _) => (TokenKind::Dollar, 1),
+                    (b'(', _) => (TokenKind::LParen, 1),
+                    (b')', _) => (TokenKind::RParen, 1),
+                    (b'[', _) => (TokenKind::LBracket, 1),
+                    (b']', _) => (TokenKind::RBracket, 1),
+                    (b',', _) => (TokenKind::Comma, 1),
+                    (b'@', _) => (TokenKind::At, 1),
+                    (b'*', _) => (TokenKind::Star, 1),
+                    (b'.', _) => (TokenKind::Dot, 1),
+                    _ => {
+                        return Err(ParseError::new(
+                            i,
+                            format!("unexpected character `{}`", b as char),
+                        ))
+                    }
+                };
+                tokens.push(Token { offset: i, kind });
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token { offset: input.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+fn is_name_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_name_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b':') || b >= 0x80
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_q1() {
+        let ks = kinds(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![
+                Name("doc".into()),
+                LParen,
+                Str("auction.xml".into()),
+                RParen,
+                Slash,
+                Name("descendant".into()),
+                DoubleColon,
+                Name("open_auction".into()),
+                LBracket,
+                Name("bidder".into()),
+                RBracket,
+                Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn qnames_and_separators() {
+        let ks = kinds("fs:ddo($x) let $y := 1");
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![
+                Name("fs:ddo".into()),
+                LParen,
+                Dollar,
+                Name("x".into()),
+                RParen,
+                Name("let".into()),
+                Dollar,
+                Name("y".into()),
+                Assign,
+                Num(1.0),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn axis_double_colon_not_swallowed() {
+        let ks = kinds("child::text()");
+        use TokenKind::*;
+        assert_eq!(
+            ks,
+            vec![Name("child".into()), DoubleColon, Name("text".into()), LParen, RParen, Eof]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(kinds("< <= > >= = !="), vec![Lt, Le, Gt, Ge, Eq, Ne, Eof]);
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        use TokenKind::*;
+        assert_eq!(kinds("500 4.2"), vec![Num(500.0), Num(4.2), Eof]);
+        assert_eq!(kinds("'it''s'"), vec![Str("it's".into()), Eof]);
+        assert_eq!(kinds(r#""say ""hi""""#), vec![Str("say \"hi\"".into()), Eof]);
+    }
+
+    #[test]
+    fn comments_skipped_and_nested() {
+        use TokenKind::*;
+        assert_eq!(kinds("a (: x (: y :) z :) b"), vec![Name("a".into()), Name("b".into()), Eof]);
+        assert!(tokenize("(: open").is_err());
+    }
+
+    #[test]
+    fn hyphenated_names() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("descendant-or-self::node()"),
+            vec![
+                Name("descendant-or-self".into()),
+                DoubleColon,
+                Name("node".into()),
+                LParen,
+                RParen,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("\"open").is_err());
+    }
+}

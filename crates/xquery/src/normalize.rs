@@ -1,0 +1,320 @@
+//! XQuery Core normalization (paper §2.3).
+//!
+//! Transforms the surface [`Expr`] into [`Core`]:
+//!
+//! * every location step is wrapped in `fs:ddo(·)` (duplicate node removal +
+//!   document order, [9, §4.2.1]);
+//! * conditional tests are wrapped in `fn:boolean(·)` semantics
+//!   ([`BoolCore`]); general comparisons appear *only* there;
+//! * predicates `e[p]` expand to
+//!   `for $fs_k in fs:ddo(e) return if (fn:boolean(p')) then $fs_k else ()`
+//!   with `p'` resolving the context item to `$fs_k` — exactly the expansion
+//!   the paper shows for Q1;
+//! * `p1 and p2` expands to nested conditionals
+//!   `if (p1) then (if (p2) then … else ()) else ()`;
+//! * `data(e)` is erased (atomization is implicit in comparison rules);
+//! * non-`()` `else` branches, `or`, and positional predicates are rejected
+//!   — they are outside the workhorse fragment.
+
+use crate::ast::{Expr, Literal};
+use crate::core::{BoolCore, Core};
+use std::fmt;
+
+/// Error raised when the input lies outside the workhorse fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalizeError(pub String);
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "normalization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Normalize a parsed query into XQuery Core.
+pub fn normalize(e: &Expr) -> Result<Core, NormalizeError> {
+    let mut n = Normalizer { fresh: 0 };
+    n.seq(e, None)
+}
+
+struct Normalizer {
+    fresh: u32,
+}
+
+type NResult = Result<Core, NormalizeError>;
+
+impl Normalizer {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("fs_{}", self.fresh)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, NormalizeError> {
+        Err(NormalizeError(msg.into()))
+    }
+
+    /// Normalize `e` in node-sequence position; `ctx` names the context-item
+    /// variable if one is in scope (inside a predicate).
+    fn seq(&mut self, e: &Expr, ctx: Option<&str>) -> NResult {
+        match e {
+            Expr::For { var, seq, body } => Ok(Core::For {
+                var: var.clone(),
+                seq: Box::new(self.seq(seq, ctx)?),
+                body: Box::new(self.seq(body, ctx)?),
+            }),
+            Expr::Let { var, value, body } => Ok(Core::Let {
+                var: var.clone(),
+                value: Box::new(self.seq(value, ctx)?),
+                body: Box::new(self.seq(body, ctx)?),
+            }),
+            Expr::Var(v) => Ok(Core::Var(v.clone())),
+            Expr::If { cond, then, els } => {
+                if !els.is_empty_seq() {
+                    return self.err("`else` branch must be the empty sequence () in this fragment");
+                }
+                let then = self.seq(then, ctx)?;
+                self.cond(cond, then, ctx)
+            }
+            Expr::Doc(uri) => Ok(Core::Doc(uri.clone())),
+            Expr::Step { input, axis, test } => {
+                let input = self.seq(input, ctx)?;
+                Ok(ddo(Core::Step { input: Box::new(input), axis: *axis, test: test.clone() }))
+            }
+            Expr::Filter { input, pred } => {
+                // e[p]  ==>  for $v in fs:ddo(e) return
+                //              if (fn:boolean(p[. := $v])) then $v else ()
+                if let Expr::Literal(Literal::Number(_)) = pred.as_ref() {
+                    return self.err("positional predicates (e[N]) are outside the fragment");
+                }
+                let input = self.seq(input, ctx)?;
+                let v = self.fresh_var();
+                let body = self.cond(pred, Core::Var(v.clone()), Some(&v))?;
+                Ok(Core::For { var: v, seq: Box::new(ddo(input)), body: Box::new(body) })
+            }
+            Expr::Comparison { .. } | Expr::And(_, _) | Expr::Boolean(_) => self.err(
+                "general comparisons/boolean expressions may only appear in conditional tests \
+                 (wrap the query in `if (…) then … else ()`)",
+            ),
+            Expr::Literal(_) => {
+                self.err("literals may only appear as comparison operands in this fragment")
+            }
+            Expr::Seq(items) => {
+                if items.is_empty() {
+                    return Ok(Core::Empty);
+                }
+                if items.len() == 1 {
+                    return self.seq(&items[0], ctx);
+                }
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(self.seq(item, ctx)?);
+                }
+                Ok(Core::Seq(out))
+            }
+            Expr::ContextItem => match ctx {
+                Some(v) => Ok(Core::Var(v.to_string())),
+                None => self.err("the context item `.` is only defined inside predicates"),
+            },
+            Expr::Data(inner) => self.seq(inner, ctx),
+            Expr::Ddo(inner) => Ok(ddo(self.seq(inner, ctx)?)),
+        }
+    }
+
+    /// Build `if (fn:boolean(pred)) then then_branch else ()`, expanding
+    /// `and` into nested conditionals.
+    fn cond(&mut self, pred: &Expr, then_branch: Core, ctx: Option<&str>) -> NResult {
+        match pred {
+            Expr::And(a, b) => {
+                let inner = self.cond(b, then_branch, ctx)?;
+                self.cond(a, inner, ctx)
+            }
+            Expr::Boolean(inner) => self.cond(inner, then_branch, ctx),
+            Expr::Seq(items) if items.len() == 1 => self.cond(&items[0], then_branch, ctx),
+            Expr::Comparison { op, lhs, rhs } => {
+                let cond = match (lhs.as_ref(), rhs.as_ref()) {
+                    (Expr::Literal(_), Expr::Literal(_)) => {
+                        return self.err("comparison between two literals is not supported")
+                    }
+                    (lhs, Expr::Literal(lit)) => BoolCore::ValCmp {
+                        lhs: self.seq(lhs, ctx)?,
+                        op: *op,
+                        rhs: lit.clone(),
+                    },
+                    (Expr::Literal(lit), rhs) => BoolCore::ValCmp {
+                        lhs: self.seq(rhs, ctx)?,
+                        op: op.flipped(),
+                        rhs: lit.clone(),
+                    },
+                    (lhs, rhs) => BoolCore::Cmp {
+                        lhs: self.seq(lhs, ctx)?,
+                        op: *op,
+                        rhs: self.seq(rhs, ctx)?,
+                    },
+                };
+                Ok(Core::If { cond: Box::new(cond), then: Box::new(then_branch) })
+            }
+            Expr::Literal(_) => self.err("a bare literal is not a valid predicate"),
+            other => {
+                let e = self.seq(other, ctx)?;
+                Ok(Core::If { cond: Box::new(BoolCore::Ebv(e)), then: Box::new(then_branch) })
+            }
+        }
+    }
+}
+
+/// Wrap in `fs:ddo(·)` unless already wrapped (idempotent).
+fn ddo(e: Core) -> Core {
+    match e {
+        Core::Ddo(_) => e,
+        other => Core::Ddo(Box::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Axis, CompOp, NodeTest};
+    use crate::parser::{parse_query, ParserOptions};
+
+    fn norm(s: &str) -> Core {
+        let ast = parse_query(s, &ParserOptions::default()).unwrap();
+        normalize(&ast).unwrap()
+    }
+
+    fn norm_err(s: &str) -> NormalizeError {
+        let ast = parse_query(s, &ParserOptions::default()).unwrap();
+        normalize(&ast).unwrap_err()
+    }
+
+    /// Q1's normalization must match the paper (§2.4):
+    /// `for $x in fs:ddo(doc(...)/descendant::open_auction)
+    ///  return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()`.
+    #[test]
+    fn q1_matches_paper_normal_form() {
+        let got = norm(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        let expected = Core::For {
+            var: "fs_1".into(),
+            seq: Box::new(Core::Ddo(Box::new(Core::Step {
+                input: Box::new(Core::Doc("auction.xml".into())),
+                axis: Axis::Descendant,
+                test: NodeTest::Name("open_auction".into()),
+            }))),
+            body: Box::new(Core::If {
+                cond: Box::new(BoolCore::Ebv(Core::Ddo(Box::new(Core::Step {
+                    input: Box::new(Core::Var("fs_1".into())),
+                    axis: Axis::Child,
+                    test: NodeTest::Name("bidder".into()),
+                })))),
+                then: Box::new(Core::Var("fs_1".into())),
+            }),
+        };
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn explicit_normal_form_is_fixpoint() {
+        // Feeding the already-normalized Q1 through the frontend again gives
+        // the same core (modulo the fresh-variable name).
+        let explicit = norm(
+            r#"for $x in fs:ddo(doc("auction.xml")/descendant::open_auction)
+               return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()"#,
+        );
+        let sugar = norm(r#"doc("auction.xml")/descendant::open_auction[bidder]"#);
+        // Rename $x -> $fs_1 textually for comparison.
+        let rendered = explicit.pretty().replace("$x", "$fs_1");
+        assert_eq!(rendered, sugar.pretty());
+    }
+
+    #[test]
+    fn and_expands_to_nested_ifs() {
+        let got = norm(r#"doc("d")/descendant::a[b and c]"#);
+        // for $v in ddo(...) return if (ebv(b)) then if (ebv(c)) then $v
+        match got {
+            Core::For { body, .. } => match *body {
+                Core::If { then, .. } => {
+                    assert!(matches!(*then, Core::If { .. }));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_comparison_sides() {
+        let q = norm(r#"doc("d")/descendant::price[. > 500]"#);
+        let Core::For { body, .. } = q else { panic!() };
+        let Core::If { cond, .. } = *body else { panic!() };
+        match *cond {
+            BoolCore::ValCmp { op, rhs, .. } => {
+                assert_eq!(op, CompOp::Gt);
+                assert_eq!(rhs, Literal::Number(500.0));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Flipped: `500 < .` is the same predicate.
+        let q2 = norm(r#"doc("d")/descendant::price[500 < .]"#);
+        let Core::For { body, .. } = q2 else { panic!() };
+        let Core::If { cond, .. } = *body else { panic!() };
+        assert!(matches!(*cond, BoolCore::ValCmp { op: CompOp::Gt, .. }));
+    }
+
+    #[test]
+    fn node_node_comparison() {
+        let q = norm(
+            r#"for $x in doc("d")/descendant::a
+               where $x/@id = $x/child::b return $x"#,
+        );
+        let Core::For { body, .. } = q else { panic!() };
+        let Core::If { cond, .. } = *body else { panic!() };
+        assert!(matches!(*cond, BoolCore::Cmp { op: CompOp::Eq, .. }));
+    }
+
+    #[test]
+    fn data_is_erased() {
+        let a = norm(r#"doc("d")/descendant::price[data(.) > 500]"#);
+        let b = norm(r#"doc("d")/descendant::price[. > 500]"#);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ddo_is_idempotent() {
+        let a = norm(r#"fs:ddo(fs:ddo(doc("d")/child::a))"#);
+        let b = norm(r#"doc("d")/child::a"#);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seq_normalization() {
+        assert_eq!(norm("()"), Core::Empty);
+        let q = norm(r#"($a/child::t, $a/child::u)"#);
+        assert!(matches!(q, Core::Seq(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn fragment_violations_rejected() {
+        assert!(norm_err("if ($x) then $y else $z").0.contains("else"));
+        assert!(norm_err("$x = $y").0.contains("conditional"));
+        assert!(norm_err(r#"doc("d")/child::a[1]"#).0.contains("positional"));
+        assert!(norm_err("\"lonely\"").0.contains("literal"));
+        assert!(norm_err(".").0.contains("context item"));
+        assert!(norm_err(r#"doc("d")/child::a["s"]"#).0.contains("predicate"));
+    }
+
+    #[test]
+    fn nested_predicates() {
+        // a[b[c]] — inner predicate gets its own fresh variable.
+        let q = norm(r#"doc("d")/descendant::a[b[c]]"#);
+        let text = q.pretty();
+        assert!(text.contains("$fs_1"));
+        assert!(text.contains("$fs_2"));
+    }
+
+    #[test]
+    fn where_desugars_like_if() {
+        let a = norm(r#"for $x in doc("d")/child::a where $x/b return $x"#);
+        let b = norm(r#"for $x in doc("d")/child::a return if ($x/b) then $x else ()"#);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the XQuery join-graph-isolation workspace.
+//!
+//! Re-exports the [`jgi_core`] facade so that the repository-level examples
+//! and integration tests can use a single dependency. See the README for a
+//! tour and `DESIGN.md` for the full system inventory.
+
+pub use jgi_core::*;

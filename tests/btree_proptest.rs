@@ -1,0 +1,119 @@
+//! Property tests: the engine's B+tree against `std::collections::BTreeMap`
+//! as the executable specification.
+
+use jgi_algebra::Value;
+use jgi_engine::btree::BTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Total-ordering key wrapper for the reference map.
+type RefKey = (i64, i64);
+
+fn to_key(k: RefKey) -> Vec<Value> {
+    vec![Value::Int(k.0), Value::Int(k.1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Bulk load: every entry is findable, full iteration is sorted, and
+    /// prefix scans match a filtered reference.
+    #[test]
+    fn bulk_load_matches_reference(
+        entries in proptest::collection::vec(((-50i64..50, -50i64..50), 0u32..1000), 0..400),
+        probe in -50i64..50,
+    ) {
+        let tree = BTree::bulk_load(
+            2,
+            entries.iter().map(|(k, v)| (to_key(*k), *v)).collect(),
+        );
+        prop_assert_eq!(tree.len(), entries.len());
+
+        // Full iteration is key-sorted.
+        let mut prev: Option<Vec<Value>> = None;
+        for (k, _) in tree.iter() {
+            if let Some(p) = &prev {
+                prop_assert!(p.as_slice() <= k);
+            }
+            prev = Some(k.to_vec());
+        }
+
+        // Prefix scan on the first key component.
+        let got: Vec<u32> = {
+            let p = [Value::Int(probe)];
+            let mut v: Vec<u32> = tree.scan_prefix(&p).map(|(_, x)| x).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut want: Vec<u32> = entries
+            .iter()
+            .filter(|((a, _), _)| *a == probe)
+            .map(|(_, v)| *v)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Incremental inserts agree with bulk loading the same entries.
+    #[test]
+    fn inserts_agree_with_bulk_load(
+        entries in proptest::collection::vec(((-20i64..20, -20i64..20), 0u32..100), 0..300),
+    ) {
+        let bulk = BTree::bulk_load(
+            2,
+            entries.iter().map(|(k, v)| (to_key(*k), *v)).collect(),
+        );
+        let mut incr = BTree::new(2);
+        for (k, v) in &entries {
+            incr.insert(to_key(*k), *v);
+        }
+        let a: Vec<(Vec<Value>, u32)> = bulk.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        let mut b: Vec<(Vec<Value>, u32)> = incr.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        // Equal-key entries may interleave differently; sort values within.
+        let norm = |v: &mut Vec<(Vec<Value>, u32)>| v.sort();
+        let mut a = a;
+        norm(&mut a);
+        norm(&mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Range scans match the reference under all bound strictness modes.
+    #[test]
+    fn range_scans_match_reference(
+        entries in proptest::collection::vec((-100i64..100, 0u32..1000), 0..300),
+        lo in -100i64..100,
+        delta in 0i64..60,
+        lo_strict in any::<bool>(),
+        hi_strict in any::<bool>(),
+    ) {
+        let hi = lo + delta;
+        let mut reference: BTreeMap<(i64, u32), ()> = BTreeMap::new();
+        for (i, (k, v)) in entries.iter().enumerate() {
+            reference.insert((*k, *v * 1000 + i as u32), ());
+        }
+        let tree = BTree::bulk_load(
+            1,
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, (k, v))| (vec![Value::Int(*k)], *v * 1000 + i as u32))
+                .collect(),
+        );
+        let lo_key = [Value::Int(lo)];
+        let hi_key = [Value::Int(hi)];
+        let mut got: Vec<u32> =
+            tree.scan(&lo_key, lo_strict, &hi_key, hi_strict).map(|(_, v)| v).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = reference
+            .keys()
+            .filter(|(k, _)| {
+                let lo_ok = if lo_strict { *k > lo } else { *k >= lo };
+                let hi_ok = if hi_strict { *k < hi } else { *k <= hi };
+                lo_ok && hi_ok
+            })
+            .map(|(_, v)| *v)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

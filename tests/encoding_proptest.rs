@@ -1,0 +1,187 @@
+//! Property tests for the pre/size/level encoding and serialization:
+//! structural invariants (paper §2.1) and full round trips
+//! tree → XML text → parse → encode.
+
+use jgi_xml::encode::NO_PARENT;
+use jgi_xml::serialize::{serialize_subtree, tree_to_xml};
+use jgi_xml::{parse, DocStore, NodeKind, Tree};
+use proptest::prelude::*;
+
+const TAGS: &[&str] = &["a", "bb", "c-c", "d.d", "e_e"];
+const TEXTS: &[&str] = &["t", "1", "4.20", "a<b&c", "  ", "ünïcode"];
+
+#[derive(Debug, Clone)]
+enum GenNode {
+    Elem(usize, Vec<(usize, usize)>, Vec<GenNode>),
+    Text(usize),
+    Comment,
+}
+
+fn gen_node() -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        (0..TAGS.len()).prop_map(|t| GenNode::Elem(t, vec![], vec![])),
+        (0..TEXTS.len()).prop_map(GenNode::Text),
+        Just(GenNode::Comment),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            0..TAGS.len(),
+            proptest::collection::vec((0..TAGS.len(), 0..TEXTS.len()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(t, a, c)| GenNode::Elem(t, a, c))
+    })
+}
+
+fn build(tree: &mut Tree, parent: jgi_xml::NodeId, n: &GenNode) {
+    match n {
+        GenNode::Elem(t, attrs, children) => {
+            let e = tree.add_element(parent, TAGS[*t]);
+            let mut seen = Vec::new();
+            for (a, v) in attrs {
+                if !seen.contains(a) {
+                    seen.push(*a);
+                    tree.add_attr(e, TAGS[*a], TEXTS[*v]);
+                }
+            }
+            for c in children {
+                build(tree, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            tree.add_text(parent, TEXTS[*t]);
+        }
+        GenNode::Comment => {
+            tree.add_comment(parent, "note");
+        }
+    }
+}
+
+fn gen_tree() -> impl Strategy<Value = Tree> {
+    gen_node().prop_map(|root| {
+        let mut t = Tree::new("t.xml");
+        // Ensure a single document element wrapping whatever we generated.
+        let top = t.add_element(t.root(), "top");
+        build(&mut t, top, &root);
+        t
+    })
+}
+
+/// The structural invariants every pre/size/level encoding must satisfy.
+fn check_invariants(store: &DocStore) {
+    let n = store.len() as u32;
+    for pre in 0..n {
+        let p = pre as usize;
+        let size = store.size[p];
+        // Subtree ranges stay in bounds and nest.
+        assert!(pre + size < n + 1);
+        for q in pre + 1..=pre + size {
+            let qq = q as usize;
+            assert!(store.level[qq] > store.level[p], "levels increase inside subtrees");
+            // Parent pointers stay within the enclosing subtree.
+            let par = store.parent[qq];
+            assert!(par != NO_PARENT && par >= pre && par < q);
+        }
+        // The node after the subtree (if any) has level <= ours.
+        if pre + size + 1 < n {
+            let next = (pre + size + 1) as usize;
+            assert!(store.level[next] <= store.level[p]);
+        }
+        // parent/level consistency.
+        match store.parent[p] {
+            NO_PARENT => assert_eq!(store.level[p], 0),
+            par => {
+                assert_eq!(store.level[par as usize] + 1, store.level[p]);
+                // And we lie inside the parent's range.
+                let ps = store.size[par as usize];
+                assert!(par < pre && pre <= par + ps);
+            }
+        }
+        // value column extent: exactly the size <= 1 rows (for value-bearing
+        // kinds).
+        if size <= 1 && matches!(store.kind[p], NodeKind::Elem | NodeKind::Text | NodeKind::Attr)
+        {
+            assert!(store.value_str(pre).is_some());
+        }
+        if size > 1 {
+            assert!(store.value_str(pre).is_none());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Invariants hold on random trees.
+    #[test]
+    fn encoding_invariants(tree in gen_tree()) {
+        let mut store = DocStore::new();
+        store.add_tree(&tree);
+        prop_assert_eq!(store.len(), tree.len());
+        check_invariants(&store);
+    }
+
+    /// tree → text → parse → tree' → text' is a fixpoint, and both trees
+    /// encode identically.
+    #[test]
+    fn serialize_parse_round_trip(tree in gen_tree()) {
+        let text = tree_to_xml(&tree);
+        let reparsed = parse("t.xml", &text).expect("serializer output parses");
+        // Whitespace-only text nodes are dropped by the parser (benchmark
+        // convention), so the serialize∘parse fixpoint is reached after at
+        // most one round; with no such nodes it is immediate.
+        let text2 = tree_to_xml(&reparsed);
+        let reparsed2 = parse("t.xml", &text2).expect("round 2 parses");
+        prop_assert_eq!(tree_to_xml(&reparsed2), text2);
+        let has_ws_text = tree.ids().any(|id| {
+            tree.node(id).kind == NodeKind::Text
+                && tree.node(id).text.as_deref().map(|t| t.trim().is_empty()).unwrap_or(false)
+        });
+        // Adjacent text siblings merge on reparse (the XML data model has
+        // no adjacent text nodes), so node-exact comparison needs neither.
+        let has_adjacent_text = tree.ids().any(|id| {
+            tree.content_children(id)
+                .windows(2)
+                .any(|w| tree.node(w[0]).kind == NodeKind::Text
+                    && tree.node(w[1]).kind == NodeKind::Text)
+        });
+        if !has_ws_text && !has_adjacent_text {
+            prop_assert_eq!(tree_to_xml(&reparsed), text.clone());
+            let mut s1 = DocStore::new();
+            s1.add_tree(&tree);
+            let mut s2 = DocStore::new();
+            s2.add_tree(&reparsed);
+            prop_assert_eq!(s1.len(), s2.len());
+            for pre in 0..s1.len() as u32 {
+                let p = pre as usize;
+                prop_assert_eq!(s1.size[p], s2.size[p]);
+                prop_assert_eq!(s1.level[p], s2.level[p]);
+                prop_assert_eq!(s1.kind[p], s2.kind[p]);
+                prop_assert_eq!(s1.name_str(pre), s2.name_str(pre));
+                prop_assert_eq!(s1.value_str(pre), s2.value_str(pre));
+            }
+        }
+    }
+
+    /// Store-based and tree-based serialization agree on every subtree.
+    #[test]
+    fn store_serializer_agrees_with_tree_serializer(tree in gen_tree()) {
+        let mut store = DocStore::new();
+        store.add_tree(&tree);
+        let mut out = String::new();
+        serialize_subtree(&store, 0, &mut out);
+        prop_assert_eq!(out, tree_to_xml(&tree));
+    }
+
+    /// Generated XMark documents satisfy the invariants too.
+    #[test]
+    fn xmark_invariants(seed in 0u64..1000) {
+        let tree = jgi_xml::generate::generate_xmark(jgi_xml::generate::XmarkConfig {
+            scale: 0.001,
+            seed,
+        });
+        let mut store = DocStore::new();
+        store.add_tree(&tree);
+        check_invariants(&store);
+    }
+}

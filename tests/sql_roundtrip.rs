@@ -1,0 +1,62 @@
+//! Property test: for random extractable queries, emitting the join-graph
+//! SQL, parsing it back, and executing the parsed query gives the same node
+//! sequence as the direct path — "let SQL drive the workhorse" end to end.
+
+use jgi_compiler::compile;
+use jgi_engine::{run_cq, Database};
+use jgi_rewrite::{extract_cq, isolate};
+use jgi_sql::{join_graph_sql, parse_join_graph};
+use jgi_xml::{DocStore, Tree};
+use jgi_xquery::compile_to_core;
+use proptest::prelude::*;
+
+const TAGS: &[&str] = &["a", "b", "c"];
+
+fn gen_doc() -> impl Strategy<Value = Tree> {
+    proptest::collection::vec((0..TAGS.len(), 0..TAGS.len(), 0..5u8), 1..12).prop_map(|spec| {
+        let mut t = Tree::new("t.xml");
+        let root = t.add_element(t.root(), "root");
+        for (outer, inner, val) in spec {
+            let o = t.add_element(root, TAGS[outer]);
+            t.add_attr(o, "x", &val.to_string());
+            t.add_text_element(o, TAGS[inner], &val.to_string());
+        }
+        t
+    })
+}
+
+fn gen_query() -> impl Strategy<Value = String> {
+    let step = (0..TAGS.len()).prop_map(|t| TAGS[t].to_string());
+    (step.clone(), step, proptest::option::of(0..5u8)).prop_map(|(s1, s2, pred)| match pred {
+        Some(v) => format!(
+            r#"doc("t.xml")/descendant::{s1}[child::{s2} = "{v}"]"#
+        ),
+        None => format!(r#"doc("t.xml")/descendant::{s1}/child::{s2}"#),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sql_round_trip_preserves_results(tree in gen_doc(), query in gen_query()) {
+        let core = compile_to_core(&query).unwrap();
+        let compiled = compile(&core).unwrap();
+        let mut plan = compiled.plan;
+        let (root, _) = isolate(&mut plan, compiled.root);
+        let Ok(cq) = extract_cq(&plan, root) else { return Ok(()) };
+
+        let mut store = DocStore::new();
+        store.add_tree(&tree);
+        let db = Database::with_default_indexes(store);
+
+        let direct = run_cq(&db, &cq);
+
+        let sql = join_graph_sql(&cq);
+        let parsed = parse_join_graph(&sql)
+            .unwrap_or_else(|e| panic!("emitted SQL must re-parse: {e}\n{sql}"));
+        let via_sql = run_cq(&db, &parsed);
+
+        prop_assert_eq!(via_sql, direct, "SQL round trip diverged for {}\n{}", query, sql);
+    }
+}

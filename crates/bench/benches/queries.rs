@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use jgi_bench::Workload;
 use jgi_core::queries::{context_doc, Q1, Q2, Q3, Q4};
-use jgi_core::{Engine, Session};
+use jgi_core::Engine;
 
 fn bench_queries(c: &mut Criterion) {
     let w = Workload { xmark_scale: 0.01, dblp_pubs: 2000, runs: 1 };

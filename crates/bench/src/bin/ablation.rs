@@ -18,6 +18,7 @@
 use jgi_bench::Workload;
 use jgi_core::queries::{context_doc, Q1, Q2, Q3, Q4};
 use jgi_engine::{optimizer, physical, Database};
+use jgi_obs::{Json, ObsMode};
 use std::time::Instant;
 
 fn main() {
@@ -45,8 +46,13 @@ fn main() {
         let prepared = session.prepare(text, context_doc(name)).expect("query compiles");
         let cq = prepared.cq.expect("paper queries extract");
         let mut cells = Vec::new();
+        let mut json_cells: Vec<(String, Json)> = vec![
+            ("bench".into(), Json::str("ablation")),
+            ("query".into(), Json::str(name)),
+            ("xmark_scale".into(), Json::Num(w.xmark_scale)),
+        ];
         let mut reference: Option<Vec<u32>> = None;
-        for (_, db) in &catalogs {
+        for (catalog, db) in &catalogs {
             let plan = optimizer::plan(db, &cq);
             let start = Instant::now();
             let result = physical::execute(db, &plan);
@@ -56,8 +62,14 @@ fn main() {
                 None => reference = Some(result),
             }
             cells.push(format!("{:>13.4}s", wall.as_secs_f64()));
+            json_cells
+                .push((format!("{catalog}_us"), Json::UInt(wall.as_micros() as u64)));
         }
         println!("{:<4} {:>16} {:>16} {:>16}", name, cells[0], cells[1], cells[2]);
+        // Machine-readable row (stdout) under `JGI_OBS=json`.
+        if ObsMode::from_env() == ObsMode::Json {
+            println!("{}", Json::Obj(json_cells).render());
+        }
     }
     println!("\n(identical results asserted across catalogs; times per single run)");
 }

@@ -15,6 +15,7 @@ use jgi_core::queries::{context_doc, Q1, Q2, Q3, Q4, Q5, Q6_BINDING, Q6_COLUMNS,
 use jgi_core::xmltable::{flatten_tuples, xmltable};
 use jgi_core::{Engine, Session};
 use jgi_engine::logical_exec::ExecBudget;
+use jgi_obs::{Json, ObsMode};
 use std::time::{Duration, Instant};
 
 /// One paper row: (query, #nodes, stacked, join graph, pureXML whole,
@@ -189,6 +190,28 @@ fn main() {
                  (paper's best case for XMLPATTERN)",
                 whole.as_secs_f64() / seg.as_secs_f64().max(1e-9)
             );
+        }
+    }
+
+    // Machine-readable report: one JSON line per row (stdout), keyed by
+    // engine label; `null` marks dnf. Active under `JGI_OBS=json`.
+    if ObsMode::from_env() == ObsMode::Json {
+        let us = |t: Option<Duration>| {
+            t.map_or(Json::Null, |d| Json::UInt(d.as_micros() as u64))
+        };
+        for row in &rows {
+            let obj = Json::obj([
+                ("bench", Json::str("table9")),
+                ("query", Json::str(row.name)),
+                ("xmark_scale", Json::Num(w.xmark_scale)),
+                ("runs", Json::UInt(w.runs as u64)),
+                ("nodes", Json::UInt(row.nodes)),
+                ("stacked_us", us(row.times[0])),
+                ("join_graph_us", us(row.times[1])),
+                ("nav_whole_us", us(row.times[2])),
+                ("nav_segmented_us", us(row.times[3])),
+            ]);
+            println!("{}", obj.render());
         }
     }
 }

@@ -24,5 +24,5 @@ pub mod queries;
 pub mod session;
 pub mod xmltable;
 
-pub use session::{Engine, Prepared, QueryOutcome, Session, SessionError};
+pub use session::{Engine, Prepared, QueryOutcome, QueryReport, Session, SessionError, PHASES};
 pub use xmltable::xmltable;

@@ -2,8 +2,11 @@
 
 use jgi_algebra::{ConjunctiveQuery, NodeId, Plan};
 use jgi_engine::logical_exec::{execute_serialized, ExecBudget, ExecError};
+use jgi_engine::optimizer::PlanStats;
+use jgi_engine::physical::ExecStats;
 use jgi_engine::{optimizer, physical, Database};
-use jgi_nav::{NavDb, NavError, NavMode, NavOptions};
+use jgi_nav::{NavDb, NavError, NavMode, NavOptions, NavStats};
+use jgi_obs::Json;
 use jgi_rewrite::{extract_cq, isolate, ExtractError, IsolateStats};
 use jgi_xml::serialize::{serialize_nodes, serialized_node_count};
 use jgi_xml::{DocStore, Tree};
@@ -68,8 +71,208 @@ impl fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// The pipeline phases a [`QueryReport`] times, in pipeline order. The
+/// first five are filled by [`Session::prepare`], the last two by
+/// [`Session::execute`].
+pub const PHASES: [&str; 7] =
+    ["parse", "normalize", "compile", "isolate", "emit-sql", "plan", "execute"];
+
+/// Everything observed about one query: per-phase wall-clock timings,
+/// rewrite statistics, optimizer search effort, executor per-operator
+/// actuals, and navigation accounting — whichever of those the chosen
+/// back-end produced.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    /// `(phase, duration)` pairs in pipeline order (see [`PHASES`]).
+    pub phases: Vec<(&'static str, Duration)>,
+    /// Rewrite-driver statistics (per-rule fire counts, fuel).
+    pub rewrite: IsolateStats,
+    /// Metrics gathered by the obs recording across prepare + execute
+    /// (per-rule counters, optimizer/executor/nav counters).
+    pub metrics: jgi_obs::Metrics,
+    /// DP search effort (join-graph back-end only).
+    pub optimizer: Option<PlanStats>,
+    /// Per-operator actuals (join-graph back-end only).
+    pub exec: Option<ExecStats>,
+    /// Navigation accounting (nav back-ends only).
+    pub nav: Option<NavStats>,
+    /// Label of the back-end that ran (None before execution).
+    pub engine: Option<&'static str>,
+    /// Result cardinality (None for dnf or before execution).
+    pub rows: Option<usize>,
+}
+
+impl QueryReport {
+    /// Duration of a named phase, if it was recorded.
+    pub fn phase(&self, name: &str) -> Option<Duration> {
+        self.phases.iter().find(|(n, _)| *n == name).map(|&(_, d)| d)
+    }
+
+    fn record_phase(&mut self, name: &'static str, d: Duration) {
+        self.phases.push((name, d));
+    }
+
+    /// Human-readable multi-line rendering.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "query report{}{}",
+            self.engine.map(|e| format!(" [{e}]")).unwrap_or_default(),
+            self.rows.map(|r| format!(" ({r} rows)")).unwrap_or_default()
+        );
+        for (name, d) in &self.phases {
+            let _ = writeln!(out, "  {name:<10} {d:?}");
+        }
+        if self.rewrite.steps > 0 {
+            let _ = writeln!(out, "  rewrite: {}", self.rewrite.summary());
+        }
+        if let Some(o) = &self.optimizer {
+            let _ = writeln!(
+                out,
+                "  optimizer: {} states considered, {} pruned, {} access paths, {} hash options",
+                o.states_considered,
+                o.states_pruned,
+                o.access_paths_considered,
+                o.hash_options_considered
+            );
+        }
+        if let Some(e) = &self.exec {
+            let _ = writeln!(
+                out,
+                "  exec: {} raw rows, {} sorted, {} deduped; per-op rows_out {:?}",
+                e.raw_rows,
+                e.sort_rows,
+                e.dedup_removed,
+                e.per_op.iter().map(|o| o.rows_out).collect::<Vec<_>>()
+            );
+        }
+        if let Some(n) = &self.nav {
+            let _ = writeln!(
+                out,
+                "  nav: {} steps of {} budget{}",
+                n.steps,
+                n.budget,
+                if n.exhausted { " (dnf)" } else { "" }
+            );
+        }
+        out
+    }
+
+    /// Line-oriented JSON rendering (one object).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        if let Some(e) = self.engine {
+            pairs.push(("engine".into(), Json::str(e)));
+        }
+        if let Some(r) = self.rows {
+            pairs.push(("rows".into(), Json::UInt(r as u64)));
+        }
+        pairs.push((
+            "phases_us".into(),
+            Json::Obj(
+                self.phases
+                    .iter()
+                    .map(|(n, d)| (n.to_string(), Json::UInt(d.as_micros() as u64)))
+                    .collect(),
+            ),
+        ));
+        let mut fires: Vec<(&str, usize)> =
+            self.rewrite.applied.iter().map(|(&k, &v)| (k, v)).collect();
+        fires.sort();
+        pairs.push((
+            "rewrite".into(),
+            Json::obj([
+                (
+                    "rule_fires",
+                    Json::Obj(
+                        fires
+                            .into_iter()
+                            .map(|(k, v)| (k.to_string(), Json::UInt(v as u64)))
+                            .collect(),
+                    ),
+                ),
+                ("steps", Json::UInt(self.rewrite.steps as u64)),
+                ("nodes_before", Json::UInt(self.rewrite.nodes_before as u64)),
+                ("nodes_after", Json::UInt(self.rewrite.nodes_after as u64)),
+                ("fuel_exhausted", Json::Bool(self.rewrite.fuel_exhausted)),
+            ]),
+        ));
+        if let Some(o) = &self.optimizer {
+            pairs.push((
+                "optimizer".into(),
+                Json::obj([
+                    ("states_considered", Json::UInt(o.states_considered as u64)),
+                    ("states_pruned", Json::UInt(o.states_pruned as u64)),
+                    ("access_paths_considered", Json::UInt(o.access_paths_considered as u64)),
+                    ("hash_options_considered", Json::UInt(o.hash_options_considered as u64)),
+                ]),
+            ));
+        }
+        if let Some(e) = &self.exec {
+            pairs.push((
+                "exec".into(),
+                Json::obj([
+                    ("raw_rows", Json::UInt(e.raw_rows)),
+                    ("sort_rows", Json::UInt(e.sort_rows)),
+                    ("dedup_removed", Json::UInt(e.dedup_removed)),
+                    ("sort_spills", Json::UInt(e.sort_spills)),
+                    (
+                        "per_op",
+                        Json::Arr(
+                            e.per_op
+                                .iter()
+                                .map(|o| {
+                                    Json::obj([
+                                        ("invocations", Json::UInt(o.invocations)),
+                                        ("rows_in", Json::UInt(o.rows_in)),
+                                        ("rows_out", Json::UInt(o.rows_out)),
+                                        ("index_probes", Json::UInt(o.index_probes)),
+                                        ("comparisons", Json::UInt(o.comparisons)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ));
+        }
+        if let Some(n) = &self.nav {
+            pairs.push((
+                "nav".into(),
+                Json::obj([
+                    ("steps", Json::UInt(n.steps)),
+                    ("budget", Json::UInt(n.budget)),
+                    ("exhausted", Json::Bool(n.exhausted)),
+                ]),
+            ));
+        }
+        pairs.push(("metrics".into(), self.metrics.to_json()));
+        Json::Obj(pairs)
+    }
+
+    /// Emit to stderr per the `JGI_OBS` env switch (`text` | `json` | off).
+    pub fn emit(&self, label: &str) {
+        match jgi_obs::ObsMode::from_env() {
+            jgi_obs::ObsMode::Off => {}
+            jgi_obs::ObsMode::Text => {
+                eprintln!("[jgi-obs] {label}");
+                eprint!("{}", self.render_text());
+            }
+            jgi_obs::ObsMode::Json => {
+                let mut pairs = vec![("report".to_string(), Json::str(label))];
+                if let Json::Obj(rest) = self.to_json() {
+                    pairs.extend(rest);
+                }
+                eprintln!("{}", Json::Obj(pairs).render());
+            }
+        }
+    }
+}
+
 /// Outcome of one execution: the node sequence, or a *dnf* marker, plus
-/// wall-clock time.
+/// wall-clock time and the full observability report.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// Result node sequence (`pre` ranks), `None` when the engine did not
@@ -77,6 +280,8 @@ pub struct QueryOutcome {
     pub nodes: Option<Vec<u32>>,
     /// Wall-clock execution time.
     pub wall: Duration,
+    /// Phase timings and engine statistics for this run.
+    pub report: QueryReport,
 }
 
 impl QueryOutcome {
@@ -117,6 +322,9 @@ pub struct Prepared {
     pub sql: Option<String>,
     /// The stacked CTE SQL.
     pub stacked_sql: String,
+    /// Report holding the prepare-side phase timings (parse through
+    /// emit-SQL); [`Session::execute`] extends a copy with plan/execute.
+    pub report: QueryReport,
 }
 
 /// A session: loaded documents plus engines.
@@ -128,6 +336,8 @@ pub struct Session {
     pub stacked_budget: ExecBudget,
     /// Budget for the navigational evaluator (node visits).
     pub nav_budget: u64,
+    /// Report of the most recent [`Session::execute`] call.
+    last_report: Option<QueryReport>,
 }
 
 impl Session {
@@ -139,6 +349,7 @@ impl Session {
             db: None,
             stacked_budget: ExecBudget::default(),
             nav_budget: 500_000_000,
+            last_report: None,
         }
     }
 
@@ -179,17 +390,57 @@ impl Session {
         context_doc: Option<&str>,
     ) -> Result<Prepared, SessionError> {
         let opts = ParserOptions { context_doc: context_doc.map(|s| s.to_string()) };
-        let ast =
-            parse_query(query, &opts).map_err(|e| SessionError::Frontend(e.to_string()))?;
-        let core = normalize(&ast).map_err(|e| SessionError::Frontend(e.to_string()))?;
+        let mut report = QueryReport::default();
+        // The session owns the thread's obs recording for the duration of
+        // the prepare; instrumented layers below (the rewrite driver here)
+        // deposit their counters into it.
+        jgi_obs::begin();
+
+        let finish_on_err = |e: String| {
+            jgi_obs::end();
+            SessionError::Frontend(e)
+        };
+
+        let t0 = Instant::now();
+        let span = jgi_obs::span("parse");
+        let ast = parse_query(query, &opts).map_err(|e| finish_on_err(e.to_string()))?;
+        drop(span);
+        report.record_phase("parse", t0.elapsed());
+
+        let t0 = Instant::now();
+        let span = jgi_obs::span("normalize");
+        let core = normalize(&ast).map_err(|e| finish_on_err(e.to_string()))?;
+        drop(span);
+        report.record_phase("normalize", t0.elapsed());
+
+        let t0 = Instant::now();
+        let span = jgi_obs::span("compile");
         let compiled =
-            jgi_compiler::compile(&core).map_err(|e| SessionError::Frontend(e.to_string()))?;
+            jgi_compiler::compile(&core).map_err(|e| finish_on_err(e.to_string()))?;
+        drop(span);
+        report.record_phase("compile", t0.elapsed());
+
         let mut plan = compiled.plan;
         let stacked_root = compiled.root;
+
+        let t0 = Instant::now();
+        let span = jgi_obs::span("isolate");
         let (isolated_root, stats) = isolate(&mut plan, stacked_root);
+        drop(span);
+        report.record_phase("isolate", t0.elapsed());
+
+        let t0 = Instant::now();
+        let span = jgi_obs::span("emit-sql");
         let cq = extract_cq(&plan, isolated_root).ok();
         let sql = cq.as_ref().map(jgi_sql::join_graph_sql);
         let stacked_sql = jgi_sql::stacked_sql(&plan, stacked_root);
+        drop(span);
+        report.record_phase("emit-sql", t0.elapsed());
+
+        if let Some(rec) = jgi_obs::end() {
+            report.metrics = rec.metrics;
+        }
+        report.rewrite = stats.clone();
         Ok(Prepared {
             text: query.to_string(),
             core,
@@ -200,60 +451,113 @@ impl Session {
             cq,
             sql,
             stacked_sql,
+            report,
         })
     }
 
-    /// Execute a prepared query on the chosen back-end.
+    /// Execute a prepared query on the chosen back-end. The returned
+    /// outcome carries a [`QueryReport`] with the prepare-side phase
+    /// timings extended by this run's `plan` and `execute` phases and the
+    /// back-end's statistics; the same report is kept for
+    /// [`Session::report`] and emitted to stderr per `JGI_OBS`.
     pub fn execute(&mut self, prepared: &Prepared, engine: Engine) -> QueryOutcome {
+        let mut report = prepared.report.clone();
+        report.engine = Some(engine.label());
+        jgi_obs::begin();
         let start = Instant::now();
         let nodes: Option<Vec<u32>> = match engine {
             Engine::JoinGraph => match &prepared.cq {
                 Some(cq) => {
                     let db = self.database();
-                    let plan = optimizer::plan(db, cq);
-                    Some(physical::execute(db, &plan))
+                    let t0 = Instant::now();
+                    let span = jgi_obs::span("plan");
+                    let (plan, plan_stats) = optimizer::plan_with_stats(db, cq);
+                    drop(span);
+                    report.record_phase("plan", t0.elapsed());
+                    report.optimizer = Some(plan_stats);
+                    let t0 = Instant::now();
+                    let span = jgi_obs::span("execute");
+                    let (result, exec_stats) = physical::execute_with_stats(db, &plan);
+                    drop(span);
+                    report.record_phase("execute", t0.elapsed());
+                    report.exec = Some(exec_stats);
+                    Some(result)
                 }
                 // Plan outside the extractable fragment: execute the
                 // *isolated* plan with the interpreter (still faster than
                 // stacked, but honest about the missing SQL hand-off).
-                None => match execute_serialized(
+                None => {
+                    report.record_phase("plan", Duration::ZERO);
+                    let t0 = Instant::now();
+                    let span = jgi_obs::span("execute");
+                    let r = match execute_serialized(
+                        &prepared.plan,
+                        prepared.isolated_root,
+                        &self.store,
+                        self.stacked_budget,
+                    ) {
+                        Ok(v) => Some(v),
+                        Err(ExecError::BudgetExceeded) => None,
+                        Err(e) => panic!("isolated plan execution failed: {e}"),
+                    };
+                    drop(span);
+                    report.record_phase("execute", t0.elapsed());
+                    r
+                }
+            },
+            Engine::Stacked => {
+                report.record_phase("plan", Duration::ZERO);
+                let t0 = Instant::now();
+                let span = jgi_obs::span("execute");
+                let r = match execute_serialized(
                     &prepared.plan,
-                    prepared.isolated_root,
+                    prepared.stacked_root,
                     &self.store,
                     self.stacked_budget,
                 ) {
                     Ok(v) => Some(v),
                     Err(ExecError::BudgetExceeded) => None,
-                    Err(e) => panic!("isolated plan execution failed: {e}"),
-                },
-            },
-            Engine::Stacked => match execute_serialized(
-                &prepared.plan,
-                prepared.stacked_root,
-                &self.store,
-                self.stacked_budget,
-            ) {
-                Ok(v) => Some(v),
-                Err(ExecError::BudgetExceeded) => None,
-                Err(e) => panic!("stacked plan execution failed: {e}"),
-            },
+                    Err(e) => panic!("stacked plan execution failed: {e}"),
+                };
+                drop(span);
+                report.record_phase("execute", t0.elapsed());
+                r
+            }
             Engine::NavWhole | Engine::NavSegmented => {
                 let mode = if engine == Engine::NavWhole {
                     NavMode::Whole
                 } else {
                     NavMode::Segmented
                 };
-                match self
+                report.record_phase("plan", Duration::ZERO);
+                let t0 = Instant::now();
+                let span = jgi_obs::span("execute");
+                let (result, nav_stats) = self
                     .nav
-                    .eval(&prepared.core, NavOptions { mode, budget: self.nav_budget })
-                {
+                    .eval_with_stats(&prepared.core, NavOptions { mode, budget: self.nav_budget });
+                drop(span);
+                report.record_phase("execute", t0.elapsed());
+                report.nav = Some(nav_stats);
+                match result {
                     Ok(refs) => Some(self.nav.to_pre(&refs, &self.store.doc_roots.clone())),
                     Err(NavError::Budget) => None,
                     Err(e) => panic!("navigational evaluation failed: {e}"),
                 }
             }
         };
-        QueryOutcome { nodes, wall: start.elapsed() }
+        let wall = start.elapsed();
+        if let Some(rec) = jgi_obs::end() {
+            report.metrics.merge(&rec.metrics);
+        }
+        report.rows = nodes.as_ref().map(|n| n.len());
+        report.emit(&prepared.text);
+        self.last_report = Some(report.clone());
+        QueryOutcome { nodes, wall, report }
+    }
+
+    /// The report of the most recent [`Session::execute`] call.
+    pub fn report(&self) -> Option<&QueryReport> {
+        self.last_report.as_ref()
     }
 
     /// Explain the join-graph physical plan (paper Figs. 10/11 style).
@@ -266,6 +570,21 @@ impl Session {
         let db = self.database();
         let plan = optimizer::plan(db, &cq);
         Ok(jgi_engine::explain::render(db, &plan))
+    }
+
+    /// EXPLAIN ANALYZE: plan, execute, and render the operator tree with
+    /// estimated vs actual row counts per operator (deterministic — no
+    /// timings — so the output shape can be golden-tested).
+    pub fn explain_analyze(&mut self, prepared: &Prepared) -> Result<String, SessionError> {
+        let cq = prepared
+            .cq
+            .as_ref()
+            .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
+            .clone();
+        let db = self.database();
+        let plan = optimizer::plan(db, &cq);
+        let (_, stats) = physical::execute_with_stats(db, &plan);
+        Ok(jgi_engine::explain::render_analyze(db, &plan, &stats))
     }
 
     /// Serialize a node sequence to XML text.

@@ -221,7 +221,7 @@ mod tests {
                return $c/name"#,
         );
         // Candidate generation covers the Table 6 key family.
-        let cands = generate_candidates(&[q2.clone()]);
+        let cands = generate_candidates(std::slice::from_ref(&q2));
         let cand_names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
         for expected in ["nksp", "nkspl", "nlkp", "nlkps", "nkdlp", "vnlkp", "nlkpv", "p|nvkls"] {
             assert!(cand_names.contains(&expected), "missing candidate {expected}: {cand_names:?}");

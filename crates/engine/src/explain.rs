@@ -9,7 +9,7 @@
 //! which is exactly the "half-cooked step" reading of the paper.
 
 use crate::catalog::Database;
-use crate::physical::{Access, Method, PhysPlan, Step};
+use crate::physical::{Access, ExecStats, Method, OpActuals, PhysPlan, Step};
 use jgi_algebra::cq::{CqAtom, CqScalar, DocCol};
 use jgi_algebra::pred::CmpOp;
 use jgi_algebra::Value;
@@ -55,6 +55,75 @@ pub fn render(db: &Database, plan: &PhysPlan) -> String {
         plan.est_cost, plan.est_rows
     );
     out
+}
+
+/// Render the plan annotated with per-operator *actuals* from an execution
+/// — EXPLAIN ANALYZE. Each access line carries estimated vs actual row
+/// counts plus probe/comparison work; the output is deterministic (no
+/// timings), so it can be golden-tested.
+pub fn render_analyze(db: &Database, plan: &PhysPlan, stats: &ExecStats) -> String {
+    let result_rows = stats.sort_rows - stats.dedup_removed;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "RETURN (est_rows {:.1}, act_rows {result_rows})",
+        plan.est_rows
+    );
+    let order: Vec<String> =
+        plan.order_by.iter().map(|c| format!("d{}.{}", c.alias + 1, c.col.sql())).collect();
+    let _ = writeln!(
+        out,
+        " SORT ({}ORDER BY {}) (rows_in {}, dedup_removed {}, spills {})",
+        if plan.distinct { "DISTINCT, " } else { "" },
+        order.join(", "),
+        stats.sort_rows,
+        stats.dedup_removed,
+        stats.sort_spills
+    );
+    let mut depth = 1;
+    for (i, step) in plan.steps.iter().enumerate().rev() {
+        depth += 1;
+        let pad = " ".repeat(depth);
+        let op = actuals(stats, i + 1);
+        match step {
+            Step::Nl(a) => {
+                let flag = if a.early_out { " (early-out ⋉)" } else { "" };
+                let _ = writeln!(out, "{pad}NLJOIN{flag}");
+                let _ = writeln!(out, "{pad} {}{}", describe_access(db, a), annotate(a, &op));
+            }
+            Step::Hash { access, build_key, .. } => {
+                let keys: Vec<&str> = build_key.iter().map(|c| c.sql()).collect();
+                let _ = writeln!(out, "{pad}HSJOIN (on {})", keys.join(","));
+                let _ = writeln!(
+                    out,
+                    "{pad} {}{}",
+                    describe_access(db, access),
+                    annotate(access, &op)
+                );
+            }
+        }
+    }
+    let pad = " ".repeat(depth + 1);
+    let driver_op = actuals(stats, 0);
+    let _ = writeln!(
+        out,
+        "{pad}{}{}",
+        describe_access(db, &plan.driver),
+        annotate(&plan.driver, &driver_op)
+    );
+    let _ = writeln!(out, "(estimated cost {:.0})", plan.est_cost);
+    out
+}
+
+fn actuals(stats: &ExecStats, i: usize) -> OpActuals {
+    stats.per_op.get(i).copied().unwrap_or_default()
+}
+
+fn annotate(a: &Access, op: &OpActuals) -> String {
+    format!(
+        " (est_rows {:.1}, act_rows {}, probes {}, comparisons {})",
+        a.est_rows, op.rows_out, op.index_probes, op.comparisons
+    )
 }
 
 /// One-line description of an access: operator, index, node test,

@@ -26,8 +26,30 @@ const ROW_COST: f64 = 1.0;
 /// Cost of one B-tree descent.
 const PROBE_COST: f64 = 12.0;
 
+/// Counters describing one run of the dynamic program (for EXPLAIN output
+/// and the obs recording; costs nothing to maintain relative to planning).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// DP states offered to the memo (seeds + extensions).
+    pub states_considered: usize,
+    /// States discarded because the memo already held a cheaper plan for
+    /// the same alias subset.
+    pub states_pruned: usize,
+    /// Access-path candidates examined across all `best_access` calls
+    /// (the table scan plus every index with a usable key prefix).
+    pub access_paths_considered: usize,
+    /// Hash-join alternatives that were actually constructible.
+    pub hash_options_considered: usize,
+}
+
 /// Plan a conjunctive query against the database's index set.
 pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
+    plan_with_stats(db, cq).0
+}
+
+/// Like [`plan`], additionally returning the DP's search-effort counters.
+pub fn plan_with_stats(db: &Database, cq: &ConjunctiveQuery) -> (PhysPlan, PlanStats) {
+    let mut stats = PlanStats::default();
     let n = cq.aliases;
     assert!(n >= 1, "query without relations");
     assert!(n <= 20, "join graphs beyond 20 aliases are out of scope");
@@ -46,7 +68,7 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
     // without it a sub-1 driver estimate makes every subsequent step look
     // free and the DP loses all discrimination.
     for (a, local) in locals.iter().enumerate() {
-        let access = best_access(db, cq, a, local, &joins, 0, u32::MAX);
+        let access = best_access(db, cq, a, local, &joins, 0, &mut stats);
         let card = access.1.max(1.0);
         let state = State {
             cost: access.2,
@@ -55,7 +77,7 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
             steps: Vec::new(),
             order: vec![a],
         };
-        consider(&mut best, 1 << a, state);
+        consider(&mut best, 1 << a, state, &mut stats);
     }
 
     // Expand.
@@ -85,7 +107,7 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
         for a in candidates {
             // Option A: index nested-loop.
             let (access, per_probe, probe_cost) =
-                best_access(db, cq, a, &locals[a], &joins, mask, u32::MAX);
+                best_access(db, cq, a, &locals[a], &joins, mask, &mut stats);
             let nl_cost = cur.cost + cur.card * probe_cost;
             // A plan always processes at least one outer row; flooring keeps
             // later steps from looking free and preserves candidate-index
@@ -107,8 +129,9 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
                 },
             };
             // Option B: hash join on a value-equality edge.
-            if let Some(hash) = hash_option(db, cq, a, &locals[a], &joins, mask) {
+            if let Some(hash) = hash_option(db, cq, a, &locals[a], &joins, mask, &mut stats) {
                 let (step, build_cost, per_probe_h) = hash;
+                stats.hash_options_considered += 1;
                 let h_cost = cur.cost + build_cost + cur.card * ROW_COST;
                 if h_cost < next.cost {
                     next = State {
@@ -128,7 +151,7 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
                     };
                 }
             }
-            consider(&mut best, mask | (1 << a), next);
+            consider(&mut best, mask | (1 << a), next, &mut stats);
         }
     }
 
@@ -145,7 +168,13 @@ pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
         est_rows: final_state.card,
     };
     mark_early_out(cq, &mut phys);
-    phys
+    if jgi_obs::is_active() {
+        jgi_obs::counter("opt.states_considered", stats.states_considered as u64);
+        jgi_obs::counter("opt.states_pruned", stats.states_pruned as u64);
+        jgi_obs::counter("opt.access_paths_considered", stats.access_paths_considered as u64);
+        jgi_obs::counter("opt.hash_options_considered", stats.hash_options_considered as u64);
+    }
+    (phys, stats)
 }
 
 /// DP state: cost/cardinality plus the partial left-deep plan.
@@ -158,10 +187,11 @@ struct State {
     order: Vec<usize>,
 }
 
-fn consider(best: &mut [Option<State>], mask: u32, state: State) {
+fn consider(best: &mut [Option<State>], mask: u32, state: State, stats: &mut PlanStats) {
+    stats.states_considered += 1;
     let slot = &mut best[mask as usize];
     match slot {
-        Some(s) if s.cost <= state.cost => {}
+        Some(s) if s.cost <= state.cost => stats.states_pruned += 1,
         _ => *slot = Some(state),
     }
 }
@@ -175,7 +205,7 @@ fn best_access(
     locals: &[CqAtom],
     joins: &[CqAtom],
     mask: u32,
-    _unused: u32,
+    stats: &mut PlanStats,
 ) -> (Access, f64, f64) {
     let n_rows = db.stats.total.max(1) as f64;
     // Applicable atoms: local atoms + join atoms whose other aliases ⊆ mask.
@@ -208,6 +238,7 @@ fn best_access(
         est_rows: est_result,
     };
     let mut best_cost = n_rows * ROW_COST;
+    stats.access_paths_considered += 1; // the table scan
 
     // Candidate: each index, matched by key prefix.
     for (i, idx) in db.indexes.iter().enumerate() {
@@ -248,6 +279,7 @@ fn best_access(
         if eq.is_empty() && range.is_none() {
             continue; // index gives no sargable prefix
         }
+        stats.access_paths_considered += 1;
         // Probes enforce their atoms exactly — drop them from the residual.
         let residual: Vec<CqAtom> = applicable
             .iter()
@@ -281,6 +313,7 @@ fn hash_option(
     locals: &[CqAtom],
     joins: &[CqAtom],
     mask: u32,
+    stats: &mut PlanStats,
 ) -> Option<(Step, f64, f64)> {
     // Find equality atoms `alias.col = bound-expr` suitable as hash keys.
     let mut build_key: Vec<DocCol> = Vec::new();
@@ -314,7 +347,7 @@ fn hash_option(
     }
     // Build side: best *independent* access (local predicates only).
     let (mut access, build_rows, build_cost) =
-        best_access(db, cq, alias, locals, &[], 0, u32::MAX);
+        best_access(db, cq, alias, locals, &[], 0, stats);
     access.residual = {
         let mut r = access.residual;
         r.extend(residual);

@@ -196,13 +196,64 @@ pub fn eval_cq_atom(db: &Database, a: &CqAtom, bindings: &[u32]) -> bool {
     }
 }
 
-/// Execution statistics (for EXPLAIN-style reporting and tests).
+/// Actual counters for one pipeline operator (driver or step), gathered by
+/// the executor with plain integer increments — no per-row allocation, no
+/// branching on an "enabled" flag (maintaining them costs less than testing
+/// for them would).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpActuals {
+    /// Times the access ran (driver: 1; NLJOIN: once per outer row;
+    /// HSJOIN: once per probe).
+    pub invocations: u64,
+    /// Candidate rows fetched from the index/table before residual
+    /// predicates (for HSJOIN this counts the build-side scan).
+    pub rows_in: u64,
+    /// Rows surviving the residuals and handed downstream.
+    pub rows_out: u64,
+    /// B-tree descents performed.
+    pub index_probes: u64,
+    /// Residual predicate-atom evaluations.
+    pub comparisons: u64,
+}
+
+/// Execution statistics (EXPLAIN ANALYZE, the obs recording, and tests).
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
-    /// Rows produced by each access (driver first).
+    /// Rows produced by each access (driver first). Kept alongside
+    /// `per_op[i].rows_out` (same numbers) for API stability.
     pub rows_scanned: Vec<u64>,
     /// Result rows before DISTINCT.
     pub raw_rows: u64,
+    /// Per-operator actuals (driver first, then steps in pipeline order).
+    pub per_op: Vec<OpActuals>,
+    /// Rows fed into the SORT tail.
+    pub sort_rows: u64,
+    /// Rows removed by DISTINCT.
+    pub dedup_removed: u64,
+    /// Sort runs spilled to secondary storage. The executor's SORT is
+    /// in-memory, so this stays 0; the field keeps the report shape stable
+    /// for back-ends that do spill.
+    pub sort_spills: u64,
+}
+
+/// Counters accumulated by one `scan_access` call, merged into the
+/// operator's [`OpActuals`] by the caller (split this way so the scan's
+/// row callback can borrow the stats struct freely).
+#[derive(Default, Clone, Copy)]
+struct ScanCounts {
+    rows_in: u64,
+    index_probes: u64,
+    comparisons: u64,
+}
+
+impl OpActuals {
+    #[inline]
+    fn absorb(&mut self, c: ScanCounts) {
+        self.invocations += 1;
+        self.rows_in += c.rows_in;
+        self.index_probes += c.index_probes;
+        self.comparisons += c.comparisons;
+    }
 }
 
 /// Execute a physical plan; returns the result node sequence (`pre` ranks
@@ -218,18 +269,20 @@ pub fn execute_rows(db: &Database, plan: &PhysPlan) -> Vec<Vec<u32>> {
     rows
 }
 
-/// Execute and report per-operator row counts.
+/// Execute and report per-operator actuals.
 pub fn execute_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<u32>, ExecStats) {
     let (rows, stats) = execute_rows_with_stats(db, plan);
     let out = rows.iter().map(|r| r[plan.item_output]).collect();
     (out, stats)
 }
 
-/// Row-returning executor shared by [`execute`] and [`execute_rows`].
+/// Row-returning executor — the single code path under every `execute*`
+/// entry point; statistics are always collected (plain counter increments).
 pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>, ExecStats) {
     let mut stats = ExecStats {
         rows_scanned: vec![0; plan.steps.len() + 1],
-        raw_rows: 0,
+        per_op: vec![OpActuals::default(); plan.steps.len() + 1],
+        ..Default::default()
     };
     // Compile residual predicates once (id-compared fast atoms).
     let driver_fast = compile_atoms(db, &plan.driver.residual);
@@ -249,7 +302,7 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
                 .collect();
             let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
             let empty = vec![u32::MAX; plan.n_aliases];
-            scan_access(db, access, &local_fast, &empty, &mut |pre| {
+            let counts = scan_access(db, access, &local_fast, &empty, &mut |pre| {
                 let key: Option<Vec<Value>> = build_key
                     .iter()
                     .map(|&c| {
@@ -266,6 +319,11 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
                 }
                 true
             });
+            // Build-side work charges the step's operator.
+            let op = &mut stats.per_op[i + 1];
+            op.rows_in += counts.rows_in;
+            op.index_probes += counts.index_probes;
+            op.comparisons += counts.comparisons;
             hash_tables[i] = Some(table);
         }
     }
@@ -299,28 +357,36 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
         match &plan.steps[depth] {
             Step::Nl(access) => {
                 let snapshot = bindings.clone();
-                scan_access(db, access, &step_fast[depth], &snapshot, &mut |pre| {
+                let counts = scan_access(db, access, &step_fast[depth], &snapshot, &mut |pre| {
                     stats.rows_scanned[depth + 1] += 1;
+                    stats.per_op[depth + 1].rows_out += 1;
                     bindings[access.alias] = pre;
                     walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
                     bindings[access.alias] = u32::MAX;
                     !access.early_out
                 });
+                stats.per_op[depth + 1].absorb(counts);
             }
             Step::Hash { access, probe_key, .. } => {
                 let table = hash_tables[depth].as_ref().expect("hash table built");
+                stats.per_op[depth + 1].invocations += 1;
                 let key: Option<Vec<Value>> =
                     probe_key.iter().map(|p| p.eval(db, bindings)).collect();
                 let Some(key) = key else { return };
+                let mut comparisons = 0u64;
+                let mut emitted = 0u64;
                 if let Some(matches) = table.get(&key) {
                     for &pre in matches {
                         // Local atoms ran on the build side; the full
                         // residual set (incl. join atoms) runs here.
                         bindings[access.alias] = pre;
-                        let ok =
-                            step_fast[depth].iter().all(|a| a.eval(db, bindings));
+                        let ok = step_fast[depth].iter().all(|a| {
+                            comparisons += 1;
+                            a.eval(db, bindings)
+                        });
                         if ok {
                             stats.rows_scanned[depth + 1] += 1;
+                            emitted += 1;
                             walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
                             if access.early_out {
                                 bindings[access.alias] = u32::MAX;
@@ -330,24 +396,31 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
                         bindings[access.alias] = u32::MAX;
                     }
                 }
+                let op = &mut stats.per_op[depth + 1];
+                op.comparisons += comparisons;
+                op.rows_out += emitted;
             }
         }
     }
 
     // Driver.
     let driver = &plan.driver;
-    scan_access(db, driver, &driver_fast, &bindings.clone(), &mut |pre| {
+    let counts = scan_access(db, driver, &driver_fast, &bindings.clone(), &mut |pre| {
         stats.rows_scanned[0] += 1;
+        stats.per_op[0].rows_out += 1;
         bindings[driver.alias] = pre;
         walk(db, plan, &hash_tables, &step_fast, 0, &mut bindings, &mut rows, &mut stats);
         bindings[driver.alias] = u32::MAX;
         true
     });
+    stats.per_op[0].absorb(counts);
 
     // SORT tail: DISTINCT + ORDER BY, then RETURN the item column.
+    stats.sort_rows = rows.len() as u64;
     if plan.distinct {
         rows.sort();
         rows.dedup();
+        stats.dedup_removed = stats.sort_rows - rows.len() as u64;
     }
     let order_idx: Vec<usize> = plan
         .order_by
@@ -374,30 +447,49 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
                 .collect()
         })
         .collect();
+    if jgi_obs::is_active() {
+        // One dump per execution, off the per-row path.
+        jgi_obs::counter("exec.raw_rows", stats.raw_rows);
+        jgi_obs::counter("exec.sort_rows", stats.sort_rows);
+        jgi_obs::counter("exec.dedup_removed", stats.dedup_removed);
+        for op in &stats.per_op {
+            jgi_obs::counter("exec.rows_in", op.rows_in);
+            jgi_obs::counter("exec.rows_out", op.rows_out);
+            jgi_obs::counter("exec.index_probes", op.index_probes);
+            jgi_obs::counter("exec.comparisons", op.comparisons);
+        }
+    }
     (out, stats)
 }
 
 /// Run an access: call `f(pre)` for every matching row; `f` returns false
-/// to stop early (early-out semijoins).
+/// to stop early (early-out semijoins). Returns the work counters for the
+/// caller to merge (local `u64`s — the hot loop never touches shared
+/// state or allocates for accounting).
 fn scan_access(
     db: &Database,
     access: &Access,
     fast: &[FastAtom],
     bindings: &[u32],
     f: &mut dyn FnMut(u32) -> bool,
-) {
+) -> ScanCounts {
+    let mut counts = ScanCounts::default();
     let mut bindings_with_self = bindings.to_vec();
-    let check = |db: &Database, pre: u32, b: &mut Vec<u32>| -> bool {
+    let check = |db: &Database, pre: u32, b: &mut Vec<u32>, c: &mut ScanCounts| -> bool {
+        c.rows_in += 1;
         b[access.alias] = pre;
-        let ok = fast.iter().all(|a| a.eval(db, b));
+        let ok = fast.iter().all(|a| {
+            c.comparisons += 1;
+            a.eval(db, b)
+        });
         b[access.alias] = u32::MAX;
         ok
     };
     match &access.method {
         Method::TbScan => {
             for pre in 0..db.store.len() as u32 {
-                if check(db, pre, &mut bindings_with_self) && !f(pre) {
-                    return;
+                if check(db, pre, &mut bindings_with_self, &mut counts) && !f(pre) {
+                    return counts;
                 }
             }
         }
@@ -407,7 +499,7 @@ fn scan_access(
             for p in eq {
                 match p.eval(db, bindings) {
                     Some(v) => lo.push(v),
-                    None => return, // NULL probe matches nothing
+                    None => return counts, // NULL probe matches nothing
                 }
             }
             let mut hi = lo.clone();
@@ -420,7 +512,7 @@ fn scan_access(
                             lo.push(v);
                             lo_strict = *strict;
                         }
-                        None => return,
+                        None => return counts,
                     }
                 }
                 if let Some((p, strict)) = &r.hi {
@@ -429,17 +521,19 @@ fn scan_access(
                             hi.push(v);
                             hi_strict = *strict;
                         }
-                        None => return,
+                        None => return counts,
                     }
                 }
             }
+            counts.index_probes += 1;
             for (_, pre) in idx.btree.scan(&lo, lo_strict, &hi, hi_strict) {
-                if check(db, pre, &mut bindings_with_self) && !f(pre) {
-                    return;
+                if check(db, pre, &mut bindings_with_self, &mut counts) && !f(pre) {
+                    return counts;
                 }
             }
         }
     }
+    counts
 }
 
 #[cfg(test)]

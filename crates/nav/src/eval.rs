@@ -116,10 +116,44 @@ impl NavDb {
 
     /// Evaluate a normalized query.
     pub fn eval(&self, core: &Core, opts: NavOptions) -> Result<Vec<NodeRef>, NavError> {
+        self.eval_with_stats(core, opts).0
+    }
+
+    /// Evaluate and report navigation statistics (steps actually taken vs
+    /// the configured budget — the paper's dnf accounting). Stats are
+    /// returned even when evaluation fails, so a budget abort still shows
+    /// how far the walk got.
+    pub fn eval_with_stats(
+        &self,
+        core: &Core,
+        opts: NavOptions,
+    ) -> (Result<Vec<NodeRef>, NavError>, NavStats) {
         let mut cx = Cx { db: self, opts, budget: opts.budget };
         let env = HashMap::new();
-        cx.eval_seq(core, &env)
+        let result = cx.eval_seq(core, &env);
+        let stats = NavStats {
+            steps: opts.budget - cx.budget,
+            budget: opts.budget,
+            exhausted: matches!(result, Err(NavError::Budget)),
+        };
+        if jgi_obs::is_active() {
+            jgi_obs::counter("nav.steps", stats.steps);
+            jgi_obs::gauge("nav.budget", stats.budget.min(i64::MAX as u64) as i64);
+            jgi_obs::gauge("nav.budget_exhausted", stats.exhausted as i64);
+        }
+        (result, stats)
     }
+}
+
+/// Work accounting for one navigational evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NavStats {
+    /// Node visits actually charged.
+    pub steps: u64,
+    /// The configured visit budget.
+    pub budget: u64,
+    /// Whether the walk aborted on budget exhaustion (dnf).
+    pub exhausted: bool,
 }
 
 impl Default for NavDb {

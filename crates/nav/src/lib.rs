@@ -25,4 +25,4 @@
 
 pub mod eval;
 
-pub use eval::{NavDb, NavError, NavMode, NavOptions};
+pub use eval::{NavDb, NavError, NavMode, NavOptions, NavStats};

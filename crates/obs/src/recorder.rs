@@ -1,0 +1,359 @@
+//! Thread-local recording of spans, metrics, and events.
+//!
+//! A pipeline run brackets itself with [`begin`] / [`end`]; in between, any
+//! code on the same thread can open hierarchical [`span`]s, bump metrics, or
+//! emit events without threading a context handle through every signature.
+//! When no recording is active every entry point is a cheap early-return, so
+//! instrumented code pays one thread-local load on the cold path and nothing
+//! on hot loops (which keep plain local counters and report totals once).
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::metrics::Metrics;
+
+/// One closed span: a named region of wall-clock time at some nesting depth.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name (static so opening a span never allocates).
+    pub name: &'static str,
+    /// Nesting depth at open time (0 = top level).
+    pub depth: usize,
+    /// Offset from the recording's start to the span's open.
+    pub start: Duration,
+    /// Wall-clock time between open and close.
+    pub dur: Duration,
+}
+
+/// One structured event: a label plus ordered key/value fields.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Offset from the recording's start.
+    pub at: Duration,
+    /// Event label.
+    pub label: &'static str,
+    /// Ordered fields.
+    pub fields: Vec<(&'static str, String)>,
+}
+
+/// Everything captured between [`begin`] and [`end`].
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// Closed spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Metrics registry.
+    pub metrics: Metrics,
+    /// Emitted events, in emit order.
+    pub events: Vec<Event>,
+    /// Total wall-clock time from `begin` to `end`.
+    pub total: Duration,
+}
+
+struct ActiveRecording {
+    started: Instant,
+    depth: usize,
+    spans: Vec<SpanRecord>,
+    metrics: Metrics,
+    events: Vec<Event>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveRecording>> = const { RefCell::new(None) };
+}
+
+/// Start a recording on this thread, replacing any active one.
+pub fn begin() {
+    ACTIVE.with(|slot| {
+        *slot.borrow_mut() = Some(ActiveRecording {
+            started: Instant::now(),
+            depth: 0,
+            spans: Vec::new(),
+            metrics: Metrics::default(),
+            events: Vec::new(),
+        });
+    });
+}
+
+/// Finish the active recording and return what it captured.
+pub fn end() -> Option<Recording> {
+    ACTIVE.with(|slot| {
+        slot.borrow_mut().take().map(|a| Recording {
+            spans: a.spans,
+            metrics: a.metrics,
+            events: a.events,
+            total: a.started.elapsed(),
+        })
+    })
+}
+
+/// True when a recording is active on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|slot| slot.borrow().is_some())
+}
+
+/// RAII guard closing a span on drop. A no-op when obtained while no
+/// recording was active.
+#[must_use = "a span closes when its guard drops; binding to _ closes it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    depth: usize,
+    opened: Option<Instant>,
+    start: Duration,
+}
+
+/// Open a named span. Close it by dropping the returned guard.
+pub fn span(name: &'static str) -> SpanGuard {
+    ACTIVE.with(|slot| match slot.borrow_mut().as_mut() {
+        Some(a) => {
+            let depth = a.depth;
+            a.depth += 1;
+            SpanGuard {
+                name,
+                depth,
+                opened: Some(Instant::now()),
+                start: a.started.elapsed(),
+            }
+        }
+        None => SpanGuard { name, depth: 0, opened: None, start: Duration::ZERO },
+    })
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(opened) = self.opened else { return };
+        let dur = opened.elapsed();
+        ACTIVE.with(|slot| {
+            if let Some(a) = slot.borrow_mut().as_mut() {
+                a.depth = a.depth.saturating_sub(1);
+                a.spans.push(SpanRecord {
+                    name: self.name,
+                    depth: self.depth,
+                    start: self.start,
+                    dur,
+                });
+            }
+        });
+    }
+}
+
+/// Add `delta` to a named counter on the active recording (no-op otherwise).
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(a) = slot.borrow_mut().as_mut() {
+            a.metrics.counter(name, delta);
+        }
+    });
+}
+
+/// Set a named gauge on the active recording (no-op otherwise).
+#[inline]
+pub fn gauge(name: &'static str, value: i64) {
+    ACTIVE.with(|slot| {
+        if let Some(a) = slot.borrow_mut().as_mut() {
+            a.metrics.gauge(name, value);
+        }
+    });
+}
+
+/// Record a histogram observation on the active recording (no-op otherwise).
+#[inline]
+pub fn hist(name: &'static str, value: u64) {
+    ACTIVE.with(|slot| {
+        if let Some(a) = slot.borrow_mut().as_mut() {
+            a.metrics.hist(name, value);
+        }
+    });
+}
+
+/// Emit a structured event on the active recording (no-op otherwise).
+/// `fields` values are only materialized when a recording is active, so call
+/// sites should pass preformatted strings from cold paths only.
+pub fn event(label: &'static str, fields: Vec<(&'static str, String)>) {
+    ACTIVE.with(|slot| {
+        if let Some(a) = slot.borrow_mut().as_mut() {
+            let at = a.started.elapsed();
+            a.events.push(Event { at, label, fields });
+        }
+    });
+}
+
+impl Recording {
+    /// Human-readable multi-line rendering: span tree, then metrics, then
+    /// events.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "recording: total {:?}", self.total);
+        // Spans are stored in close order (children before parents); re-sort
+        // by start offset so the tree reads top-down.
+        let mut by_start: Vec<&SpanRecord> = self.spans.iter().collect();
+        by_start.sort_by_key(|s| s.start);
+        for s in by_start {
+            let _ = writeln!(
+                out,
+                "  {:indent$}{} {:?} (at +{:?})",
+                "",
+                s.name,
+                s.dur,
+                s.start,
+                indent = s.depth * 2
+            );
+        }
+        for (name, v) in self.metrics.counters() {
+            let _ = writeln!(out, "  counter {name} = {v}");
+        }
+        for (name, v) in self.metrics.gauges() {
+            let _ = writeln!(out, "  gauge {name} = {v}");
+        }
+        for (name, h) in self.metrics.histograms() {
+            let _ = writeln!(
+                out,
+                "  hist {name}: n={} min={:?} max={:?} mean={:.1}",
+                h.count(),
+                h.min().unwrap_or(0),
+                h.max().unwrap_or(0),
+                h.mean().unwrap_or(0.0)
+            );
+        }
+        for e in &self.events {
+            let _ = write!(out, "  event {} (at +{:?})", e.label, e.at);
+            for (k, v) in &e.fields {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Line-oriented JSON rendering (one object).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_us", Json::UInt(self.total.as_micros() as u64)),
+            (
+                "spans",
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::str(s.name)),
+                                ("depth", Json::UInt(s.depth as u64)),
+                                ("start_us", Json::UInt(s.start.as_micros() as u64)),
+                                ("dur_us", Json::UInt(s.dur.as_micros() as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics", self.metrics.to_json()),
+            (
+                "events",
+                Json::Arr(
+                    self.events
+                        .iter()
+                        .map(|e| {
+                            let mut pairs = vec![
+                                ("label".to_string(), Json::str(e.label)),
+                                ("at_us".to_string(), Json::UInt(e.at.as_micros() as u64)),
+                            ];
+                            pairs.extend(
+                                e.fields
+                                    .iter()
+                                    .map(|(k, v)| (k.to_string(), Json::str(v.clone()))),
+                            );
+                            Json::Obj(pairs)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_time_monotonically() {
+        begin();
+        {
+            let _outer = span("outer");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span("inner");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let rec = end().expect("recording active");
+        assert!(end().is_none(), "end() consumed the recording");
+
+        // Close order: inner first.
+        assert_eq!(rec.spans.len(), 2);
+        let inner = &rec.spans[0];
+        let outer = &rec.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.depth, 0);
+
+        // Timing monotonicity: the child starts after the parent, fits
+        // inside it, and everything fits inside the recording total.
+        assert!(inner.start >= outer.start);
+        assert!(inner.dur <= outer.dur);
+        assert!(inner.start + inner.dur <= outer.start + outer.dur + Duration::from_micros(500));
+        assert!(outer.dur <= rec.total);
+        assert!(inner.dur >= Duration::from_millis(1));
+        assert!(outer.dur >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn sibling_spans_share_depth() {
+        begin();
+        {
+            let _a = span("a");
+        }
+        {
+            let _b = span("b");
+        }
+        let rec = end().unwrap();
+        assert_eq!(rec.spans[0].depth, 0);
+        assert_eq!(rec.spans[1].depth, 0);
+        assert!(rec.spans[1].start >= rec.spans[0].start);
+    }
+
+    #[test]
+    fn inactive_recorder_is_noop() {
+        assert!(!is_active());
+        let _g = span("ignored");
+        counter("ignored", 1);
+        gauge("ignored", 1);
+        hist("ignored", 1);
+        event("ignored", vec![]);
+        assert!(end().is_none());
+    }
+
+    #[test]
+    fn metrics_and_events_captured() {
+        begin();
+        counter("fires", 2);
+        counter("fires", 3);
+        gauge("fuel", 17);
+        hist("rows", 10);
+        event("done", vec![("n", "5".to_string())]);
+        let rec = end().unwrap();
+        assert_eq!(rec.metrics.counter_value("fires"), 5);
+        assert_eq!(rec.metrics.gauge_value("fuel"), Some(17));
+        assert_eq!(rec.metrics.histogram("rows").unwrap().count(), 1);
+        assert_eq!(rec.events.len(), 1);
+        assert_eq!(rec.events[0].fields[0].1, "5");
+        // Renderers cover everything without panicking.
+        let text = rec.render_text();
+        assert!(text.contains("counter fires = 5"));
+        let json = rec.to_json().render();
+        assert!(json.contains("\"fires\":5"));
+        assert!(json.contains("\"label\":\"done\""));
+    }
+}

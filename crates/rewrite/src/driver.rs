@@ -92,6 +92,11 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
         visited.insert(new_root);
         *stats.applied.entry(rw.rule).or_default() += 1;
         stats.steps += 1;
+        // Per-rule fire counts for the active obs recording (rule labels
+        // are 'static, so this is allocation-free and a no-op when no
+        // recording is active).
+        jgi_obs::counter(rw.rule, 1);
+        jgi_obs::counter("rewrite.steps", 1);
         if trace {
             eprintln!(
                 "step {:5} {:5} nodes={} old={} new={}",
@@ -118,6 +123,7 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
     };
 
     'outer: loop {
+        jgi_obs::counter("rewrite.passes", 1);
         if stats.steps >= fuel_limit {
             stats.fuel_exhausted = true;
             break;
@@ -193,6 +199,15 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
         }
     }
     stats.nodes_after = plan.reachable_count(root);
+    if jgi_obs::is_active() {
+        jgi_obs::gauge("rewrite.nodes_before", stats.nodes_before as i64);
+        jgi_obs::gauge("rewrite.nodes_after", stats.nodes_after as i64);
+        jgi_obs::gauge(
+            "rewrite.fuel_remaining",
+            fuel_limit.saturating_sub(stats.steps) as i64,
+        );
+        jgi_obs::gauge("rewrite.fuel_exhausted", stats.fuel_exhausted as i64);
+    }
     (root, stats)
 }
 

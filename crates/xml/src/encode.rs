@@ -233,7 +233,9 @@ mod tests {
         let mut store = DocStore::new();
         store.add_tree(&fig2_tree());
         assert_eq!(store.len(), 10);
-        let expect: Vec<(u32, u32, u16, &str, Option<&str>, Option<&str>, Option<f64>)> = vec![
+        type Row<'a> =
+            (u32, u32, u16, &'a str, Option<&'a str>, Option<&'a str>, Option<f64>);
+        let expect: Vec<Row> = vec![
             (0, 9, 0, "DOC", Some("auction.xml"), None, None),
             (1, 8, 1, "ELEM", Some("open_auction"), None, None),
             (2, 0, 2, "ATTR", Some("id"), Some("1"), Some(1.0)),

@@ -229,10 +229,11 @@ mod tests {
                 // Scan the thesis subtree for its year child.
                 for q in pre + 1..=pre + store.size[p] {
                     let qq = q as usize;
-                    if store.kind[qq] == NodeKind::Elem && store.name[qq] == year {
-                        if store.value_str(q).unwrap() < "1994" {
-                            old += 1;
-                        }
+                    if store.kind[qq] == NodeKind::Elem
+                        && store.name[qq] == year
+                        && store.value_str(q).unwrap() < "1994"
+                    {
+                        old += 1;
                     }
                 }
             }

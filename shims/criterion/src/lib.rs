@@ -1,0 +1,126 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` surface the workspace benches use, with a plain
+//! wall-clock harness instead of criterion's statistical machinery: each
+//! bench runs a short warm-up, then `sample_size` timed passes, and prints
+//! min/mean. When invoked with `--test` (as `cargo test --benches` does)
+//! every bench body executes exactly once, as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Entry point owned by `criterion_main!`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Harness configured from argv (`--test` selects single-pass mode).
+    pub fn from_args() -> Criterion {
+        Criterion { test_mode: std::env::args().any(|a| a == "--test") }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { c: self, sample_size: 10 }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.test_mode, 10, &id.to_string(), f);
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed passes per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.c.test_mode, self.sample_size, &id.to_string(), f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each bench body; owns the measurement loop.
+pub struct Bencher {
+    samples: usize,
+    pub(crate) times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it `samples` times.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warm-up pass outside the measurement.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(test_mode: bool, sample_size: usize, id: &str, mut f: F) {
+    let samples = if test_mode { 1 } else { sample_size };
+    let mut b = Bencher { samples, times: Vec::new() };
+    f(&mut b);
+    if b.times.is_empty() {
+        println!("  {id:<40} (no measurement)");
+        return;
+    }
+    let min = b.times.iter().min().unwrap();
+    let mean = b.times.iter().sum::<Duration>() / b.times.len() as u32;
+    println!(
+        "  {id:<40} min {:>12.3?}  mean {:>12.3?}  ({} samples)",
+        min,
+        mean,
+        b.times.len()
+    );
+}
+
+/// Opaque value barrier, preventing the optimizer from deleting the work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect bench functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` for the collected groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+        }
+    };
+}

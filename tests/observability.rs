@@ -1,0 +1,124 @@
+//! End-to-end checks for the observability layer: the per-phase
+//! [`QueryReport`], per-rule rewrite counters, and EXPLAIN ANALYZE.
+
+use jgi_core::queries::{Q1, Q2};
+use jgi_core::{Engine, Session, PHASES};
+use jgi_xml::generate::{generate_xmark, XmarkConfig};
+use std::time::Duration;
+
+fn xmark_session() -> Session {
+    let mut s = Session::new();
+    s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+    s
+}
+
+/// Q1 on the join-graph back-end produces a report carrying all seven
+/// pipeline phases with non-zero wall-clock timings.
+#[test]
+fn q1_report_covers_all_phases() {
+    let mut s = xmark_session();
+    let prepared = s.prepare(Q1, None).unwrap();
+    let outcome = s.execute(&prepared, Engine::JoinGraph);
+    let result = outcome.nodes.expect("Q1 finishes");
+
+    let report = s.report().expect("execute records a report");
+    for name in PHASES {
+        let d = report
+            .phase(name)
+            .unwrap_or_else(|| panic!("phase {name:?} missing from report"));
+        assert!(d > Duration::ZERO, "phase {name:?} has zero duration");
+    }
+    assert_eq!(report.engine, Some("join graph"));
+    assert_eq!(report.rows, Some(result.len()));
+    // The same report rides on the outcome itself.
+    assert_eq!(outcome.report.rows, Some(result.len()));
+
+    // Optimizer and executor actuals are attached on this back-end.
+    let opt = report.optimizer.as_ref().expect("plan stats recorded");
+    assert!(opt.states_considered > 0);
+    assert!(opt.access_paths_considered > 0);
+    let exec = report.exec.as_ref().expect("exec stats recorded");
+    assert!(!exec.per_op.is_empty());
+    assert_eq!(exec.sort_rows - exec.dedup_removed, result.len() as u64);
+}
+
+/// The per-rule fire counters captured during `prepare` agree exactly with
+/// the rewrite driver's own `IsolateStats` bookkeeping on Q2.
+#[test]
+fn q2_rule_fires_match_isolate_stats() {
+    let mut s = xmark_session();
+    let prepared = s.prepare(Q2, None).unwrap();
+    let stats = &prepared.stats;
+    assert!(!stats.applied.is_empty(), "Q2 must trigger rewrites");
+    for (rule, n) in &stats.applied {
+        assert_eq!(
+            prepared.report.metrics.counter_value(rule),
+            *n as u64,
+            "fire count for rule {rule} diverges"
+        );
+    }
+    assert_eq!(
+        prepared.report.metrics.counter_value("rewrite.steps"),
+        stats.steps as u64
+    );
+    assert_eq!(prepared.report.rewrite.applied, stats.applied);
+}
+
+/// Replace every digit run with `N` so the plan shape can be compared
+/// while row counts, probe counts, and costs stay instance-dependent.
+fn normalize(s: &str) -> String {
+    let mut out = String::new();
+    let mut it = s.chars().peekable();
+    let mut in_num = false;
+    while let Some(c) = it.next() {
+        let numeric = c.is_ascii_digit()
+            || (in_num && c == '.' && it.peek().is_some_and(|n| n.is_ascii_digit()));
+        if numeric {
+            if !in_num {
+                out.push('N');
+                in_num = true;
+            }
+        } else {
+            in_num = false;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Golden shape test: EXPLAIN ANALYZE for Q1 prints the operator tree with
+/// `est_rows`/`act_rows` per operator, and the root actual equals the
+/// result cardinality. Timings never appear, so the shape is stable.
+#[test]
+fn explain_analyze_q1_shape() {
+    let mut s = xmark_session();
+    let prepared = s.prepare(Q1, None).unwrap();
+    let result = s.execute(&prepared, Engine::JoinGraph).nodes.expect("Q1 finishes");
+    let analyze = s.explain_analyze(&prepared).expect("Q1 has a join graph");
+
+    // Root actual cardinality is the result cardinality.
+    let first = analyze.lines().next().unwrap();
+    assert!(
+        first.contains(&format!("act_rows {})", result.len())),
+        "root line {first:?} should report act_rows {}",
+        result.len()
+    );
+
+    // Every access operator carries estimated and actual row counts.
+    for line in analyze.lines().filter(|l| l.contains("SCAN")) {
+        assert!(line.contains("est_rows "), "missing estimate: {line}");
+        assert!(line.contains("act_rows "), "missing actuals: {line}");
+    }
+
+    let expected = "\
+RETURN (est_rows N, act_rows N)
+ SORT (DISTINCT, ORDER BY dN.pre) (rows_in N, dedup_removed N, spills N)
+  HSJOIN (on level)
+   IXSCAN nksp [N eq-col(s)] (dN = ::bidder) (est_rows N, act_rows N, probes N, comparisons N)
+   NLJOIN
+    IXSCAN nksp [N eq-col(s)] (dN = ::open_auction; resume ⟨descendant of dN⟩) (est_rows N, act_rows N, probes N, comparisons N)
+    IXSCAN nksp [N eq-col(s)] (dN = ::auction.xml) (est_rows N, act_rows N, probes N, comparisons N)
+(estimated cost N)
+";
+    assert_eq!(normalize(&analyze), expected, "full output:\n{analyze}");
+}

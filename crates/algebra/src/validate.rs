@@ -1,14 +1,20 @@
 //! Whole-plan validation.
 //!
 //! Node construction already asserts local schema constraints; this module
-//! re-checks them over a complete DAG and adds global checks, catching
-//! rewriter bugs early. Used by tests and (in debug builds) by the rewrite
-//! driver after every pass.
+//! re-checks them over a complete DAG and adds global checks (acyclicity,
+//! schema name uniqueness), catching rewriter bugs early. Used by tests and
+//! by the rewrite driver — as a `debug_assert!` in debug builds, and in
+//! *any* build when `JGI_CHECK=1` promotes it to a structured error.
+//!
+//! The per-operator match is deliberately exhaustive (no catch-all arm):
+//! adding an `Op` variant without deciding its validation rule is a compile
+//! error, not a silent pass.
 
 use crate::col::ColSet;
 use crate::op::Op;
 use crate::plan::{NodeId, Plan};
 use crate::pred::pred_cols;
+use std::collections::HashMap;
 
 /// Validate the DAG under `root`; returns a description of the first
 /// violation found.
@@ -17,6 +23,32 @@ pub fn validate(plan: &Plan, root: NodeId) -> Result<(), String> {
         let node = plan.node(id);
         if node.inputs.len() != node.op.arity() {
             return Err(format!("node {}: arity mismatch", id.0));
+        }
+        // Acyclicity: the arena is append-only and hash-consed, so every
+        // input must have been allocated before its consumer. An input id
+        // >= the node id would mean a back-edge (impossible to build
+        // through `Plan::add`, but cheap to certify here).
+        for &i in &node.inputs {
+            if i.0 >= id.0 {
+                return Err(format!(
+                    "node {}: input {} violates topological (acyclic) ordering",
+                    id.0, i.0
+                ));
+            }
+        }
+        // Column-name uniqueness: distinct interned columns of one schema
+        // must resolve to distinct names (guards against interner misuse).
+        let mut names: HashMap<&str, u32> = HashMap::new();
+        for c in node.schema.iter() {
+            if let Some(prev) = names.insert(plan.col_name(c), c.0) {
+                return Err(format!(
+                    "node {}: schema columns {} and {} share the name `{}`",
+                    id.0,
+                    prev,
+                    c.0,
+                    plan.col_name(c)
+                ));
+            }
         }
         let input = |k: usize| plan.schema(node.inputs[k]);
         match &node.op {

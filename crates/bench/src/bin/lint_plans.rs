@@ -1,0 +1,68 @@
+//! `lint-plans` — run the jgi-check plan lints over the Q1–Q8 corpus.
+//!
+//! For each paper query the stacked (pre-rewrite) and isolated
+//! (post-rewrite) plans are linted. The stacked plans are *expected* to
+//! lint — the compiler's loop-lifting output is full of dead rank columns,
+//! identity projections and stranded δ/ϱ operators; that is precisely what
+//! join graph isolation cleans up. The isolated plans must be lint-free.
+//!
+//! Exit status: 0 when every isolated plan is clean, 1 otherwise — CI runs
+//! this as a golden check. Usage: `lint-plans [xmark_scale] [dblp_pubs]`.
+
+use jgi_bench::Workload;
+use jgi_check::lint::{lint, lint_codes};
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let w = Workload::from_args();
+    let mut xmark = w.xmark_session();
+    let mut dblp = w.dblp_session();
+
+    let mut stacked_classes: BTreeSet<&'static str> = BTreeSet::new();
+    let mut isolated_dirty = 0usize;
+
+    println!("{:<4} {:>14} {:>15}  stacked lint classes", "", "stacked lints", "isolated lints");
+    for (name, text, ctx) in jgi_core::queries::paper_corpus() {
+        let session = if matches!(name, "Q5" | "Q6") { &mut dblp } else { &mut xmark };
+        let prepared = match session.prepare(text, ctx) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{name}: prepare failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+        let stacked = lint(&prepared.plan, prepared.stacked_root);
+        let isolated = lint(&prepared.plan, prepared.isolated_root);
+        let codes = lint_codes(&stacked);
+        stacked_classes.extend(codes.iter().copied());
+
+        println!(
+            "{:<4} {:>14} {:>15}  {}",
+            name,
+            stacked.len(),
+            isolated.len(),
+            codes.join(",")
+        );
+        if !isolated.is_empty() {
+            isolated_dirty += 1;
+            for d in &isolated {
+                eprintln!("  {name} isolated: {d}");
+            }
+        }
+    }
+
+    println!(
+        "\n{} lint classes across stacked plans: {}",
+        stacked_classes.len(),
+        stacked_classes.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+
+    if isolated_dirty > 0 {
+        eprintln!("FAIL: {isolated_dirty} isolated plan(s) lint");
+        return ExitCode::FAILURE;
+    }
+    println!("OK: all isolated plans are lint-free");
+    ExitCode::SUCCESS
+}

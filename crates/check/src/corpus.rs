@@ -1,0 +1,94 @@
+//! The embedded document corpus the dynamic oracle executes against.
+//!
+//! Deliberately tiny (a few dozen nodes): oracle checks execute every
+//! sub-plan of a query, sometimes several times, so the corpus must be
+//! cheap — yet varied enough (duplicated tag names, attributes, text,
+//! repeated values) that unsound `key`/`const`/`set` claims actually
+//! produce distinguishing rows.
+
+use jgi_xml::{DocStore, Tree};
+
+/// An XMark-flavoured auction fragment: two open auctions with bidders
+/// (shared tag names and repeated values defeat spurious key claims), a
+/// people section with ids, plus a closed auction.
+fn auction_tree() -> Tree {
+    let mut t = Tree::new("auction.xml");
+    let site = t.add_element(t.root(), "site");
+    let oas = t.add_element(site, "open_auctions");
+    let oa1 = t.add_element(oas, "open_auction");
+    t.add_attr(oa1, "id", "open_auction0");
+    t.add_text_element(oa1, "initial", "15");
+    let b1 = t.add_element(oa1, "bidder");
+    t.add_text_element(b1, "time", "18:43");
+    let pr1 = t.add_element(b1, "personref");
+    t.add_attr(pr1, "person", "person0");
+    t.add_text_element(b1, "increase", "4.20");
+    let b2 = t.add_element(oa1, "bidder");
+    t.add_text_element(b2, "time", "19:02");
+    let pr2 = t.add_element(b2, "personref");
+    t.add_attr(pr2, "person", "person1");
+    t.add_text_element(b2, "increase", "4.20");
+    t.add_text_element(oa1, "current", "23.40");
+    let oa2 = t.add_element(oas, "open_auction");
+    t.add_attr(oa2, "id", "open_auction1");
+    t.add_text_element(oa2, "initial", "20");
+    let b3 = t.add_element(oa2, "bidder");
+    t.add_text_element(b3, "time", "18:43");
+    let pr3 = t.add_element(b3, "personref");
+    t.add_attr(pr3, "person", "person0");
+    t.add_text_element(b3, "increase", "7.50");
+    let people = t.add_element(site, "people");
+    let p0 = t.add_element(people, "person");
+    t.add_attr(p0, "id", "person0");
+    t.add_text_element(p0, "name", "Ayesha");
+    let w0 = t.add_element(p0, "watches");
+    let watch = t.add_element(w0, "watch");
+    t.add_attr(watch, "open_auction", "open_auction1");
+    let p1 = t.add_element(people, "person");
+    t.add_attr(p1, "id", "person1");
+    t.add_text_element(p1, "name", "Bo");
+    let cas = t.add_element(site, "closed_auctions");
+    let ca = t.add_element(cas, "closed_auction");
+    t.add_text_element(ca, "price", "42.00");
+    t
+}
+
+/// A DBLP-flavoured bibliography fragment.
+fn dblp_tree() -> Tree {
+    let mut t = Tree::new("dblp.xml");
+    let dblp = t.add_element(t.root(), "dblp");
+    let a1 = t.add_element(dblp, "article");
+    t.add_attr(a1, "key", "journals/x/1");
+    t.add_text_element(a1, "author", "Doe");
+    t.add_text_element(a1, "title", "On Things");
+    t.add_text_element(a1, "year", "2001");
+    let p1 = t.add_element(dblp, "inproceedings");
+    t.add_attr(p1, "key", "conf/y/2");
+    t.add_text_element(p1, "author", "Doe");
+    t.add_text_element(p1, "author", "Roe");
+    t.add_text_element(p1, "title", "On Stuff");
+    t.add_text_element(p1, "year", "2003");
+    t
+}
+
+/// The default oracle corpus: the auction and bibliography fragments in
+/// one store (plans address documents by URI through `σ_{name=...}` over
+/// the shared doc table, so one store serves every query).
+pub fn tiny_store() -> DocStore {
+    let mut store = DocStore::new();
+    store.add_tree(&auction_tree());
+    store.add_tree(&dblp_tree());
+    store
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_small_but_not_trivial() {
+        let store = tiny_store();
+        assert!(store.len() > 40, "need enough rows to refute bad keys");
+        assert!(store.len() < 200, "oracle corpus must stay cheap");
+    }
+}

@@ -49,6 +49,21 @@ pub const Q6_SEQ: &str = r#"
     for $thesis in /dblp/phdthesis[year < "1994" and author and title]
     return ($thesis/title, $thesis/author, $thesis/year)"#;
 
+/// Q7: a two-loop value join following bidders back to the persons who
+/// placed them (XMark 8/9-style person↔auction correlation).
+pub const Q7: &str = r#"
+    let $a := doc("auction.xml")
+    for $p in $a//person,
+        $b in $a//open_auction/bidder
+    where $b/personref/@person = $p/@id
+    return $p/name"#;
+
+/// Q8: reverse/sibling navigation — earlier bids in auctions that saw an
+/// increase above 20 (exercises the order-sensitive axes the plan tail's
+/// `ϱ` encodes).
+pub const Q8: &str =
+    r#"doc("auction.xml")//bidder[increase > 20]/preceding-sibling::bidder/increase"#;
+
 /// Which context document each query needs (for rooted paths).
 pub fn context_doc(id: &str) -> Option<&'static str> {
     match id {
@@ -56,6 +71,23 @@ pub fn context_doc(id: &str) -> Option<&'static str> {
         "Q5" | "Q6" => Some("dblp.xml"),
         _ => None,
     }
+}
+
+/// The Q1–Q8 analysis corpus: `(name, query text, context doc)`, with the
+/// extractable binding form standing in for Q6 (exactly the form the paper
+/// feeds the join-graph back-end through XMLTABLE). Q1/Q2/Q3/Q4/Q7/Q8 run
+/// on XMark instances, Q5/Q6 on DBLP.
+pub fn paper_corpus() -> Vec<(&'static str, &'static str, Option<&'static str>)> {
+    vec![
+        ("Q1", Q1, context_doc("Q1")),
+        ("Q2", Q2, context_doc("Q2")),
+        ("Q3", Q3, context_doc("Q3")),
+        ("Q4", Q4, context_doc("Q4")),
+        ("Q5", Q5, context_doc("Q5")),
+        ("Q6", Q6_BINDING, context_doc("Q6")),
+        ("Q7", Q7, context_doc("Q7")),
+        ("Q8", Q8, context_doc("Q8")),
+    ]
 }
 
 #[cfg(test)]

@@ -57,6 +57,9 @@ pub enum SessionError {
     Extract(ExtractError),
     /// Unknown document.
     Document(String),
+    /// Checked-mode (`JGI_CHECK=1`) isolation found a certification or
+    /// rule-audit violation.
+    Check(String),
 }
 
 impl fmt::Display for SessionError {
@@ -65,6 +68,7 @@ impl fmt::Display for SessionError {
             SessionError::Frontend(m) => write!(f, "{m}"),
             SessionError::Extract(e) => write!(f, "join graph extraction failed: {e}"),
             SessionError::Document(u) => write!(f, "document not loaded: {u}"),
+            SessionError::Check(m) => write!(f, "plan check failed: {m}"),
         }
     }
 }
@@ -425,7 +429,22 @@ impl Session {
 
         let t0 = Instant::now();
         let span = jgi_obs::span("isolate");
-        let (isolated_root, stats) = isolate(&mut plan, stacked_root);
+        // Under JGI_CHECK=1 the session runs the full jgi-check pipeline:
+        // property certification of the stacked plan, per-fire rule
+        // auditing against the session's own documents, then certification
+        // plus dynamic falsification of the isolated plan. Violations fail
+        // the prepare with a structured error instead of panicking.
+        let (isolated_root, stats) = if jgi_rewrite::driver::check_enabled() {
+            match jgi_check::checked_isolate(&mut plan, stacked_root, &self.store) {
+                Ok((root, stats, _audit)) => (root, stats),
+                Err(e) => {
+                    jgi_obs::end();
+                    return Err(SessionError::Check(e.to_string()));
+                }
+            }
+        } else {
+            isolate(&mut plan, stacked_root)
+        };
         drop(span);
         report.record_phase("isolate", t0.elapsed());
 

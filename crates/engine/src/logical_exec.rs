@@ -68,6 +68,21 @@ pub fn execute(
     cx.eval(root)
 }
 
+/// Evaluate the DAG under `root` and return the materialized table of
+/// *every* reachable node in one pass over a shared memo — what the
+/// `jgi-check` dynamic oracle uses to test per-node `const`/`key` claims
+/// without re-evaluating each sub-plan from scratch.
+pub fn execute_each(
+    plan: &Plan,
+    root: NodeId,
+    store: &DocStore,
+    budget: ExecBudget,
+) -> Result<HashMap<NodeId, Table>, ExecError> {
+    let mut cx = Cx { plan, store, budget, spent: 0, memo: HashMap::new() };
+    cx.eval(root)?;
+    Ok(cx.memo)
+}
+
 /// Evaluate a plan whose root is a serialize operator; returns the result
 /// node sequence as `pre` ranks, in sequence order.
 pub fn execute_serialized(

@@ -162,6 +162,16 @@ impl Metrics {
         self.counters.iter().map(|(&k, &v)| (k, v))
     }
 
+    /// Counters whose names start with `prefix`, name-ordered. Subsystems
+    /// namespace their counters (`rewrite.*`, `check.audit.*`), so this is
+    /// the natural way to pull one layer's tallies out of a recording.
+    pub fn counters_matching<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'static str, u64)> + 'a {
+        self.counters().filter(move |(name, _)| name.starts_with(prefix))
+    }
+
     /// All gauges, name-ordered.
     pub fn gauges(&self) -> impl Iterator<Item = (&'static str, i64)> + '_ {
         self.gauges.iter().map(|(&k, &v)| (k, v))
@@ -224,6 +234,17 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_matching_selects_one_namespace() {
+        let mut m = Metrics::default();
+        m.counter("check.audit.fires", 3);
+        m.counter("check.audit.rule(14)", 2);
+        m.counter("rewrite.steps", 7);
+        let audit: Vec<_> = m.counters_matching("check.audit.").collect();
+        assert_eq!(audit, vec![("check.audit.fires", 3), ("check.audit.rule(14)", 2)]);
+        assert_eq!(m.counters_matching("nav.").count(), 0);
+    }
 
     #[test]
     fn bucket_index_boundaries() {

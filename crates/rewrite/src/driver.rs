@@ -16,6 +16,86 @@ use crate::rules::{
 };
 use jgi_algebra::{NodeId, Plan};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Is checked-mode rewriting enabled (`JGI_CHECK=1`)?
+///
+/// Checked mode promotes the driver's pass-level `debug_assert!` whole-plan
+/// validation to a real check that also runs in release builds, and makes
+/// [`isolate_checked`] / [`isolate_with_observer`] return a structured
+/// [`IsolateError`] naming the offending rule and node instead of
+/// panicking. Read per call (not cached) so tests can toggle it.
+pub fn check_enabled() -> bool {
+    matches!(std::env::var("JGI_CHECK").as_deref(), Ok("1") | Ok("true"))
+}
+
+/// Structured failure from a checked isolation run: the rule whose fire was
+/// rejected, the step number, the replacement node, and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IsolateError {
+    /// Label of the rule that fired (e.g. `"(12)"`), or `"(final)"` for a
+    /// violation detected after the driver loop finished.
+    pub rule: &'static str,
+    /// 1-based rewrite step at which the violation was detected.
+    pub step: usize,
+    /// The replacement node produced by the fire (the focus of the check).
+    pub node: NodeId,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for IsolateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rule {} at step {} (node {}): {}",
+            self.rule, self.step, self.node.0, self.message
+        )
+    }
+}
+
+impl std::error::Error for IsolateError {}
+
+/// A single rule fire, as seen by a [`RewriteObserver`].
+pub struct FireInfo<'a> {
+    /// The plan arena *after* the fire (old nodes stay valid — rewrites are
+    /// non-destructive, so the pre-fire sub-DAG is still readable).
+    pub plan: &'a Plan,
+    /// Label of the rule that fired.
+    pub rule: &'static str,
+    /// 1-based rewrite step count.
+    pub step: usize,
+    /// Node the rule replaced.
+    pub old: NodeId,
+    /// Replacement node.
+    pub new: NodeId,
+    /// Plan root before the fire.
+    pub root_before: NodeId,
+    /// Plan root after ancestor substitution.
+    pub root_after: NodeId,
+}
+
+/// Hook into the rewrite driver: called after every rule fire and once at
+/// the end of the run. Returning `Err` aborts isolation with an
+/// [`IsolateError`] naming the rule and node — this is how the `jgi-check`
+/// audit pass pinpoints a bad rewrite.
+pub trait RewriteObserver {
+    /// Inspect a rule fire. The plan is immutable during observation.
+    fn after_fire(&mut self, info: &FireInfo<'_>) -> Result<(), String>;
+    /// Inspect the final plan once the driver loop has finished.
+    fn finish(&mut self, _plan: &Plan, _root: NodeId) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Observer that does nothing (the unchecked fast path).
+struct NoopObserver;
+
+impl RewriteObserver for NoopObserver {
+    fn after_fire(&mut self, _info: &FireInfo<'_>) -> Result<(), String> {
+        Ok(())
+    }
+}
 
 /// Statistics of one isolation run.
 #[derive(Debug, Clone, Default)]
@@ -55,7 +135,31 @@ impl IsolateStats {
 ///
 /// Returns the new root and statistics. The plan arena is extended in
 /// place; the original nodes stay valid (rewrites are non-destructive).
+///
+/// Panics if checked mode (`JGI_CHECK=1`) detects a violation — callers
+/// that want the structured error use [`isolate_checked`] instead.
 pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
+    isolate_checked(plan, root).unwrap_or_else(|e| panic!("checked isolation failed: {e}"))
+}
+
+/// [`isolate`], but checked-mode violations surface as an [`IsolateError`]
+/// instead of a panic. With `JGI_CHECK` unset this never fails.
+pub fn isolate_checked(
+    plan: &mut Plan,
+    root: NodeId,
+) -> Result<(NodeId, IsolateStats), IsolateError> {
+    isolate_with_observer(plan, root, &mut NoopObserver)
+}
+
+/// The general driver entry point: run isolation with a caller-supplied
+/// [`RewriteObserver`] auditing every rule fire. Independently of the
+/// observer, when `JGI_CHECK=1` the whole plan is re-validated after every
+/// fire (release builds included).
+pub fn isolate_with_observer(
+    plan: &mut Plan,
+    root: NodeId,
+    observer: &mut dyn RewriteObserver,
+) -> Result<(NodeId, IsolateStats), IsolateError> {
     let mut stats = IsolateStats {
         nodes_before: plan.reachable_count(root),
         ..Default::default()
@@ -78,16 +182,19 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
     let mut stuck: HashSet<NodeId> = HashSet::new();
 
     let trace = std::env::var_os("JGI_TRACE_REWRITE").is_some();
+    let checked = check_enabled();
     let apply = |plan: &mut Plan,
                      root: &mut NodeId,
                      rw: crate::rules::Rewrite,
                      visited: &mut HashSet<NodeId>,
-                     stats: &mut IsolateStats|
-     -> bool {
+                     stats: &mut IsolateStats,
+                     observer: &mut dyn RewriteObserver|
+     -> Result<bool, IsolateError> {
         let new_root = substitute(plan, *root, rw.old, rw.new);
         if new_root == *root || visited.contains(&new_root) {
-            return false;
+            return Ok(false);
         }
+        let root_before = *root;
         *root = new_root;
         visited.insert(new_root);
         *stats.applied.entry(rw.rule).or_default() += 1;
@@ -113,13 +220,42 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
                 eprintln!("--- NEW ---\n{}", jgi_algebra::pretty::render_text(plan, rw.new));
             }
         }
-        debug_assert_eq!(
-            jgi_algebra::validate::validate(plan, new_root),
-            Ok(()),
-            "rule {} produced an invalid plan",
-            rw.rule
-        );
-        true
+        if checked {
+            // The promoted debug_assert!: full-plan validation after every
+            // fire, active in release builds, failing with a structured
+            // error that names the rule.
+            if let Err(msg) = jgi_algebra::validate::validate(plan, new_root) {
+                return Err(IsolateError {
+                    rule: rw.rule,
+                    step: stats.steps,
+                    node: rw.new,
+                    message: format!("fire produced an invalid plan: {msg}"),
+                });
+            }
+        } else {
+            debug_assert_eq!(
+                jgi_algebra::validate::validate(plan, new_root),
+                Ok(()),
+                "rule {} produced an invalid plan",
+                rw.rule
+            );
+        }
+        let info = FireInfo {
+            plan,
+            rule: rw.rule,
+            step: stats.steps,
+            old: rw.old,
+            new: rw.new,
+            root_before,
+            root_after: new_root,
+        };
+        observer.after_fire(&info).map_err(|message| IsolateError {
+            rule: rw.rule,
+            step: stats.steps,
+            node: rw.new,
+            message,
+        })?;
+        Ok(true)
     };
 
     'outer: loop {
@@ -132,11 +268,12 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
         let props = infer(plan, root);
         for phase in [Phase::House, Phase::RankGoal, Phase::JoinGoal] {
             while let Some(rw) = find_rewrite_excluding(plan, root, &props, phase, &banned) {
-                if apply(plan, &mut root, rw, &mut visited, &mut stats) {
+                let key = (rw.old, rw.new);
+                if apply(plan, &mut root, rw, &mut visited, &mut stats, &mut *observer)? {
                     banned.clear();
                     continue 'outer;
                 }
-                banned.insert((rw.old, rw.new));
+                banned.insert(key);
             }
         }
 
@@ -164,7 +301,7 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
                 }
                 let props = infer(plan, root);
                 if let Some(rw) = try_eliminate_join(plan, &props, j) {
-                    if apply(plan, &mut root, rw, &mut visited, &mut stats) {
+                    if apply(plan, &mut root, rw, &mut visited, &mut stats, &mut *observer)? {
                         banned.clear();
                         stuck.clear(); // elimination may unstick others
                         progressed = true;
@@ -174,7 +311,7 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
                 }
                 match try_push_join(plan, j, &blocked, dir) {
                     Some((rw, moved, used_dir)) => {
-                        if apply(plan, &mut root, rw, &mut visited, &mut stats) {
+                        if apply(plan, &mut root, rw, &mut visited, &mut stats, &mut *observer)? {
                             progressed = true;
                             j = moved;
                             dir = Some(used_dir);
@@ -199,6 +336,22 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
         }
     }
     stats.nodes_after = plan.reachable_count(root);
+    if checked {
+        if let Err(msg) = jgi_algebra::validate::validate(plan, root) {
+            return Err(IsolateError {
+                rule: "(final)",
+                step: stats.steps,
+                node: root,
+                message: format!("final plan is invalid: {msg}"),
+            });
+        }
+    }
+    observer.finish(plan, root).map_err(|message| IsolateError {
+        rule: "(final)",
+        step: stats.steps,
+        node: root,
+        message,
+    })?;
     if jgi_obs::is_active() {
         jgi_obs::gauge("rewrite.nodes_before", stats.nodes_before as i64);
         jgi_obs::gauge("rewrite.nodes_after", stats.nodes_after as i64);
@@ -208,7 +361,7 @@ pub fn isolate(plan: &mut Plan, root: NodeId) -> (NodeId, IsolateStats) {
         );
         jgi_obs::gauge("rewrite.fuel_exhausted", stats.fuel_exhausted as i64);
     }
-    (root, stats)
+    Ok((root, stats))
 }
 
 #[cfg(test)]

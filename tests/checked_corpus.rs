@@ -1,0 +1,63 @@
+//! The Q1–Q8 paper corpus under full checking: every query prepares with
+//! `JGI_CHECK=1` armed (property certification, dynamic falsification,
+//! per-fire audit, structural validation — zero violations), all engines
+//! agree on the result, and the lint registry's golden criterion holds:
+//! stacked plans lint, isolated plans don't.
+
+use jgi_check::lint::{lint, lint_codes};
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Session};
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::collections::BTreeSet;
+
+fn sessions() -> (Session, Session) {
+    let mut xmark = Session::new();
+    xmark.add_tree(generate_xmark(XmarkConfig { scale: 0.0015, seed: 7 }));
+    let mut dblp = Session::new();
+    dblp.add_tree(generate_dblp(DblpConfig { publications: 60, seed: 7 }));
+    (xmark, dblp)
+}
+
+#[test]
+fn paper_corpus_is_checked_and_lint_clean() {
+    // Minutes of checked executions — only worth paying in checked mode
+    // (the CI `checked-mode` job sets `JGI_CHECK=1`; plain `cargo test`
+    // keeps its budget).
+    if !jgi_rewrite::driver::check_enabled() {
+        eprintln!("skipped: set JGI_CHECK=1 to run the checked corpus");
+        return;
+    }
+    let (mut xmark, mut dblp) = sessions();
+    let mut stacked_classes: BTreeSet<&'static str> = BTreeSet::new();
+
+    for (name, text, ctx) in paper_corpus() {
+        let session = if matches!(name, "Q5" | "Q6") { &mut dblp } else { &mut xmark };
+        // Checked prepare: any certification/audit/oracle violation fails
+        // here with a structured error naming the rule and node.
+        let prepared = session
+            .prepare(text, ctx)
+            .unwrap_or_else(|e| panic!("{name}: checked prepare failed: {e}"));
+
+        let stacked = lint(&prepared.plan, prepared.stacked_root);
+        let isolated = lint(&prepared.plan, prepared.isolated_root);
+        stacked_classes.extend(lint_codes(&stacked));
+        assert!(
+            isolated.is_empty(),
+            "{name}: isolated plan lints: {}",
+            isolated.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+        );
+        assert!(!stacked.is_empty(), "{name}: stacked plan unexpectedly lint-free");
+
+        // All engines agree on the checked plan.
+        let reference = session.execute(&prepared, Engine::Stacked).nodes.unwrap();
+        for engine in Engine::all() {
+            let r = session.execute(&prepared, engine).nodes.unwrap();
+            assert_eq!(r, reference, "{name}: {engine:?} diverges");
+        }
+    }
+
+    assert!(
+        stacked_classes.len() >= 3,
+        "expected ≥3 lint classes across stacked plans, got {stacked_classes:?}"
+    );
+}

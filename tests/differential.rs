@@ -152,8 +152,16 @@ fn run_all_engines(tree: &Tree, query: &str) {
     let reference =
         execute_serialized(&plan, compiled.root, &store, ExecBudget::default()).unwrap();
 
-    // Isolation preserves semantics.
-    let (iso_root, stats) = isolate(&mut plan, compiled.root);
+    // Isolation preserves semantics. Under `JGI_CHECK=1` the full checker
+    // rides along: property certification, the dynamic oracle, and the
+    // per-fire audit all run against this random query/document pair.
+    let (iso_root, stats) = if jgi_rewrite::driver::check_enabled() {
+        let (root, stats, _report) = jgi_check::checked_isolate(&mut plan, compiled.root, &store)
+            .unwrap_or_else(|e| panic!("checked isolation failed on {query}: {e}"));
+        (root, stats)
+    } else {
+        isolate(&mut plan, compiled.root)
+    };
     let isolated =
         execute_serialized(&plan, iso_root, &store, ExecBudget::default()).unwrap();
     assert_eq!(isolated, reference, "isolation changed semantics of {query}\n{}", stats.summary());

@@ -21,10 +21,10 @@ fn bench_axes(c: &mut Criterion) {
     group.sample_size(10);
     for (name, text) in queries {
         let prepared = session.prepare(text, None).unwrap();
-        let warm = session.execute(&prepared, Engine::JoinGraph);
+        let warm = session.execute(&prepared, Engine::JoinGraph).unwrap();
         assert!(warm.finished(), "{name}");
         group.bench_function(name, |b| {
-            b.iter(|| session.execute(&prepared, Engine::JoinGraph).len())
+            b.iter(|| session.execute(&prepared, Engine::JoinGraph).unwrap().len())
         });
     }
     group.finish();

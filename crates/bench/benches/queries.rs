@@ -17,17 +17,17 @@ fn bench_queries(c: &mut Criterion) {
         let _ = session.execute(&prepared, Engine::JoinGraph);
         group.bench_function(format!("{name}/joingraph"), |b| {
             b.iter(|| {
-                let out = session.execute(&prepared, Engine::JoinGraph);
+                let out = session.execute(&prepared, Engine::JoinGraph).unwrap();
                 assert!(out.finished());
                 out.len()
             })
         });
         if name == "Q1" || name == "Q3" {
             group.bench_function(format!("{name}/nav-whole"), |b| {
-                b.iter(|| session.execute(&prepared, Engine::NavWhole).len())
+                b.iter(|| session.execute(&prepared, Engine::NavWhole).unwrap().len())
             });
             group.bench_function(format!("{name}/nav-segmented"), |b| {
-                b.iter(|| session.execute(&prepared, Engine::NavSegmented).len())
+                b.iter(|| session.execute(&prepared, Engine::NavSegmented).unwrap().len())
             });
         }
     }

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 fn main() {
     let w = Workload::from_args();
-    let mut session = w.xmark_session();
+    let session = w.xmark_session();
     println!(
         "index-set ablation — XMark scale {} ({} nodes)\n",
         w.xmark_scale,

@@ -12,7 +12,7 @@ use jgi_engine::Database;
 
 fn main() {
     let w = Workload::from_args();
-    let mut session = w.xmark_session();
+    let session = w.xmark_session();
     println!(
         "Table 6 reproduction — advisor run over the Q1/Q2 workload \
          (XMark scale {}, {} nodes)\n",

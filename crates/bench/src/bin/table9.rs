@@ -68,7 +68,7 @@ fn measure(session: &mut Session, name: &'static str, text: &str, runs: usize) -
         let mut total = Duration::ZERO;
         let mut finished = true;
         for _ in 0..runs {
-            let outcome = session.execute(&prepared, engine);
+            let outcome = session.execute(&prepared, engine).expect("plan executes");
             match outcome.nodes {
                 Some(result) => {
                     total += outcome.wall;
@@ -122,8 +122,8 @@ fn main() {
     let mut xm = w.xmark_session();
     // dnf cutoffs tuned to the instance size: generous but finite.
     let n = xm.store().len() as u64;
-    xm.stacked_budget = ExecBudget { max_rows: n.saturating_mul(2_000) };
-    xm.nav_budget = n.saturating_mul(2_000);
+    xm.budgets.stacked = ExecBudget { max_rows: n.saturating_mul(2_000) };
+    xm.budgets.nav = n.saturating_mul(2_000);
     println!("XMark instance: {} nodes", xm.store().len());
     rows.push(measure(&mut xm, "Q1", Q1, w.runs));
     rows.push(measure(&mut xm, "Q2", Q2, w.runs));
@@ -133,8 +133,8 @@ fn main() {
 
     let mut db = w.dblp_session();
     let n = db.store().len() as u64;
-    db.stacked_budget = ExecBudget { max_rows: n.saturating_mul(2_000) };
-    db.nav_budget = n.saturating_mul(2_000);
+    db.budgets.stacked = ExecBudget { max_rows: n.saturating_mul(2_000) };
+    db.budgets.nav = n.saturating_mul(2_000);
     println!("DBLP instance:  {} nodes\n", db.store().len());
     rows.push(measure(&mut db, "Q5", Q5, w.runs));
     rows.push(measure_q6(&mut db, w.runs));

@@ -24,5 +24,8 @@ pub mod queries;
 pub mod session;
 pub mod xmltable;
 
-pub use session::{Engine, Prepared, QueryOutcome, QueryReport, Session, SessionError, PHASES};
+pub use session::{
+    execute_prepared, prepare_on, Budgets, Engine, ExecCtx, Prepared, QueryOutcome, QueryReport,
+    Session, SessionError, PHASES,
+};
 pub use xmltable::xmltable;

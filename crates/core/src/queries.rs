@@ -101,15 +101,15 @@ mod tests {
         let mut s = Session::new();
         s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
         let p3 = s.prepare(Q3, context_doc("Q3")).unwrap();
-        let r3 = s.execute(&p3, Engine::JoinGraph).nodes.unwrap();
+        let r3 = s.execute(&p3, Engine::JoinGraph).unwrap().nodes.unwrap();
         assert_eq!(r3.len(), 1, "person0 has exactly one name text");
         let p4 = s.prepare(Q4, context_doc("Q4")).unwrap();
-        let r4 = s.execute(&p4, Engine::JoinGraph).nodes.unwrap();
+        let r4 = s.execute(&p4, Engine::JoinGraph).unwrap().nodes.unwrap();
         assert!(!r4.is_empty());
         // Differential: all engines agree.
         for e in Engine::all() {
-            assert_eq!(s.execute(&p3, e).nodes.unwrap(), r3, "{e:?}");
-            assert_eq!(s.execute(&p4, e).nodes.unwrap(), r4, "{e:?}");
+            assert_eq!(s.execute(&p3, e).unwrap().nodes.unwrap(), r3, "{e:?}");
+            assert_eq!(s.execute(&p4, e).unwrap().nodes.unwrap(), r4, "{e:?}");
         }
     }
 
@@ -118,10 +118,10 @@ mod tests {
         let mut s = Session::new();
         s.add_tree(generate_dblp(DblpConfig { publications: 300, seed: 1 }));
         let p = s.prepare(Q5, context_doc("Q5")).unwrap();
-        let r = s.execute(&p, Engine::JoinGraph).nodes.unwrap();
+        let r = s.execute(&p, Engine::JoinGraph).unwrap().nodes.unwrap();
         assert_eq!(r.len(), 1, "exactly one vldb2001 title");
         for e in Engine::all() {
-            assert_eq!(s.execute(&p, e).nodes.unwrap(), r, "{e:?}");
+            assert_eq!(s.execute(&p, e).unwrap().nodes.unwrap(), r, "{e:?}");
         }
     }
 
@@ -132,8 +132,8 @@ mod tests {
         let p = s.prepare(Q6_SEQ, context_doc("Q6")).unwrap();
         // Sequence unions fall outside the extractable SQL fragment — the
         // stacked and navigational paths carry it.
-        let stacked = s.execute(&p, Engine::Stacked).nodes.unwrap();
-        let nav = s.execute(&p, Engine::NavWhole).nodes.unwrap();
+        let stacked = s.execute(&p, Engine::Stacked).unwrap().nodes.unwrap();
+        let nav = s.execute(&p, Engine::NavWhole).unwrap().nodes.unwrap();
         assert_eq!(stacked, nav);
         assert!(!stacked.is_empty());
         assert_eq!(stacked.len() % 3, 0, "title/author/year triples");

@@ -12,6 +12,7 @@ use jgi_xml::serialize::{serialize_nodes, serialized_node_count};
 use jgi_xml::{DocStore, Tree};
 use jgi_xquery::{normalize, parse_query, Core, ParserOptions};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The four execution back-ends of paper Table 9.
@@ -46,6 +47,33 @@ impl Engine {
             Engine::NavSegmented => "nav (segmented)",
         }
     }
+
+    /// Protocol name (the `engine=` values of the `jgi-served` line
+    /// protocol; also accepted by [`Engine::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::JoinGraph => "joingraph",
+            Engine::Stacked => "stacked",
+            Engine::NavWhole => "navwhole",
+            Engine::NavSegmented => "navsegmented",
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    /// Parse a protocol engine name (`joingraph`, `stacked`, `navwhole`,
+    /// `navsegmented`; hyphenated forms accepted).
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s.to_ascii_lowercase().replace(['-', '_'], "").as_str() {
+            "joingraph" | "jg" => Ok(Engine::JoinGraph),
+            "stacked" => Ok(Engine::Stacked),
+            "navwhole" => Ok(Engine::NavWhole),
+            "navsegmented" => Ok(Engine::NavSegmented),
+            other => Err(format!("unknown engine `{other}`")),
+        }
+    }
 }
 
 /// Session-level error.
@@ -60,6 +88,10 @@ pub enum SessionError {
     /// Checked-mode (`JGI_CHECK=1`) isolation found a certification or
     /// rule-audit violation.
     Check(String),
+    /// Plan execution failed (malformed plan, internal executor error).
+    /// Structured instead of a panic so a bad plan can never take down a
+    /// serving worker.
+    Exec(String),
 }
 
 impl fmt::Display for SessionError {
@@ -69,6 +101,7 @@ impl fmt::Display for SessionError {
             SessionError::Extract(e) => write!(f, "join graph extraction failed: {e}"),
             SessionError::Document(u) => write!(f, "document not loaded: {u}"),
             SessionError::Check(m) => write!(f, "plan check failed: {m}"),
+            SessionError::Exec(m) => write!(f, "plan execution failed: {m}"),
         }
     }
 }
@@ -331,15 +364,258 @@ pub struct Prepared {
     pub report: QueryReport,
 }
 
+/// Execution budgets — the per-query state of an execution, separate from
+/// the shared document/engine state in [`ExecCtx`].
+#[derive(Debug, Clone, Copy)]
+pub struct Budgets {
+    /// Budget for the stacked interpreter (rows) — the dnf cutoff.
+    pub stacked: ExecBudget,
+    /// Budget for the navigational evaluator (node visits).
+    pub nav: u64,
+}
+
+impl Default for Budgets {
+    fn default() -> Budgets {
+        Budgets { stacked: ExecBudget::default(), nav: 500_000_000 }
+    }
+}
+
+/// The *shared, immutable* state one execution reads: the tabular
+/// encoding, the relational database (when the join-graph back-end is
+/// wanted), and the navigational database (when a nav back-end is wanted).
+///
+/// This is the seam the serving layer builds on: a snapshot can hand the
+/// same `ExecCtx` to many worker threads at once, because
+/// [`execute_prepared`] takes everything by shared reference and never
+/// mutates. [`Session`] assembles one from its own fields.
+#[derive(Clone, Copy)]
+pub struct ExecCtx<'a> {
+    /// The tabular encoding (always required: interpreter input,
+    /// serialization, pre-rank mapping).
+    pub store: &'a DocStore,
+    /// The relational database. Required by [`Engine::JoinGraph`] when the
+    /// plan is extractable; unused otherwise.
+    pub db: Option<&'a Database>,
+    /// The navigational database. Required by the nav back-ends.
+    pub nav: Option<&'a NavDb>,
+    /// Execution budgets.
+    pub budgets: Budgets,
+}
+
+/// Parse, normalize, compile, isolate, and extract a query against a
+/// document store. Free function over shared state — [`Session::prepare`]
+/// and the serving layer's plan cache both call this.
+///
+/// `context_doc` names the document a rooted path (`/site/…`) refers to.
+pub fn prepare_on(
+    store: &DocStore,
+    query: &str,
+    context_doc: Option<&str>,
+) -> Result<Prepared, SessionError> {
+    let opts = ParserOptions { context_doc: context_doc.map(|s| s.to_string()) };
+    let mut report = QueryReport::default();
+    // The caller's thread owns the obs recording for the duration of the
+    // prepare; instrumented layers below (the rewrite driver here) deposit
+    // their counters into it.
+    jgi_obs::begin();
+
+    let finish_on_err = |e: String| {
+        jgi_obs::end();
+        SessionError::Frontend(e)
+    };
+
+    let t0 = Instant::now();
+    let span = jgi_obs::span("parse");
+    let ast = parse_query(query, &opts).map_err(|e| finish_on_err(e.to_string()))?;
+    drop(span);
+    report.record_phase("parse", t0.elapsed());
+
+    let t0 = Instant::now();
+    let span = jgi_obs::span("normalize");
+    let core = normalize(&ast).map_err(|e| finish_on_err(e.to_string()))?;
+    drop(span);
+    report.record_phase("normalize", t0.elapsed());
+
+    let t0 = Instant::now();
+    let span = jgi_obs::span("compile");
+    let compiled = jgi_compiler::compile(&core).map_err(|e| finish_on_err(e.to_string()))?;
+    drop(span);
+    report.record_phase("compile", t0.elapsed());
+
+    let mut plan = compiled.plan;
+    let stacked_root = compiled.root;
+
+    let t0 = Instant::now();
+    let span = jgi_obs::span("isolate");
+    // Under JGI_CHECK=1 the prepare runs the full jgi-check pipeline:
+    // property certification of the stacked plan, per-fire rule auditing
+    // against the caller's own documents, then certification plus dynamic
+    // falsification of the isolated plan. Violations fail the prepare with
+    // a structured error instead of panicking.
+    let (isolated_root, stats) = if jgi_rewrite::driver::check_enabled() {
+        match jgi_check::checked_isolate(&mut plan, stacked_root, store) {
+            Ok((root, stats, _audit)) => (root, stats),
+            Err(e) => {
+                jgi_obs::end();
+                return Err(SessionError::Check(e.to_string()));
+            }
+        }
+    } else {
+        isolate(&mut plan, stacked_root)
+    };
+    drop(span);
+    report.record_phase("isolate", t0.elapsed());
+
+    let t0 = Instant::now();
+    let span = jgi_obs::span("emit-sql");
+    let cq = extract_cq(&plan, isolated_root).ok();
+    let sql = cq.as_ref().map(jgi_sql::join_graph_sql);
+    let stacked_sql = jgi_sql::stacked_sql(&plan, stacked_root);
+    drop(span);
+    report.record_phase("emit-sql", t0.elapsed());
+
+    if let Some(rec) = jgi_obs::end() {
+        report.metrics = rec.metrics;
+    }
+    report.rewrite = stats.clone();
+    Ok(Prepared {
+        text: query.to_string(),
+        core,
+        plan,
+        stacked_root,
+        isolated_root,
+        stats,
+        cq,
+        sql,
+        stacked_sql,
+        report,
+    })
+}
+
+/// Execute a prepared query on the chosen back-end against shared state.
+///
+/// Never panics on executor failure: malformed plans and evaluator errors
+/// surface as [`SessionError::Exec`] so one bad plan cannot take down a
+/// serving worker. Budget exhaustion is *not* an error — it returns a
+/// finished [`QueryOutcome`] whose `nodes` is `None` (the paper's *dnf*).
+pub fn execute_prepared(
+    ctx: &ExecCtx<'_>,
+    prepared: &Prepared,
+    engine: Engine,
+) -> Result<QueryOutcome, SessionError> {
+    let mut report = prepared.report.clone();
+    report.engine = Some(engine.label());
+    jgi_obs::begin();
+    // Obs recording must be closed on *every* path out of this function.
+    let fail = |m: String| {
+        jgi_obs::end();
+        SessionError::Exec(m)
+    };
+    let start = Instant::now();
+    let nodes: Option<Vec<u32>> = match engine {
+        Engine::JoinGraph => match &prepared.cq {
+            Some(cq) => {
+                let Some(db) = ctx.db else {
+                    return Err(fail("join-graph back-end needs a database".into()));
+                };
+                let t0 = Instant::now();
+                let span = jgi_obs::span("plan");
+                let (plan, plan_stats) = optimizer::plan_with_stats(db, cq);
+                drop(span);
+                report.record_phase("plan", t0.elapsed());
+                report.optimizer = Some(plan_stats);
+                let t0 = Instant::now();
+                let span = jgi_obs::span("execute");
+                let (result, exec_stats) = physical::execute_with_stats(db, &plan);
+                drop(span);
+                report.record_phase("execute", t0.elapsed());
+                report.exec = Some(exec_stats);
+                Some(result)
+            }
+            // Plan outside the extractable fragment: execute the *isolated*
+            // plan with the interpreter (still faster than stacked, but
+            // honest about the missing SQL hand-off).
+            None => {
+                report.record_phase("plan", Duration::ZERO);
+                let t0 = Instant::now();
+                let span = jgi_obs::span("execute");
+                let r = match execute_serialized(
+                    &prepared.plan,
+                    prepared.isolated_root,
+                    ctx.store,
+                    ctx.budgets.stacked,
+                ) {
+                    Ok(v) => Some(v),
+                    Err(ExecError::BudgetExceeded) => None,
+                    Err(e) => return Err(fail(format!("isolated plan: {e}"))),
+                };
+                drop(span);
+                report.record_phase("execute", t0.elapsed());
+                r
+            }
+        },
+        Engine::Stacked => {
+            report.record_phase("plan", Duration::ZERO);
+            let t0 = Instant::now();
+            let span = jgi_obs::span("execute");
+            let r = match execute_serialized(
+                &prepared.plan,
+                prepared.stacked_root,
+                ctx.store,
+                ctx.budgets.stacked,
+            ) {
+                Ok(v) => Some(v),
+                Err(ExecError::BudgetExceeded) => None,
+                Err(e) => return Err(fail(format!("stacked plan: {e}"))),
+            };
+            drop(span);
+            report.record_phase("execute", t0.elapsed());
+            r
+        }
+        Engine::NavWhole | Engine::NavSegmented => {
+            let Some(nav) = ctx.nav else {
+                return Err(fail("navigational back-end needs a nav database".into()));
+            };
+            let mode =
+                if engine == Engine::NavWhole { NavMode::Whole } else { NavMode::Segmented };
+            report.record_phase("plan", Duration::ZERO);
+            let t0 = Instant::now();
+            let span = jgi_obs::span("execute");
+            let (result, nav_stats) = nav
+                .eval_with_stats(&prepared.core, NavOptions { mode, budget: ctx.budgets.nav });
+            drop(span);
+            report.record_phase("execute", t0.elapsed());
+            report.nav = Some(nav_stats);
+            match result {
+                Ok(refs) => Some(nav.to_pre(&refs, &ctx.store.doc_roots)),
+                Err(NavError::Budget) => None,
+                Err(e) => return Err(fail(format!("navigational evaluation: {e}"))),
+            }
+        }
+    };
+    let wall = start.elapsed();
+    if let Some(rec) = jgi_obs::end() {
+        report.metrics.merge(&rec.metrics);
+    }
+    report.rows = nodes.as_ref().map(|n| n.len());
+    report.emit(&prepared.text);
+    Ok(QueryOutcome { nodes, wall, report })
+}
+
 /// A session: loaded documents plus engines.
+///
+/// The single-user, single-thread façade over the shared-state functions
+/// [`prepare_on`] / [`execute_prepared`]. The document store is held behind
+/// an [`Arc`] so handing it to the relational database (or to a serving
+/// snapshot) shares rather than copies the encoding; session-side mutation
+/// (`load_xml` / `add_tree`) goes through [`Arc::make_mut`], which is free
+/// while the session is the only owner.
 pub struct Session {
-    store: DocStore,
+    store: Arc<DocStore>,
     nav: NavDb,
     db: Option<Database>,
-    /// Budget for the stacked interpreter (rows) — the dnf cutoff.
-    pub stacked_budget: ExecBudget,
-    /// Budget for the navigational evaluator (node visits).
-    pub nav_budget: u64,
+    /// Execution budgets (stacked-interpreter rows, nav node visits).
+    pub budgets: Budgets,
     /// Report of the most recent [`Session::execute`] call.
     last_report: Option<QueryReport>,
 }
@@ -348,11 +624,10 @@ impl Session {
     /// Empty session.
     pub fn new() -> Session {
         Session {
-            store: DocStore::new(),
+            store: Arc::new(DocStore::new()),
             nav: NavDb::new(),
             db: None,
-            stacked_budget: ExecBudget::default(),
-            nav_budget: 500_000_000,
+            budgets: Budgets::default(),
             last_report: None,
         }
     }
@@ -367,7 +642,7 @@ impl Session {
 
     /// Load an already-built tree (e.g. from the synthetic generators).
     pub fn add_tree(&mut self, tree: Tree) {
-        self.store.add_tree(&tree);
+        Arc::make_mut(&mut self.store).add_tree(&tree);
         self.nav.add_tree(tree);
         self.db = None; // indexes must be rebuilt
     }
@@ -377,10 +652,21 @@ impl Session {
         &self.store
     }
 
-    /// The relational database (builds the Table 6 index set on first use).
+    /// The tabular encoding, shareable (no copy).
+    pub fn store_arc(&self) -> Arc<DocStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// The navigational database.
+    pub fn nav(&self) -> &NavDb {
+        &self.nav
+    }
+
+    /// The relational database (builds the Table 6 index set on first use;
+    /// shares the session's store, no copy).
     pub fn database(&mut self) -> &Database {
         if self.db.is_none() {
-            self.db = Some(Database::with_default_indexes(self.store.clone()));
+            self.db = Some(Database::with_default_indexes(Arc::clone(&self.store)));
         }
         self.db.as_ref().expect("just built")
     }
@@ -389,89 +675,11 @@ impl Session {
     ///
     /// `context_doc` names the document a rooted path (`/site/…`) refers to.
     pub fn prepare(
-        &mut self,
+        &self,
         query: &str,
         context_doc: Option<&str>,
     ) -> Result<Prepared, SessionError> {
-        let opts = ParserOptions { context_doc: context_doc.map(|s| s.to_string()) };
-        let mut report = QueryReport::default();
-        // The session owns the thread's obs recording for the duration of
-        // the prepare; instrumented layers below (the rewrite driver here)
-        // deposit their counters into it.
-        jgi_obs::begin();
-
-        let finish_on_err = |e: String| {
-            jgi_obs::end();
-            SessionError::Frontend(e)
-        };
-
-        let t0 = Instant::now();
-        let span = jgi_obs::span("parse");
-        let ast = parse_query(query, &opts).map_err(|e| finish_on_err(e.to_string()))?;
-        drop(span);
-        report.record_phase("parse", t0.elapsed());
-
-        let t0 = Instant::now();
-        let span = jgi_obs::span("normalize");
-        let core = normalize(&ast).map_err(|e| finish_on_err(e.to_string()))?;
-        drop(span);
-        report.record_phase("normalize", t0.elapsed());
-
-        let t0 = Instant::now();
-        let span = jgi_obs::span("compile");
-        let compiled =
-            jgi_compiler::compile(&core).map_err(|e| finish_on_err(e.to_string()))?;
-        drop(span);
-        report.record_phase("compile", t0.elapsed());
-
-        let mut plan = compiled.plan;
-        let stacked_root = compiled.root;
-
-        let t0 = Instant::now();
-        let span = jgi_obs::span("isolate");
-        // Under JGI_CHECK=1 the session runs the full jgi-check pipeline:
-        // property certification of the stacked plan, per-fire rule
-        // auditing against the session's own documents, then certification
-        // plus dynamic falsification of the isolated plan. Violations fail
-        // the prepare with a structured error instead of panicking.
-        let (isolated_root, stats) = if jgi_rewrite::driver::check_enabled() {
-            match jgi_check::checked_isolate(&mut plan, stacked_root, &self.store) {
-                Ok((root, stats, _audit)) => (root, stats),
-                Err(e) => {
-                    jgi_obs::end();
-                    return Err(SessionError::Check(e.to_string()));
-                }
-            }
-        } else {
-            isolate(&mut plan, stacked_root)
-        };
-        drop(span);
-        report.record_phase("isolate", t0.elapsed());
-
-        let t0 = Instant::now();
-        let span = jgi_obs::span("emit-sql");
-        let cq = extract_cq(&plan, isolated_root).ok();
-        let sql = cq.as_ref().map(jgi_sql::join_graph_sql);
-        let stacked_sql = jgi_sql::stacked_sql(&plan, stacked_root);
-        drop(span);
-        report.record_phase("emit-sql", t0.elapsed());
-
-        if let Some(rec) = jgi_obs::end() {
-            report.metrics = rec.metrics;
-        }
-        report.rewrite = stats.clone();
-        Ok(Prepared {
-            text: query.to_string(),
-            core,
-            plan,
-            stacked_root,
-            isolated_root,
-            stats,
-            cq,
-            sql,
-            stacked_sql,
-            report,
-        })
+        prepare_on(&self.store, query, context_doc)
     }
 
     /// Execute a prepared query on the chosen back-end. The returned
@@ -479,99 +687,29 @@ impl Session {
     /// timings extended by this run's `plan` and `execute` phases and the
     /// back-end's statistics; the same report is kept for
     /// [`Session::report`] and emitted to stderr per `JGI_OBS`.
-    pub fn execute(&mut self, prepared: &Prepared, engine: Engine) -> QueryOutcome {
-        let mut report = prepared.report.clone();
-        report.engine = Some(engine.label());
-        jgi_obs::begin();
-        let start = Instant::now();
-        let nodes: Option<Vec<u32>> = match engine {
-            Engine::JoinGraph => match &prepared.cq {
-                Some(cq) => {
-                    let db = self.database();
-                    let t0 = Instant::now();
-                    let span = jgi_obs::span("plan");
-                    let (plan, plan_stats) = optimizer::plan_with_stats(db, cq);
-                    drop(span);
-                    report.record_phase("plan", t0.elapsed());
-                    report.optimizer = Some(plan_stats);
-                    let t0 = Instant::now();
-                    let span = jgi_obs::span("execute");
-                    let (result, exec_stats) = physical::execute_with_stats(db, &plan);
-                    drop(span);
-                    report.record_phase("execute", t0.elapsed());
-                    report.exec = Some(exec_stats);
-                    Some(result)
-                }
-                // Plan outside the extractable fragment: execute the
-                // *isolated* plan with the interpreter (still faster than
-                // stacked, but honest about the missing SQL hand-off).
-                None => {
-                    report.record_phase("plan", Duration::ZERO);
-                    let t0 = Instant::now();
-                    let span = jgi_obs::span("execute");
-                    let r = match execute_serialized(
-                        &prepared.plan,
-                        prepared.isolated_root,
-                        &self.store,
-                        self.stacked_budget,
-                    ) {
-                        Ok(v) => Some(v),
-                        Err(ExecError::BudgetExceeded) => None,
-                        Err(e) => panic!("isolated plan execution failed: {e}"),
-                    };
-                    drop(span);
-                    report.record_phase("execute", t0.elapsed());
-                    r
-                }
-            },
-            Engine::Stacked => {
-                report.record_phase("plan", Duration::ZERO);
-                let t0 = Instant::now();
-                let span = jgi_obs::span("execute");
-                let r = match execute_serialized(
-                    &prepared.plan,
-                    prepared.stacked_root,
-                    &self.store,
-                    self.stacked_budget,
-                ) {
-                    Ok(v) => Some(v),
-                    Err(ExecError::BudgetExceeded) => None,
-                    Err(e) => panic!("stacked plan execution failed: {e}"),
-                };
-                drop(span);
-                report.record_phase("execute", t0.elapsed());
-                r
-            }
-            Engine::NavWhole | Engine::NavSegmented => {
-                let mode = if engine == Engine::NavWhole {
-                    NavMode::Whole
-                } else {
-                    NavMode::Segmented
-                };
-                report.record_phase("plan", Duration::ZERO);
-                let t0 = Instant::now();
-                let span = jgi_obs::span("execute");
-                let (result, nav_stats) = self
-                    .nav
-                    .eval_with_stats(&prepared.core, NavOptions { mode, budget: self.nav_budget });
-                drop(span);
-                report.record_phase("execute", t0.elapsed());
-                report.nav = Some(nav_stats);
-                match result {
-                    Ok(refs) => Some(self.nav.to_pre(&refs, &self.store.doc_roots.clone())),
-                    Err(NavError::Budget) => None,
-                    Err(e) => panic!("navigational evaluation failed: {e}"),
-                }
-            }
-        };
-        let wall = start.elapsed();
-        if let Some(rec) = jgi_obs::end() {
-            report.metrics.merge(&rec.metrics);
+    ///
+    /// Executor failures surface as [`SessionError::Exec`] (they no longer
+    /// panic); budget exhaustion still reports as *dnf* via
+    /// [`QueryOutcome::finished`].
+    pub fn execute(
+        &mut self,
+        prepared: &Prepared,
+        engine: Engine,
+    ) -> Result<QueryOutcome, SessionError> {
+        // Lazily build the relational database only when the join-graph
+        // back-end will actually consult it.
+        if engine == Engine::JoinGraph && prepared.cq.is_some() {
+            self.database();
         }
-        report.rows = nodes.as_ref().map(|n| n.len());
-        report.emit(&prepared.text);
-        self.last_report = Some(report.clone());
-        QueryOutcome { nodes, wall, report }
+        let ctx = ExecCtx {
+            store: &self.store,
+            db: self.db.as_ref(),
+            nav: Some(&self.nav),
+            budgets: self.budgets,
+        };
+        let outcome = execute_prepared(&ctx, prepared, engine)?;
+        self.last_report = Some(outcome.report.clone());
+        Ok(outcome)
     }
 
     /// The report of the most recent [`Session::execute`] call.
@@ -644,7 +782,7 @@ mod tests {
         assert!(p.sql.as_ref().unwrap().contains("SELECT DISTINCT"));
         let results: Vec<Vec<u32>> = Engine::all()
             .into_iter()
-            .map(|e| s.execute(&p, e).nodes.expect("all engines finish"))
+            .map(|e| s.execute(&p, e).unwrap().nodes.expect("all engines finish"))
             .collect();
         assert!(!results[0].is_empty());
         for r in &results[1..] {
@@ -658,7 +796,7 @@ mod tests {
         let p = s
             .prepare(r#"doc("auction.xml")/descendant::bidder"#, None)
             .unwrap();
-        let out = s.execute(&p, Engine::JoinGraph);
+        let out = s.execute(&p, Engine::JoinGraph).unwrap();
         let nodes = out.nodes.unwrap();
         let xml = s.serialize(&nodes);
         assert!(xml.starts_with("<bidder>"));
@@ -670,7 +808,7 @@ mod tests {
     fn rooted_paths_use_the_context_document() {
         let mut s = xmark_session();
         let p = s.prepare("/site/open_auctions/open_auction", Some("auction.xml")).unwrap();
-        let out = s.execute(&p, Engine::JoinGraph);
+        let out = s.execute(&p, Engine::JoinGraph).unwrap();
         assert!(!out.nodes.unwrap().is_empty());
     }
 
@@ -689,7 +827,7 @@ mod tests {
         let mut s = Session::new();
         s.load_xml("t.xml", "<a><b>1</b><b>2</b></a>").unwrap();
         let p = s.prepare(r#"doc("t.xml")/child::a/child::b"#, None).unwrap();
-        let out = s.execute(&p, Engine::JoinGraph);
+        let out = s.execute(&p, Engine::JoinGraph).unwrap();
         assert_eq!(out.len(), 2);
         assert!(s.load_xml("bad.xml", "<a>").is_err());
     }
@@ -697,11 +835,11 @@ mod tests {
     #[test]
     fn dnf_reporting() {
         let mut s = xmark_session();
-        s.stacked_budget = ExecBudget { max_rows: 100 };
+        s.budgets.stacked = ExecBudget { max_rows: 100 };
         let p = s
             .prepare(r#"doc("auction.xml")/descendant::node()/descendant::node()"#, None)
             .unwrap();
-        let out = s.execute(&p, Engine::Stacked);
+        let out = s.execute(&p, Engine::Stacked).unwrap();
         assert!(!out.finished());
     }
 }

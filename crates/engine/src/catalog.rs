@@ -6,6 +6,7 @@ use jgi_algebra::cq::DocCol;
 use jgi_algebra::Value;
 use jgi_xml::encode::{NO_NAME, NO_PARENT, NO_VALUE};
 use jgi_xml::DocStore;
+use std::sync::Arc;
 
 /// A column usable in an index key: a base `doc` column or the computed
 /// column `s = pre + size` (paper Table 6: "s:pre + size" — the subtree end
@@ -62,10 +63,14 @@ pub struct Index {
 }
 
 /// The database a join graph runs against.
+///
+/// The store is held behind an [`Arc`] so a database can share one infoset
+/// encoding with its owning session (and with concurrently-served snapshot
+/// readers) instead of deep-copying the column vectors on construction.
 #[derive(Debug, Clone)]
 pub struct Database {
-    /// The XML infoset encoding.
-    pub store: DocStore,
+    /// The XML infoset encoding (shared, immutable).
+    pub store: Arc<DocStore>,
     /// Collected statistics.
     pub stats: DocStats,
     /// Available indexes.
@@ -73,14 +78,17 @@ pub struct Database {
 }
 
 impl Database {
-    /// Load a store; collects statistics, creates no indexes.
-    pub fn new(store: DocStore) -> Database {
+    /// Load a store; collects statistics, creates no indexes. Accepts a
+    /// plain [`DocStore`] (wrapped) or an existing `Arc<DocStore>` (shared,
+    /// no copy).
+    pub fn new(store: impl Into<Arc<DocStore>>) -> Database {
+        let store = store.into();
         let stats = DocStats::collect(&store);
         Database { store, stats, indexes: Vec::new() }
     }
 
     /// Load a store and create the paper's Table 6 index family.
-    pub fn with_default_indexes(store: DocStore) -> Database {
+    pub fn with_default_indexes(store: impl Into<Arc<DocStore>>) -> Database {
         let mut db = Database::new(store);
         for spec in DEFAULT_INDEXES {
             db.create_index_by_name(spec).expect("default index specs are valid");

@@ -55,6 +55,11 @@ pub type NodeRef = (usize, NodeId);
 
 /// The navigational database: loaded documents plus (in segmented mode)
 /// the value indexes.
+///
+/// `Clone` supports the serving layer's snapshot publishing: the mutable
+/// master copy stays behind a lock while immutable clones are shared with
+/// reader threads (evaluation takes `&self` throughout).
+#[derive(Clone)]
 pub struct NavDb {
     trees: Vec<Tree>,
     uris: Vec<String>,

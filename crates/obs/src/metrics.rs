@@ -80,6 +80,31 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Approximate quantile `q` in `[0, 1]`, or `None` when empty.
+    ///
+    /// Walks the power-of-two buckets until the cumulative count reaches
+    /// `ceil(q · count)` and reports that bucket's upper bound (clamped to
+    /// the observed min/max), so the estimate errs at most one bucket high
+    /// — a factor-of-two resolution, which is exactly the histogram's
+    /// storage precision. This is the single stats code path behind the
+    /// serving layer's p50/p95/p99 latency summaries.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_bounds(i);
+                return Some(hi.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Occupied buckets as `(lo, hi, count)` triples, low to high.
     pub fn occupied_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -283,6 +308,27 @@ mod tests {
         // 0 and 1 share bucket 0; 2, 100, 1000 land alone.
         let occ = h.occupied_buckets();
         assert_eq!(occ, vec![(0, 1, 2), (2, 3, 1), (64, 127, 1), (512, 1023, 1)]);
+    }
+
+    #[test]
+    fn percentiles_track_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.5), None);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50's true value 50 lives in bucket [32,63]; the estimate is the
+        // bucket's upper bound.
+        assert_eq!(h.percentile(0.5), Some(63));
+        // Extremes clamp to the observed range.
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(1.0), Some(100));
+        // Single observation: every quantile is that value.
+        let mut one = Histogram::default();
+        one.record(42);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.percentile(q), Some(42));
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! `loadgen` — closed-loop load generator over the Q1–Q8 paper corpus.
+//!
+//! ```text
+//! loadgen [--threads N] [--duration 2s|500ms] [--workers N]
+//!         [--engine joingraph] [--xmark-scale F] [--dblp-pubs N]
+//!         [--cache N] [--out BENCH_serve.json]
+//! ```
+//!
+//! Measures a single-thread fresh-`Session`-per-query baseline, then
+//! drives the shared server from N closed-loop client threads, verifying
+//! every result against the baseline. Prints a human summary to stderr
+//! and writes one JSON row (schema golden-tested in `jgi-serve`) to
+//! `BENCH_serve.json` (or `--out`). Exits non-zero on result divergence
+//! or request errors, so CI smoke runs fail loudly.
+
+use jgi_serve::{run_load, LoadConfig};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
+         [--xmark-scale F] [--dblp-pubs N] [--cache N] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_duration(s: &str) -> Option<Duration> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        return ms.parse().ok().map(Duration::from_millis);
+    }
+    if let Some(sec) = s.strip_suffix('s') {
+        return sec.parse().ok().map(Duration::from_secs_f64);
+    }
+    s.parse().ok().map(Duration::from_secs_f64)
+}
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut out = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--threads" => cfg.threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--duration" => {
+                cfg.duration = parse_duration(&val("--duration")).unwrap_or_else(|| usage())
+            }
+            "--workers" => cfg.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--engine" => cfg.engine = val("--engine").parse().unwrap_or_else(|_| usage()),
+            "--xmark-scale" => {
+                cfg.xmark_scale = val("--xmark-scale").parse().unwrap_or_else(|_| usage())
+            }
+            "--dblp-pubs" => {
+                cfg.dblp_pubs = val("--dblp-pubs").parse().unwrap_or_else(|_| usage())
+            }
+            "--cache" => {
+                cfg.cache_capacity = val("--cache").parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => out = val("--out"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+
+    let summary = run_load(&cfg);
+    eprint!("{}", summary.render_text());
+    let row = summary.to_json().render();
+    if let Err(e) = std::fs::write(&out, format!("{row}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{row}");
+    eprintln!("wrote {out}");
+    if summary.divergence > 0 || summary.errors > 0 {
+        eprintln!(
+            "FAIL: {} divergent results, {} errors",
+            summary.divergence, summary.errors
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,137 @@
+//! `jgi-served` — the line-protocol query server.
+//!
+//! ```text
+//! jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N]
+//!            [--preload xmark:SCALE:SEED] [--preload dblp:PUBS:SEED]
+//! ```
+//!
+//! Without `--listen`, speaks the protocol on stdin/stdout (one command
+//! per line, one JSON reply per line — scriptable with a heredoc). With
+//! `--listen HOST:PORT`, accepts TCP connections, one protocol session
+//! per connection, one thread per connection; all connections share the
+//! same snapshot, plan cache, and worker pool.
+
+use jgi_core::Budgets;
+use jgi_serve::protocol::{handle_command, parse_command, Command};
+use jgi_serve::{ServeConfig, Server};
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N] \
+         [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]..."
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut listen: Option<String> = None;
+    let mut config = ServeConfig { budgets: Budgets::default(), ..ServeConfig::default() };
+    let mut preloads: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("{name} needs a value");
+            usage()
+        });
+        match a.as_str() {
+            "--listen" => listen = Some(val("--listen")),
+            "--workers" => config.workers = val("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_depth = val("--queue").parse().unwrap_or_else(|_| usage()),
+            "--cache" => {
+                config.cache_capacity = val("--cache").parse().unwrap_or_else(|_| usage())
+            }
+            "--preload" => preloads.push(val("--preload")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+
+    let server = Arc::new(Server::new(config));
+    for spec in &preloads {
+        preload(&server, spec);
+    }
+
+    match listen {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stream(&server, stdin.lock(), stdout.lock());
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+                eprintln!("cannot bind {addr}: {e}");
+                std::process::exit(1)
+            });
+            eprintln!("jgi-served listening on {addr}");
+            for conn in listener.incoming() {
+                let Ok(conn) = conn else { continue };
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let peer = conn.peer_addr().ok();
+                    let reader = BufReader::new(conn.try_clone().expect("clone socket"));
+                    serve_stream(&server, reader, conn);
+                    if let Some(p) = peer {
+                        eprintln!("connection {p} closed");
+                    }
+                });
+            }
+        }
+    }
+}
+
+fn preload(server: &Server, spec: &str) {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let generation = match parts.as_slice() {
+        ["xmark", scale, seed] => {
+            let scale: f64 = scale.parse().unwrap_or_else(|_| usage());
+            let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+            server.add_tree(generate_xmark(XmarkConfig { scale, seed }))
+        }
+        ["dblp", pubs, seed] => {
+            let publications: usize = pubs.parse().unwrap_or_else(|_| usage());
+            let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+            server.add_tree(generate_dblp(DblpConfig { publications, seed }))
+        }
+        _ => {
+            eprintln!("bad --preload spec {spec} (want xmark:SCALE:SEED or dblp:PUBS:SEED)");
+            usage()
+        }
+    };
+    eprintln!("preloaded {spec} (generation {generation})");
+}
+
+/// One protocol session: read lines, write one JSON reply per line.
+fn serve_stream(server: &Server, reader: impl BufRead, mut writer: impl Write) {
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let reply = match parse_command(&line) {
+            Ok(None) => continue, // blank/comment
+            Ok(Some(cmd)) => {
+                let json = handle_command(server, &cmd);
+                let quit = cmd == Command::Quit;
+                if writeln!(writer, "{}", json.render()).and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+                if quit {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => jgi_obs::Json::obj([
+                ("ok", jgi_obs::Json::Bool(false)),
+                ("error", jgi_obs::Json::str(e.to_string())),
+                ("code", jgi_obs::Json::str(e.code())),
+            ]),
+        };
+        if writeln!(writer, "{}", reply.render()).and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The prepared-plan cache.
+//!
+//! Compilation — parse, normalize, loop-lift, join-graph isolation, SQL
+//! emission — is the part of the pipeline the paper argues should happen
+//! once; execution is what the relational workhorse repeats. The cache
+//! keys the full [`Prepared`] artifact set on `(query text, context
+//! document, snapshot generation)`: a document load bumps the generation,
+//! so stale plans can never serve a new document set.
+//!
+//! Eviction is LRU over a monotonic touch tick. The scan on eviction is
+//! O(capacity), which is deliberate: capacities are small (hundreds), the
+//! common path (hit) is one hash probe, and there is no linked-list
+//! unsafe code to audit.
+
+use jgi_core::Prepared;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: one prepared plan per query text, context document, and
+/// snapshot generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// The query text, verbatim.
+    pub query: String,
+    /// The context document rooted paths resolve against.
+    pub context_doc: Option<String>,
+    /// Snapshot generation the plan was compiled against.
+    pub generation: u64,
+}
+
+/// Hit/miss/eviction accounting, mirrored into the service metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes that found a live entry.
+    pub hits: u64,
+    /// Probes that found nothing (caller compiles and inserts).
+    pub misses: u64,
+    /// Entries evicted by LRU capacity pressure.
+    pub evictions: u64,
+    /// Entries dropped because their generation went stale.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when the cache was never probed).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<Prepared>,
+    touched: u64,
+}
+
+/// LRU cache of prepared plans.
+pub struct PlanCache {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<CacheKey, Entry>,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Cache holding at most `capacity` plans (capacity 0 disables
+    /// caching: every probe misses, every insert evicts immediately).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache { capacity, tick: 0, map: HashMap::new(), stats: CacheStats::default() }
+    }
+
+    /// Look up a plan; counts a hit or a miss and refreshes recency.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Prepared>> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(e) => {
+                e.touched = self.tick;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.plan))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a plan, evicting the least-recently-used entry when at
+    /// capacity. Re-inserting an existing key refreshes it in place.
+    pub fn insert(&mut self, key: CacheKey, plan: Arc<Prepared>) {
+        self.tick += 1;
+        if self.map.contains_key(&key) {
+            let e = self.map.get_mut(&key).expect("just checked");
+            e.plan = plan;
+            e.touched = self.tick;
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.touched)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(key, Entry { plan, touched: self.tick });
+    }
+
+    /// Drop every entry compiled against a generation older than
+    /// `current`. Key-embedded generations already prevent stale *hits*;
+    /// this reclaims the memory eagerly on document load.
+    pub fn invalidate_older(&mut self, current: u64) {
+        let before = self.map.len();
+        self.map.retain(|k, _| k.generation >= current);
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_core::prepare_on;
+    use jgi_xml::DocStore;
+    use jgi_xml::Tree;
+
+    fn store() -> DocStore {
+        let t: Tree = jgi_xml::parse("t.xml", "<a><b>1</b><b>2</b></a>").unwrap();
+        let mut s = DocStore::new();
+        s.add_tree(&t);
+        s
+    }
+
+    fn key(q: &str, generation: u64) -> CacheKey {
+        CacheKey { query: q.to_string(), context_doc: None, generation }
+    }
+
+    fn plan(s: &DocStore, q: &str) -> Arc<Prepared> {
+        Arc::new(prepare_on(s, q, None).unwrap())
+    }
+
+    #[test]
+    fn hit_after_prepare() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let q = r#"doc("t.xml")/child::a/child::b"#;
+        assert!(c.get(&key(q, 1)).is_none());
+        c.insert(key(q, 1), plan(&s, q));
+        let hit = c.get(&key(q, 1)).expect("second probe hits");
+        assert_eq!(hit.text, q);
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, ..Default::default() });
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let q = r#"doc("t.xml")/child::a/child::b"#;
+        c.insert(key(q, 1), plan(&s, q));
+        // A new generation misses even for the identical query text...
+        assert!(c.get(&key(q, 2)).is_none());
+        // ...and an eager purge reclaims the stale entry.
+        c.invalidate_older(2);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let s = store();
+        let mut c = PlanCache::new(2);
+        let (qa, qb, qc) = (
+            r#"doc("t.xml")/child::a"#,
+            r#"doc("t.xml")/child::a/child::b"#,
+            r#"doc("t.xml")/descendant::b"#,
+        );
+        c.insert(key(qa, 1), plan(&s, qa));
+        c.insert(key(qb, 1), plan(&s, qb));
+        // Touch qa so qb becomes the LRU victim.
+        assert!(c.get(&key(qa, 1)).is_some());
+        c.insert(key(qc, 1), plan(&s, qc));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(qa, 1)).is_some(), "recently-used survives");
+        assert!(c.get(&key(qb, 1)).is_none(), "LRU evicted");
+        assert!(c.get(&key(qc, 1)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let s = store();
+        let mut c = PlanCache::new(0);
+        let q = r#"doc("t.xml")/child::a"#;
+        c.insert(key(q, 1), plan(&s, q));
+        assert!(c.get(&key(q, 1)).is_none());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Structured service errors — a request can fail, a worker cannot crash.
+
+use jgi_core::SessionError;
+use std::fmt;
+
+/// Everything that can go wrong serving one request. Every variant is a
+/// *reply*, not a panic: workers survive bad plans, overload, and deadline
+/// misses alike.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Compilation/execution failure from the underlying session layer.
+    Session(SessionError),
+    /// Admission control shed the request: the bounded queue was full.
+    Overloaded {
+        /// Queue depth at the time of the shed.
+        queue_depth: usize,
+    },
+    /// The request's deadline passed before a worker picked it up.
+    DeadlineExceeded,
+    /// The service is shutting down (worker channel closed).
+    Shutdown,
+    /// Malformed protocol input.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Session(e) => write!(f, "{e}"),
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "overloaded: admission queue full ({queue_depth} waiting)")
+            }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::Shutdown => write!(f, "service shutting down"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Session(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SessionError> for ServeError {
+    fn from(e: SessionError) -> ServeError {
+        ServeError::Session(e)
+    }
+}
+
+impl ServeError {
+    /// Short machine-readable code for the protocol's JSON replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Session(SessionError::Frontend(_)) => "frontend",
+            ServeError::Session(SessionError::Extract(_)) => "extract",
+            ServeError::Session(SessionError::Document(_)) => "document",
+            ServeError::Session(SessionError::Check(_)) => "check",
+            ServeError::Session(SessionError::Exec(_)) => "exec",
+            ServeError::Overloaded { .. } => "overloaded",
+            ServeError::DeadlineExceeded => "deadline",
+            ServeError::Shutdown => "shutdown",
+            ServeError::Protocol(_) => "protocol",
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # jgi-serve — the join-graph workhorse as a concurrent service
+//!
+//! The paper's economics: XQuery compilation (parse → loop-lift →
+//! join-graph isolation → SQL emission) is the once-per-query cost; the
+//! relational engine is the workhorse that repeats execution. This crate
+//! serves that split to many clients at once:
+//!
+//! * [`Snapshot`] / [`Master`] — immutable, `Arc`-shared document state
+//!   (tabular encoding + eagerly-indexed [`jgi_engine::Database`] +
+//!   navigational db), swapped atomically on document load so readers
+//!   never block loaders and vice versa;
+//! * [`PlanCache`] — LRU cache of full [`jgi_core::Prepared`] artifact
+//!   sets keyed on `(query, context doc, snapshot generation)`;
+//! * [`Server`] — worker pool of N OS threads behind a *bounded*
+//!   admission queue (full queue = immediate [`ServeError::Overloaded`]
+//!   shed), per-request deadlines, structured errors end-to-end;
+//! * [`protocol`] — the `jgi-served` line protocol (`LOAD` / `PREPARE` /
+//!   `EXEC` / `EXPLAIN` / `STATS`, one JSON reply per line);
+//! * [`load`] — the closed-loop `loadgen` harness replaying the Q1–Q8
+//!   corpus and emitting a `BENCH_serve.json` row from the service's
+//!   `jgi-obs` histograms.
+//!
+//! Binaries: `jgi-served` (stdin or TCP transport) and `loadgen`.
+
+pub mod cache;
+pub mod error;
+pub mod load;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use cache::{CacheKey, CacheStats, PlanCache};
+pub use error::ServeError;
+pub use load::{run_load, LoadConfig, LoadSummary};
+pub use protocol::{handle_command, parse_command, Command};
+pub use server::{ExecReply, ServeConfig, Server};
+pub use snapshot::{Master, Snapshot};
+
+/// The `Send + Sync` audit, enforced at compile time: everything a worker
+/// thread touches — the snapshot (store, database with its B-trees,
+/// navigational db) and the cached `Prepared` artifacts (plan DAG, core
+/// expression, SQL text, report) — must be freely shareable across OS
+/// threads. A regression anywhere down the stack (an `Rc`, a `RefCell`, a
+/// raw pointer) fails this compile, not a production service.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<jgi_xml::DocStore>();
+    assert_send_sync::<jgi_engine::Database>();
+    assert_send_sync::<jgi_nav::NavDb>();
+    assert_send_sync::<jgi_core::Prepared>();
+    assert_send_sync::<Server>();
+    assert_send_sync::<ServeError>();
+};

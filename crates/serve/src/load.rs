@@ -1,0 +1,367 @@
+//! Closed-loop load generation over the Q1–Q8 paper corpus.
+//!
+//! `loadgen` answers the serving-layer question the paper's Table 9
+//! cannot: not *how fast is one query*, but *how many queries per second
+//! does the shared workhorse sustain* once compilation is cached and
+//! execution is spread over a worker pool. The harness:
+//!
+//! 1. measures a **baseline**: one thread, a fresh [`Session`] per query
+//!    (documents re-added, indexes rebuilt, plan recompiled — the
+//!    pre-serving cost model), recording reference results;
+//! 2. starts a [`Server`], loads the same documents, warms the plan
+//!    cache with one `PREPARE` per corpus entry;
+//! 3. runs N closed-loop client threads for a fixed duration, each
+//!    cycling the corpus and checking every result against the baseline
+//!    (zero divergence is an acceptance criterion, not a sample);
+//! 4. renders the summary from the service's own `jgi-obs` histograms —
+//!    the same stats code path the per-query reports use — as one
+//!    `BENCH_serve.json` row.
+
+use crate::cache::CacheStats;
+use crate::server::{ServeConfig, Server};
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Session};
+use jgi_obs::{Json, Metrics};
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use jgi_xml::Tree;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-run configuration.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Closed-loop client threads.
+    pub threads: usize,
+    /// Measured duration of the concurrent phase.
+    pub duration: Duration,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Plan-cache capacity.
+    pub cache_capacity: usize,
+    /// XMark scale (documents match the bench harness: seed 42).
+    pub xmark_scale: f64,
+    /// DBLP publication count (seed 42).
+    pub dblp_pubs: usize,
+    /// Back-end every request runs on.
+    pub engine: Engine,
+    /// Full corpus passes in the baseline measurement.
+    pub baseline_passes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            threads: 8,
+            duration: Duration::from_secs(2),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            cache_capacity: 64,
+            xmark_scale: 0.002,
+            dblp_pubs: 300,
+            engine: Engine::JoinGraph,
+            baseline_passes: 1,
+        }
+    }
+}
+
+/// Everything one load run produced.
+#[derive(Debug, Clone)]
+pub struct LoadSummary {
+    /// Configuration echo.
+    pub config: LoadConfig,
+    /// Wall-clock of the concurrent phase.
+    pub elapsed: Duration,
+    /// Completed requests (successful replies, dnf included).
+    pub requests: u64,
+    /// Requests that returned a structured error.
+    pub errors: u64,
+    /// Results that differed from the sequential baseline (must be 0).
+    pub divergence: u64,
+    /// Concurrent throughput, requests per second.
+    pub qps: f64,
+    /// Baseline throughput: single thread, fresh session per query.
+    pub baseline_qps: f64,
+    /// Client-visible latency percentiles (queue + execution), µs.
+    pub p50_us: u64,
+    /// 95th percentile latency, µs.
+    pub p95_us: u64,
+    /// 99th percentile latency, µs.
+    pub p99_us: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Worst observed latency, µs.
+    pub max_us: u64,
+    /// Plan-cache accounting over the whole run.
+    pub cache: CacheStats,
+    /// Admission-control sheds (closed loop: expected 0).
+    pub shed: u64,
+    /// Deadline misses (no deadlines set here: expected 0).
+    pub deadline_missed: u64,
+    /// Full service metrics (for JGI_OBS-style inspection).
+    pub metrics: Metrics,
+}
+
+impl LoadSummary {
+    /// Concurrent-over-baseline speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_qps == 0.0 {
+            0.0
+        } else {
+            self.qps / self.baseline_qps
+        }
+    }
+
+    /// The `BENCH_serve.json` row. Key set is golden-tested — extend it,
+    /// don't rename.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str("serve")),
+            ("threads", Json::UInt(self.config.threads as u64)),
+            ("workers", Json::UInt(self.config.workers as u64)),
+            ("engine", Json::str(self.config.engine.name())),
+            ("xmark_scale", Json::Num(self.config.xmark_scale)),
+            ("dblp_pubs", Json::UInt(self.config.dblp_pubs as u64)),
+            ("duration_ms", Json::UInt(self.elapsed.as_millis() as u64)),
+            ("requests", Json::UInt(self.requests)),
+            ("errors", Json::UInt(self.errors)),
+            ("divergence", Json::UInt(self.divergence)),
+            ("qps", Json::Num(self.qps)),
+            ("baseline_qps", Json::Num(self.baseline_qps)),
+            ("speedup_vs_fresh_session", Json::Num(self.speedup())),
+            ("p50_us", Json::UInt(self.p50_us)),
+            ("p95_us", Json::UInt(self.p95_us)),
+            ("p99_us", Json::UInt(self.p99_us)),
+            ("mean_us", Json::Num(self.mean_us)),
+            ("max_us", Json::UInt(self.max_us)),
+            ("cache_hits", Json::UInt(self.cache.hits)),
+            ("cache_misses", Json::UInt(self.cache.misses)),
+            ("cache_evictions", Json::UInt(self.cache.evictions)),
+            ("cache_hit_rate", Json::Num(self.cache.hit_rate())),
+            ("shed", Json::UInt(self.shed)),
+            ("deadline_missed", Json::UInt(self.deadline_missed)),
+        ])
+    }
+
+    /// Human-readable rendering for the terminal.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve load: {} threads x {:?} over Q1-Q8 ({} workers, engine {})",
+            self.config.threads,
+            self.elapsed,
+            self.config.workers,
+            self.config.engine.name()
+        );
+        let _ = writeln!(
+            out,
+            "  {} requests, {:.0} qps ({:.1}x the {:.0} qps fresh-session baseline)",
+            self.requests,
+            self.qps,
+            self.speedup(),
+            self.baseline_qps
+        );
+        let _ = writeln!(
+            out,
+            "  latency p50 {}us  p95 {}us  p99 {}us  mean {:.0}us  max {}us",
+            self.p50_us, self.p95_us, self.p99_us, self.mean_us, self.max_us
+        );
+        let _ = writeln!(
+            out,
+            "  cache: {} hits / {} misses ({:.1}% hit rate), {} evictions",
+            self.cache.hits,
+            self.cache.misses,
+            100.0 * self.cache.hit_rate(),
+            self.cache.evictions
+        );
+        let _ = writeln!(
+            out,
+            "  errors {}  divergence {}  shed {}  deadline misses {}",
+            self.errors, self.divergence, self.shed, self.deadline_missed
+        );
+        out
+    }
+}
+
+fn corpus_trees(cfg: &LoadConfig) -> (Tree, Tree) {
+    (
+        generate_xmark(XmarkConfig { scale: cfg.xmark_scale, seed: 42 }),
+        generate_dblp(DblpConfig { publications: cfg.dblp_pubs, seed: 42 }),
+    )
+}
+
+/// The baseline leg: one thread, a *fresh* `Session` per query — document
+/// re-add, index rebuild, recompile, execute. Returns (qps, reference
+/// results by query name).
+fn baseline(
+    cfg: &LoadConfig,
+    xmark: &Tree,
+    dblp: &Tree,
+) -> (f64, HashMap<&'static str, Option<Vec<u32>>>) {
+    let corpus = paper_corpus();
+    let mut reference: HashMap<&'static str, Option<Vec<u32>>> = HashMap::new();
+    let passes = cfg.baseline_passes.max(1);
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        for &(name, query, ctx) in &corpus {
+            let mut session = Session::new();
+            session.add_tree(xmark.clone());
+            session.add_tree(dblp.clone());
+            let prepared = session.prepare(query, ctx).expect("corpus compiles");
+            let outcome = session.execute(&prepared, cfg.engine).expect("corpus executes");
+            reference.insert(name, outcome.nodes);
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let total = (passes * corpus.len()) as f64;
+    (total / elapsed.max(1e-9), reference)
+}
+
+/// Run one full load measurement (baseline + concurrent phase).
+pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
+    let (xmark, dblp) = corpus_trees(cfg);
+    let (baseline_qps, reference) = baseline(cfg, &xmark, &dblp);
+    let reference = Arc::new(reference);
+
+    let server = Arc::new(Server::new(ServeConfig {
+        workers: cfg.workers,
+        // Closed loop: at most `threads` requests in flight, so a queue at
+        // least that deep never sheds; sizing it exactly there keeps the
+        // admission path honest if a client misbehaves.
+        queue_depth: cfg.threads.max(4) * 2,
+        cache_capacity: cfg.cache_capacity,
+        default_deadline: None,
+        budgets: Default::default(),
+    }));
+    server.add_tree(xmark);
+    server.add_tree(dblp);
+
+    // Cache warm-up: one compile per corpus entry.
+    for &(_, query, ctx) in &paper_corpus() {
+        server.prepare(query, ctx).expect("corpus compiles on server");
+    }
+
+    let requests = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let divergence = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + cfg.duration;
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..cfg.threads.max(1))
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let reference = Arc::clone(&reference);
+            let requests = Arc::clone(&requests);
+            let errors = Arc::clone(&errors);
+            let divergence = Arc::clone(&divergence);
+            let engine = cfg.engine;
+            std::thread::Builder::new()
+                .name(format!("loadgen-client-{i}"))
+                .spawn(move || {
+                    let corpus = paper_corpus();
+                    // Stagger starting offsets so threads don't convoy on
+                    // the same query.
+                    let mut at = i % corpus.len();
+                    while Instant::now() < deadline {
+                        let (name, query, ctx) = corpus[at];
+                        at = (at + 1) % corpus.len();
+                        match server.execute(query, ctx, engine, None) {
+                            Ok(reply) => {
+                                requests.fetch_add(1, Ordering::Relaxed);
+                                if reference.get(name) != Some(&reply.nodes) {
+                                    divergence.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn client thread")
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+
+    let metrics = server.metrics();
+    let lat = metrics.histogram("serve.total_us").cloned().unwrap_or_default();
+    let requests = requests.load(Ordering::Relaxed);
+    LoadSummary {
+        config: cfg.clone(),
+        elapsed,
+        requests,
+        errors: errors.load(Ordering::Relaxed),
+        divergence: divergence.load(Ordering::Relaxed),
+        qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
+        baseline_qps,
+        p50_us: lat.percentile(0.50).unwrap_or(0),
+        p95_us: lat.percentile(0.95).unwrap_or(0),
+        p99_us: lat.percentile(0.99).unwrap_or(0),
+        mean_us: lat.mean().unwrap_or(0.0),
+        max_us: lat.max().unwrap_or(0),
+        cache: server.cache_stats(),
+        shed: metrics.counter_value("serve.admission.shed"),
+        deadline_missed: metrics.counter_value("serve.deadline.missed"),
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden test on the bench-row schema: the exact key set (and the
+    /// stable-value fields) of the `BENCH_serve.json` row.
+    #[test]
+    fn bench_row_schema_is_stable() {
+        let cfg = LoadConfig {
+            threads: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            ..LoadConfig::default()
+        };
+        let summary = run_load(&cfg);
+        let row = summary.to_json();
+        let rendered = row.render();
+        let Json::Obj(pairs) = row else { panic!("bench row must be an object") };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "bench",
+                "threads",
+                "workers",
+                "engine",
+                "xmark_scale",
+                "dblp_pubs",
+                "duration_ms",
+                "requests",
+                "errors",
+                "divergence",
+                "qps",
+                "baseline_qps",
+                "speedup_vs_fresh_session",
+                "p50_us",
+                "p95_us",
+                "p99_us",
+                "mean_us",
+                "max_us",
+                "cache_hits",
+                "cache_misses",
+                "cache_evictions",
+                "cache_hit_rate",
+                "shed",
+                "deadline_missed",
+            ],
+            "BENCH_serve.json key set changed — update the golden test and DESIGN.md deliberately"
+        );
+        assert!(rendered.starts_with(r#"{"bench":"serve""#), "{rendered}");
+        assert!(summary.requests > 0, "a 150ms run completes requests");
+        assert_eq!(summary.divergence, 0, "results must match the sequential baseline");
+        assert_eq!(summary.errors, 0);
+    }
+}

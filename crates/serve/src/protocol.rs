@@ -1,0 +1,342 @@
+//! The `jgi-served` line protocol: one command per line in, one JSON
+//! object per line out.
+//!
+//! ```text
+//! LOAD XMARK <scale> <seed>          load a synthetic XMark instance
+//! LOAD DBLP <pubs> <seed>            load a synthetic DBLP instance
+//! LOAD DOC <uri> <xml…>              load a document from inline XML
+//! PREPARE [ctx=<doc>] <query…>       compile (or cache-hit) a query
+//! EXEC [engine=<e>] [timeout_ms=<n>] [ctx=<doc>] <query…>
+//!                                    execute on a back-end (default joingraph)
+//! EXPLAIN [ctx=<doc>] <query…>       render the join-graph physical plan
+//! STATS                              service statistics (one JSON object)
+//! QUIT                               close the connection
+//! ```
+//!
+//! `engine=` accepts `joingraph`, `stacked`, `navwhole`, `navsegmented`.
+//! Replies always carry `"ok"`; failures add `"error"` (message) and
+//! `"code"` (stable short code, see [`ServeError::code`]).
+
+use crate::error::ServeError;
+use crate::server::Server;
+use jgi_core::Engine;
+use jgi_obs::Json;
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::time::Duration;
+
+/// A parsed protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `LOAD XMARK <scale> <seed>`
+    LoadXmark { scale: f64, seed: u64 },
+    /// `LOAD DBLP <pubs> <seed>`
+    LoadDblp { publications: usize, seed: u64 },
+    /// `LOAD DOC <uri> <xml…>`
+    LoadDoc { uri: String, xml: String },
+    /// `PREPARE [ctx=<doc>] <query…>`
+    Prepare { context_doc: Option<String>, query: String },
+    /// `EXEC [engine=<e>] [timeout_ms=<n>] [ctx=<doc>] <query…>`
+    Exec { engine: Engine, timeout_ms: Option<u64>, context_doc: Option<String>, query: String },
+    /// `EXPLAIN [ctx=<doc>] <query…>`
+    Explain { context_doc: Option<String>, query: String },
+    /// `STATS`
+    Stats,
+    /// `QUIT`
+    Quit,
+}
+
+fn protocol_err(m: impl Into<String>) -> ServeError {
+    ServeError::Protocol(m.into())
+}
+
+/// Leading `key=value` options split off a query tail.
+struct Options {
+    engine: Option<Engine>,
+    timeout_ms: Option<u64>,
+    ctx: Option<String>,
+    query: String,
+}
+
+fn parse_options(rest: &str) -> Result<Options, ServeError> {
+    let mut engine = None;
+    let mut timeout_ms = None;
+    let mut ctx = None;
+    let mut tail = rest.trim_start();
+    loop {
+        let (head, after) = match tail.split_once(char::is_whitespace) {
+            Some((h, a)) => (h, a.trim_start()),
+            None => (tail, ""),
+        };
+        // A leading `key=value` token with a known key is an option; the
+        // first token that isn't one starts the query text.
+        let Some((k, v)) = head.split_once('=') else { break };
+        match k {
+            "engine" => {
+                engine = Some(v.parse::<Engine>().map_err(protocol_err)?);
+            }
+            "timeout_ms" => {
+                timeout_ms =
+                    Some(v.parse::<u64>().map_err(|_| protocol_err("bad timeout_ms"))?);
+            }
+            "ctx" => ctx = Some(v.to_string()),
+            _ => break,
+        }
+        tail = after;
+        if tail.is_empty() {
+            break;
+        }
+    }
+    if tail.is_empty() {
+        return Err(protocol_err("missing query text"));
+    }
+    Ok(Options { engine, timeout_ms, ctx, query: tail.to_string() })
+}
+
+/// Parse one protocol line. Blank lines and `#` comments yield `None`.
+pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim_start()),
+        None => (line, ""),
+    };
+    let cmd = match verb.to_ascii_uppercase().as_str() {
+        "LOAD" => {
+            let (kind, args) = rest
+                .split_once(char::is_whitespace)
+                .ok_or_else(|| protocol_err("LOAD needs a source (XMARK|DBLP|DOC)"))?;
+            match kind.to_ascii_uppercase().as_str() {
+                "XMARK" => {
+                    let mut it = args.split_whitespace();
+                    let scale = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| protocol_err("LOAD XMARK <scale> <seed>"))?;
+                    let seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| protocol_err("LOAD XMARK <scale> <seed>"))?;
+                    Command::LoadXmark { scale, seed }
+                }
+                "DBLP" => {
+                    let mut it = args.split_whitespace();
+                    let publications = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| protocol_err("LOAD DBLP <pubs> <seed>"))?;
+                    let seed = it
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| protocol_err("LOAD DBLP <pubs> <seed>"))?;
+                    Command::LoadDblp { publications, seed }
+                }
+                "DOC" => {
+                    let (uri, xml) = args
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| protocol_err("LOAD DOC <uri> <xml…>"))?;
+                    Command::LoadDoc { uri: uri.to_string(), xml: xml.trim().to_string() }
+                }
+                other => return Err(protocol_err(format!("unknown LOAD source `{other}`"))),
+            }
+        }
+        "PREPARE" => {
+            let o = parse_options(rest)?;
+            if o.engine.is_some() || o.timeout_ms.is_some() {
+                return Err(protocol_err("PREPARE takes only ctx="));
+            }
+            Command::Prepare { context_doc: o.ctx, query: o.query }
+        }
+        "EXEC" => {
+            let o = parse_options(rest)?;
+            Command::Exec {
+                engine: o.engine.unwrap_or(Engine::JoinGraph),
+                timeout_ms: o.timeout_ms,
+                context_doc: o.ctx,
+                query: o.query,
+            }
+        }
+        "EXPLAIN" => {
+            let o = parse_options(rest)?;
+            if o.engine.is_some() || o.timeout_ms.is_some() {
+                return Err(protocol_err("EXPLAIN takes only ctx="));
+            }
+            Command::Explain { context_doc: o.ctx, query: o.query }
+        }
+        "STATS" => Command::Stats,
+        "QUIT" | "EXIT" => Command::Quit,
+        other => return Err(protocol_err(format!("unknown command `{other}`"))),
+    };
+    Ok(Some(cmd))
+}
+
+fn err_json(e: &ServeError) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(e.to_string())),
+        ("code", Json::str(e.code())),
+    ])
+}
+
+/// Run one command against a server and render its one-line JSON reply.
+/// `QUIT` replies `{"ok":true,"bye":true}`; the transport layer closes.
+pub fn handle_command(server: &Server, cmd: &Command) -> Json {
+    match run_command(server, cmd) {
+        Ok(json) => json,
+        Err(e) => err_json(&e),
+    }
+}
+
+fn run_command(server: &Server, cmd: &Command) -> Result<Json, ServeError> {
+    Ok(match cmd {
+        Command::LoadXmark { scale, seed } => {
+            let g = server
+                .add_tree(generate_xmark(XmarkConfig { scale: *scale, seed: *seed }));
+            load_reply(server, g)
+        }
+        Command::LoadDblp { publications, seed } => {
+            let g = server.add_tree(generate_dblp(DblpConfig {
+                publications: *publications,
+                seed: *seed,
+            }));
+            load_reply(server, g)
+        }
+        Command::LoadDoc { uri, xml } => {
+            let g = server.load_xml(uri, xml)?;
+            load_reply(server, g)
+        }
+        Command::Prepare { context_doc, query } => {
+            let (plan, cached) = server.prepare(query, context_doc.as_deref())?;
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("cached", Json::Bool(cached)),
+                ("extractable", Json::Bool(plan.cq.is_some())),
+                ("rewrite_steps", Json::UInt(plan.stats.steps as u64)),
+                ("generation", Json::UInt(server.snapshot().generation)),
+            ])
+        }
+        Command::Exec { engine, timeout_ms, context_doc, query } => {
+            let deadline = timeout_ms.map(Duration::from_millis);
+            let reply = server.execute(query, context_doc.as_deref(), *engine, deadline)?;
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("engine", Json::str(reply.engine.name())),
+                (
+                    "rows",
+                    reply
+                        .nodes
+                        .as_ref()
+                        .map_or(Json::Null, |n| Json::UInt(n.len() as u64)),
+                ),
+                ("dnf", Json::Bool(reply.nodes.is_none())),
+                ("wall_us", Json::UInt(reply.wall.as_micros() as u64)),
+                ("queue_us", Json::UInt(reply.queue_wait.as_micros() as u64)),
+                ("cached", Json::Bool(reply.cached_plan)),
+                ("deadline_exceeded", Json::Bool(reply.deadline_exceeded)),
+                ("generation", Json::UInt(reply.generation)),
+            ])
+        }
+        Command::Explain { context_doc, query } => {
+            let (plan, cached) = server.prepare(query, context_doc.as_deref())?;
+            let snapshot = server.snapshot();
+            let cq = plan.cq.as_ref().ok_or_else(|| {
+                protocol_err("plan is outside the extractable join-graph fragment")
+            })?;
+            let physical = jgi_engine::optimizer::plan(&snapshot.db, cq);
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("cached", Json::Bool(cached)),
+                ("plan", Json::str(jgi_engine::explain::render(&snapshot.db, &physical))),
+                (
+                    "sql",
+                    plan.sql.as_ref().map_or(Json::Null, |s| Json::str(s.clone())),
+                ),
+            ])
+        }
+        Command::Stats => server.stats_json(),
+        Command::Quit => Json::obj([("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
+    })
+}
+
+fn load_reply(server: &Server, generation: u64) -> Json {
+    let snapshot = server.snapshot();
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("generation", Json::UInt(generation)),
+        ("documents", Json::UInt(snapshot.documents() as u64)),
+        ("nodes", Json::UInt(snapshot.store.len() as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_grammar() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("# comment").unwrap(), None);
+        assert_eq!(
+            parse_command("LOAD XMARK 0.002 5").unwrap(),
+            Some(Command::LoadXmark { scale: 0.002, seed: 5 })
+        );
+        assert_eq!(
+            parse_command("load dblp 300 1").unwrap(),
+            Some(Command::LoadDblp { publications: 300, seed: 1 })
+        );
+        assert_eq!(
+            parse_command("LOAD DOC t.xml <a><b/></a>").unwrap(),
+            Some(Command::LoadDoc { uri: "t.xml".into(), xml: "<a><b/></a>".into() })
+        );
+        assert_eq!(
+            parse_command(r#"PREPARE ctx=auction.xml /site/people/person"#).unwrap(),
+            Some(Command::Prepare {
+                context_doc: Some("auction.xml".into()),
+                query: "/site/people/person".into()
+            })
+        );
+        assert_eq!(
+            parse_command(r#"EXEC engine=stacked timeout_ms=250 doc("a.xml")//b"#).unwrap(),
+            Some(Command::Exec {
+                engine: Engine::Stacked,
+                timeout_ms: Some(250),
+                context_doc: None,
+                query: r#"doc("a.xml")//b"#.into()
+            })
+        );
+        assert_eq!(parse_command("STATS").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("quit").unwrap(), Some(Command::Quit));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "LOAD",
+            "LOAD XMARK",
+            "LOAD NOPE 1 2",
+            "EXEC engine=warp9 //a",
+            "EXEC timeout_ms=soon //a",
+            "EXEC engine=stacked", // no query
+            "FROBNICATE //a",
+        ] {
+            assert!(
+                matches!(parse_command(bad), Err(ServeError::Protocol(_))),
+                "{bad:?} should be a protocol error"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_defaults_to_joingraph() {
+        match parse_command("EXEC //open_auction").unwrap().unwrap() {
+            Command::Exec { engine, timeout_ms, context_doc, query } => {
+                assert_eq!(engine, Engine::JoinGraph);
+                assert_eq!(timeout_ms, None);
+                assert_eq!(context_doc, None);
+                assert_eq!(query, "//open_auction");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

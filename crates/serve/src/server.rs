@@ -1,0 +1,439 @@
+//! The concurrent query service: shared snapshots, plan cache, worker
+//! pool, admission control.
+//!
+//! Request path: the calling thread resolves the current [`Snapshot`] and
+//! the prepared plan (cache probe, compile on miss), then submits an
+//! execution job to a bounded queue served by N OS worker threads. The
+//! queue is the admission controller — when it is full the request is
+//! shed immediately with [`ServeError::Overloaded`] instead of growing an
+//! unbounded backlog. Workers check per-request deadlines at dequeue time
+//! and refuse work that can no longer meet them.
+//!
+//! All service accounting — request counters, shed/deadline counters,
+//! cache hit/miss/eviction counters, queue-wait and latency histograms —
+//! lives in one [`jgi_obs::Metrics`] registry, the same stats code path
+//! the per-query reports use.
+
+use crate::cache::{CacheKey, CacheStats, PlanCache};
+use crate::error::ServeError;
+use crate::snapshot::{Master, Snapshot};
+use jgi_core::{execute_prepared, prepare_on, Budgets, Engine, Prepared};
+use jgi_obs::{Json, Metrics};
+use jgi_xml::Tree;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker (executor) OS threads.
+    pub workers: usize,
+    /// Bounded admission queue depth; a full queue sheds new requests.
+    pub queue_depth: usize,
+    /// Prepared-plan cache capacity (plans, not bytes).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Execution budgets baked into every published snapshot.
+    pub budgets: Budgets,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue_depth: 64,
+            cache_capacity: 256,
+            default_deadline: None,
+            budgets: Budgets::default(),
+        }
+    }
+}
+
+/// One successful execution, as seen by the client.
+#[derive(Debug, Clone)]
+pub struct ExecReply {
+    /// Result node sequence (`pre` ranks); `None` = the engine's budget
+    /// cut the run (the paper's *dnf*), not an error.
+    pub nodes: Option<Vec<u32>>,
+    /// Execution wall-clock on the worker.
+    pub wall: Duration,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// The deadline passed while the job ran (the result is still
+    /// returned; the flag lets closed-loop clients account the miss).
+    pub deadline_exceeded: bool,
+    /// The plan came from the cache (false = compiled for this request).
+    pub cached_plan: bool,
+    /// Back-end that ran.
+    pub engine: Engine,
+    /// Snapshot generation the request executed against.
+    pub generation: u64,
+}
+
+struct Job {
+    prepared: Arc<Prepared>,
+    snapshot: Arc<Snapshot>,
+    engine: Engine,
+    deadline: Option<Instant>,
+    enqueued: Instant,
+    reply: SyncSender<Result<ExecReply, ServeError>>,
+}
+
+struct State {
+    snapshot: RwLock<Arc<Snapshot>>,
+    master: Mutex<Master>,
+    cache: Mutex<PlanCache>,
+    metrics: Mutex<Metrics>,
+    config: ServeConfig,
+}
+
+/// The query service. Cloneable handles are not needed — share it behind
+/// an `Arc` (everything takes `&self`).
+pub struct Server {
+    state: Arc<State>,
+    queue: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start a service with no documents loaded (generation 0).
+    pub fn new(config: ServeConfig) -> Server {
+        let master = Master::new();
+        let snapshot = master.publish(config.budgets);
+        let state = Arc::new(State {
+            snapshot: RwLock::new(snapshot),
+            master: Mutex::new(master),
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            metrics: Mutex::new(Metrics::default()),
+            config: config.clone(),
+        });
+        let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let state = Arc::clone(&state);
+                std::thread::Builder::new()
+                    .name(format!("jgi-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Server { state, queue: Some(tx), workers }
+    }
+
+    /// The current snapshot (cheap: one `RwLock` read + `Arc` clone).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.state.snapshot.read().expect("snapshot lock"))
+    }
+
+    /// Load a document from XML text; returns the new generation.
+    pub fn load_xml(&self, uri: &str, xml: &str) -> Result<u64, ServeError> {
+        let tree = jgi_xml::parse(uri, xml)
+            .map_err(|e| ServeError::Session(jgi_core::SessionError::Frontend(e.to_string())))?;
+        Ok(self.add_tree(tree))
+    }
+
+    /// Load an already-built tree (e.g. from the synthetic generators);
+    /// returns the new generation. Publishes a fresh snapshot (index
+    /// build happens here, never on the request path) and eagerly purges
+    /// plans cached against older generations.
+    pub fn add_tree(&self, tree: Tree) -> u64 {
+        let snapshot = {
+            let mut master = self.state.master.lock().expect("master lock");
+            master.add_tree(tree);
+            master.publish(self.state.config.budgets)
+        };
+        let generation = snapshot.generation;
+        *self.state.snapshot.write().expect("snapshot lock") = snapshot;
+        let invalidated = {
+            let mut cache = self.state.cache.lock().expect("cache lock");
+            let before = cache.stats().invalidations;
+            cache.invalidate_older(generation);
+            cache.stats().invalidations - before
+        };
+        let mut m = self.state.metrics.lock().expect("metrics lock");
+        m.counter("serve.loads", 1);
+        m.counter("serve.cache.invalidation", invalidated);
+        generation
+    }
+
+    /// Resolve a prepared plan through the cache. Returns the plan and
+    /// whether it was a cache hit. Compilation happens outside every lock;
+    /// two racing misses may both compile, last insert wins — acceptable,
+    /// both artifacts are equivalent.
+    pub fn prepare(
+        &self,
+        query: &str,
+        context_doc: Option<&str>,
+    ) -> Result<(Arc<Prepared>, bool), ServeError> {
+        let snapshot = self.snapshot();
+        self.prepare_on_snapshot(&snapshot, query, context_doc)
+    }
+
+    fn prepare_on_snapshot(
+        &self,
+        snapshot: &Snapshot,
+        query: &str,
+        context_doc: Option<&str>,
+    ) -> Result<(Arc<Prepared>, bool), ServeError> {
+        let key = CacheKey {
+            query: query.to_string(),
+            context_doc: context_doc.map(|s| s.to_string()),
+            generation: snapshot.generation,
+        };
+        let t0 = Instant::now();
+        if let Some(plan) = self.state.cache.lock().expect("cache lock").get(&key) {
+            let mut m = self.state.metrics.lock().expect("metrics lock");
+            m.counter("serve.cache.hit", 1);
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(prepare_on(&snapshot.store, query, context_doc)?);
+        let evicted = {
+            let mut cache = self.state.cache.lock().expect("cache lock");
+            let before = cache.stats().evictions;
+            cache.insert(key, Arc::clone(&plan));
+            cache.stats().evictions - before
+        };
+        let mut m = self.state.metrics.lock().expect("metrics lock");
+        m.counter("serve.cache.miss", 1);
+        m.counter("serve.cache.eviction", evicted);
+        m.hist("serve.prepare_us", t0.elapsed().as_micros() as u64);
+        Ok((plan, false))
+    }
+
+    /// Serve one query end-to-end: cache-resolved prepare, admission,
+    /// worker execution, reply. `deadline` overrides the config default.
+    pub fn execute(
+        &self,
+        query: &str,
+        context_doc: Option<&str>,
+        engine: Engine,
+        deadline: Option<Duration>,
+    ) -> Result<ExecReply, ServeError> {
+        let snapshot = self.snapshot();
+        let (prepared, cached) = self.prepare_on_snapshot(&snapshot, query, context_doc)?;
+        let mut reply = self.execute_prepared(snapshot, prepared, engine, deadline)?;
+        reply.cached_plan = cached;
+        Ok(reply)
+    }
+
+    /// Submit an already-prepared plan against a pinned snapshot.
+    pub fn execute_prepared(
+        &self,
+        snapshot: Arc<Snapshot>,
+        prepared: Arc<Prepared>,
+        engine: Engine,
+        deadline: Option<Duration>,
+    ) -> Result<ExecReply, ServeError> {
+        let deadline = deadline
+            .or(self.state.config.default_deadline)
+            .map(|d| Instant::now() + d);
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        let job = Job {
+            prepared,
+            snapshot,
+            engine,
+            deadline,
+            enqueued: Instant::now(),
+            reply: reply_tx,
+        };
+        let queue = self.queue.as_ref().ok_or(ServeError::Shutdown)?;
+        match queue.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                let mut m = self.state.metrics.lock().expect("metrics lock");
+                m.counter("serve.admission.shed", 1);
+                return Err(ServeError::Overloaded {
+                    queue_depth: self.state.config.queue_depth,
+                });
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
+        }
+        reply_rx.recv().map_err(|_| ServeError::Shutdown)?
+    }
+
+    /// A copy of the service metrics registry.
+    pub fn metrics(&self) -> Metrics {
+        self.state.metrics.lock().expect("metrics lock").clone()
+    }
+
+    /// Cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.lock().expect("cache lock").stats()
+    }
+
+    /// One JSON object describing the live service (the `STATS` reply).
+    pub fn stats_json(&self) -> Json {
+        let snapshot = self.snapshot();
+        let (cache_len, cs) = {
+            let cache = self.state.cache.lock().expect("cache lock");
+            (cache.len(), cache.stats())
+        };
+        let metrics = self.metrics();
+        Json::Obj(vec![
+            ("ok".into(), Json::Bool(true)),
+            ("generation".into(), Json::UInt(snapshot.generation)),
+            ("documents".into(), Json::UInt(snapshot.documents() as u64)),
+            ("nodes".into(), Json::UInt(snapshot.store.len() as u64)),
+            ("workers".into(), Json::UInt(self.state.config.workers as u64)),
+            ("queue_depth".into(), Json::UInt(self.state.config.queue_depth as u64)),
+            (
+                "cache".into(),
+                Json::obj([
+                    ("len", Json::UInt(cache_len as u64)),
+                    ("capacity", Json::UInt(self.state.config.cache_capacity as u64)),
+                    ("hits", Json::UInt(cs.hits)),
+                    ("misses", Json::UInt(cs.misses)),
+                    ("evictions", Json::UInt(cs.evictions)),
+                    ("invalidations", Json::UInt(cs.invalidations)),
+                    ("hit_rate", Json::Num(cs.hit_rate())),
+                ]),
+            ),
+            ("metrics".into(), metrics.to_json()),
+        ])
+    }
+}
+
+impl Drop for Server {
+    /// Graceful shutdown: close the queue, let every worker drain and
+    /// exit, join them all.
+    fn drop(&mut self) {
+        drop(self.queue.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &State) {
+    loop {
+        // Hold the receiver lock only for the blocking recv: exactly one
+        // idle worker waits in recv, the rest wait on the lock; a finished
+        // worker re-queues for the lock, so dispatch stays fair enough and
+        // execution itself is fully parallel.
+        let job = match rx.lock().expect("worker queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: graceful shutdown
+        };
+        let queue_wait = job.enqueued.elapsed();
+        let now = Instant::now();
+        if let Some(d) = job.deadline {
+            if now > d {
+                let mut m = state.metrics.lock().expect("metrics lock");
+                m.counter("serve.requests", 1);
+                m.counter("serve.deadline.missed", 1);
+                m.hist("serve.queue_us", queue_wait.as_micros() as u64);
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+        }
+        let result = execute_prepared(&job.snapshot.ctx(), &job.prepared, job.engine);
+        let mut m = state.metrics.lock().expect("metrics lock");
+        m.counter("serve.requests", 1);
+        m.hist("serve.queue_us", queue_wait.as_micros() as u64);
+        let reply = match result {
+            Ok(outcome) => {
+                m.hist("serve.latency_us", outcome.wall.as_micros() as u64);
+                m.hist(
+                    "serve.total_us",
+                    (queue_wait + outcome.wall).as_micros() as u64,
+                );
+                Ok(ExecReply {
+                    deadline_exceeded: job.deadline.is_some_and(|d| Instant::now() > d),
+                    nodes: outcome.nodes,
+                    wall: outcome.wall,
+                    queue_wait,
+                    cached_plan: false, // caller fills in
+                    engine: job.engine,
+                    generation: job.snapshot.generation,
+                })
+            }
+            Err(e) => {
+                m.counter("serve.errors", 1);
+                Err(ServeError::Session(e))
+            }
+        };
+        drop(m);
+        // A vanished client (closed reply channel) is not a worker error.
+        let _ = job.reply.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_xml::generate::{generate_xmark, XmarkConfig};
+
+    fn server() -> Server {
+        let s = Server::new(ServeConfig {
+            workers: 2,
+            queue_depth: 8,
+            cache_capacity: 16,
+            ..ServeConfig::default()
+        });
+        s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+        s
+    }
+
+    #[test]
+    fn executes_and_caches() {
+        let s = server();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let first = s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        assert!(!first.cached_plan);
+        assert!(first.nodes.as_ref().is_some_and(|n| !n.is_empty()));
+        let second = s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        assert!(second.cached_plan, "second request hits the plan cache");
+        assert_eq!(first.nodes, second.nodes);
+        let cs = s.cache_stats();
+        assert_eq!((cs.hits, cs.misses), (1, 1));
+    }
+
+    #[test]
+    fn frontend_errors_do_not_kill_workers() {
+        let s = server();
+        let err = s.execute("for $x in", None, Engine::JoinGraph, None);
+        assert!(matches!(err, Err(ServeError::Session(_))));
+        // The pool is still alive and serving.
+        let ok = s
+            .execute(r#"doc("auction.xml")/descendant::bidder"#, None, Engine::Stacked, None)
+            .unwrap();
+        assert!(ok.nodes.is_some());
+    }
+
+    #[test]
+    fn document_load_bumps_generation_and_invalidates() {
+        let s = server();
+        let q = r#"doc("auction.xml")/descendant::bidder"#;
+        let before = s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        let g = s.load_xml("extra.xml", "<a><b>1</b></a>").unwrap();
+        assert_eq!(g, 2);
+        let after = s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        assert!(!after.cached_plan, "generation bump misses the cache");
+        assert_eq!(after.generation, 2);
+        assert_eq!(before.nodes, after.nodes, "old document unchanged");
+        assert!(s.cache_stats().invalidations >= 1);
+        let extra = s
+            .execute(r#"doc("extra.xml")/child::a/child::b"#, None, Engine::JoinGraph, None)
+            .unwrap();
+        assert_eq!(extra.nodes.map(|n| n.len()), Some(1));
+    }
+
+    #[test]
+    fn elapsed_deadline_is_refused() {
+        let s = server();
+        let err = s.execute(
+            r#"doc("auction.xml")/descendant::bidder"#,
+            None,
+            Engine::JoinGraph,
+            Some(Duration::ZERO),
+        );
+        assert!(matches!(err, Err(ServeError::DeadlineExceeded)));
+        let m = s.metrics();
+        assert_eq!(m.counter_value("serve.deadline.missed"), 1);
+    }
+}

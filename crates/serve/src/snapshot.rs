@@ -1,0 +1,134 @@
+//! Immutable shared snapshots of the document state.
+//!
+//! The serving layer never lets a reader see a half-loaded document set.
+//! All mutation happens on a lock-protected master copy; publishing builds
+//! a fresh [`Snapshot`] — tabular encoding, eagerly-built relational
+//! database (Table 6 indexes included), and navigational database — and
+//! swaps it in atomically behind an `Arc`. In-flight requests keep the
+//! snapshot they started with; new requests pick up the new generation.
+//!
+//! The cost model mirrors Materialize-style dataflow serving: loads are
+//! rare and expensive (index rebuild), reads are plentiful and free of
+//! coordination (plain `Arc` clone).
+
+use jgi_core::{Budgets, ExecCtx};
+use jgi_engine::Database;
+use jgi_nav::NavDb;
+use jgi_xml::{DocStore, Tree};
+use std::sync::Arc;
+
+/// One immutable generation of the document state, shareable across any
+/// number of worker threads.
+pub struct Snapshot {
+    /// Monotonic generation number; bumped by every document load. Plan
+    /// cache keys embed it, so a load invalidates every cached plan.
+    pub generation: u64,
+    /// The tabular infoset encoding (shared with `db` — same allocation).
+    pub store: Arc<DocStore>,
+    /// The relational database, indexes eagerly built at publish time so
+    /// no request ever pays (or races on) lazy index construction.
+    pub db: Arc<Database>,
+    /// The navigational database.
+    pub nav: Arc<NavDb>,
+    /// Execution budgets applied to every request against this snapshot.
+    pub budgets: Budgets,
+}
+
+impl Snapshot {
+    /// The execution context every back-end consumes; borrows the
+    /// snapshot, so it is handed to `jgi_core::execute_prepared` directly.
+    pub fn ctx(&self) -> ExecCtx<'_> {
+        ExecCtx {
+            store: &self.store,
+            db: Some(&self.db),
+            nav: Some(&self.nav),
+            budgets: self.budgets,
+        }
+    }
+
+    /// Loaded document count.
+    pub fn documents(&self) -> usize {
+        self.store.doc_roots.len()
+    }
+}
+
+/// The mutable master the server mutates under a lock. Readers never touch
+/// it — they only ever see published [`Snapshot`]s.
+pub struct Master {
+    store: Arc<DocStore>,
+    nav: NavDb,
+    generation: u64,
+}
+
+impl Master {
+    /// Empty master at generation 0.
+    pub fn new() -> Master {
+        Master { store: Arc::new(DocStore::new()), nav: NavDb::new(), generation: 0 }
+    }
+
+    /// Add a document tree and bump the generation. Copy-on-write: while
+    /// published snapshots still hold the previous store, `make_mut`
+    /// clones once; otherwise it mutates in place.
+    pub fn add_tree(&mut self, tree: Tree) {
+        Arc::make_mut(&mut self.store).add_tree(&tree);
+        self.nav.add_tree(tree);
+        self.generation += 1;
+    }
+
+    /// Current generation (0 = nothing loaded).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Publish the current state as an immutable snapshot: share the
+    /// store, clone the nav database, and build the relational database
+    /// with the default Table 6 index family.
+    pub fn publish(&self, budgets: Budgets) -> Arc<Snapshot> {
+        let store = Arc::clone(&self.store);
+        let db = Arc::new(Database::with_default_indexes(Arc::clone(&store)));
+        Arc::new(Snapshot {
+            generation: self.generation,
+            store,
+            db,
+            nav: Arc::new(self.nav.clone()),
+            budgets,
+        })
+    }
+}
+
+impl Default for Master {
+    fn default() -> Master {
+        Master::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgi_xml::generate::{generate_xmark, XmarkConfig};
+
+    #[test]
+    fn publish_shares_the_store_allocation() {
+        let mut m = Master::new();
+        m.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+        let snap = m.publish(Budgets::default());
+        assert_eq!(snap.generation, 1);
+        assert_eq!(snap.documents(), 1);
+        // Database and snapshot point at the same DocStore allocation — the
+        // satellite fix: no deep copy of the encoding on database build.
+        assert!(Arc::ptr_eq(&snap.store, &snap.db.store));
+    }
+
+    #[test]
+    fn master_mutation_does_not_disturb_published_snapshots() {
+        let mut m = Master::new();
+        m.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+        let before = m.publish(Budgets::default());
+        let len_before = before.store.len();
+        m.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 6 }));
+        let after = m.publish(Budgets::default());
+        assert_eq!(before.store.len(), len_before, "published snapshot is immutable");
+        assert!(after.store.len() > len_before);
+        assert_eq!(after.generation, 2);
+    }
+}

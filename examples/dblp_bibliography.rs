@@ -22,7 +22,7 @@ fn main() {
     println!("== Q5: {} ==", Q5.trim());
     let p5 = session.prepare(Q5, Some("dblp.xml")).expect("Q5 compiles");
     for engine in Engine::all() {
-        let out = session.execute(&p5, engine);
+        let out = session.execute(&p5, engine).expect("plan executes");
         match &out.nodes {
             Some(nodes) => println!(
                 "  {:<16} {:>10.3?}  {}",

@@ -42,7 +42,7 @@ fn main() {
 
     println!("== execution on all four back-ends ==");
     for engine in Engine::all() {
-        let outcome = session.execute(&prepared, engine);
+        let outcome = session.execute(&prepared, engine).expect("plan executes");
         match &outcome.nodes {
             Some(nodes) => println!(
                 "{:<16} -> {} node(s): {}",

@@ -31,7 +31,7 @@ fn main() {
     let from_sql = jgi_engine::physical::execute(db, &plan);
 
     // Reference: the session's own join-graph path.
-    let reference = session.execute(&prepared, Engine::JoinGraph).nodes.unwrap();
+    let reference = session.execute(&prepared, Engine::JoinGraph).unwrap().nodes.unwrap();
     assert_eq!(from_sql, reference, "SQL round trip must preserve the result");
     println!(
         "parsed back and executed: {} node(s) — identical to the direct path ✓\n",

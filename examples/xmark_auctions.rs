@@ -34,7 +34,7 @@ fn main() {
             println!("{plan}");
         }
         for engine in Engine::all() {
-            let outcome = session.execute(&prepared, engine);
+            let outcome = session.execute(&prepared, engine).expect("plan executes");
             match &outcome.nodes {
                 Some(nodes) => println!(
                     "  {:<16} {:>10.3?}  {} result node(s), {} serialized",

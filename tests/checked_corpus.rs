@@ -49,9 +49,9 @@ fn paper_corpus_is_checked_and_lint_clean() {
         assert!(!stacked.is_empty(), "{name}: stacked plan unexpectedly lint-free");
 
         // All engines agree on the checked plan.
-        let reference = session.execute(&prepared, Engine::Stacked).nodes.unwrap();
+        let reference = session.execute(&prepared, Engine::Stacked).unwrap().nodes.unwrap();
         for engine in Engine::all() {
-            let r = session.execute(&prepared, engine).nodes.unwrap();
+            let r = session.execute(&prepared, engine).unwrap().nodes.unwrap();
             assert_eq!(r, reference, "{name}: {engine:?} diverges");
         }
     }

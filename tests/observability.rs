@@ -18,7 +18,7 @@ fn xmark_session() -> Session {
 fn q1_report_covers_all_phases() {
     let mut s = xmark_session();
     let prepared = s.prepare(Q1, None).unwrap();
-    let outcome = s.execute(&prepared, Engine::JoinGraph);
+    let outcome = s.execute(&prepared, Engine::JoinGraph).unwrap();
     let result = outcome.nodes.expect("Q1 finishes");
 
     let report = s.report().expect("execute records a report");
@@ -46,7 +46,7 @@ fn q1_report_covers_all_phases() {
 /// the rewrite driver's own `IsolateStats` bookkeeping on Q2.
 #[test]
 fn q2_rule_fires_match_isolate_stats() {
-    let mut s = xmark_session();
+    let s = xmark_session();
     let prepared = s.prepare(Q2, None).unwrap();
     let stats = &prepared.stats;
     assert!(!stats.applied.is_empty(), "Q2 must trigger rewrites");
@@ -93,7 +93,7 @@ fn normalize(s: &str) -> String {
 fn explain_analyze_q1_shape() {
     let mut s = xmark_session();
     let prepared = s.prepare(Q1, None).unwrap();
-    let result = s.execute(&prepared, Engine::JoinGraph).nodes.expect("Q1 finishes");
+    let result = s.execute(&prepared, Engine::JoinGraph).unwrap().nodes.expect("Q1 finishes");
     let analyze = s.explain_analyze(&prepared).expect("Q1 has a join graph");
 
     // Root actual cardinality is the result cardinality.

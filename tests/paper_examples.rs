@@ -23,7 +23,7 @@ fn section_2_2_worked_example() {
         .prepare(r#"doc("auction.xml")/descendant::bidder/child::*/child::text()"#, None)
         .unwrap();
     for engine in Engine::all() {
-        assert_eq!(s.execute(&p, engine).nodes.unwrap(), vec![7, 9], "{engine:?}");
+        assert_eq!(s.execute(&p, engine).unwrap().nodes.unwrap(), vec![7, 9], "{engine:?}");
     }
 }
 
@@ -32,7 +32,7 @@ fn section_2_2_worked_example() {
 /// ORDER BY on the open_auction's pre.
 #[test]
 fn fig8_sql_block() {
-    let mut s = fig2_session();
+    let s = fig2_session();
     let p = s.prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None).unwrap();
     let sql = p.sql.expect("extractable");
     let expect_fragments = [
@@ -64,7 +64,7 @@ fn fig8_sql_block() {
 /// isolation, a δ/π tail over a 3-fold self-join (5× fewer operators).
 #[test]
 fn fig4_to_fig7_plan_shapes() {
-    let mut s = fig2_session();
+    let s = fig2_session();
     let p = s.prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None).unwrap();
     assert!(
         p.stats.nodes_before >= 35 && p.stats.nodes_after <= 20,
@@ -90,12 +90,12 @@ fn serialization_step() {
             None,
         )
         .unwrap();
-    let nodes = s.execute(&p, Engine::JoinGraph).nodes.unwrap();
+    let nodes = s.execute(&p, Engine::JoinGraph).unwrap().nodes.unwrap();
     // Subtree of open_auction (pre 1, size 8) minus the attribute node
     // (descendant-or-self excludes attributes per the data model).
     assert_eq!(nodes, vec![1, 3, 4, 5, 6, 7, 8, 9]);
     for engine in Engine::all() {
-        assert_eq!(s.execute(&p, engine).nodes.unwrap(), nodes, "{engine:?}");
+        assert_eq!(s.execute(&p, engine).unwrap().nodes.unwrap(), nodes, "{engine:?}");
     }
 }
 
@@ -120,7 +120,7 @@ fn q2_tail_semantics() {
     }
     // And the result really is ordered by closed_auction nesting: run it
     // and check the result is name elements.
-    let nodes = s.execute(&p, Engine::JoinGraph).nodes.unwrap();
+    let nodes = s.execute(&p, Engine::JoinGraph).unwrap().nodes.unwrap();
     assert!(!nodes.is_empty());
     for &n in &nodes {
         assert_eq!(s.store().name_str(n), Some("name"));
@@ -131,7 +131,7 @@ fn q2_tail_semantics() {
 /// stacked CTE SQL and join-graph SQL both mention only the doc relation.
 #[test]
 fn no_sqlxml_anywhere() {
-    let mut s = fig2_session();
+    let s = fig2_session();
     let p = s.prepare(r#"doc("auction.xml")/descendant::open_auction[bidder]"#, None).unwrap();
     for text in [p.sql.as_ref().unwrap(), &p.stacked_sql] {
         let lower = text.to_lowercase();

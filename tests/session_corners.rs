@@ -14,8 +14,8 @@ fn two_documents_in_one_session() {
     let pa = s.prepare(r#"doc("a.xml")/descendant::x"#, None).unwrap();
     let pb = s.prepare(r#"doc("b.xml")/descendant::x"#, None).unwrap();
     for e in Engine::all() {
-        let ra = s.execute(&pa, e).nodes.unwrap();
-        let rb = s.execute(&pb, e).nodes.unwrap();
+        let ra = s.execute(&pa, e).unwrap().nodes.unwrap();
+        let rb = s.execute(&pb, e).unwrap().nodes.unwrap();
         assert_eq!(ra.len(), 1, "{e:?}");
         assert_eq!(rb.len(), 1, "{e:?}");
         assert_ne!(ra, rb, "{e:?}: results must come from different documents");
@@ -32,7 +32,7 @@ fn two_documents_in_one_session() {
         )
         .unwrap();
     for e in [Engine::Stacked, Engine::NavWhole] {
-        let r = s.execute(&pboth, e).nodes.unwrap();
+        let r = s.execute(&pboth, e).unwrap().nodes.unwrap();
         assert_eq!(s.serialize(&r), "<x>2</x>", "{e:?}");
     }
 }
@@ -46,8 +46,8 @@ fn mixed_corpora() {
     s.add_tree(generate_dblp(DblpConfig { publications: 50, seed: 1 }));
     let p1 = s.prepare(r#"doc("auction.xml")/descendant::bidder"#, None).unwrap();
     let p2 = s.prepare(r#"doc("dblp.xml")/child::dblp/child::phdthesis"#, None).unwrap();
-    let r1 = s.execute(&p1, Engine::JoinGraph).nodes.unwrap();
-    let r2 = s.execute(&p2, Engine::JoinGraph).nodes.unwrap();
+    let r1 = s.execute(&p1, Engine::JoinGraph).unwrap().nodes.unwrap();
+    let r2 = s.execute(&p2, Engine::JoinGraph).unwrap().nodes.unwrap();
     for &n in &r1 {
         assert_eq!(s.store().name_str(n), Some("bidder"));
     }
@@ -55,8 +55,8 @@ fn mixed_corpora() {
         assert_eq!(s.store().name_str(n), Some("phdthesis"));
     }
     for e in Engine::all() {
-        assert_eq!(s.execute(&p1, e).nodes.unwrap(), r1, "{e:?}");
-        assert_eq!(s.execute(&p2, e).nodes.unwrap(), r2, "{e:?}");
+        assert_eq!(s.execute(&p1, e).unwrap().nodes.unwrap(), r1, "{e:?}");
+        assert_eq!(s.execute(&p2, e).unwrap().nodes.unwrap(), r2, "{e:?}");
     }
 }
 
@@ -73,11 +73,11 @@ fn rank_ties_keep_duplicates() {
             None,
         )
         .unwrap();
-    let reference = s.execute(&p, Engine::Stacked).nodes.unwrap();
+    let reference = s.execute(&p, Engine::Stacked).unwrap().nodes.unwrap();
     assert_eq!(reference.len(), 2, "one <p> per iteration");
     assert_eq!(reference[0], reference[1]);
     for e in Engine::all() {
-        assert_eq!(s.execute(&p, e).nodes.unwrap(), reference, "{e:?}");
+        assert_eq!(s.execute(&p, e).unwrap().nodes.unwrap(), reference, "{e:?}");
     }
 }
 
@@ -93,11 +93,11 @@ fn segmented_range_predicate() {
             None,
         )
         .unwrap();
-    let whole = s.execute(&p, Engine::NavWhole).nodes.unwrap();
-    let seg = s.execute(&p, Engine::NavSegmented).nodes.unwrap();
+    let whole = s.execute(&p, Engine::NavWhole).unwrap().nodes.unwrap();
+    let seg = s.execute(&p, Engine::NavSegmented).unwrap().nodes.unwrap();
     assert_eq!(whole, seg);
     assert!(!whole.is_empty());
-    assert_eq!(s.execute(&p, Engine::JoinGraph).nodes.unwrap(), whole);
+    assert_eq!(s.execute(&p, Engine::JoinGraph).unwrap().nodes.unwrap(), whole);
 }
 
 /// The stacked CTE SQL for Q2 carries the paper's signature clutter: many
@@ -123,7 +123,7 @@ fn degenerate_inputs() {
     s.load_xml("e.xml", "<empty/>").unwrap();
     let p = s.prepare(r#"doc("e.xml")/descendant::anything"#, None).unwrap();
     for e in Engine::all() {
-        let out = s.execute(&p, e);
+        let out = s.execute(&p, e).unwrap();
         assert!(out.finished());
         assert!(out.is_empty(), "{e:?}");
     }

@@ -1,0 +1,237 @@
+//! `parallel` — sequential vs morsel-driven N-thread execution of the
+//! Q1–Q8 corpus on the join-graph back-end, across XMark scale factors.
+//!
+//! ```sh
+//! cargo run --release -p jgi-bench --bin parallel -- \
+//!     [--threads N] [--scales 0.005,0.02] [--dblp-pubs N] [--runs N] \
+//!     [--out BENCH_parallel.json]
+//! ```
+//!
+//! Every query runs once at `Parallelism::Fixed(1)` and once at
+//! `Fixed(threads)`; the result sequences must be byte-identical (any
+//! divergence makes the binary exit non-zero — CI smoke treats this as a
+//! hard failure). Timings are the minimum over `--runs` warm executions.
+//! One JSON object is written to `--out`; the `cores` field records the
+//! machine's available parallelism so single-core measurements (where no
+//! wall-clock speedup is physically possible) are self-describing.
+
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Parallelism, Session};
+use jgi_obs::Json;
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::time::Duration;
+
+const HELP: &str = "\
+parallel - BENCH_parallel.json: sequential vs N-thread morsel-driven execution
+
+usage: cargo run --release -p jgi-bench --bin parallel -- [OPTIONS]
+
+options:
+  --threads N      parallel leg's worker-thread count (default: 8)
+  --scales LIST    comma-separated XMark scale factors (default: 0.005,0.02)
+  --dblp-pubs N    DBLP publication count for Q5/Q6 (default: 3000)
+  --runs N         executions per (query, degree); min is reported (default: 3)
+  --out PATH       output path (default: BENCH_parallel.json)
+  -h, --help       print this help and exit";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: parallel [--threads N] [--scales F,F,...] [--dblp-pubs N] [--runs N] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+struct QueryRow {
+    name: &'static str,
+    result_nodes: u64,
+    seq_us: u64,
+    par_us: u64,
+    workers: u64,
+    morsels: u64,
+    depth: u64,
+    divergence: bool,
+}
+
+/// Minimum wall-clock over `runs` warm executions at the given degree;
+/// also returns the result and the exec stats of the last run.
+fn measure(
+    session: &mut Session,
+    prepared: &jgi_core::Prepared,
+    degree: usize,
+    runs: usize,
+) -> (Duration, Option<Vec<u32>>, u64, u64, u64) {
+    session.budgets.parallelism = Parallelism::Fixed(degree);
+    let mut best = Duration::MAX;
+    let mut nodes = None;
+    let mut workers = 1u64;
+    let mut morsels = 0u64;
+    let mut depth = 0u64;
+    for _ in 0..runs.max(1) {
+        let outcome = session.execute(prepared, Engine::JoinGraph).expect("corpus executes");
+        best = best.min(outcome.wall);
+        if let Some(e) = &outcome.report.exec {
+            workers = e.parallel_workers;
+            morsels = e.parallel_morsels;
+            depth = e.parallel_depth;
+        }
+        nodes = outcome.nodes;
+    }
+    (best, nodes, workers, morsels, depth)
+}
+
+fn main() {
+    let mut threads = 8usize;
+    let mut scales: Vec<f64> = vec![0.005, 0.02];
+    let mut dblp_pubs = 3000usize;
+    let mut runs = 3usize;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--threads" => threads = val("--threads").parse().unwrap_or_else(|_| usage()),
+            "--scales" => {
+                scales = val("--scales")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if scales.is_empty() {
+                    usage()
+                }
+            }
+            "--dblp-pubs" => dblp_pubs = val("--dblp-pubs").parse().unwrap_or_else(|_| usage()),
+            "--runs" => runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            "--out" => out = val("--out"),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "parallel bench: 1 vs {threads} thread(s), {} scale(s), {runs} run(s)/cell, \
+         {cores} core(s) available",
+        scales.len()
+    );
+    if cores == 1 {
+        eprintln!(
+            "note: single-core machine — correctness (zero divergence) is still checked, \
+             but no wall-clock speedup is physically possible here"
+        );
+    }
+
+    let dblp = generate_dblp(DblpConfig { publications: dblp_pubs, seed: 42 });
+    let mut total_divergence = 0u64;
+    let mut scale_rows: Vec<Json> = Vec::new();
+
+    for &scale in &scales {
+        let mut session = Session::new();
+        session.add_tree(generate_xmark(XmarkConfig { scale, seed: 42 }));
+        session.add_tree(dblp.clone());
+        // Index construction happens outside the measurement.
+        let _ = session.database();
+        eprintln!("\nXMark scale {scale} ({} nodes) + DBLP {dblp_pubs} pubs:", session.store().len());
+        eprintln!(
+            "{:<6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>6}",
+            "query", "nodes", "seq_us", "par_us", "speedup", "workers", "morsels", "depth"
+        );
+
+        let mut rows: Vec<QueryRow> = Vec::new();
+        for &(name, query, ctx) in &paper_corpus() {
+            let prepared = session.prepare(query, ctx).expect("corpus compiles");
+            let (seq_t, seq_nodes, _, _, _) = measure(&mut session, &prepared, 1, runs);
+            let (par_t, par_nodes, workers, morsels, depth) =
+                measure(&mut session, &prepared, threads, runs);
+            let divergence = seq_nodes != par_nodes;
+            if divergence {
+                total_divergence += 1;
+            }
+            let result_nodes =
+                seq_nodes.as_deref().map_or(0, |n| session.node_count(n));
+            let row = QueryRow {
+                name,
+                result_nodes,
+                seq_us: seq_t.as_micros() as u64,
+                par_us: par_t.as_micros() as u64,
+                workers,
+                morsels,
+                depth,
+                divergence,
+            };
+            eprintln!(
+                "{:<6} {:>10} {:>12} {:>12} {:>8.2}x {:>8} {:>8} {:>6}{}",
+                row.name,
+                row.result_nodes,
+                row.seq_us,
+                row.par_us,
+                row.seq_us as f64 / row.par_us.max(1) as f64,
+                row.workers,
+                row.morsels,
+                row.depth,
+                if divergence { "  DIVERGENT" } else { "" }
+            );
+            rows.push(row);
+        }
+
+        scale_rows.push(Json::obj([
+            ("xmark_scale", Json::Num(scale)),
+            ("dblp_pubs", Json::UInt(dblp_pubs as u64)),
+            (
+                "queries",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("query", Json::str(r.name)),
+                                ("nodes", Json::UInt(r.result_nodes)),
+                                ("seq_us", Json::UInt(r.seq_us)),
+                                ("par_us", Json::UInt(r.par_us)),
+                                (
+                                    "speedup",
+                                    Json::Num(r.seq_us as f64 / r.par_us.max(1) as f64),
+                                ),
+                                ("workers", Json::UInt(r.workers)),
+                                ("morsels", Json::UInt(r.morsels)),
+                                ("depth", Json::UInt(r.depth)),
+                                ("divergence", Json::UInt(u64::from(r.divergence))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let row = Json::obj([
+        ("bench", Json::str("parallel")),
+        ("threads", Json::UInt(threads as u64)),
+        ("cores", Json::UInt(cores as u64)),
+        ("runs", Json::UInt(runs as u64)),
+        ("engine", Json::str("join_graph")),
+        ("morsel_size", Json::UInt(jgi_engine::physical::DEFAULT_MORSEL_SIZE as u64)),
+        ("divergence", Json::UInt(total_divergence)),
+        ("scales", Json::Arr(scale_rows)),
+    ]);
+    let rendered = row.render();
+    if let Err(e) = std::fs::write(&out, format!("{rendered}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+    eprintln!("\nwrote {out}");
+    if total_divergence > 0 {
+        eprintln!("FAIL: {total_divergence} query/scale cells diverged from sequential");
+        std::process::exit(1);
+    }
+}

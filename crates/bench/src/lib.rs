@@ -5,10 +5,19 @@
 //! * `table9` — the headline experiment: wall-clock times for Q1–Q6 across
 //!   the four back-ends, paper numbers alongside;
 //! * `table6` — the index advisor's recommendations for the Q2 workload;
-//! * `figures` — textual renditions of Figs. 2, 4, 7, 8, 9, 10 and 11.
+//! * `figures` — textual renditions of Figs. 2, 4, 7, 8, 9, 10 and 11;
+//! * `ablation` — Q1–Q4 against full / pre-only / no index catalogs,
+//!   isolating what the Table 6 index family buys over the planner alone;
+//! * `lint-plans` — golden plan-lint run over the Q1–Q8 corpus;
+//! * `parallel` — sequential vs N-thread morsel-driven execution on
+//!   Q1–Q8 per XMark scale, with a hard zero-divergence check; emits
+//!   `BENCH_parallel.json` (see EXPERIMENTS.md).
 //!
 //! Criterion benches: `queries` (per-query micro timings), `btree`,
 //! `isolation` (rewriter throughput), `axis_steps`.
+//!
+//! (The serve-layer load harness `loadgen` lives in `jgi-serve`, not here —
+//! it needs the service internals.)
 
 use jgi_core::Session;
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};

@@ -15,7 +15,7 @@
 //!    every rule fire: schema preservation, constant-fact monotonicity,
 //!    and (sampled) end-to-end result equivalence via the executor.
 //!    Violations abort isolation with an error naming the rule and node.
-//! 3. [`lint`] — a registry of plan lints (dead column producers,
+//! 3. [`mod@lint`] — a registry of plan lints (dead column producers,
 //!    redundant projections, stranded `δ`/`ϱ`/`#`, unpushed equi-joins,
 //!    redundant self-joins) with structured diagnostics.
 //!

@@ -3,7 +3,7 @@
 //! Q0 is the three-step path of §2.2; Q1/Q2 are the running examples of
 //! §§2–3; Q3–Q6 are the Table 8 sample queries taken from the TurboXPath
 //! paper (Q6's non-standard `return-tuple` is realized via the XMLTABLE
-//! substitution — see [`crate::xmltable`]).
+//! substitution — see [`crate::xmltable()`]).
 
 /// Q0 (§2.2): `doc("auction.xml")/descendant::bidder/child::*/child::text()`.
 pub const Q0: &str = r#"doc("auction.xml")/descendant::bidder/child::*/child::text()"#;
@@ -21,7 +21,7 @@ pub const Q2: &str = r#"
       and $i/incategory/@category = $c/@id
     return $c/name"#;
 
-/// Q3 (Table 8, [15] Data): point lookup by person id.
+/// Q3 (Table 8, \[15\] Data): point lookup by person id.
 /// Rooted at the context document `auction.xml`.
 pub const Q3: &str = r#"/site/people/person[@id = "person0"]/name/text()"#;
 

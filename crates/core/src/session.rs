@@ -49,7 +49,7 @@ impl Engine {
     }
 
     /// Protocol name (the `engine=` values of the `jgi-served` line
-    /// protocol; also accepted by [`Engine::from_str`]).
+    /// protocol; also accepted by `Engine::from_str`).
     pub fn name(self) -> &'static str {
         match self {
             Engine::JoinGraph => "joingraph",
@@ -178,10 +178,11 @@ impl QueryReport {
         if let Some(e) = &self.exec {
             let _ = writeln!(
                 out,
-                "  exec: {} raw rows, {} sorted, {} deduped; per-op rows_out {:?}",
+                "  exec: {} raw rows, {} sorted, {} deduped; {} worker(s); per-op rows_out {:?}",
                 e.raw_rows,
                 e.sort_rows,
                 e.dedup_removed,
+                e.parallel_workers,
                 e.per_op.iter().map(|o| o.rows_out).collect::<Vec<_>>()
             );
         }
@@ -255,6 +256,9 @@ impl QueryReport {
                     ("sort_rows", Json::UInt(e.sort_rows)),
                     ("dedup_removed", Json::UInt(e.dedup_removed)),
                     ("sort_spills", Json::UInt(e.sort_spills)),
+                    ("parallel_workers", Json::UInt(e.parallel_workers)),
+                    ("parallel_morsels", Json::UInt(e.parallel_morsels)),
+                    ("parallel_depth", Json::UInt(e.parallel_depth)),
                     (
                         "per_op",
                         Json::Arr(
@@ -364,6 +368,55 @@ pub struct Prepared {
     pub report: QueryReport,
 }
 
+/// Intra-query parallelism degree for the join-graph executor.
+///
+/// `Auto` resolves to the machine's available cores at execution time;
+/// `Fixed(1)` is the classic sequential path. Whatever the degree, the
+/// optimizer still refuses to fan out plans estimated too cheap
+/// (`jgi_engine::optimizer::parallel_degree`), and results are
+/// bit-identical at every setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Use every core `std::thread::available_parallelism` reports.
+    #[default]
+    Auto,
+    /// Exactly this many worker threads (clamped to ≥ 1).
+    Fixed(usize),
+}
+
+impl Parallelism {
+    /// Resolve to a concrete thread count.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Auto => {
+                std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            }
+            Parallelism::Fixed(n) => n.max(1),
+        }
+    }
+}
+
+impl std::str::FromStr for Parallelism {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Parallelism, String> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(Parallelism::Auto);
+        }
+        s.parse::<usize>()
+            .map(Parallelism::Fixed)
+            .map_err(|_| format!("bad parallelism {s:?} (want \"auto\" or a thread count)"))
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Parallelism::Auto => write!(f, "auto"),
+            Parallelism::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
 /// Execution budgets — the per-query state of an execution, separate from
 /// the shared document/engine state in [`ExecCtx`].
 #[derive(Debug, Clone, Copy)]
@@ -372,11 +425,17 @@ pub struct Budgets {
     pub stacked: ExecBudget,
     /// Budget for the navigational evaluator (node visits).
     pub nav: u64,
+    /// Worker threads the join-graph executor may use per query.
+    pub parallelism: Parallelism,
 }
 
 impl Default for Budgets {
     fn default() -> Budgets {
-        Budgets { stacked: ExecBudget::default(), nav: 500_000_000 }
+        Budgets {
+            stacked: ExecBudget::default(),
+            nav: 500_000_000,
+            parallelism: Parallelism::Auto,
+        }
     }
 }
 
@@ -526,7 +585,9 @@ pub fn execute_prepared(
                 report.optimizer = Some(plan_stats);
                 let t0 = Instant::now();
                 let span = jgi_obs::span("execute");
-                let (result, exec_stats) = physical::execute_with_stats(db, &plan);
+                let opts =
+                    physical::ExecOptions::with_parallelism(ctx.budgets.parallelism.threads());
+                let (result, exec_stats) = physical::execute_with_stats_opts(db, &plan, &opts);
                 drop(span);
                 report.record_phase("execute", t0.elapsed());
                 report.exec = Some(exec_stats);
@@ -738,9 +799,11 @@ impl Session {
             .as_ref()
             .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
             .clone();
+        let parallelism = self.budgets.parallelism.threads();
         let db = self.database();
         let plan = optimizer::plan(db, &cq);
-        let (_, stats) = physical::execute_with_stats(db, &plan);
+        let opts = physical::ExecOptions::with_parallelism(parallelism);
+        let (_, stats) = physical::execute_with_stats_opts(db, &plan, &opts);
         Ok(jgi_engine::explain::render_analyze(db, &plan, &stats))
     }
 

@@ -80,6 +80,16 @@ pub fn render_analyze(db: &Database, plan: &PhysPlan, stats: &ExecStats) -> Stri
         stats.dedup_removed,
         stats.sort_spills
     );
+    // Only annotate when the morsel scheduler actually fanned out, so
+    // sequential EXPLAIN ANALYZE output (and its golden tests) is
+    // unchanged.
+    if stats.parallel_workers > 1 {
+        let _ = writeln!(
+            out,
+            " PARALLEL (workers {}, morsels {}, partition depth {})",
+            stats.parallel_workers, stats.parallel_morsels, stats.parallel_depth
+        );
+    }
     let mut depth = 1;
     for (i, step) in plan.steps.iter().enumerate().rev() {
         depth += 1;

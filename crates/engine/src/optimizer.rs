@@ -26,6 +26,31 @@ const ROW_COST: f64 = 1.0;
 /// Cost of one B-tree descent.
 const PROBE_COST: f64 = 12.0;
 
+/// Minimum estimated plan cost (in the `ROW_COST`/`PROBE_COST` unit)
+/// before the executor is allowed to fan out across worker threads. Below
+/// this, the fixed costs of thread spawn, morsel scheduling, and run
+/// merging dominate any parallel win — point lookups and small scans stay
+/// on the sequential path no matter what degree the caller requests. The
+/// bar is deliberately low: the DP's independence assumptions make it
+/// underestimate correlated probe chains (XMark Q2's twelve-step pipeline
+/// costs out under 300 while dominating actual wall time), and the
+/// executor's own frontier/morsel cap already keeps genuinely tiny plans
+/// inline.
+pub const PARALLEL_MIN_COST: f64 = 200.0;
+
+/// Decide the parallelism degree for executing `plan` when the caller
+/// requests `requested` worker threads: plans estimated cheaper than
+/// [`PARALLEL_MIN_COST`] stay sequential. The executor further caps the
+/// degree by the number of frontier morsels actually produced, so a high
+/// return value here is a permission, not an obligation.
+pub fn parallel_degree(plan: &PhysPlan, requested: usize) -> usize {
+    if requested <= 1 || plan.est_cost < PARALLEL_MIN_COST {
+        1
+    } else {
+        requested
+    }
+}
+
 /// Counters describing one run of the dynamic program (for EXPLAIN output
 /// and the obs recording; costs nothing to maintain relative to planning).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

@@ -217,6 +217,13 @@ pub struct OpActuals {
 }
 
 /// Execution statistics (EXPLAIN ANALYZE, the obs recording, and tests).
+///
+/// All row/probe/comparison counters are *identical at any parallelism
+/// degree*: morsel partitioning splits the driver rows between workers but
+/// never changes the per-row work (early-out semijoins prune within a
+/// single outer row, so the split cannot move work across the cut). Only
+/// [`parallel_workers`](ExecStats::parallel_workers) and
+/// [`parallel_morsels`](ExecStats::parallel_morsels) depend on the degree.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// Rows produced by each access (driver first). Kept alongside
@@ -234,6 +241,82 @@ pub struct ExecStats {
     /// in-memory, so this stays 0; the field keeps the report shape stable
     /// for back-ends that do spill.
     pub sort_spills: u64,
+    /// Worker threads the executor actually used (1 = sequential path,
+    /// either requested or because the optimizer refused to fan out).
+    pub parallel_workers: u64,
+    /// Frontier morsels dispatched to the workers (0 on the sequential
+    /// path).
+    pub parallel_morsels: u64,
+    /// Pipeline depth at which the binding frontier was partitioned: 0 =
+    /// the driver scan itself, k = the prefix through step k ran
+    /// sequentially and steps k.. fanned out.
+    pub parallel_depth: u64,
+}
+
+impl ExecStats {
+    /// Stats shaped for a plan with `n_ops` operators (driver + steps).
+    fn shaped(n_ops: usize) -> ExecStats {
+        ExecStats {
+            rows_scanned: vec![0; n_ops],
+            per_op: vec![OpActuals::default(); n_ops],
+            ..Default::default()
+        }
+    }
+
+    /// Fold one worker's counters into the query-level totals. Workers
+    /// never touch the operators at or above the partition depth (those
+    /// stay zero in worker locals — the scheduler owns the driver scan
+    /// and the expanded prefix), so the element-wise addition is exact,
+    /// not approximate.
+    fn absorb_worker(&mut self, w: &ExecStats) {
+        for (a, b) in self.rows_scanned.iter_mut().zip(&w.rows_scanned) {
+            *a += b;
+        }
+        for (a, b) in self.per_op.iter_mut().zip(&w.per_op) {
+            a.invocations += b.invocations;
+            a.rows_in += b.rows_in;
+            a.rows_out += b.rows_out;
+            a.index_probes += b.index_probes;
+            a.comparisons += b.comparisons;
+        }
+        self.raw_rows += w.raw_rows;
+        self.sort_rows += w.sort_rows;
+    }
+}
+
+/// Default frontier rows per morsel. Each frontier row drives a whole
+/// probe-pipeline subtree, so morsels are small (heavy per-row work,
+/// skew-prone); the shared cursor costs one `fetch_add` per morsel.
+pub const DEFAULT_MORSEL_SIZE: usize = 16;
+
+/// Executor tuning knobs: the parallelism degree and morsel geometry.
+///
+/// The default (`parallelism: 1`) is the sequential executor — every
+/// pre-existing entry point goes through it unchanged. A degree above 1
+/// lets the executor partition the binding frontier into
+/// [`morsel_size`](ExecOptions::morsel_size)-tuple morsels and run the
+/// probe-pipeline suffix on worker threads; the optimizer still
+/// suppresses fan-out for plans estimated too cheap (see
+/// [`crate::optimizer::parallel_degree`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Maximum worker threads the executor may use (1 = sequential).
+    pub parallelism: usize,
+    /// Frontier tuples per morsel.
+    pub morsel_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { parallelism: 1, morsel_size: DEFAULT_MORSEL_SIZE }
+    }
+}
+
+impl ExecOptions {
+    /// Options with the given degree and default morsel size.
+    pub fn with_parallelism(parallelism: usize) -> Self {
+        ExecOptions { parallelism: parallelism.max(1), ..ExecOptions::default() }
+    }
 }
 
 /// Counters accumulated by one `scan_access` call, merged into the
@@ -271,25 +354,108 @@ pub fn execute_rows(db: &Database, plan: &PhysPlan) -> Vec<Vec<u32>> {
 
 /// Execute and report per-operator actuals.
 pub fn execute_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<u32>, ExecStats) {
-    let (rows, stats) = execute_rows_with_stats(db, plan);
+    execute_with_stats_opts(db, plan, &ExecOptions::default())
+}
+
+/// [`execute_with_stats`] with explicit executor options (the morsel-driven
+/// parallel path when `opts.parallelism > 1`).
+pub fn execute_with_stats_opts(
+    db: &Database,
+    plan: &PhysPlan,
+    opts: &ExecOptions,
+) -> (Vec<u32>, ExecStats) {
+    let (rows, stats) = execute_rows_opts(db, plan, opts);
     let out = rows.iter().map(|r| r[plan.item_output]).collect();
     (out, stats)
 }
 
+/// Row-returning executor at the default (sequential) options.
+pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>, ExecStats) {
+    execute_rows_opts(db, plan, &ExecOptions::default())
+}
+
 /// Row-returning executor — the single code path under every `execute*`
 /// entry point; statistics are always collected (plain counter increments).
-pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>, ExecStats) {
-    let mut stats = ExecStats {
-        rows_scanned: vec![0; plan.steps.len() + 1],
-        per_op: vec![OpActuals::default(); plan.steps.len() + 1],
-        ..Default::default()
-    };
+///
+/// With `opts.parallelism > 1` (and an optimizer cost estimate above
+/// [`crate::optimizer::PARALLEL_MIN_COST`]) the executor materializes a
+/// binding frontier — the driver scan, expanded sequentially through
+/// leading pipeline steps until at least two morsels' worth of tuples
+/// exist — and partitions it into [`ExecOptions::morsel_size`]-tuple
+/// morsels which worker threads pull from a shared cursor; each worker
+/// runs the remaining probe-pipeline suffix against the shared read-only
+/// [`Database`], sorts its partial result with the final ORDER BY
+/// comparator, and the partial runs are merged pairwise (in parallel)
+/// with duplicate elimination during the merge. Because the sequential
+/// SORT tail orders rows by the ORDER BY keys *with the whole row as a
+/// tiebreak*, the output is a deterministic function of the produced row
+/// multiset — so the parallel path is bit-identical to the sequential
+/// one, and all row/probe counters in [`ExecStats`] match exactly at any
+/// degree.
+pub fn execute_rows_opts(
+    db: &Database,
+    plan: &PhysPlan,
+    opts: &ExecOptions,
+) -> (Vec<Vec<u32>>, ExecStats) {
+    let mut stats = ExecStats::shaped(plan.steps.len() + 1);
     // Compile residual predicates once (id-compared fast atoms).
     let driver_fast = compile_atoms(db, &plan.driver.residual);
     let step_fast: Vec<Vec<FastAtom>> =
         plan.steps.iter().map(|s| compile_atoms(db, &s.access().residual)).collect();
-    // Pre-build hash tables. Build-side residuals that mention outer
-    // aliases cannot run yet; they are re-checked at probe time.
+    // Pre-build hash tables (sequential: build cost is charged once and is
+    // usually dwarfed by the probe pipeline). Build-side residuals that
+    // mention outer aliases cannot run yet; they are re-checked at probe
+    // time.
+    let hash_tables = build_hash_tables(db, plan, &mut stats);
+
+    let workers = crate::optimizer::parallel_degree(plan, opts.parallelism);
+    let rows = if workers <= 1 {
+        execute_sequential(db, plan, &driver_fast, &step_fast, &hash_tables, &mut stats)
+    } else {
+        execute_parallel(db, plan, opts, workers, &driver_fast, &step_fast, &hash_tables, &mut stats)
+    };
+
+    let out = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Int(i) => *i as u32,
+                    other => panic!("select column holds non-node value {other}"),
+                })
+                .collect()
+        })
+        .collect();
+    if jgi_obs::is_active() {
+        // One dump per execution, off the per-row path. (The obs recorder
+        // is thread-local, so workers never record; the merged stats are
+        // emitted here, on the scheduling thread.)
+        jgi_obs::counter("exec.raw_rows", stats.raw_rows);
+        jgi_obs::counter("exec.sort_rows", stats.sort_rows);
+        jgi_obs::counter("exec.dedup_removed", stats.dedup_removed);
+        for op in &stats.per_op {
+            jgi_obs::counter("exec.rows_in", op.rows_in);
+            jgi_obs::counter("exec.rows_out", op.rows_out);
+            jgi_obs::counter("exec.index_probes", op.index_probes);
+            jgi_obs::counter("exec.comparisons", op.comparisons);
+        }
+        jgi_obs::counter("exec.parallel.requested", opts.parallelism as u64);
+        jgi_obs::counter("exec.parallel.workers", stats.parallel_workers);
+        jgi_obs::counter("exec.parallel.morsels", stats.parallel_morsels);
+        jgi_obs::counter("exec.parallel.depth", stats.parallel_depth);
+        if opts.parallelism > 1 && stats.parallel_workers <= 1 {
+            jgi_obs::counter("exec.parallel.suppressed", 1);
+        }
+    }
+    (out, stats)
+}
+
+/// Pre-build the hash-join tables for every [`Step::Hash`] in the plan.
+fn build_hash_tables(
+    db: &Database,
+    plan: &PhysPlan,
+    stats: &mut ExecStats,
+) -> Vec<Option<HashMap<Vec<Value>, Vec<u32>>>> {
     let mut hash_tables: Vec<Option<HashMap<Vec<Value>, Vec<u32>>>> =
         vec![None; plan.steps.len()];
     for (i, step) in plan.steps.iter().enumerate() {
@@ -327,42 +493,175 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
             hash_tables[i] = Some(table);
         }
     }
+    hash_tables
+}
 
+/// Recursive probe pipeline over the steps: extend the binding tuple one
+/// alias at a time, emit a SELECT row at full depth. Shared by the
+/// sequential path and every parallel worker (each worker passes its own
+/// `bindings`/`rows`/`stats`, so the hot loop never synchronizes).
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    db: &Database,
+    plan: &PhysPlan,
+    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    step_fast: &[Vec<FastAtom>],
+    depth: usize,
+    bindings: &mut Vec<u32>,
+    rows: &mut Vec<Vec<Value>>,
+    stats: &mut ExecStats,
+) {
+    if depth == plan.steps.len() {
+        let row: Vec<Value> = plan
+            .select
+            .iter()
+            .map(|cr| db.col_value(bindings[cr.alias], IndexCol::Col(cr.col)))
+            .collect();
+        stats.raw_rows += 1;
+        rows.push(row);
+        return;
+    }
+    match &plan.steps[depth] {
+        Step::Nl(access) => {
+            let snapshot = bindings.clone();
+            let counts = scan_access(db, access, &step_fast[depth], &snapshot, &mut |pre| {
+                stats.rows_scanned[depth + 1] += 1;
+                stats.per_op[depth + 1].rows_out += 1;
+                bindings[access.alias] = pre;
+                walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
+                bindings[access.alias] = u32::MAX;
+                !access.early_out
+            });
+            stats.per_op[depth + 1].absorb(counts);
+        }
+        Step::Hash { access, probe_key, .. } => {
+            let table = hash_tables[depth].as_ref().expect("hash table built");
+            stats.per_op[depth + 1].invocations += 1;
+            let key: Option<Vec<Value>> = probe_key.iter().map(|p| p.eval(db, bindings)).collect();
+            let Some(key) = key else { return };
+            let mut comparisons = 0u64;
+            let mut emitted = 0u64;
+            if let Some(matches) = table.get(&key) {
+                for &pre in matches {
+                    // Local atoms ran on the build side; the full
+                    // residual set (incl. join atoms) runs here.
+                    bindings[access.alias] = pre;
+                    let ok = step_fast[depth].iter().all(|a| {
+                        comparisons += 1;
+                        a.eval(db, bindings)
+                    });
+                    if ok {
+                        stats.rows_scanned[depth + 1] += 1;
+                        emitted += 1;
+                        walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
+                        if access.early_out {
+                            bindings[access.alias] = u32::MAX;
+                            break;
+                        }
+                    }
+                    bindings[access.alias] = u32::MAX;
+                }
+            }
+            let op = &mut stats.per_op[depth + 1];
+            op.comparisons += comparisons;
+            op.rows_out += emitted;
+        }
+    }
+}
+
+/// Positions of the ORDER BY columns inside the SELECT list.
+fn order_indices(plan: &PhysPlan) -> Vec<usize> {
+    plan.order_by
+        .iter()
+        .filter_map(|cr| plan.select.iter().position(|s| s == cr))
+        .collect()
+}
+
+/// The SORT tail's comparator: ORDER BY keys first, then the whole row as
+/// a tiebreak. The tiebreak makes the order *total*, which is what lets
+/// the parallel path reproduce sequential output exactly — the final
+/// sequence is a function of the row multiset alone, not of arrival order.
+fn cmp_rows(a: &[Value], b: &[Value], order_idx: &[usize]) -> std::cmp::Ordering {
+    for &i in order_idx {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.cmp(b)
+}
+
+/// The classic single-threaded pipeline: drive the outer scan, recurse
+/// through the steps, then SORT (DISTINCT + ORDER BY).
+fn execute_sequential(
+    db: &Database,
+    plan: &PhysPlan,
+    driver_fast: &[FastAtom],
+    step_fast: &[Vec<FastAtom>],
+    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    stats: &mut ExecStats,
+) -> Vec<Vec<Value>> {
+    stats.parallel_workers = 1;
     let mut bindings = vec![u32::MAX; plan.n_aliases];
     let mut rows: Vec<Vec<Value>> = Vec::new();
-    let select = &plan.select;
+    let driver = &plan.driver;
+    let counts = scan_access(db, driver, driver_fast, &bindings.clone(), &mut |pre| {
+        stats.rows_scanned[0] += 1;
+        stats.per_op[0].rows_out += 1;
+        bindings[driver.alias] = pre;
+        walk(db, plan, hash_tables, step_fast, 0, &mut bindings, &mut rows, stats);
+        bindings[driver.alias] = u32::MAX;
+        true
+    });
+    stats.per_op[0].absorb(counts);
 
-    // Recursive pipeline over the steps.
-    #[allow(clippy::too_many_arguments)]
-    fn walk(
-        db: &Database,
-        plan: &PhysPlan,
-        hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
-        step_fast: &[Vec<FastAtom>],
-        depth: usize,
-        bindings: &mut Vec<u32>,
-        rows: &mut Vec<Vec<Value>>,
-        stats: &mut ExecStats,
-    ) {
-        if depth == plan.steps.len() {
-            let row: Vec<Value> = plan
-                .select
-                .iter()
-                .map(|cr| db.col_value(bindings[cr.alias], IndexCol::Col(cr.col)))
-                .collect();
-            stats.raw_rows += 1;
-            rows.push(row);
-            return;
-        }
+    let order_idx = order_indices(plan);
+    sort_tail(rows, &order_idx, plan.distinct, stats)
+}
+
+/// The SORT tail shared by every single-threaded finish: DISTINCT (plain
+/// sort + dedup) followed by the ORDER BY sort under the total-order
+/// comparator.
+fn sort_tail(
+    mut rows: Vec<Vec<Value>>,
+    order_idx: &[usize],
+    distinct: bool,
+    stats: &mut ExecStats,
+) -> Vec<Vec<Value>> {
+    stats.sort_rows = rows.len() as u64;
+    if distinct {
+        rows.sort();
+        rows.dedup();
+        stats.dedup_removed = stats.sort_rows - rows.len() as u64;
+    }
+    rows.sort_by(|a, b| cmp_rows(a, b, order_idx));
+    rows
+}
+
+/// Expand the binding frontier through one pipeline step on the
+/// scheduling thread. This is `walk` at a single depth, breadth-first:
+/// the same scans, the same residual checks, the same early-out cutoffs,
+/// charging the same counters — but materializing the extended binding
+/// tuples instead of recursing.
+fn expand_level(
+    db: &Database,
+    plan: &PhysPlan,
+    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    step_fast: &[Vec<FastAtom>],
+    depth: usize,
+    frontier: Vec<Vec<u32>>,
+    stats: &mut ExecStats,
+) -> Vec<Vec<u32>> {
+    let mut next: Vec<Vec<u32>> = Vec::with_capacity(frontier.len());
+    for bindings in &frontier {
         match &plan.steps[depth] {
             Step::Nl(access) => {
-                let snapshot = bindings.clone();
-                let counts = scan_access(db, access, &step_fast[depth], &snapshot, &mut |pre| {
+                let counts = scan_access(db, access, &step_fast[depth], bindings, &mut |pre| {
                     stats.rows_scanned[depth + 1] += 1;
                     stats.per_op[depth + 1].rows_out += 1;
-                    bindings[access.alias] = pre;
-                    walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
-                    bindings[access.alias] = u32::MAX;
+                    let mut b = bindings.clone();
+                    b[access.alias] = pre;
+                    next.push(b);
                     !access.early_out
                 });
                 stats.per_op[depth + 1].absorb(counts);
@@ -372,28 +671,25 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
                 stats.per_op[depth + 1].invocations += 1;
                 let key: Option<Vec<Value>> =
                     probe_key.iter().map(|p| p.eval(db, bindings)).collect();
-                let Some(key) = key else { return };
+                let Some(key) = key else { continue };
                 let mut comparisons = 0u64;
                 let mut emitted = 0u64;
                 if let Some(matches) = table.get(&key) {
+                    let mut probe = bindings.clone();
                     for &pre in matches {
-                        // Local atoms ran on the build side; the full
-                        // residual set (incl. join atoms) runs here.
-                        bindings[access.alias] = pre;
+                        probe[access.alias] = pre;
                         let ok = step_fast[depth].iter().all(|a| {
                             comparisons += 1;
-                            a.eval(db, bindings)
+                            a.eval(db, &probe)
                         });
                         if ok {
                             stats.rows_scanned[depth + 1] += 1;
                             emitted += 1;
-                            walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
+                            next.push(probe.clone());
                             if access.early_out {
-                                bindings[access.alias] = u32::MAX;
                                 break;
                             }
                         }
-                        bindings[access.alias] = u32::MAX;
                     }
                 }
                 let op = &mut stats.per_op[depth + 1];
@@ -402,64 +698,217 @@ pub fn execute_rows_with_stats(db: &Database, plan: &PhysPlan) -> (Vec<Vec<u32>>
             }
         }
     }
+    next
+}
 
-    // Driver.
-    let driver = &plan.driver;
-    let counts = scan_access(db, driver, &driver_fast, &bindings.clone(), &mut |pre| {
-        stats.rows_scanned[0] += 1;
-        stats.per_op[0].rows_out += 1;
-        bindings[driver.alias] = pre;
-        walk(db, plan, &hash_tables, &step_fast, 0, &mut bindings, &mut rows, &mut stats);
-        bindings[driver.alias] = u32::MAX;
+/// Morsel-driven parallel pipeline.
+///
+/// The scheduling thread materializes a *binding frontier*: the driver's
+/// matching rows, expanded sequentially through as many leading pipeline
+/// steps as it takes for the frontier to be worth partitioning. (XQuery
+/// join graphs routinely drive from the most selective access — often a
+/// document-root or constant-value scan producing a handful of rows — so
+/// partitioning the driver alone would leave most plans with a single
+/// morsel.) Worker threads then pull [`ExecOptions::morsel_size`]-tuple
+/// morsels of the frontier from a shared atomic cursor and run the
+/// remaining pipeline suffix; each worker sorts its partial result with
+/// the final comparator, and the sorted runs are merged pairwise with
+/// DISTINCT elimination during the merge.
+#[allow(clippy::too_many_arguments)]
+fn execute_parallel(
+    db: &Database,
+    plan: &PhysPlan,
+    opts: &ExecOptions,
+    workers: usize,
+    driver_fast: &[FastAtom],
+    step_fast: &[Vec<FastAtom>],
+    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    stats: &mut ExecStats,
+) -> Vec<Vec<Value>> {
+    // Materialize the driver into binding tuples. The scan performs
+    // exactly the work the sequential driver would (same probes, same
+    // residual checks), so the driver operator's counters are unchanged.
+    let empty = vec![u32::MAX; plan.n_aliases];
+    let mut frontier: Vec<Vec<u32>> = Vec::new();
+    let counts = scan_access(db, &plan.driver, driver_fast, &empty, &mut |pre| {
+        let mut b = empty.clone();
+        b[plan.driver.alias] = pre;
+        frontier.push(b);
         true
     });
+    stats.rows_scanned[0] = frontier.len() as u64;
+    stats.per_op[0].rows_out = frontier.len() as u64;
     stats.per_op[0].absorb(counts);
 
-    // SORT tail: DISTINCT + ORDER BY, then RETURN the item column.
-    stats.sort_rows = rows.len() as u64;
-    if plan.distinct {
-        rows.sort();
-        rows.dedup();
-        stats.dedup_removed = stats.sort_rows - rows.len() as u64;
+    let morsel = opts.morsel_size.max(1);
+    // Expand leading steps sequentially until at least two morsels' worth
+    // of tuples exist — the minimum at which fan-out is possible at all.
+    // Expansion performs exactly the scans `walk` would at that depth
+    // (breadth-first instead of depth-first), so every per-operator
+    // counter stays identical to the sequential run.
+    let mut depth = 0usize;
+    while depth < plan.steps.len() && frontier.len() < 2 * morsel {
+        frontier = expand_level(db, plan, hash_tables, step_fast, depth, frontier, stats);
+        depth += 1;
     }
-    let order_idx: Vec<usize> = plan
-        .order_by
-        .iter()
-        .filter_map(|cr| select.iter().position(|s| s == cr))
-        .collect();
-    rows.sort_by(|a, b| {
-        for &i in &order_idx {
-            match a[i].cmp(&b[i]) {
-                std::cmp::Ordering::Equal => continue,
-                other => return other,
+    stats.parallel_depth = depth as u64;
+    let order_idx = order_indices(plan);
+
+    if depth == plan.steps.len() {
+        // The pipeline was exhausted before the frontier got wide enough:
+        // the query is too small to fan out, and the frontier tuples ARE
+        // the result bindings. Emit and sort inline.
+        stats.parallel_workers = 1;
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(frontier.len());
+        for bindings in &frontier {
+            let row: Vec<Value> = plan
+                .select
+                .iter()
+                .map(|cr| db.col_value(bindings[cr.alias], IndexCol::Col(cr.col)))
+                .collect();
+            stats.raw_rows += 1;
+            rows.push(row);
+        }
+        return sort_tail(rows, &order_idx, plan.distinct, stats);
+    }
+
+    let n_morsels = frontier.len().div_ceil(morsel);
+    // No point spinning up more workers than there are morsels.
+    let workers = workers.min(n_morsels).max(1);
+    stats.parallel_workers = workers as u64;
+    stats.parallel_morsels = n_morsels as u64;
+    let n_ops = plan.steps.len() + 1;
+
+    if workers == 1 {
+        // Degenerate fan-out (the whole frontier fits in one morsel): run
+        // the pipeline suffix inline on the scheduling thread.
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut bindings = vec![u32::MAX; plan.n_aliases];
+        for tuple in &frontier {
+            bindings.clone_from(tuple);
+            walk(db, plan, hash_tables, step_fast, depth, &mut bindings, &mut rows, stats);
+        }
+        return sort_tail(rows, &order_idx, plan.distinct, stats);
+    }
+
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let worker_out: Vec<(Vec<Vec<Value>>, ExecStats)> = std::thread::scope(|s| {
+        let frontier = &frontier;
+        let order_idx = &order_idx;
+        let cursor = &cursor;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut local = ExecStats::shaped(n_ops);
+                    let mut rows: Vec<Vec<Value>> = Vec::new();
+                    let mut bindings = vec![u32::MAX; plan.n_aliases];
+                    loop {
+                        let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let lo = m * morsel;
+                        let hi = (lo + morsel).min(frontier.len());
+                        for tuple in &frontier[lo..hi] {
+                            bindings.clone_from(tuple);
+                            walk(
+                                db, plan, hash_tables, step_fast, depth, &mut bindings, &mut rows,
+                                &mut local,
+                            );
+                        }
+                    }
+                    // Sort the partial run with the *final* comparator so
+                    // the merge is a pure order-preserving interleave, and
+                    // drop worker-local duplicates right away (the total
+                    // order puts equal rows adjacent).
+                    local.sort_rows = rows.len() as u64;
+                    rows.sort_by(|a, b| cmp_rows(a, b, order_idx));
+                    if plan.distinct {
+                        rows.dedup();
+                    }
+                    (rows, local)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("executor worker panicked")).collect()
+    });
+
+    let mut runs: Vec<Vec<Vec<Value>>> = Vec::with_capacity(workers);
+    for (rows, local) in worker_out {
+        stats.absorb_worker(&local);
+        if !rows.is_empty() {
+            runs.push(rows);
+        }
+    }
+    let merged = merge_runs(runs, &order_idx, plan.distinct);
+    if plan.distinct {
+        stats.dedup_removed = stats.sort_rows - merged.len() as u64;
+    }
+    merged
+}
+
+/// A worker's sorted partial result: rows in [`cmp_rows`] order.
+type Run = Vec<Vec<Value>>;
+
+/// Merge sorted runs pairwise, a parallel round per level, until one run
+/// remains. Cross-run duplicates are eliminated during the merge (the
+/// per-worker sorts already removed within-run duplicates).
+fn merge_runs(mut runs: Vec<Run>, order_idx: &[usize], distinct: bool) -> Run {
+    loop {
+        match runs.len() {
+            0 => return Vec::new(),
+            1 => return runs.pop().expect("one run"),
+            _ => {}
+        }
+        let mut next: Vec<Run> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut pairs: Vec<(Run, Run)> = Vec::new();
+        let mut iter = runs.drain(..);
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                Some(b) => pairs.push((a, b)),
+                None => next.push(a), // odd run passes through to the next round
             }
         }
-        a.cmp(b)
-    });
-    let out = rows
-        .iter()
-        .map(|r| {
-            r.iter()
-                .map(|v| match v {
-                    Value::Int(i) => *i as u32,
-                    other => panic!("select column holds non-node value {other}"),
-                })
-                .collect()
-        })
-        .collect();
-    if jgi_obs::is_active() {
-        // One dump per execution, off the per-row path.
-        jgi_obs::counter("exec.raw_rows", stats.raw_rows);
-        jgi_obs::counter("exec.sort_rows", stats.sort_rows);
-        jgi_obs::counter("exec.dedup_removed", stats.dedup_removed);
-        for op in &stats.per_op {
-            jgi_obs::counter("exec.rows_in", op.rows_in);
-            jgi_obs::counter("exec.rows_out", op.rows_out);
-            jgi_obs::counter("exec.index_probes", op.index_probes);
-            jgi_obs::counter("exec.comparisons", op.comparisons);
-        }
+        drop(iter);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .into_iter()
+                .map(|(a, b)| s.spawn(move || merge_two(a, b, order_idx, distinct)))
+                .collect();
+            for h in handles {
+                next.push(h.join().expect("merge worker panicked"));
+            }
+        });
+        runs = next;
     }
-    (out, stats)
+}
+
+/// Standard two-way merge under [`cmp_rows`]; equal rows collapse to one
+/// when `distinct` (they are adjacent in the merged order, so comparing
+/// against the last emitted row suffices).
+fn merge_two(
+    a: Vec<Vec<Value>>,
+    b: Vec<Vec<Value>>,
+    order_idx: &[usize],
+    distinct: bool,
+) -> Vec<Vec<Value>> {
+    let mut out: Vec<Vec<Value>> = Vec::with_capacity(a.len() + b.len());
+    let mut ai = a.into_iter().peekable();
+    let mut bi = b.into_iter().peekable();
+    loop {
+        let take_a = match (ai.peek(), bi.peek()) {
+            (Some(x), Some(y)) => cmp_rows(x, y, order_idx) != std::cmp::Ordering::Greater,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let row = if take_a { ai.next().expect("peeked") } else { bi.next().expect("peeked") };
+        if distinct && out.last() == Some(&row) {
+            continue;
+        }
+        out.push(row);
+    }
+    out
 }
 
 /// Run an access: call `f(pre)` for every matching row; `f` returns false
@@ -723,6 +1172,155 @@ mod tests {
             s2.raw_rows
         );
         assert!(!r1.is_empty());
+    }
+
+    /// Morsel-driven execution must be bit-identical to sequential and
+    /// report the same work counters at every degree.
+    #[test]
+    fn parallel_matches_sequential() {
+        let db = db();
+        let nksp = db.indexes.iter().position(|i| i.name == "nksp").unwrap();
+        let oa = ColRef { alias: 0, col: DocCol::Pre };
+        let mut plan = PhysPlan {
+            n_aliases: 2,
+            driver: Access {
+                alias: 0,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("open_auction".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range: None,
+                },
+                residual: vec![],
+                all_atoms: vec![],
+                early_out: false,
+                est_rows: 0.0,
+            },
+            steps: vec![Step::Nl(Access {
+                alias: 1,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("bidder".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range: None,
+                },
+                residual: vec![
+                    CqAtom {
+                        lhs: CqScalar::Col(oa),
+                        op: CmpOp::Lt,
+                        rhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                    },
+                    CqAtom {
+                        lhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                        op: CmpOp::Le,
+                        rhs: CqScalar::ColPlusCol(oa, ColRef { alias: 0, col: DocCol::Size }),
+                    },
+                ],
+                all_atoms: vec![],
+                early_out: false,
+                est_rows: 0.0,
+            })],
+            select: vec![
+                ColRef { alias: 0, col: DocCol::Pre },
+                ColRef { alias: 1, col: DocCol::Pre },
+            ],
+            distinct: true,
+            order_by: vec![ColRef { alias: 1, col: DocCol::Pre }],
+            item_output: 1,
+            // Large enough that optimizer::parallel_degree lets it fan out.
+            est_cost: 1e9,
+            est_rows: 0.0,
+        };
+        let (seq_rows, seq_stats) = execute_rows_opts(&db, &plan, &ExecOptions::default());
+        for degree in [2usize, 3, 8] {
+            // A morsel size small enough that several morsels exist.
+            let opts = ExecOptions { parallelism: degree, morsel_size: 4 };
+            let (par_rows, par_stats) = execute_rows_opts(&db, &plan, &opts);
+            assert_eq!(seq_rows, par_rows, "divergence at degree {degree}");
+            assert_eq!(seq_stats.raw_rows, par_stats.raw_rows);
+            assert_eq!(seq_stats.sort_rows, par_stats.sort_rows);
+            assert_eq!(seq_stats.dedup_removed, par_stats.dedup_removed);
+            assert_eq!(seq_stats.rows_scanned, par_stats.rows_scanned);
+            assert_eq!(seq_stats.per_op, par_stats.per_op);
+            assert!(par_stats.parallel_workers > 1, "expected fan-out at degree {degree}");
+            assert!(par_stats.parallel_morsels > 1);
+        }
+        // The cost gate keeps cheap plans sequential even when asked.
+        plan.est_cost = 0.0;
+        let (gated_rows, gated_stats) =
+            execute_rows_opts(&db, &plan, &ExecOptions::with_parallelism(8));
+        assert_eq!(seq_rows, gated_rows);
+        assert_eq!(gated_stats.parallel_workers, 1);
+        assert_eq!(gated_stats.parallel_morsels, 0);
+    }
+
+    /// Early-out semijoins prune within one driver row, so the saved work
+    /// must be identical under partitioning too.
+    #[test]
+    fn parallel_early_out_stats_match() {
+        let db = db();
+        let nksp = db.indexes.iter().position(|i| i.name == "nksp").unwrap();
+        let oa_pre = ColRef { alias: 0, col: DocCol::Pre };
+        let plan = PhysPlan {
+            n_aliases: 2,
+            driver: Access {
+                alias: 0,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("open_auction".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range: None,
+                },
+                residual: vec![],
+                all_atoms: vec![],
+                early_out: false,
+                est_rows: 0.0,
+            },
+            steps: vec![Step::Nl(Access {
+                alias: 1,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("bidder".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range: None,
+                },
+                residual: vec![
+                    CqAtom {
+                        lhs: CqScalar::Col(oa_pre),
+                        op: CmpOp::Lt,
+                        rhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                    },
+                    CqAtom {
+                        lhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                        op: CmpOp::Le,
+                        rhs: CqScalar::ColPlusCol(oa_pre, ColRef { alias: 0, col: DocCol::Size }),
+                    },
+                ],
+                all_atoms: vec![],
+                early_out: true,
+                est_rows: 0.0,
+            })],
+            select: vec![oa_pre],
+            distinct: true,
+            order_by: vec![oa_pre],
+            item_output: 0,
+            est_cost: 1e9,
+            est_rows: 0.0,
+        };
+        let (seq, s1) = execute_rows_opts(&db, &plan, &ExecOptions::default());
+        let (par, s2) =
+            execute_rows_opts(&db, &plan, &ExecOptions { parallelism: 8, morsel_size: 3 });
+        assert_eq!(seq, par);
+        assert_eq!(s1.per_op, s2.per_op, "early-out savings must not depend on partitioning");
+        assert_eq!(s1.raw_rows, s2.raw_rows);
     }
 
     #[test]

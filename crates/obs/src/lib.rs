@@ -1,4 +1,8 @@
-//! Observability for the join-graph-isolation pipeline.
+//! # jgi-obs — observability for the join-graph-isolation pipeline
+//!
+//! The measurement substrate behind the paper's evaluation (§5): every
+//! number in the Table 9 harness, the `EXPLAIN ANALYZE` actuals, and the
+//! serve-layer reports flows through the recorders in this crate.
 //!
 //! Three pieces, all std-only (no external dependencies):
 //!

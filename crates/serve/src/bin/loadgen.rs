@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--threads N] [--duration 2s|500ms] [--workers N]
 //!         [--engine joingraph] [--xmark-scale F] [--dblp-pubs N]
-//!         [--cache N] [--out BENCH_serve.json]
+//!         [--cache N] [--parallelism N|auto] [--out BENCH_serve.json]
 //! ```
 //!
 //! Measures a single-thread fresh-`Session`-per-query baseline, then
@@ -16,10 +16,36 @@
 use jgi_serve::{run_load, LoadConfig};
 use std::time::Duration;
 
+const HELP: &str = "\
+loadgen - closed-loop load generator over the Q1-Q8 paper corpus
+
+usage: loadgen [OPTIONS]
+
+options:
+  --threads N           closed-loop client threads (default: 8)
+  --duration D          measured duration of the concurrent phase; accepts
+                        seconds or `500ms`/`2s` suffixes (default: 2s)
+  --workers N           server worker threads (default: available cores)
+  --engine E            back-end: joingraph | stacked | navwhole | navseg
+                        (default: joingraph)
+  --xmark-scale F       XMark document scale factor, seed 42 (default: 0.002)
+  --dblp-pubs N         DBLP publication count, seed 42 (default: 300)
+  --cache N             prepared-plan cache capacity (default: 64)
+  --parallelism N|auto  per-query morsel-driven parallelism, applied to the
+                        baseline sessions and the server alike (default: 1)
+  --out PATH            where the BENCH_serve.json row is written
+                        (default: BENCH_serve.json)
+  -h, --help            print this help and exit
+
+Measures a single-thread fresh-Session-per-query baseline, then drives the
+shared server from N client threads, verifying every result against the
+baseline. Exits non-zero on result divergence or request errors.";
+
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
-         [--xmark-scale F] [--dblp-pubs N] [--cache N] [--out PATH]"
+         [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] [--out PATH] \
+         (--help for details)"
     );
     std::process::exit(2)
 }
@@ -61,8 +87,14 @@ fn main() {
             "--cache" => {
                 cfg.cache_capacity = val("--cache").parse().unwrap_or_else(|_| usage())
             }
+            "--parallelism" => {
+                cfg.parallelism = val("--parallelism").parse().unwrap_or_else(|_| usage())
+            }
             "--out" => out = val("--out"),
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 usage()

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N]
+//!            [--parallelism N|auto]
 //!            [--preload xmark:SCALE:SEED] [--preload dblp:PUBS:SEED]
 //! ```
 //!
@@ -10,8 +11,10 @@
 //! `--listen HOST:PORT`, accepts TCP connections, one protocol session
 //! per connection, one thread per connection; all connections share the
 //! same snapshot, plan cache, and worker pool.
+//!
+//! The wire protocol is specified in `PROTOCOL.md` at the repository
+//! root.
 
-use jgi_core::Budgets;
 use jgi_serve::protocol::{handle_command, parse_command, Command};
 use jgi_serve::{ServeConfig, Server};
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
@@ -19,17 +22,41 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
 use std::sync::Arc;
 
+const HELP: &str = "\
+jgi-served - join-graph query service speaking the PROTOCOL.md line protocol
+
+usage: jgi-served [OPTIONS]
+
+options:
+  --listen ADDR         accept TCP connections on ADDR (host:port); without
+                        this flag the protocol runs on stdin/stdout
+  --workers N           executor worker threads (default: available cores)
+  --queue N             bounded admission-queue depth; a full queue sheds
+                        requests with an `overloaded` error (default: 64)
+  --cache N             prepared-plan cache capacity, in plans (default: 256)
+  --parallelism N|auto  per-query morsel-driven parallelism for the
+                        join-graph executor; `auto` = available cores
+                        (default: 1 - a loaded service parallelizes across
+                        requests, per-query fan-out is opt-in)
+  --preload SPEC        load a synthetic document before serving; SPEC is
+                        xmark:SCALE:SEED or dblp:PUBS:SEED (repeatable)
+  -h, --help            print this help and exit
+
+Commands (one per line): LOAD, PREPARE, EXEC, EXPLAIN, STATS, QUIT.
+One JSON reply per line; see PROTOCOL.md for request/response shapes.";
+
 fn usage() -> ! {
     eprintln!(
         "usage: jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N] \
-         [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]..."
+         [--parallelism N|auto] [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]... \
+         (--help for details)"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let mut listen: Option<String> = None;
-    let mut config = ServeConfig { budgets: Budgets::default(), ..ServeConfig::default() };
+    let mut config = ServeConfig::default();
     let mut preloads: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -44,8 +71,15 @@ fn main() {
             "--cache" => {
                 config.cache_capacity = val("--cache").parse().unwrap_or_else(|_| usage())
             }
+            "--parallelism" => {
+                config.budgets.parallelism =
+                    val("--parallelism").parse().unwrap_or_else(|_| usage())
+            }
             "--preload" => preloads.push(val("--preload")),
-            "--help" | "-h" => usage(),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 usage()

@@ -15,7 +15,8 @@
 //!   admission queue (full queue = immediate [`ServeError::Overloaded`]
 //!   shed), per-request deadlines, structured errors end-to-end;
 //! * [`protocol`] — the `jgi-served` line protocol (`LOAD` / `PREPARE` /
-//!   `EXEC` / `EXPLAIN` / `STATS`, one JSON reply per line);
+//!   `EXEC` / `EXPLAIN` / `STATS`, one JSON reply per line — the wire
+//!   format is specified in PROTOCOL.md at the repository root);
 //! * [`load`] — the closed-loop `loadgen` harness replaying the Q1–Q8
 //!   corpus and emitting a `BENCH_serve.json` row from the service's
 //!   `jgi-obs` histograms.

@@ -20,7 +20,7 @@
 use crate::cache::CacheStats;
 use crate::server::{ServeConfig, Server};
 use jgi_core::queries::paper_corpus;
-use jgi_core::{Engine, Session};
+use jgi_core::{Budgets, Engine, Parallelism, Session};
 use jgi_obs::{Json, Metrics};
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use jgi_xml::Tree;
@@ -48,6 +48,10 @@ pub struct LoadConfig {
     pub engine: Engine,
     /// Full corpus passes in the baseline measurement.
     pub baseline_passes: usize,
+    /// Intra-query parallelism for every execution (baseline and served).
+    /// Defaults to `Fixed(1)`: a loaded service gets its parallelism from
+    /// concurrent requests, so per-query fan-out is opt-in here.
+    pub parallelism: Parallelism,
 }
 
 impl Default for LoadConfig {
@@ -61,6 +65,7 @@ impl Default for LoadConfig {
             dblp_pubs: 300,
             engine: Engine::JoinGraph,
             baseline_passes: 1,
+            parallelism: Parallelism::Fixed(1),
         }
     }
 }
@@ -119,6 +124,7 @@ impl LoadSummary {
             ("bench", Json::str("serve")),
             ("threads", Json::UInt(self.config.threads as u64)),
             ("workers", Json::UInt(self.config.workers as u64)),
+            ("parallelism", Json::str(self.config.parallelism.to_string())),
             ("engine", Json::str(self.config.engine.name())),
             ("xmark_scale", Json::Num(self.config.xmark_scale)),
             ("dblp_pubs", Json::UInt(self.config.dblp_pubs as u64)),
@@ -149,11 +155,12 @@ impl LoadSummary {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "serve load: {} threads x {:?} over Q1-Q8 ({} workers, engine {})",
+            "serve load: {} threads x {:?} over Q1-Q8 ({} workers, engine {}, parallelism {})",
             self.config.threads,
             self.elapsed,
             self.config.workers,
-            self.config.engine.name()
+            self.config.engine.name(),
+            self.config.parallelism
         );
         let _ = writeln!(
             out,
@@ -207,6 +214,7 @@ fn baseline(
     for _ in 0..passes {
         for &(name, query, ctx) in &corpus {
             let mut session = Session::new();
+            session.budgets.parallelism = cfg.parallelism;
             session.add_tree(xmark.clone());
             session.add_tree(dblp.clone());
             let prepared = session.prepare(query, ctx).expect("corpus compiles");
@@ -233,7 +241,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
         queue_depth: cfg.threads.max(4) * 2,
         cache_capacity: cfg.cache_capacity,
         default_deadline: None,
-        budgets: Default::default(),
+        budgets: Budgets { parallelism: cfg.parallelism, ..Budgets::default() },
     }));
     server.add_tree(xmark);
     server.add_tree(dblp);
@@ -335,6 +343,7 @@ mod tests {
                 "bench",
                 "threads",
                 "workers",
+                "parallelism",
                 "engine",
                 "xmark_scale",
                 "dblp_pubs",

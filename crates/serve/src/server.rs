@@ -36,7 +36,10 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that don't carry their own.
     pub default_deadline: Option<Duration>,
-    /// Execution budgets baked into every published snapshot.
+    /// Execution budgets baked into every published snapshot. The default
+    /// pins `budgets.parallelism` to `Fixed(1)`: a loaded service already
+    /// saturates the cores with concurrent requests, so per-query morsel
+    /// fan-out is an explicit opt-in (`jgi-served --parallelism`).
     pub budgets: Budgets,
 }
 
@@ -47,7 +50,10 @@ impl Default for ServeConfig {
             queue_depth: 64,
             cache_capacity: 256,
             default_deadline: None,
-            budgets: Budgets::default(),
+            budgets: Budgets {
+                parallelism: jgi_core::Parallelism::Fixed(1),
+                ..Budgets::default()
+            },
         }
     }
 }

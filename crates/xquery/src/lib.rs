@@ -11,7 +11,7 @@
 //!
 //! 1. [`lexer`] — tokenization;
 //! 2. [`parser`] — recursive descent into the surface [`ast`];
-//! 3. [`normalize`] — **XQuery Core normalization** (paper §2.3): insert
+//! 3. [`normalize()`] — **XQuery Core normalization** (paper §2.3): insert
 //!    `fs:ddo(·)` after location steps, wrap conditional tests in
 //!    `fn:boolean(·)`, expand predicates into `for`/`if`, desugar `//`, `@`,
 //!    `where` and `and`; the result is the [`core`] dialect that the

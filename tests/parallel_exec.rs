@@ -1,0 +1,220 @@
+//! Sequential-equivalence suite for the morsel-driven parallel executor.
+//!
+//! The parallel path must be invisible: at any parallelism degree the
+//! join-graph engine has to produce the byte-identical node sequence
+//! (order and duplicates included) *and* the identical row-count
+//! statistics — every scan, probe, and comparison counter, not just the
+//! result. Three layers of evidence:
+//!
+//! * the Q1–Q8 paper corpus at degrees 1, 2, and 8 over XMark + DBLP,
+//! * cross-engine agreement (stacked plan, both navigational modes)
+//!   against the join-graph back-end running at degree 8,
+//! * property tests over random documents × random workhorse queries,
+//!   driving `execute_rows_opts` directly with the cost gate forced open
+//!   and a tiny morsel size so even toy plans fan out.
+
+use jgi_compiler::compile;
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Parallelism, Session};
+use jgi_engine::physical::{execute_rows_opts, ExecOptions, ExecStats};
+use jgi_engine::{optimizer, Database};
+use jgi_rewrite::{extract_cq, isolate};
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use jgi_xml::{DocStore, Tree};
+use jgi_xquery::compile_to_core;
+use proptest::prelude::*;
+
+fn corpus_session(scale: f64, pubs: usize) -> Session {
+    let mut s = Session::new();
+    s.add_tree(generate_xmark(XmarkConfig { scale, seed: 42 }));
+    s.add_tree(generate_dblp(DblpConfig { publications: pubs, seed: 42 }));
+    s
+}
+
+/// Every counter that must not depend on the parallelism degree. Only
+/// `parallel_workers` / `parallel_morsels` / `parallel_depth` may differ
+/// between runs.
+fn assert_stats_invariant(name: &str, degree: usize, seq: &ExecStats, par: &ExecStats) {
+    assert_eq!(seq.raw_rows, par.raw_rows, "{name}: raw_rows changed at degree {degree}");
+    assert_eq!(seq.sort_rows, par.sort_rows, "{name}: sort_rows changed at degree {degree}");
+    assert_eq!(
+        seq.dedup_removed, par.dedup_removed,
+        "{name}: dedup_removed changed at degree {degree}"
+    );
+    assert_eq!(
+        seq.rows_scanned, par.rows_scanned,
+        "{name}: rows_scanned changed at degree {degree}"
+    );
+    assert_eq!(seq.per_op, par.per_op, "{name}: per-operator actuals changed at degree {degree}");
+}
+
+/// Q1–Q8 on the join-graph engine: identical nodes and identical
+/// row-count statistics at parallelism 1, 2, and 8.
+#[test]
+fn corpus_identical_across_degrees() {
+    let mut session = corpus_session(0.005, 1000);
+    for &(name, query, ctx) in &paper_corpus() {
+        let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        session.budgets.parallelism = Parallelism::Fixed(1);
+        let base = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+        let base_exec = base.report.exec.clone().expect("join-graph reports exec stats");
+        for degree in [2usize, 8] {
+            session.budgets.parallelism = Parallelism::Fixed(degree);
+            let out = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+            assert_eq!(out.nodes, base.nodes, "{name}: result diverged at degree {degree}");
+            let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
+            assert_stats_invariant(name, degree, &base_exec, exec);
+        }
+    }
+}
+
+/// At least one corpus query must actually fan out at degree 8 — guards
+/// against the cost gate or the frontier expansion silently suppressing
+/// parallelism everywhere (which would make the suite vacuous).
+#[test]
+fn corpus_fans_out_at_degree_8() {
+    let mut session = corpus_session(0.005, 1000);
+    session.budgets.parallelism = Parallelism::Fixed(8);
+    let mut fanned_out = 0usize;
+    for &(name, query, ctx) in &paper_corpus() {
+        let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        let out = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+        let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
+        if exec.parallel_workers > 1 {
+            assert!(exec.parallel_morsels > 1, "{name}: multiple workers but a single morsel");
+            fanned_out += 1;
+        }
+    }
+    assert!(fanned_out > 0, "no corpus query fanned out at degree 8 (scale 0.005)");
+}
+
+/// The independent back-ends agree with the parallel join-graph engine:
+/// stacked plan interpretation and both navigational modes never see the
+/// executor's threads, so they pin down the expected answer.
+#[test]
+fn corpus_agrees_across_engines_at_degree_8() {
+    let mut session = corpus_session(0.002, 300);
+    session.budgets.parallelism = Parallelism::Fixed(8);
+    for &(name, query, ctx) in &paper_corpus() {
+        let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        let jg = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+        for engine in [Engine::Stacked, Engine::NavWhole, Engine::NavSegmented] {
+            let other = session.execute(&prepared, engine).expect("corpus executes");
+            assert_eq!(
+                other.nodes, jg.nodes,
+                "{name}: {engine:?} disagrees with the parallel join-graph engine"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Random documents × random queries (compact variant of the differential
+// suite's generators; see tests/differential.rs)
+// ---------------------------------------------------------------------------
+
+const TAGS: &[&str] = &["a", "b", "c"];
+const TEXTS: &[&str] = &["1", "2", "15", "alpha"];
+
+#[derive(Debug, Clone)]
+enum GenNode {
+    Elem { tag: usize, children: Vec<GenNode> },
+    Text(usize),
+}
+
+fn gen_node(depth: u32) -> impl Strategy<Value = GenNode> {
+    let leaf = prop_oneof![
+        (0..TAGS.len()).prop_map(|tag| GenNode::Elem { tag, children: vec![] }),
+        (0..TEXTS.len()).prop_map(GenNode::Text),
+    ];
+    leaf.prop_recursive(depth, 24, 4, |inner| {
+        (0..TAGS.len(), proptest::collection::vec(inner, 0..4))
+            .prop_map(|(tag, children)| GenNode::Elem { tag, children })
+    })
+}
+
+fn build(tree: &mut Tree, parent: jgi_xml::NodeId, node: &GenNode) {
+    match node {
+        GenNode::Elem { tag, children } => {
+            let e = tree.add_element(parent, TAGS[*tag]);
+            for c in children {
+                build(tree, e, c);
+            }
+        }
+        GenNode::Text(t) => {
+            tree.add_text(parent, TEXTS[*t]);
+        }
+    }
+}
+
+fn gen_tree() -> impl Strategy<Value = Tree> {
+    proptest::collection::vec(gen_node(3), 1..5).prop_map(|roots| {
+        let mut t = Tree::new("t.xml");
+        let top = t.add_element(t.root(), "root");
+        for r in &roots {
+            build(&mut t, top, r);
+        }
+        t
+    })
+}
+
+const AXES: &[&str] = &["child", "descendant", "descendant-or-self", "following", "ancestor"];
+
+fn gen_step() -> impl Strategy<Value = String> {
+    (0..AXES.len(), prop_oneof![(0..TAGS.len()).prop_map(|t| TAGS[t].to_string()), Just("node()".to_string())])
+        .prop_map(|(a, t)| format!("{}::{}", AXES[a], t))
+}
+
+fn gen_query() -> impl Strategy<Value = String> {
+    let path = proptest::collection::vec(gen_step(), 1..4)
+        .prop_map(|steps| format!(r#"doc("t.xml")/{}"#, steps.join("/")));
+    let with_pred = (path.clone(), gen_step(), proptest::option::of(0..TEXTS.len())).prop_map(
+        |(p, cond, cmp)| match cmp {
+            Some(v) => format!(r#"{p}[{cond} = "{}"]"#, TEXTS[v]),
+            None => format!("{p}[{cond}]"),
+        },
+    );
+    let with_for = (path.clone(), proptest::collection::vec(gen_step(), 1..3))
+        .prop_map(|(p, steps)| format!("for $v in {p} return $v/{}", steps.join("/")));
+    prop_oneof![path, with_pred, with_for]
+}
+
+/// Compile a random query down to a conjunctive query, plan it, force the
+/// cost gate open, and check the parallel executor against the sequential
+/// one row-for-row and counter-for-counter.
+fn check_parallel_on(tree: &Tree, query: &str) {
+    let Ok(core) = compile_to_core(query) else { return };
+    let compiled = compile(&core).expect("compilation succeeds");
+    let mut store = DocStore::new();
+    store.add_tree(tree);
+    let mut plan = compiled.plan;
+    let (iso_root, _stats) = isolate(&mut plan, compiled.root);
+    let Ok(cq) = extract_cq(&plan, iso_root) else { return };
+    let db = Database::with_default_indexes(store);
+
+    let mut phys = optimizer::plan(&db, &cq);
+    // Force the cost gate open: random toy plans are always "too cheap",
+    // but the equivalence must hold regardless of what the gate decides.
+    phys.est_cost = 1e9;
+    let (seq_rows, seq_stats) = execute_rows_opts(&db, &phys, &ExecOptions::default());
+    for (degree, morsel_size) in [(2usize, 1usize), (4, 2), (8, 3)] {
+        let opts = ExecOptions { parallelism: degree, morsel_size };
+        let (par_rows, par_stats) = execute_rows_opts(&db, &phys, &opts);
+        assert_eq!(seq_rows, par_rows, "rows diverged on {query} at degree {degree}");
+        assert_stats_invariant(query, degree, &seq_stats, &par_stats);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        .. ProptestConfig::default()
+    })]
+
+    /// Random workhorse queries over random documents: the parallel
+    /// executor is indistinguishable from the sequential one.
+    #[test]
+    fn parallel_matches_sequential_on_random_queries(tree in gen_tree(), query in gen_query()) {
+        check_parallel_on(&tree, &query);
+    }
+}

@@ -1,0 +1,71 @@
+//! Batch predicate-kernel micro-benchmarks: each FastPred form evaluated
+//! tuple-at-a-time vs as one `eval_batch` call over a 1024-row column
+//! batch — the inner loop the vectorized pipeline replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jgi_algebra::pred::CmpOp;
+use jgi_engine::fastpred::{FastAtom, IntExpr};
+use jgi_engine::Database;
+use jgi_xml::generate::{generate_xmark, XmarkConfig};
+use jgi_xml::DocStore;
+
+const BATCH: usize = 1024;
+
+fn bench_kernels(c: &mut Criterion) {
+    let tree = generate_xmark(XmarkConfig { scale: 0.01, seed: 42 });
+    let mut store = DocStore::new();
+    store.add_tree(&tree);
+    let db = Database::new(store);
+    let n = db.store.len() as u32;
+
+    // Two bound aliases; columns cycle through the document so every
+    // batch mixes kinds, names, and values.
+    let cols: Vec<Vec<u32>> = vec![
+        (0..BATCH as u32).map(|i| (i * 7) % n).collect(),
+        (0..BATCH as u32).map(|i| (i * 13 + 5) % n).collect(),
+    ];
+
+    let atoms: Vec<(&str, FastAtom)> = vec![
+        (
+            "int_containment",
+            FastAtom::Int(IntExpr::Pre(1), CmpOp::Lt, IntExpr::PreEnd(0)),
+        ),
+        ("name_eq", FastAtom::NameEq(0, Some(3))),
+        ("value_rank_lt", FastAtom::ValueRankCmp(0, CmpOp::Lt, n / 2)),
+        ("data_cmp", FastAtom::DataCmp(0, CmpOp::Gt, 100.0)),
+        ("value_value", FastAtom::ValueValue(0, CmpOp::Eq, 1)),
+    ];
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    for (name, atom) in &atoms {
+        group.bench_function(format!("{name}/scalar"), |b| {
+            let mut bindings = [0u32; 2];
+            b.iter(|| {
+                let mut survivors = 0usize;
+                for (&a, &b) in cols[0].iter().zip(&cols[1]) {
+                    bindings[0] = a;
+                    bindings[1] = b;
+                    if atom.eval(&db, &bindings) {
+                        survivors += 1;
+                    }
+                }
+                survivors
+            })
+        });
+        group.bench_function(format!("{name}/batch"), |b| {
+            let mut sel: Vec<u32> = Vec::with_capacity(BATCH);
+            let mut scratch: Vec<u32> = Vec::with_capacity(BATCH);
+            b.iter(|| {
+                sel.clear();
+                sel.extend(0..BATCH as u32);
+                atom.eval_batch(&db, &cols, &mut sel, &mut scratch);
+                sel.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! `vector` — scalar vs vectorized single-thread execution of the Q1–Q8
+//! corpus on the join-graph back-end, across XMark scale factors.
+//!
+//! ```sh
+//! cargo run --release -p jgi-bench --bin vector -- \
+//!     [--scales 0.005,0.02] [--dblp-pubs N] [--runs N] [--batch N] \
+//!     [--out BENCH_vector.json]
+//! ```
+//!
+//! Every query runs once with the batch pipeline disabled (row-at-a-time,
+//! the allocation-fixed scalar baseline) and once vectorized; the result
+//! sequences must be byte-identical (any divergence makes the binary exit
+//! non-zero — CI smoke treats this as a hard failure). Timings are the
+//! minimum over `--runs` warm executions. One JSON object is written to
+//! `--out`; the `cores` and `batch` fields make single-core runs and
+//! non-default batch geometry self-describing.
+
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Parallelism, Session};
+use jgi_obs::Json;
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::time::Duration;
+
+const HELP: &str = "\
+vector - BENCH_vector.json: scalar vs vectorized batch-pipeline execution
+
+usage: cargo run --release -p jgi-bench --bin vector -- [OPTIONS]
+
+options:
+  --scales LIST    comma-separated XMark scale factors (default: 0.005,0.02)
+  --dblp-pubs N    DBLP publication count for Q5/Q6 (default: 3000)
+  --runs N         executions per (query, mode); min is reported (default: 3)
+  --batch N        vectorized batch size (default: engine default, 1024)
+  --out PATH       output path (default: BENCH_vector.json)
+  -h, --help       print this help and exit";
+
+fn usage() -> ! {
+    eprintln!("usage: vector [--scales F,F,...] [--dblp-pubs N] [--runs N] [--batch N] [--out PATH]");
+    std::process::exit(2)
+}
+
+struct QueryRow {
+    name: &'static str,
+    result_nodes: u64,
+    scalar_us: u64,
+    vector_us: u64,
+    batches: u64,
+    kernels: u64,
+    fallbacks: u64,
+    descents: u64,
+    skips: u64,
+    divergence: bool,
+}
+
+/// Minimum wall-clock over `runs` warm executions in the given mode; also
+/// returns the result and the vector/btree counters of the last run.
+fn measure(
+    session: &mut Session,
+    prepared: &jgi_core::Prepared,
+    vectorized: bool,
+    runs: usize,
+) -> (Duration, Option<Vec<u32>>, [u64; 5]) {
+    session.budgets.vectorized = vectorized;
+    let mut best = Duration::MAX;
+    let mut nodes = None;
+    let mut counters = [0u64; 5];
+    for _ in 0..runs.max(1) {
+        let outcome = session.execute(prepared, Engine::JoinGraph).expect("corpus executes");
+        best = best.min(outcome.wall);
+        if let Some(e) = &outcome.report.exec {
+            counters = [
+                e.vector_batches,
+                e.vector_kernels,
+                e.vector_fallbacks,
+                e.btree_descents,
+                e.btree_skips,
+            ];
+        }
+        nodes = outcome.nodes;
+    }
+    (best, nodes, counters)
+}
+
+fn main() {
+    let mut scales: Vec<f64> = vec![0.005, 0.02];
+    let mut dblp_pubs = 3000usize;
+    let mut runs = 3usize;
+    let mut batch: Option<usize> = None;
+    let mut out = String::from("BENCH_vector.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--scales" => {
+                scales = val("--scales")
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if scales.is_empty() {
+                    usage()
+                }
+            }
+            "--dblp-pubs" => dblp_pubs = val("--dblp-pubs").parse().unwrap_or_else(|_| usage()),
+            "--runs" => runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            "--batch" => {
+                let n: usize = val("--batch").parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    usage()
+                }
+                batch = Some(n);
+            }
+            "--out" => out = val("--out"),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let batch = batch.unwrap_or(jgi_engine::physical::DEFAULT_BATCH_SIZE);
+    eprintln!(
+        "vector bench: scalar vs batch={batch}, {} scale(s), {runs} run(s)/cell, \
+         {cores} core(s) available",
+        scales.len()
+    );
+
+    let dblp = generate_dblp(DblpConfig { publications: dblp_pubs, seed: 42 });
+    let mut total_divergence = 0u64;
+    let mut scale_rows: Vec<Json> = Vec::new();
+
+    for &scale in &scales {
+        let mut session = Session::new();
+        // Both legs single-threaded: this bench isolates the batch
+        // pipeline, BENCH_parallel.json isolates the morsel scheduler.
+        session.budgets.parallelism = Parallelism::Fixed(1);
+        session.budgets.batch_size = Some(batch);
+        session.add_tree(generate_xmark(XmarkConfig { scale, seed: 42 }));
+        session.add_tree(dblp.clone());
+        // Index construction happens outside the measurement.
+        let _ = session.database();
+        eprintln!("\nXMark scale {scale} ({} nodes) + DBLP {dblp_pubs} pubs:", session.store().len());
+        eprintln!(
+            "{:<6} {:>10} {:>12} {:>12} {:>9} {:>8} {:>8} {:>9} {:>9}",
+            "query", "nodes", "scalar_us", "vector_us", "speedup", "batches", "kernels", "descents", "skips"
+        );
+
+        let mut rows: Vec<QueryRow> = Vec::new();
+        for &(name, query, ctx) in &paper_corpus() {
+            let prepared = session.prepare(query, ctx).expect("corpus compiles");
+            let (scalar_t, scalar_nodes, _) = measure(&mut session, &prepared, false, runs);
+            let (vector_t, vector_nodes, counters) =
+                measure(&mut session, &prepared, true, runs);
+            let divergence = scalar_nodes != vector_nodes;
+            if divergence {
+                total_divergence += 1;
+            }
+            let result_nodes = scalar_nodes.as_deref().map_or(0, |n| session.node_count(n));
+            let [batches, kernels, fallbacks, descents, skips] = counters;
+            let row = QueryRow {
+                name,
+                result_nodes,
+                scalar_us: scalar_t.as_micros() as u64,
+                vector_us: vector_t.as_micros() as u64,
+                batches,
+                kernels,
+                fallbacks,
+                descents,
+                skips,
+                divergence,
+            };
+            eprintln!(
+                "{:<6} {:>10} {:>12} {:>12} {:>8.2}x {:>8} {:>8} {:>9} {:>9}{}",
+                row.name,
+                row.result_nodes,
+                row.scalar_us,
+                row.vector_us,
+                row.scalar_us as f64 / row.vector_us.max(1) as f64,
+                row.batches,
+                row.kernels,
+                row.descents,
+                row.skips,
+                if divergence { "  DIVERGENT" } else { "" }
+            );
+            rows.push(row);
+        }
+
+        scale_rows.push(Json::obj([
+            ("xmark_scale", Json::Num(scale)),
+            ("dblp_pubs", Json::UInt(dblp_pubs as u64)),
+            (
+                "queries",
+                Json::Arr(
+                    rows.iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("query", Json::str(r.name)),
+                                ("nodes", Json::UInt(r.result_nodes)),
+                                ("scalar_us", Json::UInt(r.scalar_us)),
+                                ("vector_us", Json::UInt(r.vector_us)),
+                                (
+                                    "speedup",
+                                    Json::Num(r.scalar_us as f64 / r.vector_us.max(1) as f64),
+                                ),
+                                ("batches", Json::UInt(r.batches)),
+                                ("kernels", Json::UInt(r.kernels)),
+                                ("fallbacks", Json::UInt(r.fallbacks)),
+                                ("descents", Json::UInt(r.descents)),
+                                ("skips", Json::UInt(r.skips)),
+                                ("divergence", Json::UInt(u64::from(r.divergence))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    let row = Json::obj([
+        ("bench", Json::str("vector")),
+        ("cores", Json::UInt(cores as u64)),
+        ("batch", Json::UInt(batch as u64)),
+        ("runs", Json::UInt(runs as u64)),
+        ("engine", Json::str("join_graph")),
+        ("divergence", Json::UInt(total_divergence)),
+        ("scales", Json::Arr(scale_rows)),
+    ]);
+    let rendered = row.render();
+    if let Err(e) = std::fs::write(&out, format!("{rendered}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+    eprintln!("\nwrote {out}");
+    if total_divergence > 0 {
+        eprintln!("FAIL: {total_divergence} query/scale cells diverged from scalar");
+        std::process::exit(1);
+    }
+}

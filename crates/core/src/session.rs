@@ -427,6 +427,17 @@ pub struct Budgets {
     pub nav: u64,
     /// Worker threads the join-graph executor may use per query.
     pub parallelism: Parallelism,
+    /// Whether the join-graph executor may use the vectorized batch
+    /// pipeline. Defaults to on unless the `JGI_SCALAR=1` escape hatch is
+    /// set in the environment.
+    pub vectorized: bool,
+    /// Override for the morsel size used to partition the parallel
+    /// frontier. `None` keeps [`physical::DEFAULT_MORSEL_SIZE`]. Validate
+    /// user-supplied values with [`physical::validate_morsel_size`].
+    pub morsel_size: Option<usize>,
+    /// Override for the vectorized batch size. `None` keeps
+    /// [`physical::DEFAULT_BATCH_SIZE`].
+    pub batch_size: Option<usize>,
 }
 
 impl Default for Budgets {
@@ -435,8 +446,28 @@ impl Default for Budgets {
             stacked: ExecBudget::default(),
             nav: 500_000_000,
             parallelism: Parallelism::Auto,
+            vectorized: !physical::scalar_forced(),
+            morsel_size: None,
+            batch_size: None,
         }
     }
+}
+
+/// Translate budgets into executor options: degree from the parallelism
+/// policy, vectorization and morsel-size overrides applied on top of the
+/// engine defaults.
+fn exec_options(budgets: &Budgets) -> physical::ExecOptions {
+    let mut opts = physical::ExecOptions::with_parallelism(budgets.parallelism.threads());
+    // `JGI_SCALAR=1` flows in via `Budgets::default()`; an explicit budget
+    // setting (tests, `--scalar`) wins over the environment.
+    opts.vectorized = budgets.vectorized;
+    if let Some(m) = budgets.morsel_size {
+        opts.morsel_size = m.max(1);
+    }
+    if let Some(b) = budgets.batch_size {
+        opts.batch_size = b.max(1);
+    }
+    opts
 }
 
 /// The *shared, immutable* state one execution reads: the tabular
@@ -585,8 +616,7 @@ pub fn execute_prepared(
                 report.optimizer = Some(plan_stats);
                 let t0 = Instant::now();
                 let span = jgi_obs::span("execute");
-                let opts =
-                    physical::ExecOptions::with_parallelism(ctx.budgets.parallelism.threads());
+                let opts = exec_options(&ctx.budgets);
                 let (result, exec_stats) = physical::execute_with_stats_opts(db, &plan, &opts);
                 drop(span);
                 report.record_phase("execute", t0.elapsed());
@@ -799,10 +829,9 @@ impl Session {
             .as_ref()
             .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
             .clone();
-        let parallelism = self.budgets.parallelism.threads();
+        let opts = exec_options(&self.budgets);
         let db = self.database();
         let plan = optimizer::plan(db, &cq);
-        let opts = physical::ExecOptions::with_parallelism(parallelism);
         let (_, stats) = physical::execute_with_stats_opts(db, &plan, &opts);
         Ok(jgi_engine::explain::render_analyze(db, &plan, &stats))
     }

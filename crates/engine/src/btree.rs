@@ -254,6 +254,14 @@ impl BTree {
         }
     }
 
+    /// Start a batched probe pass: a cursor that descends the tree once
+    /// and is then advanced monotonically along the leaf chain by
+    /// [`BatchCursor::position`] calls with non-decreasing lower bounds —
+    /// the sorted-probe alternative to one root-to-leaf descent per tuple.
+    pub fn batch_cursor(&self) -> BatchCursor<'_> {
+        BatchCursor { tree: self, leaf: self.root, pos: 0, started: false, descents: 0, leaf_skips: 0 }
+    }
+
     /// All entries with key prefix exactly `prefix`.
     pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> Scan<'a> {
         self.scan(prefix, false, prefix, false)
@@ -262,6 +270,122 @@ impl BTree {
     /// Iterate everything (for tests and stats).
     pub fn iter(&self) -> Scan<'_> {
         self.scan(&[], false, &[], false)
+    }
+}
+
+/// Monotone positioning cursor for batched, sort-ordered probes
+/// ([`BTree::batch_cursor`]).
+///
+/// The first [`position`](BatchCursor::position) call descends from the
+/// root like [`BTree::scan`]; every later call only walks *forward* along
+/// the leaf chain (checking one key per skipped leaf) and repositions
+/// within the final leaf by binary search. This is correct because the
+/// caller presents lower bounds in non-decreasing order, so the first
+/// qualifying entry can never lie before the cursor.
+/// [`descents`](BatchCursor::descents) and
+/// [`leaf_skips`](BatchCursor::leaf_skips) expose the work saved relative
+/// to per-tuple descents.
+pub struct BatchCursor<'a> {
+    tree: &'a BTree,
+    leaf: usize,
+    pos: usize,
+    started: bool,
+    /// Root-to-leaf descents performed (1 after the first `position`).
+    pub descents: u64,
+    /// Leaves skipped via the chain instead of a fresh descent.
+    pub leaf_skips: u64,
+}
+
+impl<'a> BatchCursor<'a> {
+    /// Move the cursor to the first entry not below `lo` (strictly above
+    /// it when `lo_strict`), under prefix comparison; an empty `lo` keeps
+    /// the cursor where it is. Successive calls must present
+    /// non-decreasing `(lo, lo_strict)` bounds — sorted probe keys with a
+    /// per-access constant strictness satisfy this.
+    pub fn position(&mut self, lo: &[Value], lo_strict: bool) {
+        // Does the last key of `keys` qualify (≥ lo, or > lo if strict)?
+        // If so the first qualifying entry is in this leaf or before the
+        // cursor — no further leaf hops needed.
+        let qualifies = |k: &Key| {
+            let c = cmp_prefix(lo, k);
+            c == Ordering::Less || (c == Ordering::Equal && !lo_strict)
+        };
+        if !self.started {
+            self.started = true;
+            self.descents += 1;
+            let mut cur = self.tree.root;
+            loop {
+                match &self.tree.nodes[cur] {
+                    Node::Internal { keys, children } => {
+                        let pos = if lo.is_empty() {
+                            0
+                        } else {
+                            keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+                        };
+                        cur = children[pos];
+                    }
+                    Node::Leaf { .. } => {
+                        self.leaf = cur;
+                        self.pos = 0;
+                        break;
+                    }
+                }
+            }
+        } else if !lo.is_empty() {
+            // Walk the leaf chain until the current leaf can contain the
+            // first qualifying entry (or the chain ends).
+            loop {
+                let Node::Leaf { keys, next, .. } = &self.tree.nodes[self.leaf] else {
+                    unreachable!("batch cursors sit on leaves")
+                };
+                if keys.last().is_some_and(&qualifies) {
+                    break;
+                }
+                match next {
+                    Some(n) => {
+                        self.leaf = *n;
+                        self.pos = 0;
+                        self.leaf_skips += 1;
+                    }
+                    None => {
+                        self.pos = keys.len();
+                        return;
+                    }
+                }
+            }
+        }
+        if lo.is_empty() {
+            return;
+        }
+        let Node::Leaf { keys, .. } = &self.tree.nodes[self.leaf] else {
+            unreachable!("batch cursors sit on leaves")
+        };
+        let pp = if lo_strict {
+            keys.partition_point(|k| cmp_prefix(lo, k) != Ordering::Less)
+        } else {
+            keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+        };
+        // Never move backward: entries before the cursor failed an earlier
+        // (≤ current) bound.
+        self.pos = self.pos.max(pp);
+    }
+
+    /// Range-scan forward from the current position without moving the
+    /// cursor — each probe of a batch gets an independent iterator, so
+    /// overlapping ranges (nested containment intervals) still enumerate
+    /// every qualifying entry. The bounds may be shorter-lived than the
+    /// cursor (reused key buffers); the iterator lives as long as both.
+    pub fn scan_from<'b>(
+        &self,
+        lo: &'b [Value],
+        lo_strict: bool,
+        hi: &'b [Value],
+        hi_strict: bool,
+    ) -> Scan<'b>
+    where
+        'a: 'b,
+    {
+        Scan { tree: self.tree, leaf: self.leaf, pos: self.pos, lo, lo_strict, hi, hi_strict }
     }
 }
 
@@ -404,6 +528,60 @@ mod tests {
         let hi = ik(4);
         let some: Vec<u32> = t.scan(&[], false, &hi, false).map(|(_, v)| v).collect();
         assert!(some.is_empty());
+    }
+
+    #[test]
+    fn batch_cursor_matches_per_probe_scans() {
+        // Duplicates and multi-leaf spread; probes sorted (with repeats),
+        // including bounds past the last key.
+        let entries: Vec<(Key, u32)> = (0..2000).map(|i| (ik(i % 500), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        for strict in [false, true] {
+            let mut cur = t.batch_cursor();
+            for lo in [0i64, 3, 3, 120, 121, 300, 499, 600] {
+                let lo_k = ik(lo);
+                let hi_k = ik(lo + 4);
+                cur.position(&lo_k, strict);
+                let batched: Vec<u32> =
+                    cur.scan_from(&lo_k, strict, &hi_k, strict).map(|(_, v)| v).collect();
+                let fresh: Vec<u32> =
+                    t.scan(&lo_k, strict, &hi_k, strict).map(|(_, v)| v).collect();
+                assert_eq!(batched, fresh, "lo {lo} strict {strict}");
+            }
+            assert_eq!(cur.descents, 1, "one descent per batch pass");
+            assert!(cur.leaf_skips > 0, "sorted probes should ride the leaf chain");
+        }
+    }
+
+    #[test]
+    fn batch_cursor_overlapping_ranges() {
+        // Nested containment-style ranges: a wide range followed by a
+        // narrower one starting later but ending earlier.
+        let entries: Vec<(Key, u32)> = (0..300).map(|i| (ik(i), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        let mut cur = t.batch_cursor();
+        let ranges = [(10i64, 200i64), (20, 50), (21, 30), (180, 260)];
+        for (lo, hi) in ranges {
+            let lo_k = ik(lo);
+            let hi_k = ik(hi);
+            cur.position(&lo_k, false);
+            let got: Vec<u32> = cur.scan_from(&lo_k, false, &hi_k, false).map(|(_, v)| v).collect();
+            let expect: Vec<u32> = (lo..=hi.min(299)).map(|i| i as u32).collect();
+            assert_eq!(got, expect, "range [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn batch_cursor_empty_and_unbounded() {
+        let t = BTree::new(1);
+        let mut cur = t.batch_cursor();
+        cur.position(&ik(5), false);
+        assert!(cur.scan_from(&ik(5), false, &ik(9), false).next().is_none());
+        let t = BTree::bulk_load(1, (0..10).map(|i| (ik(i), i as u32)).collect());
+        let mut cur = t.batch_cursor();
+        cur.position(&[], false);
+        let all: Vec<u32> = cur.scan_from(&[], false, &[], false).map(|(_, v)| v).collect();
+        assert_eq!(all, (0..10).collect::<Vec<u32>>());
     }
 
     #[test]

@@ -48,6 +48,77 @@ impl IndexCol {
     }
 }
 
+/// Lexicographic rank tables over the store's interned `name`/`value` ids.
+///
+/// The [`jgi_xml::Interner`] hands out ids in *first-occurrence* order, so
+/// id comparison only decides equality. `Symbols` adds, per interner, a
+/// table mapping each id to its rank in sorted string order — after which
+/// every ordered string comparison in the inner loops (`value < "x"`,
+/// `value ≤ value`) becomes a plain integer compare with no string access
+/// at all. Built once at load time, O(n log n) in the number of distinct
+/// strings (dwarfed by the index builds).
+#[derive(Debug, Clone, Default)]
+pub struct Symbols {
+    /// `name_rank[id]` = rank of `names.resolve(id)` in sorted order.
+    pub name_rank: Vec<u32>,
+    /// `value_rank[id]` = rank of `values.resolve(id)` in sorted order.
+    pub value_rank: Vec<u32>,
+    /// Name ids in lexicographic order (`name_sorted[rank] = id`).
+    name_sorted: Vec<u32>,
+    /// Value ids in lexicographic order.
+    value_sorted: Vec<u32>,
+}
+
+/// Where a constant string falls in one rank table: its rank if interned,
+/// otherwise the rank it *would* insert at (every interned string with a
+/// smaller rank is `<` the constant; every other is `>`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankOf {
+    /// The constant is interned and has this rank.
+    Present(u32),
+    /// Not interned; `rank` strings sort strictly below it.
+    Absent(u32),
+}
+
+impl Symbols {
+    /// Build both rank tables from a store's interners.
+    pub fn build(store: &DocStore) -> Symbols {
+        let rank = |it: &jgi_xml::Interner| -> (Vec<u32>, Vec<u32>) {
+            let mut sorted: Vec<u32> = (0..it.len() as u32).collect();
+            sorted.sort_by(|&a, &b| it.resolve(a).cmp(it.resolve(b)));
+            let mut rank = vec![0u32; it.len()];
+            for (r, &id) in sorted.iter().enumerate() {
+                rank[id as usize] = r as u32;
+            }
+            (rank, sorted)
+        };
+        let (name_rank, name_sorted) = rank(&store.names);
+        let (value_rank, value_sorted) = rank(&store.values);
+        Symbols { name_rank, value_rank, name_sorted, value_sorted }
+    }
+
+    /// Rank position of a constant among the interned *values*.
+    pub fn value_rank_of(&self, store: &DocStore, s: &str) -> RankOf {
+        let p = self
+            .value_sorted
+            .partition_point(|&id| store.values.resolve(id) < s) as u32;
+        match store.values.get(s) {
+            Some(_) => RankOf::Present(p),
+            None => RankOf::Absent(p),
+        }
+    }
+
+    /// Rank position of a constant among the interned *names*.
+    pub fn name_rank_of(&self, store: &DocStore, s: &str) -> RankOf {
+        let p =
+            self.name_sorted.partition_point(|&id| store.names.resolve(id) < s) as u32;
+        match store.names.get(s) {
+            Some(_) => RankOf::Present(p),
+            None => RankOf::Absent(p),
+        }
+    }
+}
+
 /// A B-tree index over the `doc` relation.
 #[derive(Debug, Clone)]
 pub struct Index {
@@ -75,6 +146,8 @@ pub struct Database {
     pub stats: DocStats,
     /// Available indexes.
     pub indexes: Vec<Index>,
+    /// Lexicographic rank tables for interned names/values (see [`Symbols`]).
+    pub symbols: Symbols,
 }
 
 impl Database {
@@ -84,7 +157,8 @@ impl Database {
     pub fn new(store: impl Into<Arc<DocStore>>) -> Database {
         let store = store.into();
         let stats = DocStats::collect(&store);
-        Database { store, stats, indexes: Vec::new() }
+        let symbols = Symbols::build(&store);
+        Database { store, stats, indexes: Vec::new(), symbols }
     }
 
     /// Load a store and create the paper's Table 6 index family.
@@ -227,6 +301,40 @@ mod tests {
         // All hits really are price elements.
         for pre in prices {
             assert_eq!(db.store.name_str(pre), Some("price"));
+        }
+    }
+
+    #[test]
+    fn symbol_ranks_follow_string_order() {
+        let db = db();
+        let sym = &db.symbols;
+        // Rank order must agree with string order for every id pair.
+        let n = db.store.values.len() as u32;
+        for a in (0..n).step_by(7) {
+            for b in (0..n).step_by(11) {
+                let by_rank = sym.value_rank[a as usize].cmp(&sym.value_rank[b as usize]);
+                let by_str = db.store.values.resolve(a).cmp(db.store.values.resolve(b));
+                assert_eq!(by_rank, by_str, "ids {a}/{b}");
+            }
+        }
+        // Present constants resolve to their own rank; absent ones to the
+        // insertion point (everything below is strictly smaller).
+        let some_id = 0u32;
+        let s = db.store.values.resolve(some_id).to_string();
+        match sym.value_rank_of(&db.store, &s) {
+            RankOf::Present(r) => assert_eq!(r, sym.value_rank[some_id as usize]),
+            RankOf::Absent(_) => panic!("interned string reported absent"),
+        }
+        match sym.value_rank_of(&db.store, "\u{10FFFF}not-interned") {
+            RankOf::Present(_) => panic!("uninterned string reported present"),
+            RankOf::Absent(p) => {
+                for id in 0..n {
+                    let below = sym.value_rank[id as usize] < p;
+                    let smaller =
+                        db.store.values.resolve(id) < "\u{10FFFF}not-interned";
+                    assert_eq!(below, smaller, "id {id}");
+                }
+            }
         }
     }
 

@@ -90,6 +90,21 @@ pub fn render_analyze(db: &Database, plan: &PhysPlan, stats: &ExecStats) -> Stri
             stats.parallel_workers, stats.parallel_morsels, stats.parallel_depth
         );
     }
+    // Annotated whenever the batch pipeline ran (vector_batch_size is 0 on
+    // the scalar path): batch geometry plus the physical-vs-logical probe
+    // gap the batched B-tree cursors opened up.
+    if stats.vector_batch_size > 0 {
+        let _ = writeln!(
+            out,
+            " VECTORIZED (batch={}, batches={}, kernels={}, fallbacks={}, descents={}, skips={})",
+            stats.vector_batch_size,
+            stats.vector_batches,
+            stats.vector_kernels,
+            stats.vector_fallbacks,
+            stats.btree_descents,
+            stats.btree_skips
+        );
+    }
     let mut depth = 1;
     for (i, step) in plan.steps.iter().enumerate().rev() {
         depth += 1;

@@ -38,7 +38,7 @@ pub mod physical;
 pub mod stats;
 pub mod table;
 
-pub use catalog::{Database, Index, IndexCol};
+pub use catalog::{Database, Index, IndexCol, Symbols};
 pub use logical_exec::{execute_serialized, ExecBudget, ExecError};
 pub use table::Table;
 

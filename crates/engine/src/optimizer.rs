@@ -51,6 +51,42 @@ pub fn parallel_degree(plan: &PhysPlan, requested: usize) -> usize {
     }
 }
 
+/// Per-candidate-row cost on the vectorized path, as a fraction of the
+/// scalar `ROW_COST`: column-batch kernels amortize predicate interpretation
+/// (and, through sorted batched probes, B-tree descents) over the batch.
+/// Calibrated against BENCH_vector.json rather than derived.
+pub const VECTOR_ROW_COST: f64 = 0.25;
+
+/// Batch-aware plan cost: the vectorized executor touches the same rows
+/// and performs the same logical probes, just at the cheaper per-row
+/// rate. Deliberately *not* consulted by plan enumeration or by
+/// [`parallel_degree`]'s gate — plan choice and fan-out behaviour are
+/// mode-independent (a cheap plan stays sequential whether or not its
+/// rows would be cheap to batch); this figure feeds EXPLAIN and service
+/// admission heuristics.
+pub fn batch_aware_cost(plan: &PhysPlan, vectorized: bool) -> f64 {
+    if vectorized {
+        plan.est_cost * VECTOR_ROW_COST
+    } else {
+        plan.est_cost
+    }
+}
+
+/// Partition unit for vectorized morsels. The scalar default
+/// ([`crate::physical::DEFAULT_MORSEL_SIZE`] = 16) is tuned for per-tuple
+/// work-stealing granularity; batch kernels want morsels near the batch
+/// size. Grow the unit to the largest power of two that still leaves
+/// every worker at least two morsels of the materialized frontier,
+/// clamped to `[floor, max(ceil, floor)]` — `floor` is the configured
+/// scalar morsel size (so fan-out never degrades below the scalar
+/// geometry's minimum), `ceil` the batch size.
+pub fn vector_morsel_size(frontier: usize, workers: usize, floor: usize, ceil: usize) -> usize {
+    let per = frontier / (2 * workers.max(1));
+    let unit = if per <= 1 { 1 } else { 1usize << (usize::BITS - 1 - per.leading_zeros()) };
+    let floor = floor.max(1);
+    unit.max(floor).min(ceil.max(floor))
+}
+
 /// Counters describing one run of the dynamic program (for EXPLAIN output
 /// and the obs recording; costs nothing to maintain relative to planning).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]

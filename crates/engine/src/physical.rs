@@ -32,8 +32,15 @@ impl Probe {
     /// Evaluate against the current bindings. `None` when a referenced
     /// value is NULL (the probe then matches nothing).
     pub fn eval(&self, db: &Database, bindings: &[u32]) -> Option<Value> {
+        self.eval_at(db, |a| bindings[a])
+    }
+
+    /// [`Probe::eval`] with an arbitrary alias → `pre` accessor, so the
+    /// batch pipeline can evaluate probes straight out of column vectors
+    /// without materializing a bindings tuple.
+    pub fn eval_at(&self, db: &Database, get: impl Fn(usize) -> u32) -> Option<Value> {
         let col = |cr: &ColRef| -> Option<Value> {
-            let pre = bindings[cr.alias];
+            let pre = get(cr.alias);
             debug_assert_ne!(pre, u32::MAX, "probe references an unbound alias");
             let v = db.col_value(pre, IndexCol::Col(cr.col));
             if v.is_null() {
@@ -251,6 +258,26 @@ pub struct ExecStats {
     /// the driver scan itself, k = the prefix through step k ran
     /// sequentially and steps k.. fanned out.
     pub parallel_depth: u64,
+    /// Column batches pushed through the pipeline (0 on the scalar path).
+    /// Like `parallel_*`, the `vector_*`/`btree_*` counters are
+    /// mode-dependent; every other counter is mode-*independent*.
+    pub vector_batches: u64,
+    /// Predicate-kernel invocations: one per residual atom per flushed
+    /// batch.
+    pub vector_kernels: u64,
+    /// Rows evaluated through the scalar fallback kernel (atoms without a
+    /// specialized batch form).
+    pub vector_fallbacks: u64,
+    /// Configured rows-per-batch capacity (0 = the scalar executor ran).
+    pub vector_batch_size: u64,
+    /// Physical B-tree root descents performed by batched cursors and
+    /// shared constant-probe scans. `per_op[..].index_probes` stays
+    /// *logical* (one per outer tuple, identical in every mode); the gap
+    /// between probes and descents is the work batching saved.
+    pub btree_descents: u64,
+    /// Probes served without a root descent: leaf-chain hops of sorted
+    /// batched cursors plus outer tuples sharing one constant-probe scan.
+    pub btree_skips: u64,
 }
 
 impl ExecStats {
@@ -281,13 +308,44 @@ impl ExecStats {
         }
         self.raw_rows += w.raw_rows;
         self.sort_rows += w.sort_rows;
+        self.vector_batches += w.vector_batches;
+        self.vector_kernels += w.vector_kernels;
+        self.vector_fallbacks += w.vector_fallbacks;
+        self.btree_descents += w.btree_descents;
+        self.btree_skips += w.btree_skips;
     }
 }
 
 /// Default frontier rows per morsel. Each frontier row drives a whole
 /// probe-pipeline subtree, so morsels are small (heavy per-row work,
 /// skew-prone); the shared cursor costs one `fetch_add` per morsel.
+/// The vectorized path widens the *partition unit* (not this knob) up to
+/// the batch size once the frontier is large enough — see
+/// [`crate::optimizer::vector_morsel_size`].
 pub const DEFAULT_MORSEL_SIZE: usize = 16;
+
+/// Default rows per column batch on the vectorized path: large enough to
+/// amortize per-batch bookkeeping across the kernels, small enough that a
+/// batch's live columns stay cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// The `JGI_SCALAR=1` escape hatch: flip [`ExecOptions::default`] back to
+/// the tuple-at-a-time executor (results are identical in either mode —
+/// this is a triage/baseline knob, read once per options construction).
+pub fn scalar_forced() -> bool {
+    std::env::var("JGI_SCALAR").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Validate a user-supplied morsel size (the `--morsel-size` flags): a
+/// power of two no smaller than 16, so the vectorized partition-unit
+/// arithmetic and the frontier-expansion target stay well-behaved.
+pub fn validate_morsel_size(n: usize) -> Result<usize, String> {
+    if n >= 16 && n.is_power_of_two() {
+        Ok(n)
+    } else {
+        Err(format!("morsel size must be a power of two >= 16, got {n}"))
+    }
+}
 
 /// Executor tuning knobs: the parallelism degree and morsel geometry.
 ///
@@ -304,11 +362,25 @@ pub struct ExecOptions {
     pub parallelism: usize,
     /// Frontier tuples per morsel.
     pub morsel_size: usize,
+    /// Run the probe-pipeline suffix on column batches with selection
+    /// vectors (DESIGN.md §8). On by default; the `JGI_SCALAR=1`
+    /// environment escape hatch flips the *default* off — options built
+    /// explicitly are respected either way. Results, and every
+    /// mode-independent [`ExecStats`] counter, are bit-identical in both
+    /// modes at every parallelism degree.
+    pub vectorized: bool,
+    /// Rows per column batch on the vectorized path.
+    pub batch_size: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { parallelism: 1, morsel_size: DEFAULT_MORSEL_SIZE }
+        ExecOptions {
+            parallelism: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+            vectorized: !scalar_forced(),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
     }
 }
 
@@ -410,10 +482,17 @@ pub fn execute_rows_opts(
 
     let workers = crate::optimizer::parallel_degree(plan, opts.parallelism);
     let rows = if workers <= 1 {
-        execute_sequential(db, plan, &driver_fast, &step_fast, &hash_tables, &mut stats)
+        if opts.vectorized {
+            execute_vectorized(db, plan, &driver_fast, &step_fast, &hash_tables, opts, &mut stats)
+        } else {
+            execute_sequential(db, plan, &driver_fast, &step_fast, &hash_tables, &mut stats)
+        }
     } else {
         execute_parallel(db, plan, opts, workers, &driver_fast, &step_fast, &hash_tables, &mut stats)
     };
+    if opts.vectorized {
+        stats.vector_batch_size = opts.batch_size.max(1) as u64;
+    }
 
     let out = rows
         .iter()
@@ -446,6 +525,12 @@ pub fn execute_rows_opts(
         if opts.parallelism > 1 && stats.parallel_workers <= 1 {
             jgi_obs::counter("exec.parallel.suppressed", 1);
         }
+        jgi_obs::counter("exec.vector.batch_size", stats.vector_batch_size);
+        jgi_obs::counter("exec.vector.batches", stats.vector_batches);
+        jgi_obs::counter("exec.vector.kernels", stats.vector_kernels);
+        jgi_obs::counter("exec.vector.fallbacks", stats.vector_fallbacks);
+        jgi_obs::counter("btree.descents", stats.btree_descents);
+        jgi_obs::counter("btree.skip", stats.btree_skips);
     }
     (out, stats)
 }
@@ -468,7 +553,8 @@ fn build_hash_tables(
                 .collect();
             let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
             let empty = vec![u32::MAX; plan.n_aliases];
-            let counts = scan_access(db, access, &local_fast, &empty, &mut |pre| {
+            let mut scratch = AccessScratch::default();
+            let counts = scan_access(db, access, &local_fast, &empty, &mut scratch, &mut |pre| {
                 let key: Option<Vec<Value>> = build_key
                     .iter()
                     .map(|&c| {
@@ -496,10 +582,25 @@ fn build_hash_tables(
     hash_tables
 }
 
+/// Per-step reusable buffers for the tuple-at-a-time path, so the hot
+/// loop allocates nothing per invocation (the honest baseline the
+/// vectorized path is benchmarked against).
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Probe-key and residual-check buffers of the step's access.
+    access: AccessScratch,
+    /// Bindings snapshot the scan borrows while the walk callback mutates
+    /// the live bindings tuple.
+    snapshot: Vec<u32>,
+    /// Hash probe-key buffer.
+    key: Vec<Value>,
+}
+
 /// Recursive probe pipeline over the steps: extend the binding tuple one
 /// alias at a time, emit a SELECT row at full depth. Shared by the
 /// sequential path and every parallel worker (each worker passes its own
-/// `bindings`/`rows`/`stats`, so the hot loop never synchronizes).
+/// `bindings`/`scratch`/`rows`/`stats`, so the hot loop never
+/// synchronizes). `scratch` holds one [`StepScratch`] per remaining step.
 #[allow(clippy::too_many_arguments)]
 fn walk(
     db: &Database,
@@ -508,6 +609,7 @@ fn walk(
     step_fast: &[Vec<FastAtom>],
     depth: usize,
     bindings: &mut Vec<u32>,
+    scratch: &mut [StepScratch],
     rows: &mut Vec<Vec<Value>>,
     stats: &mut ExecStats,
 ) {
@@ -521,14 +623,17 @@ fn walk(
         rows.push(row);
         return;
     }
+    let (mine, deeper) = scratch.split_first_mut().expect("scratch level per step");
     match &plan.steps[depth] {
         Step::Nl(access) => {
-            let snapshot = bindings.clone();
-            let counts = scan_access(db, access, &step_fast[depth], &snapshot, &mut |pre| {
+            let StepScratch { access: scr, snapshot, .. } = mine;
+            snapshot.clear();
+            snapshot.extend_from_slice(bindings);
+            let counts = scan_access(db, access, &step_fast[depth], snapshot, scr, &mut |pre| {
                 stats.rows_scanned[depth + 1] += 1;
                 stats.per_op[depth + 1].rows_out += 1;
                 bindings[access.alias] = pre;
-                walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
+                walk(db, plan, hash_tables, step_fast, depth + 1, bindings, deeper, rows, stats);
                 bindings[access.alias] = u32::MAX;
                 !access.early_out
             });
@@ -537,11 +642,16 @@ fn walk(
         Step::Hash { access, probe_key, .. } => {
             let table = hash_tables[depth].as_ref().expect("hash table built");
             stats.per_op[depth + 1].invocations += 1;
-            let key: Option<Vec<Value>> = probe_key.iter().map(|p| p.eval(db, bindings)).collect();
-            let Some(key) = key else { return };
+            mine.key.clear();
+            for p in probe_key {
+                match p.eval(db, bindings) {
+                    Some(v) => mine.key.push(v),
+                    None => return,
+                }
+            }
             let mut comparisons = 0u64;
             let mut emitted = 0u64;
-            if let Some(matches) = table.get(&key) {
+            if let Some(matches) = table.get(mine.key.as_slice()) {
                 for &pre in matches {
                     // Local atoms ran on the build side; the full
                     // residual set (incl. join atoms) runs here.
@@ -553,7 +663,7 @@ fn walk(
                     if ok {
                         stats.rows_scanned[depth + 1] += 1;
                         emitted += 1;
-                        walk(db, plan, hash_tables, step_fast, depth + 1, bindings, rows, stats);
+                        walk(db, plan, hash_tables, step_fast, depth + 1, bindings, deeper, rows, stats);
                         if access.early_out {
                             bindings[access.alias] = u32::MAX;
                             break;
@@ -603,13 +713,17 @@ fn execute_sequential(
 ) -> Vec<Vec<Value>> {
     stats.parallel_workers = 1;
     let mut bindings = vec![u32::MAX; plan.n_aliases];
+    let empty = bindings.clone();
+    let mut driver_scratch = AccessScratch::default();
+    let mut scratch: Vec<StepScratch> =
+        plan.steps.iter().map(|_| StepScratch::default()).collect();
     let mut rows: Vec<Vec<Value>> = Vec::new();
     let driver = &plan.driver;
-    let counts = scan_access(db, driver, driver_fast, &bindings.clone(), &mut |pre| {
+    let counts = scan_access(db, driver, driver_fast, &empty, &mut driver_scratch, &mut |pre| {
         stats.rows_scanned[0] += 1;
         stats.per_op[0].rows_out += 1;
         bindings[driver.alias] = pre;
-        walk(db, plan, hash_tables, step_fast, 0, &mut bindings, &mut rows, stats);
+        walk(db, plan, hash_tables, step_fast, 0, &mut bindings, &mut scratch, &mut rows, stats);
         bindings[driver.alias] = u32::MAX;
         true
     });
@@ -643,6 +757,7 @@ fn sort_tail(
 /// the same scans, the same residual checks, the same early-out cutoffs,
 /// charging the same counters — but materializing the extended binding
 /// tuples instead of recursing.
+#[allow(clippy::too_many_arguments)]
 fn expand_level(
     db: &Database,
     plan: &PhysPlan,
@@ -650,13 +765,15 @@ fn expand_level(
     step_fast: &[Vec<FastAtom>],
     depth: usize,
     frontier: Vec<Vec<u32>>,
+    scratch: &mut StepScratch,
     stats: &mut ExecStats,
 ) -> Vec<Vec<u32>> {
     let mut next: Vec<Vec<u32>> = Vec::with_capacity(frontier.len());
     for bindings in &frontier {
         match &plan.steps[depth] {
             Step::Nl(access) => {
-                let counts = scan_access(db, access, &step_fast[depth], bindings, &mut |pre| {
+                let scr = &mut scratch.access;
+                let counts = scan_access(db, access, &step_fast[depth], bindings, scr, &mut |pre| {
                     stats.rows_scanned[depth + 1] += 1;
                     stats.per_op[depth + 1].rows_out += 1;
                     let mut b = bindings.clone();
@@ -669,12 +786,23 @@ fn expand_level(
             Step::Hash { access, probe_key, .. } => {
                 let table = hash_tables[depth].as_ref().expect("hash table built");
                 stats.per_op[depth + 1].invocations += 1;
-                let key: Option<Vec<Value>> =
-                    probe_key.iter().map(|p| p.eval(db, bindings)).collect();
-                let Some(key) = key else { continue };
+                scratch.key.clear();
+                let mut null_key = false;
+                for p in probe_key {
+                    match p.eval(db, bindings) {
+                        Some(v) => scratch.key.push(v),
+                        None => {
+                            null_key = true;
+                            break;
+                        }
+                    }
+                }
+                if null_key {
+                    continue;
+                }
                 let mut comparisons = 0u64;
                 let mut emitted = 0u64;
-                if let Some(matches) = table.get(&key) {
+                if let Some(matches) = table.get(scratch.key.as_slice()) {
                     let mut probe = bindings.clone();
                     for &pre in matches {
                         probe[access.alias] = pre;
@@ -730,7 +858,8 @@ fn execute_parallel(
     // residual checks), so the driver operator's counters are unchanged.
     let empty = vec![u32::MAX; plan.n_aliases];
     let mut frontier: Vec<Vec<u32>> = Vec::new();
-    let counts = scan_access(db, &plan.driver, driver_fast, &empty, &mut |pre| {
+    let mut driver_scratch = AccessScratch::default();
+    let counts = scan_access(db, &plan.driver, driver_fast, &empty, &mut driver_scratch, &mut |pre| {
         let mut b = empty.clone();
         b[plan.driver.alias] = pre;
         frontier.push(b);
@@ -746,13 +875,32 @@ fn execute_parallel(
     // Expansion performs exactly the scans `walk` would at that depth
     // (breadth-first instead of depth-first), so every per-operator
     // counter stays identical to the sequential run.
+    let mut sched_scratch: Vec<StepScratch> =
+        plan.steps.iter().map(|_| StepScratch::default()).collect();
     let mut depth = 0usize;
     while depth < plan.steps.len() && frontier.len() < 2 * morsel {
-        frontier = expand_level(db, plan, hash_tables, step_fast, depth, frontier, stats);
+        frontier = expand_level(
+            db,
+            plan,
+            hash_tables,
+            step_fast,
+            depth,
+            frontier,
+            &mut sched_scratch[depth],
+            stats,
+        );
         depth += 1;
     }
     stats.parallel_depth = depth as u64;
     let order_idx = order_indices(plan);
+    let cx = VecCtx {
+        db,
+        plan,
+        hash_tables,
+        step_fast,
+        bound_at: bound_aliases(plan),
+        batch_size: opts.batch_size.max(1),
+    };
 
     if depth == plan.steps.len() {
         // The pipeline was exhausted before the frontier got wide enough:
@@ -772,7 +920,16 @@ fn execute_parallel(
         return sort_tail(rows, &order_idx, plan.distinct, stats);
     }
 
-    let n_morsels = frontier.len().div_ceil(morsel);
+    // Vectorized runs widen the partition unit: batch kernels want wide
+    // morsels, and the frontier is already materialized, so the unit can
+    // grow toward the batch size while still leaving every worker at
+    // least two morsels to pull.
+    let part = if opts.vectorized {
+        crate::optimizer::vector_morsel_size(frontier.len(), workers, morsel, opts.batch_size.max(1))
+    } else {
+        morsel
+    };
+    let n_morsels = frontier.len().div_ceil(part);
     // No point spinning up more workers than there are morsels.
     let workers = workers.min(n_morsels).max(1);
     stats.parallel_workers = workers as u64;
@@ -783,38 +940,93 @@ fn execute_parallel(
         // Degenerate fan-out (the whole frontier fits in one morsel): run
         // the pipeline suffix inline on the scheduling thread.
         let mut rows: Vec<Vec<Value>> = Vec::new();
-        let mut bindings = vec![u32::MAX; plan.n_aliases];
-        for tuple in &frontier {
-            bindings.clone_from(tuple);
-            walk(db, plan, hash_tables, step_fast, depth, &mut bindings, &mut rows, stats);
+        if opts.vectorized {
+            let mut levels: Vec<VecLevel> =
+                (depth..plan.steps.len()).map(|_| VecLevel::shaped(plan.n_aliases)).collect();
+            let mut entry = Batch::shaped(plan.n_aliases);
+            let mut entry_sel: Vec<u32> = Vec::new();
+            run_morsel_vec(&cx, depth, &frontier, &mut entry, &mut entry_sel, &mut levels, &mut rows, stats);
+        } else {
+            let mut bindings = vec![u32::MAX; plan.n_aliases];
+            for tuple in &frontier {
+                bindings.clone_from(tuple);
+                walk(
+                    db,
+                    plan,
+                    hash_tables,
+                    step_fast,
+                    depth,
+                    &mut bindings,
+                    &mut sched_scratch[depth..],
+                    &mut rows,
+                    stats,
+                );
+            }
         }
         return sort_tail(rows, &order_idx, plan.distinct, stats);
     }
 
+    let vectorized = opts.vectorized;
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     let worker_out: Vec<(Vec<Vec<Value>>, ExecStats)> = std::thread::scope(|s| {
         let frontier = &frontier;
         let order_idx = &order_idx;
         let cursor = &cursor;
+        let cx = &cx;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(move || {
                     let mut local = ExecStats::shaped(n_ops);
                     let mut rows: Vec<Vec<Value>> = Vec::new();
-                    let mut bindings = vec![u32::MAX; plan.n_aliases];
-                    loop {
-                        let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if m >= n_morsels {
-                            break;
-                        }
-                        let lo = m * morsel;
-                        let hi = (lo + morsel).min(frontier.len());
-                        for tuple in &frontier[lo..hi] {
-                            bindings.clone_from(tuple);
-                            walk(
-                                db, plan, hash_tables, step_fast, depth, &mut bindings, &mut rows,
+                    if vectorized {
+                        let mut levels: Vec<VecLevel> = (depth..plan.steps.len())
+                            .map(|_| VecLevel::shaped(plan.n_aliases))
+                            .collect();
+                        let mut entry = Batch::shaped(plan.n_aliases);
+                        let mut entry_sel: Vec<u32> = Vec::new();
+                        loop {
+                            let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if m >= n_morsels {
+                                break;
+                            }
+                            let lo = m * part;
+                            let hi = (lo + part).min(frontier.len());
+                            run_morsel_vec(
+                                cx,
+                                depth,
+                                &frontier[lo..hi],
+                                &mut entry,
+                                &mut entry_sel,
+                                &mut levels,
+                                &mut rows,
                                 &mut local,
                             );
+                        }
+                    } else {
+                        let mut bindings = vec![u32::MAX; plan.n_aliases];
+                        let mut scratch: Vec<StepScratch> =
+                            (depth..plan.steps.len()).map(|_| StepScratch::default()).collect();
+                        loop {
+                            let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if m >= n_morsels {
+                                break;
+                            }
+                            let lo = m * part;
+                            let hi = (lo + part).min(frontier.len());
+                            for tuple in &frontier[lo..hi] {
+                                bindings.clone_from(tuple);
+                                walk(
+                                    db,
+                                    plan,
+                                    hash_tables,
+                                    step_fast,
+                                    depth,
+                                    &mut bindings,
+                                    &mut scratch,
+                                    &mut rows,
+                                    &mut local,
+                                );
+                            }
                         }
                     }
                     // Sort the partial run with the *final* comparator so
@@ -911,19 +1123,103 @@ fn merge_two(
     out
 }
 
+/// Reusable per-access scan state: the bindings-with-self buffer for
+/// residual checks plus the probe-key buffers. [`AccessScratch::prepare`]
+/// fills the constant key slots once (recording which slots are
+/// per-tuple); variable slots are overwritten on every scan, so the hot
+/// path performs no allocation beyond `Value` payloads.
+#[derive(Debug, Default)]
+struct AccessScratch {
+    init: bool,
+    /// A constant probe is NULL — the access can never match.
+    dead: bool,
+    /// Bindings copy the residual check mutates (`alias` slot toggles).
+    bindings: Vec<u32>,
+    /// Lower key bound, constants pre-filled.
+    lo: Vec<Value>,
+    /// Upper key bound, constants pre-filled.
+    hi: Vec<Value>,
+    lo_strict: bool,
+    hi_strict: bool,
+    /// Key-slot positions (lo side) that depend on the outer tuple, in
+    /// increasing slot order.
+    var_lo: Vec<usize>,
+    /// Key-slot positions (hi side) that depend on the outer tuple.
+    var_hi: Vec<usize>,
+}
+
+impl AccessScratch {
+    fn prepare(&mut self, access: &Access) {
+        if self.init {
+            return;
+        }
+        self.init = true;
+        if let Method::IxScan { eq, range, .. } = &access.method {
+            for (s, p) in eq.iter().enumerate() {
+                if let Probe::Const(v) = p {
+                    if v.is_null() {
+                        self.dead = true;
+                    }
+                    self.lo.push(v.clone());
+                    self.hi.push(v.clone());
+                } else {
+                    self.var_lo.push(s);
+                    self.var_hi.push(s);
+                    self.lo.push(Value::Null);
+                    self.hi.push(Value::Null);
+                }
+            }
+            if let Some(r) = range {
+                if let Some((p, strict)) = &r.lo {
+                    self.lo_strict = *strict;
+                    if let Probe::Const(v) = p {
+                        if v.is_null() {
+                            self.dead = true;
+                        }
+                        self.lo.push(v.clone());
+                    } else {
+                        self.var_lo.push(eq.len());
+                        self.lo.push(Value::Null);
+                    }
+                }
+                if let Some((p, strict)) = &r.hi {
+                    self.hi_strict = *strict;
+                    if let Probe::Const(v) = p {
+                        if v.is_null() {
+                            self.dead = true;
+                        }
+                        self.hi.push(v.clone());
+                    } else {
+                        self.var_hi.push(eq.len());
+                        self.hi.push(Value::Null);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Run an access: call `f(pre)` for every matching row; `f` returns false
 /// to stop early (early-out semijoins). Returns the work counters for the
 /// caller to merge (local `u64`s — the hot loop never touches shared
-/// state or allocates for accounting).
+/// state or allocates for accounting). `scratch` must be dedicated to
+/// this access and is reused across calls.
 fn scan_access(
     db: &Database,
     access: &Access,
     fast: &[FastAtom],
     bindings: &[u32],
+    scratch: &mut AccessScratch,
     f: &mut dyn FnMut(u32) -> bool,
 ) -> ScanCounts {
     let mut counts = ScanCounts::default();
-    let mut bindings_with_self = bindings.to_vec();
+    scratch.prepare(access);
+    if scratch.dead {
+        return counts; // a constant probe is NULL: nothing matches
+    }
+    let AccessScratch { bindings: bws, lo, hi, lo_strict, hi_strict, .. } = scratch;
+    bws.clear();
+    bws.extend_from_slice(bindings);
     let check = |db: &Database, pre: u32, b: &mut Vec<u32>, c: &mut ScanCounts| -> bool {
         c.rows_in += 1;
         b[access.alias] = pre;
@@ -937,52 +1233,602 @@ fn scan_access(
     match &access.method {
         Method::TbScan => {
             for pre in 0..db.store.len() as u32 {
-                if check(db, pre, &mut bindings_with_self, &mut counts) && !f(pre) {
+                if check(db, pre, bws, &mut counts) && !f(pre) {
                     return counts;
                 }
             }
         }
         Method::IxScan { index, eq, range } => {
-            let idx = &db.indexes[*index];
-            let mut lo: Vec<Value> = Vec::with_capacity(eq.len() + 1);
-            for p in eq {
+            // Fill the per-tuple key slots (constants sit there already).
+            // A NULL probe matches nothing.
+            for (s, p) in eq.iter().enumerate() {
+                if matches!(p, Probe::Const(_)) {
+                    continue;
+                }
                 match p.eval(db, bindings) {
-                    Some(v) => lo.push(v),
-                    None => return counts, // NULL probe matches nothing
+                    Some(v) => {
+                        hi[s] = v.clone();
+                        lo[s] = v;
+                    }
+                    None => return counts,
                 }
             }
-            let mut hi = lo.clone();
-            let mut lo_strict = false;
-            let mut hi_strict = false;
             if let Some(r) = range {
-                if let Some((p, strict)) = &r.lo {
-                    match p.eval(db, bindings) {
-                        Some(v) => {
-                            lo.push(v);
-                            lo_strict = *strict;
+                if let Some((p, _)) = &r.lo {
+                    if !matches!(p, Probe::Const(_)) {
+                        match p.eval(db, bindings) {
+                            Some(v) => lo[eq.len()] = v,
+                            None => return counts,
                         }
-                        None => return counts,
                     }
                 }
-                if let Some((p, strict)) = &r.hi {
-                    match p.eval(db, bindings) {
-                        Some(v) => {
-                            hi.push(v);
-                            hi_strict = *strict;
+                if let Some((p, _)) = &r.hi {
+                    if !matches!(p, Probe::Const(_)) {
+                        match p.eval(db, bindings) {
+                            Some(v) => hi[eq.len()] = v,
+                            None => return counts,
                         }
-                        None => return counts,
                     }
                 }
             }
             counts.index_probes += 1;
-            for (_, pre) in idx.btree.scan(&lo, lo_strict, &hi, hi_strict) {
-                if check(db, pre, &mut bindings_with_self, &mut counts) && !f(pre) {
+            let idx = &db.indexes[*index];
+            for (_, pre) in idx.btree.scan(lo, *lo_strict, hi, *hi_strict) {
+                if check(db, pre, bws, &mut counts) && !f(pre) {
                     return counts;
                 }
             }
         }
     }
     counts
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized batch execution (DESIGN.md §8)
+//
+// The probe-pipeline suffix operates on *binding batches*: one `Vec<u32>`
+// pre-rank column per bound alias, filtered by per-atom predicate kernels
+// over a reusable selection vector. The design invariant is strict
+// counter equivalence with the tuple-at-a-time path: a scalar row
+// evaluates residual atoms left-to-right and stops at the first failure;
+// a batch runs atom k only over the rows that survived atoms 0..k — the
+// same comparison multiset, just transposed. Candidate enumeration is
+// likewise identical per outer tuple (`index_probes` stays logical);
+// only the *physical* B-tree work changes, tracked by the
+// mode-dependent `btree_descents`/`btree_skips` counters.
+// ---------------------------------------------------------------------------
+
+/// Struct-of-arrays binding batch: one `pre` column per alias. Only the
+/// columns of bound aliases are filled; `rows` is the batch length.
+#[derive(Debug, Default)]
+struct Batch {
+    cols: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl Batch {
+    fn shaped(n_aliases: usize) -> Batch {
+        Batch { cols: vec![Vec::new(); n_aliases], rows: 0 }
+    }
+
+    fn clear(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        self.rows = 0;
+    }
+
+    /// Append row `i` of `from` (its `outer` alias columns) extended with
+    /// `pre` for the newly bound `alias`.
+    #[inline]
+    fn push_extended(&mut self, from: &Batch, i: usize, outer: &[usize], alias: usize, pre: u32) {
+        for &a in outer {
+            self.cols[a].push(from.cols[a][i]);
+        }
+        self.cols[alias].push(pre);
+        self.rows += 1;
+    }
+}
+
+/// Per-step scratch for the batch pipeline. Every buffer lives across
+/// batches, so steady-state vectorized execution does not allocate.
+#[derive(Debug, Default)]
+struct VecLevel {
+    /// Rows gathered for the next depth.
+    next: Batch,
+    /// Selection vector over `next` (indices of surviving rows).
+    sel: Vec<u32>,
+    /// Bindings tuple for scalar detours (early-out scans, hash residual
+    /// short-circuits).
+    bindings: Vec<u32>,
+    /// Scratch bindings for the generic-atom fallback kernel.
+    fallback: Vec<u32>,
+    /// Probe-key/residual scratch of the step's access.
+    access: AccessScratch,
+    /// Hash probe-key buffer.
+    key: Vec<Value>,
+    /// Var-probe key pool: `w` values per live tuple (lo vars, then hi
+    /// vars).
+    keys: Vec<Value>,
+    /// Selected batch rows whose probe keys are all non-NULL.
+    live: Vec<u32>,
+    /// Sort permutation over `live` (ascending lo keys).
+    order: Vec<u32>,
+    /// Candidate rows of a shared constant-probe scan.
+    cands: Vec<u32>,
+}
+
+impl VecLevel {
+    fn shaped(n_aliases: usize) -> VecLevel {
+        VecLevel { next: Batch::shaped(n_aliases), ..Default::default() }
+    }
+}
+
+/// Read-only inputs shared by every batch-pipeline function (and by every
+/// worker thread — all fields are `Sync`).
+struct VecCtx<'a> {
+    db: &'a Database,
+    plan: &'a PhysPlan,
+    hash_tables: &'a [Option<HashMap<Vec<Value>, Vec<u32>>>],
+    step_fast: &'a [Vec<FastAtom>],
+    /// `bound_at[d]`: aliases bound on entry to step `d` (driver plus
+    /// steps `0..d`), i.e. the columns a depth-`d` batch carries.
+    bound_at: Vec<Vec<usize>>,
+    batch_size: usize,
+}
+
+/// See [`VecCtx::bound_at`].
+fn bound_aliases(plan: &PhysPlan) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(plan.steps.len() + 1);
+    let mut cur = vec![plan.driver.alias];
+    out.push(cur.clone());
+    for s in &plan.steps {
+        cur.push(s.access().alias);
+        out.push(cur.clone());
+    }
+    out
+}
+
+/// Push the gathered batch through the step's residual kernels and recurse
+/// into the next depth. `op_idx` is the gathering operator (0 = driver,
+/// `d + 1` = step `d`), which makes the child depth exactly `op_idx`.
+/// Early-out gathers pass `run_kernels = false`: their rows were already
+/// residual-checked (and charged) tuple-at-a-time.
+#[allow(clippy::too_many_arguments)]
+fn flush_batch(
+    cx: &VecCtx,
+    fast: &[FastAtom],
+    op_idx: usize,
+    run_kernels: bool,
+    next: &mut Batch,
+    sel: &mut Vec<u32>,
+    fallback: &mut Vec<u32>,
+    deeper: &mut [VecLevel],
+    rows: &mut Vec<Vec<Value>>,
+    stats: &mut ExecStats,
+) {
+    if next.rows == 0 {
+        return;
+    }
+    stats.vector_batches += 1;
+    sel.clear();
+    sel.extend(0..next.rows as u32);
+    if run_kernels {
+        for atom in fast {
+            if sel.is_empty() {
+                break;
+            }
+            stats.vector_kernels += 1;
+            stats.per_op[op_idx].comparisons += sel.len() as u64;
+            if atom.is_generic() {
+                stats.vector_fallbacks += sel.len() as u64;
+            }
+            atom.eval_batch(cx.db, &next.cols, sel, fallback);
+        }
+        stats.rows_scanned[op_idx] += sel.len() as u64;
+        stats.per_op[op_idx].rows_out += sel.len() as u64;
+    }
+    vec_step(cx, op_idx, next, sel, deeper, rows, stats);
+    next.clear();
+}
+
+/// One pipeline step over a batch: gather (outer row × candidate) pairs
+/// into this level's `next` batch, flushing through the residual kernels
+/// whenever `batch_size` rows accumulate. At full depth, emit SELECT rows.
+fn vec_step(
+    cx: &VecCtx,
+    depth: usize,
+    batch: &Batch,
+    sel: &[u32],
+    levels: &mut [VecLevel],
+    rows: &mut Vec<Vec<Value>>,
+    stats: &mut ExecStats,
+) {
+    if sel.is_empty() {
+        return;
+    }
+    let db = cx.db;
+    if depth == cx.plan.steps.len() {
+        for &i in sel {
+            let row: Vec<Value> = cx
+                .plan
+                .select
+                .iter()
+                .map(|cr| db.col_value(batch.cols[cr.alias][i as usize], IndexCol::Col(cr.col)))
+                .collect();
+            stats.raw_rows += 1;
+            rows.push(row);
+        }
+        return;
+    }
+    let (lvl, deeper) = levels.split_first_mut().expect("scratch level per step");
+    let VecLevel {
+        next,
+        sel: sel_buf,
+        bindings,
+        fallback,
+        access: scr,
+        key,
+        keys,
+        live,
+        order,
+        cands,
+    } = lvl;
+    let outer: &[usize] = &cx.bound_at[depth];
+    let op_idx = depth + 1;
+    let fast: &[FastAtom] = &cx.step_fast[depth];
+    match &cx.plan.steps[depth] {
+        Step::Nl(access) if !access.early_out => {
+            stats.per_op[op_idx].invocations += sel.len() as u64;
+            scr.prepare(access);
+            if scr.dead {
+                return; // NULL constant probe: no candidates, no probes
+            }
+            match &access.method {
+                Method::TbScan => {
+                    let n = db.store.len() as u32;
+                    stats.per_op[op_idx].rows_in += n as u64 * sel.len() as u64;
+                    for &i in sel {
+                        for pre in 0..n {
+                            next.push_extended(batch, i as usize, outer, access.alias, pre);
+                            if next.rows >= cx.batch_size {
+                                flush_batch(
+                                    cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows,
+                                    stats,
+                                );
+                            }
+                        }
+                    }
+                }
+                Method::IxScan { index, eq, range } => {
+                    let has_var = eq.iter().any(|p| !matches!(p, Probe::Const(_)))
+                        || range.iter().any(|r| {
+                            r.lo
+                                .iter()
+                                .chain(r.hi.iter())
+                                .any(|(p, _)| !matches!(p, Probe::Const(_)))
+                        });
+                    let tree = &db.indexes[*index].btree;
+                    if !has_var {
+                        // Constant probe: one shared scan serves the whole
+                        // batch. Logically still one probe per outer tuple
+                        // (counters match the scalar path); physically a
+                        // single descent.
+                        cands.clear();
+                        for (_, pre) in tree.scan(&scr.lo, scr.lo_strict, &scr.hi, scr.hi_strict) {
+                            cands.push(pre);
+                        }
+                        stats.per_op[op_idx].index_probes += sel.len() as u64;
+                        stats.per_op[op_idx].rows_in += cands.len() as u64 * sel.len() as u64;
+                        stats.btree_descents += 1;
+                        stats.btree_skips += sel.len() as u64 - 1;
+                        for &i in sel {
+                            for &pre in cands.iter() {
+                                next.push_extended(batch, i as usize, outer, access.alias, pre);
+                                if next.rows >= cx.batch_size {
+                                    flush_batch(
+                                        cx, fast, op_idx, true, next, sel_buf, fallback, deeper,
+                                        rows, stats,
+                                    );
+                                }
+                            }
+                        }
+                    } else {
+                        // Per-tuple probes, batched: evaluate the variable
+                        // key slots for every selected tuple, sort the
+                        // tuples by key, and serve all probes with one
+                        // monotone leaf-level cursor (one descent, forward
+                        // leaf-chain hops between probes). Sorting only
+                        // permutes candidate enumeration across outer
+                        // tuples, which the SORT tail's total order makes
+                        // unobservable.
+                        let nv_lo = scr.var_lo.len();
+                        let w = nv_lo + scr.var_hi.len();
+                        keys.clear();
+                        live.clear();
+                        'tuples: for &i in sel {
+                            let start = keys.len();
+                            for &s in &scr.var_lo {
+                                let p = if s < eq.len() {
+                                    &eq[s]
+                                } else {
+                                    &range.as_ref().expect("var slot beyond eq is the range")
+                                        .lo
+                                        .as_ref()
+                                        .expect("lo var slot recorded")
+                                        .0
+                                };
+                                match p.eval_at(db, |a| batch.cols[a][i as usize]) {
+                                    Some(v) => keys.push(v),
+                                    None => {
+                                        keys.truncate(start);
+                                        continue 'tuples;
+                                    }
+                                }
+                            }
+                            for &s in &scr.var_hi {
+                                if s < eq.len() {
+                                    // Equality slots share the lo-side value.
+                                    let pos = scr
+                                        .var_lo
+                                        .iter()
+                                        .position(|&x| x == s)
+                                        .expect("eq var slot present on the lo side");
+                                    let v = keys[start + pos].clone();
+                                    keys.push(v);
+                                } else {
+                                    let p = &range
+                                        .as_ref()
+                                        .expect("var slot beyond eq is the range")
+                                        .hi
+                                        .as_ref()
+                                        .expect("hi var slot recorded")
+                                        .0;
+                                    match p.eval_at(db, |a| batch.cols[a][i as usize]) {
+                                        Some(v) => keys.push(v),
+                                        None => {
+                                            keys.truncate(start);
+                                            continue 'tuples;
+                                        }
+                                    }
+                                }
+                            }
+                            live.push(i);
+                        }
+                        order.clear();
+                        order.extend(0..live.len() as u32);
+                        // Comparing the variable slots in slot order is the
+                        // full-key lexicographic order: constant slots are
+                        // equal across the batch and never discriminate.
+                        order.sort_by(|&x, &y| {
+                            let kx = &keys[x as usize * w..x as usize * w + nv_lo];
+                            let ky = &keys[y as usize * w..y as usize * w + nv_lo];
+                            kx.cmp(ky)
+                        });
+                        let mut cursor = tree.batch_cursor();
+                        let mut rows_in = 0u64;
+                        for &o in order.iter() {
+                            let j = o as usize;
+                            let i = live[j] as usize;
+                            let base = j * w;
+                            for (t, &s) in scr.var_lo.iter().enumerate() {
+                                scr.lo[s] = keys[base + t].clone();
+                            }
+                            for (t, &s) in scr.var_hi.iter().enumerate() {
+                                scr.hi[s] = keys[base + nv_lo + t].clone();
+                            }
+                            cursor.position(&scr.lo, scr.lo_strict);
+                            for (_, pre) in
+                                cursor.scan_from(&scr.lo, scr.lo_strict, &scr.hi, scr.hi_strict)
+                            {
+                                rows_in += 1;
+                                next.push_extended(batch, i, outer, access.alias, pre);
+                                if next.rows >= cx.batch_size {
+                                    flush_batch(
+                                        cx, fast, op_idx, true, next, sel_buf, fallback, deeper,
+                                        rows, stats,
+                                    );
+                                }
+                            }
+                        }
+                        stats.per_op[op_idx].rows_in += rows_in;
+                        stats.per_op[op_idx].index_probes += live.len() as u64;
+                        stats.btree_descents += cursor.descents;
+                        stats.btree_skips += cursor.leaf_skips;
+                    }
+                }
+            }
+            flush_batch(cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows, stats);
+        }
+        Step::Nl(access) => {
+            // Early-out semijoin: candidate enumeration stops at the first
+            // residual match, so batching the probes would change the
+            // work. Run the scan tuple-at-a-time (identical counters);
+            // survivors still flow downstream in batches.
+            for &i in sel {
+                bindings.clear();
+                bindings.resize(cx.plan.n_aliases, u32::MAX);
+                for &a in outer {
+                    bindings[a] = batch.cols[a][i as usize];
+                }
+                let counts = scan_access(db, access, fast, bindings, scr, &mut |pre| {
+                    stats.rows_scanned[op_idx] += 1;
+                    stats.per_op[op_idx].rows_out += 1;
+                    next.push_extended(batch, i as usize, outer, access.alias, pre);
+                    if next.rows >= cx.batch_size {
+                        flush_batch(
+                            cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows, stats,
+                        );
+                    }
+                    false
+                });
+                stats.per_op[op_idx].absorb(counts);
+            }
+            flush_batch(cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows, stats);
+        }
+        Step::Hash { access, probe_key, .. } if !access.early_out => {
+            let table = cx.hash_tables[depth].as_ref().expect("hash table built");
+            for &i in sel {
+                stats.per_op[op_idx].invocations += 1;
+                key.clear();
+                let mut null_key = false;
+                for p in probe_key {
+                    match p.eval_at(db, |a| batch.cols[a][i as usize]) {
+                        Some(v) => key.push(v),
+                        None => {
+                            null_key = true;
+                            break;
+                        }
+                    }
+                }
+                if null_key {
+                    continue;
+                }
+                if let Some(matches) = table.get(key.as_slice()) {
+                    for &pre in matches {
+                        next.push_extended(batch, i as usize, outer, access.alias, pre);
+                        if next.rows >= cx.batch_size {
+                            flush_batch(
+                                cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows,
+                                stats,
+                            );
+                        }
+                    }
+                }
+            }
+            flush_batch(cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows, stats);
+        }
+        Step::Hash { access, probe_key, .. } => {
+            // Early-out hash semijoin: the scalar path stops at the first
+            // match that passes the residuals — replicate it per tuple.
+            let table = cx.hash_tables[depth].as_ref().expect("hash table built");
+            let mut comparisons = 0u64;
+            let mut emitted = 0u64;
+            for &i in sel {
+                stats.per_op[op_idx].invocations += 1;
+                key.clear();
+                let mut null_key = false;
+                for p in probe_key {
+                    match p.eval_at(db, |a| batch.cols[a][i as usize]) {
+                        Some(v) => key.push(v),
+                        None => {
+                            null_key = true;
+                            break;
+                        }
+                    }
+                }
+                if null_key {
+                    continue;
+                }
+                let Some(matches) = table.get(key.as_slice()) else { continue };
+                bindings.clear();
+                bindings.resize(cx.plan.n_aliases, u32::MAX);
+                for &a in outer {
+                    bindings[a] = batch.cols[a][i as usize];
+                }
+                for &pre in matches {
+                    bindings[access.alias] = pre;
+                    let ok = fast.iter().all(|a| {
+                        comparisons += 1;
+                        a.eval(db, bindings)
+                    });
+                    if ok {
+                        stats.rows_scanned[op_idx] += 1;
+                        emitted += 1;
+                        next.push_extended(batch, i as usize, outer, access.alias, pre);
+                        if next.rows >= cx.batch_size {
+                            flush_batch(
+                                cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows,
+                                stats,
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+            let op = &mut stats.per_op[op_idx];
+            op.comparisons += comparisons;
+            op.rows_out += emitted;
+            flush_batch(cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows, stats);
+        }
+    }
+}
+
+/// Feed one frontier morsel through the batch pipeline: load the tuples
+/// into a column batch and run the remaining steps vectorized.
+#[allow(clippy::too_many_arguments)]
+fn run_morsel_vec(
+    cx: &VecCtx,
+    depth: usize,
+    tuples: &[Vec<u32>],
+    entry: &mut Batch,
+    sel: &mut Vec<u32>,
+    levels: &mut [VecLevel],
+    rows: &mut Vec<Vec<Value>>,
+    stats: &mut ExecStats,
+) {
+    if tuples.is_empty() {
+        return;
+    }
+    entry.clear();
+    for t in tuples {
+        for &a in &cx.bound_at[depth] {
+            entry.cols[a].push(t[a]);
+        }
+    }
+    entry.rows = tuples.len();
+    stats.vector_batches += 1;
+    sel.clear();
+    sel.extend(0..tuples.len() as u32);
+    vec_step(cx, depth, entry, sel, levels, rows, stats);
+    entry.clear();
+}
+
+/// Vectorized sequential execution: the driver gathers candidates into a
+/// column batch, residual kernels filter it through a selection vector,
+/// and each step extends surviving batches down the pipeline.
+/// Counter-equivalent to [`execute_sequential`] by construction — see the
+/// module comment above [`Batch`].
+fn execute_vectorized(
+    db: &Database,
+    plan: &PhysPlan,
+    driver_fast: &[FastAtom],
+    step_fast: &[Vec<FastAtom>],
+    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    opts: &ExecOptions,
+    stats: &mut ExecStats,
+) -> Vec<Vec<Value>> {
+    stats.parallel_workers = 1;
+    let cx = VecCtx {
+        db,
+        plan,
+        hash_tables,
+        step_fast,
+        bound_at: bound_aliases(plan),
+        batch_size: opts.batch_size.max(1),
+    };
+    let mut levels: Vec<VecLevel> =
+        plan.steps.iter().map(|_| VecLevel::shaped(plan.n_aliases)).collect();
+    let mut driver_lvl = VecLevel::shaped(plan.n_aliases);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    let empty = vec![u32::MAX; plan.n_aliases];
+    let driver = &plan.driver;
+    let VecLevel { next, sel, fallback, access: scr, .. } = &mut driver_lvl;
+    // The driver scan runs with no residuals — candidates gather into the
+    // level-0 batch and the driver's own atoms run as kernels at flush
+    // time, so its `rows_in`/`comparisons` totals match the scalar path.
+    let counts = scan_access(db, driver, &[], &empty, scr, &mut |pre| {
+        next.cols[driver.alias].push(pre);
+        next.rows += 1;
+        if next.rows >= cx.batch_size {
+            flush_batch(&cx, driver_fast, 0, true, next, sel, fallback, &mut levels, &mut rows, stats);
+        }
+        true
+    });
+    flush_batch(&cx, driver_fast, 0, true, next, sel, fallback, &mut levels, &mut rows, stats);
+    stats.per_op[0].absorb(counts);
+    let order_idx = order_indices(plan);
+    sort_tail(rows, &order_idx, plan.distinct, stats)
 }
 
 #[cfg(test)]
@@ -1238,7 +2084,8 @@ mod tests {
         let (seq_rows, seq_stats) = execute_rows_opts(&db, &plan, &ExecOptions::default());
         for degree in [2usize, 3, 8] {
             // A morsel size small enough that several morsels exist.
-            let opts = ExecOptions { parallelism: degree, morsel_size: 4 };
+            let opts =
+                ExecOptions { parallelism: degree, morsel_size: 4, ..ExecOptions::default() };
             let (par_rows, par_stats) = execute_rows_opts(&db, &plan, &opts);
             assert_eq!(seq_rows, par_rows, "divergence at degree {degree}");
             assert_eq!(seq_stats.raw_rows, par_stats.raw_rows);
@@ -1316,11 +2163,156 @@ mod tests {
             est_rows: 0.0,
         };
         let (seq, s1) = execute_rows_opts(&db, &plan, &ExecOptions::default());
-        let (par, s2) =
-            execute_rows_opts(&db, &plan, &ExecOptions { parallelism: 8, morsel_size: 3 });
+        let (par, s2) = execute_rows_opts(
+            &db,
+            &plan,
+            &ExecOptions { parallelism: 8, morsel_size: 3, ..ExecOptions::default() },
+        );
         assert_eq!(seq, par);
         assert_eq!(s1.per_op, s2.per_op, "early-out savings must not depend on partitioning");
         assert_eq!(s1.raw_rows, s2.raw_rows);
+    }
+
+    /// Driver over open_auction plus a bidder step; `step` picks the
+    /// probe style so both vectorized gather paths get covered.
+    fn oa_bidder_plan(db: &Database, range_probe: bool, early_out: bool) -> PhysPlan {
+        let nksp = db.indexes.iter().position(|i| i.name == "nksp").unwrap();
+        let oa = ColRef { alias: 0, col: DocCol::Pre };
+        let oa_size = ColRef { alias: 0, col: DocCol::Size };
+        let (range, residual) = if range_probe {
+            // Descendant direction through the `s = pre + size` key
+            // column: per-outer-tuple (variable) probe bounds.
+            (
+                Some(RangeProbe {
+                    lo: Some((Probe::Bound(oa), true)),
+                    hi: Some((Probe::BoundPlusBound(oa, oa_size), false)),
+                }),
+                vec![],
+            )
+        } else {
+            // Constant probes, containment as residual atoms.
+            (
+                None,
+                vec![
+                    CqAtom {
+                        lhs: CqScalar::Col(oa),
+                        op: CmpOp::Lt,
+                        rhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                    },
+                    CqAtom {
+                        lhs: CqScalar::Col(ColRef { alias: 1, col: DocCol::Pre }),
+                        op: CmpOp::Le,
+                        rhs: CqScalar::ColPlusCol(oa, oa_size),
+                    },
+                ],
+            )
+        };
+        PhysPlan {
+            n_aliases: 2,
+            driver: Access {
+                alias: 0,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("open_auction".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range: None,
+                },
+                residual: vec![],
+                all_atoms: vec![],
+                early_out: false,
+                est_rows: 0.0,
+            },
+            steps: vec![Step::Nl(Access {
+                alias: 1,
+                method: Method::IxScan {
+                    index: nksp,
+                    eq: vec![
+                        Probe::Const(Value::Str("bidder".into())),
+                        Probe::Const(Value::Kind(NodeKind::Elem)),
+                    ],
+                    range,
+                },
+                residual,
+                all_atoms: vec![],
+                early_out,
+                est_rows: 0.0,
+            })],
+            select: vec![oa, ColRef { alias: 1, col: DocCol::Pre }],
+            distinct: true,
+            order_by: vec![ColRef { alias: 1, col: DocCol::Pre }],
+            item_output: 1,
+            est_cost: 0.0,
+            est_rows: 0.0,
+        }
+    }
+
+    fn assert_invariant_stats_eq(a: &ExecStats, b: &ExecStats, what: &str) {
+        assert_eq!(a.rows_scanned, b.rows_scanned, "{what}: rows_scanned");
+        assert_eq!(a.per_op, b.per_op, "{what}: per_op");
+        assert_eq!(a.raw_rows, b.raw_rows, "{what}: raw_rows");
+        assert_eq!(a.sort_rows, b.sort_rows, "{what}: sort_rows");
+        assert_eq!(a.dedup_removed, b.dedup_removed, "{what}: dedup_removed");
+    }
+
+    /// The batch pipeline must be bit-identical to the scalar executor —
+    /// rows and every mode-independent counter — at any batch size,
+    /// including batch sizes that force mid-gather flushes.
+    #[test]
+    fn vectorized_matches_scalar() {
+        let db = db();
+        for (range_probe, early_out) in
+            [(false, false), (false, true), (true, false), (true, true)]
+        {
+            let plan = oa_bidder_plan(&db, range_probe, early_out);
+            let scalar = ExecOptions { vectorized: false, ..ExecOptions::default() };
+            let (s_rows, s_stats) = execute_rows_opts(&db, &plan, &scalar);
+            for batch in [1usize, 2, 7, 1024] {
+                let opts =
+                    ExecOptions { vectorized: true, batch_size: batch, ..ExecOptions::default() };
+                let (v_rows, v_stats) = execute_rows_opts(&db, &plan, &opts);
+                let what = format!("range={range_probe} early={early_out} batch={batch}");
+                assert_eq!(s_rows, v_rows, "{what}: rows diverge");
+                assert_invariant_stats_eq(&s_stats, &v_stats, &what);
+                assert!(v_stats.vector_batches > 0, "{what}: no batches recorded");
+                assert_eq!(v_stats.vector_batch_size, batch as u64);
+                assert_eq!(s_stats.vector_batches, 0);
+                assert_eq!(s_stats.vector_batch_size, 0);
+            }
+        }
+    }
+
+    /// Variable-probe steps must probe through the shared sorted cursor:
+    /// fewer physical descents than logical probes, with the gap showing
+    /// up as leaf-chain skips.
+    #[test]
+    fn vectorized_batches_var_probes() {
+        let db = db();
+        let plan = oa_bidder_plan(&db, true, false);
+        let opts = ExecOptions { vectorized: true, ..ExecOptions::default() };
+        let (_, v) = execute_rows_opts(&db, &plan, &opts);
+        let probes = v.per_op[1].index_probes;
+        assert!(probes > 1, "expected many probes, got {probes}");
+        assert!(
+            v.btree_descents < probes,
+            "batching should save descents: {} vs {probes}",
+            v.btree_descents
+        );
+        assert!(v.btree_skips > 0, "sorted probes should ride the leaf chain");
+        // Constant-probe steps share one scan per batch.
+        let const_plan = oa_bidder_plan(&db, false, false);
+        let (_, c) = execute_rows_opts(&db, &const_plan, &opts);
+        assert!(c.btree_skips > 0, "shared constant scan counts skipped probes");
+    }
+
+    #[test]
+    fn morsel_size_validation() {
+        assert!(validate_morsel_size(16).is_ok());
+        assert!(validate_morsel_size(1024).is_ok());
+        assert!(validate_morsel_size(0).is_err());
+        assert!(validate_morsel_size(8).is_err());
+        assert!(validate_morsel_size(48).is_err());
     }
 
     #[test]

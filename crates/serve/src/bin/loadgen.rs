@@ -3,7 +3,8 @@
 //! ```text
 //! loadgen [--threads N] [--duration 2s|500ms] [--workers N]
 //!         [--engine joingraph] [--xmark-scale F] [--dblp-pubs N]
-//!         [--cache N] [--parallelism N|auto] [--out BENCH_serve.json]
+//!         [--cache N] [--parallelism N|auto] [--morsel-size N]
+//!         [--out BENCH_serve.json]
 //! ```
 //!
 //! Measures a single-thread fresh-`Session`-per-query baseline, then
@@ -33,6 +34,8 @@ options:
   --cache N             prepared-plan cache capacity (default: 64)
   --parallelism N|auto  per-query morsel-driven parallelism, applied to the
                         baseline sessions and the server alike (default: 1)
+  --morsel-size N       tuples per parallel morsel; must be a power of two
+                        and at least 16 (default: engine default)
   --out PATH            where the BENCH_serve.json row is written
                         (default: BENCH_serve.json)
   -h, --help            print this help and exit
@@ -44,8 +47,8 @@ baseline. Exits non-zero on result divergence or request errors.";
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
-         [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] [--out PATH] \
-         (--help for details)"
+         [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] \
+         [--morsel-size N] [--out PATH] (--help for details)"
     );
     std::process::exit(2)
 }
@@ -89,6 +92,16 @@ fn main() {
             }
             "--parallelism" => {
                 cfg.parallelism = val("--parallelism").parse().unwrap_or_else(|_| usage())
+            }
+            "--morsel-size" => {
+                let n: usize = val("--morsel-size").parse().unwrap_or_else(|_| usage());
+                match jgi_engine::physical::validate_morsel_size(n) {
+                    Ok(m) => cfg.morsel_size = Some(m),
+                    Err(e) => {
+                        eprintln!("--morsel-size: {e}");
+                        usage()
+                    }
+                }
             }
             "--out" => out = val("--out"),
             "--help" | "-h" => {

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N]
-//!            [--parallelism N|auto]
+//!            [--parallelism N|auto] [--morsel-size N] [--scalar]
 //!            [--preload xmark:SCALE:SEED] [--preload dblp:PUBS:SEED]
 //! ```
 //!
@@ -38,6 +38,11 @@ options:
                         join-graph executor; `auto` = available cores
                         (default: 1 - a loaded service parallelizes across
                         requests, per-query fan-out is opt-in)
+  --morsel-size N       tuples per parallel morsel; must be a power of two
+                        and at least 16 (default: engine default)
+  --scalar              disable the vectorized batch pipeline (row-at-a-time
+                        execution; JGI_SCALAR=1 in the environment does the
+                        same)
   --preload SPEC        load a synthetic document before serving; SPEC is
                         xmark:SCALE:SEED or dblp:PUBS:SEED (repeatable)
   -h, --help            print this help and exit
@@ -48,7 +53,8 @@ One JSON reply per line; see PROTOCOL.md for request/response shapes.";
 fn usage() -> ! {
     eprintln!(
         "usage: jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N] \
-         [--parallelism N|auto] [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]... \
+         [--parallelism N|auto] [--morsel-size N] [--scalar] \
+         [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]... \
          (--help for details)"
     );
     std::process::exit(2)
@@ -75,6 +81,17 @@ fn main() {
                 config.budgets.parallelism =
                     val("--parallelism").parse().unwrap_or_else(|_| usage())
             }
+            "--morsel-size" => {
+                let n: usize = val("--morsel-size").parse().unwrap_or_else(|_| usage());
+                match jgi_engine::physical::validate_morsel_size(n) {
+                    Ok(m) => config.budgets.morsel_size = Some(m),
+                    Err(e) => {
+                        eprintln!("--morsel-size: {e}");
+                        usage()
+                    }
+                }
+            }
+            "--scalar" => config.budgets.vectorized = false,
             "--preload" => preloads.push(val("--preload")),
             "--help" | "-h" => {
                 println!("{HELP}");

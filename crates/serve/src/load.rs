@@ -52,6 +52,9 @@ pub struct LoadConfig {
     /// Defaults to `Fixed(1)`: a loaded service gets its parallelism from
     /// concurrent requests, so per-query fan-out is opt-in here.
     pub parallelism: Parallelism,
+    /// Morsel-size override for the parallel partitioner (baseline and
+    /// served alike); `None` keeps the engine default.
+    pub morsel_size: Option<usize>,
 }
 
 impl Default for LoadConfig {
@@ -66,6 +69,7 @@ impl Default for LoadConfig {
             engine: Engine::JoinGraph,
             baseline_passes: 1,
             parallelism: Parallelism::Fixed(1),
+            morsel_size: None,
         }
     }
 }
@@ -215,6 +219,7 @@ fn baseline(
         for &(name, query, ctx) in &corpus {
             let mut session = Session::new();
             session.budgets.parallelism = cfg.parallelism;
+            session.budgets.morsel_size = cfg.morsel_size;
             session.add_tree(xmark.clone());
             session.add_tree(dblp.clone());
             let prepared = session.prepare(query, ctx).expect("corpus compiles");
@@ -241,7 +246,11 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
         queue_depth: cfg.threads.max(4) * 2,
         cache_capacity: cfg.cache_capacity,
         default_deadline: None,
-        budgets: Budgets { parallelism: cfg.parallelism, ..Budgets::default() },
+        budgets: Budgets {
+            parallelism: cfg.parallelism,
+            morsel_size: cfg.morsel_size,
+            ..Budgets::default()
+        },
     }));
     server.add_tree(xmark);
     server.add_tree(dblp);

@@ -1,9 +1,9 @@
 //! End-to-end checks for the observability layer: the per-phase
 //! [`QueryReport`], per-rule rewrite counters, and EXPLAIN ANALYZE.
 
-use jgi_core::queries::{Q1, Q2};
+use jgi_core::queries::{paper_corpus, Q1, Q2};
 use jgi_core::{Engine, Session, PHASES};
-use jgi_xml::generate::{generate_xmark, XmarkConfig};
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use std::time::Duration;
 
 fn xmark_session() -> Session {
@@ -113,6 +113,7 @@ fn explain_analyze_q1_shape() {
     let expected = "\
 RETURN (est_rows N, act_rows N)
  SORT (DISTINCT, ORDER BY dN.pre) (rows_in N, dedup_removed N, spills N)
+ VECTORIZED (batch=N, batches=N, kernels=N, fallbacks=N, descents=N, skips=N)
   HSJOIN (on level)
    IXSCAN nksp [N eq-col(s)] (dN = ::bidder) (est_rows N, act_rows N, probes N, comparisons N)
    NLJOIN
@@ -121,4 +122,25 @@ RETURN (est_rows N, act_rows N)
 (estimated cost N)
 ";
     assert_eq!(normalize(&analyze), expected, "full output:\n{analyze}");
+}
+
+/// A vectorized corpus run surfaces the batch-pipeline work in the obs
+/// metrics: batches actually flow (`exec.vector.batches`) and the sorted
+/// batched B-tree probes actually skip descents (`btree.skip`).
+#[test]
+fn vectorized_counters_surface_in_obs() {
+    let mut s = Session::new();
+    s.add_tree(generate_xmark(XmarkConfig { scale: 0.005, seed: 42 }));
+    s.add_tree(generate_dblp(DblpConfig { publications: 1000, seed: 42 }));
+    s.budgets.vectorized = true;
+    let mut batches = 0u64;
+    let mut skips = 0u64;
+    for &(_, query, ctx) in &paper_corpus() {
+        let prepared = s.prepare(query, ctx).expect("corpus compiles");
+        let outcome = s.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+        batches += outcome.report.metrics.counter_value("exec.vector.batches");
+        skips += outcome.report.metrics.counter_value("btree.skip");
+    }
+    assert!(batches > 0, "no exec.vector.batches recorded across the corpus");
+    assert!(skips > 0, "no btree.skip recorded across the corpus");
 }

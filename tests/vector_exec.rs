@@ -1,17 +1,19 @@
-//! Sequential-equivalence suite for the morsel-driven parallel executor.
+//! Scalar-equivalence suite for the vectorized batch executor.
 //!
-//! The parallel path must be invisible: at any parallelism degree the
+//! Vectorization must be invisible: with the batch pipeline on, the
 //! join-graph engine has to produce the byte-identical node sequence
 //! (order and duplicates included) *and* the identical row-count
-//! statistics — every scan, probe, and comparison counter, not just the
-//! result. Three layers of evidence:
+//! statistics at every parallelism degree. Only the mode-dependent
+//! counters — `vector_*`, `btree_descents`/`btree_skips`, `parallel_*` —
+//! may differ between a scalar and a vectorized run. Three layers of
+//! evidence:
 //!
-//! * the Q1–Q8 paper corpus at degrees 1, 2, and 8 over XMark + DBLP,
-//! * cross-engine agreement (stacked plan, both navigational modes)
-//!   against the join-graph back-end running at degree 8,
+//! * the Q1–Q8 paper corpus × {scalar, vectorized} × degrees 1, 2, 8,
+//! * a vacuity guard: the vectorized corpus runs actually batch (and the
+//!   scalar runs actually don't),
 //! * property tests over random documents × random workhorse queries,
-//!   driving `execute_rows_opts` directly with the cost gate forced open
-//!   and a tiny morsel size so even toy plans fan out.
+//!   driving `execute_rows_opts` directly with batch sizes 1, 2, and
+//!   1024 so flush boundaries land everywhere.
 
 use jgi_compiler::compile;
 use jgi_core::queries::paper_corpus;
@@ -31,69 +33,85 @@ fn corpus_session(scale: f64, pubs: usize) -> Session {
     s
 }
 
-/// Every counter that must not depend on the parallelism degree. Only
-/// `parallel_workers` / `parallel_morsels` / `parallel_depth` may differ
-/// between runs.
-fn assert_stats_invariant(name: &str, degree: usize, seq: &ExecStats, par: &ExecStats) {
-    assert_eq!(seq.raw_rows, par.raw_rows, "{name}: raw_rows changed at degree {degree}");
-    assert_eq!(seq.sort_rows, par.sort_rows, "{name}: sort_rows changed at degree {degree}");
+/// Every counter that must not depend on the execution mode. The
+/// mode-dependent ones (`vector_*`, `btree_*`, `parallel_*`) are checked
+/// separately where a specific shape is expected.
+fn assert_invariant_stats(name: &str, mode: &str, base: &ExecStats, run: &ExecStats) {
+    assert_eq!(base.raw_rows, run.raw_rows, "{name}: raw_rows changed ({mode})");
+    assert_eq!(base.sort_rows, run.sort_rows, "{name}: sort_rows changed ({mode})");
     assert_eq!(
-        seq.dedup_removed, par.dedup_removed,
-        "{name}: dedup_removed changed at degree {degree}"
+        base.dedup_removed, run.dedup_removed,
+        "{name}: dedup_removed changed ({mode})"
     );
-    assert_eq!(
-        seq.rows_scanned, par.rows_scanned,
-        "{name}: rows_scanned changed at degree {degree}"
-    );
-    assert_eq!(seq.per_op, par.per_op, "{name}: per-operator actuals changed at degree {degree}");
+    assert_eq!(base.rows_scanned, run.rows_scanned, "{name}: rows_scanned changed ({mode})");
+    assert_eq!(base.per_op, run.per_op, "{name}: per-operator actuals changed ({mode})");
 }
 
 /// Q1–Q8 on the join-graph engine: identical nodes and identical
-/// row-count statistics at parallelism 1, 2, and 8.
+/// row-count statistics across {scalar, vectorized} × degrees 1, 2, 8.
 #[test]
-fn corpus_identical_across_degrees() {
+fn corpus_identical_across_modes_and_degrees() {
     let mut session = corpus_session(0.005, 1000);
     for &(name, query, ctx) in &paper_corpus() {
         let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        session.budgets.vectorized = false;
         session.budgets.parallelism = Parallelism::Fixed(1);
         let base = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
         let base_exec = base.report.exec.clone().expect("join-graph reports exec stats");
-        for degree in [2usize, 8] {
-            session.budgets.parallelism = Parallelism::Fixed(degree);
-            let out = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
-            assert_eq!(out.nodes, base.nodes, "{name}: result diverged at degree {degree}");
-            let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
-            assert_stats_invariant(name, degree, &base_exec, exec);
+        assert_eq!(base_exec.vector_batch_size, 0, "{name}: scalar run reported a batch size");
+        for vectorized in [false, true] {
+            for degree in [1usize, 2, 8] {
+                session.budgets.vectorized = vectorized;
+                session.budgets.parallelism = Parallelism::Fixed(degree);
+                let out =
+                    session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+                let mode = format!("vectorized={vectorized}, degree={degree}");
+                assert_eq!(out.nodes, base.nodes, "{name}: result diverged ({mode})");
+                let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
+                assert_invariant_stats(name, &mode, &base_exec, exec);
+            }
         }
     }
 }
 
-/// At least one corpus query must actually fan out at degree 8 — guards
-/// against the cost gate or the frontier expansion silently suppressing
-/// parallelism everywhere (which would make the suite vacuous).
+/// The vectorized corpus runs must actually batch, and at least one query
+/// must take the sorted-probe B-tree path — otherwise the equivalence
+/// suite above is vacuous.
 #[test]
-fn corpus_fans_out_at_degree_8() {
+fn corpus_vectorization_is_not_vacuous() {
     let mut session = corpus_session(0.005, 1000);
-    session.budgets.parallelism = Parallelism::Fixed(8);
-    let mut fanned_out = 0usize;
+    session.budgets.vectorized = true;
+    session.budgets.parallelism = Parallelism::Fixed(1);
+    let mut batched = 0usize;
+    let mut descended = 0usize;
     for &(name, query, ctx) in &paper_corpus() {
         let prepared = session.prepare(query, ctx).expect("corpus compiles");
         let out = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
         let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
-        if exec.parallel_workers > 1 {
-            assert!(exec.parallel_morsels > 1, "{name}: multiple workers but a single morsel");
-            fanned_out += 1;
+        assert!(exec.vector_batch_size > 0, "{name}: vectorized run reported no batch size");
+        if exec.vector_batches > 0 {
+            batched += 1;
+        }
+        if exec.btree_descents > 0 {
+            let logical: u64 = exec.per_op.iter().map(|o| o.index_probes).sum();
+            assert!(
+                exec.btree_descents <= logical,
+                "{name}: more descents than logical probes"
+            );
+            descended += 1;
         }
     }
-    assert!(fanned_out > 0, "no corpus query fanned out at degree 8 (scale 0.005)");
+    assert!(batched > 0, "no corpus query pushed a batch through the pipeline");
+    assert!(descended > 0, "no corpus query exercised the batched B-tree cursor");
 }
 
-/// The independent back-ends agree with the parallel join-graph engine:
-/// stacked plan interpretation and both navigational modes never see the
-/// executor's threads, so they pin down the expected answer.
+/// The independent back-ends agree with the vectorized join-graph engine
+/// at degree 8: stacked plan interpretation and both navigational modes
+/// never see batches or threads, so they pin down the expected answer.
 #[test]
-fn corpus_agrees_across_engines_at_degree_8() {
+fn corpus_agrees_across_engines_vectorized() {
     let mut session = corpus_session(0.002, 300);
+    session.budgets.vectorized = true;
     session.budgets.parallelism = Parallelism::Fixed(8);
     for &(name, query, ctx) in &paper_corpus() {
         let prepared = session.prepare(query, ctx).expect("corpus compiles");
@@ -102,7 +120,7 @@ fn corpus_agrees_across_engines_at_degree_8() {
             let other = session.execute(&prepared, engine).expect("corpus executes");
             assert_eq!(
                 other.nodes, jg.nodes,
-                "{name}: {engine:?} disagrees with the parallel join-graph engine"
+                "{name}: {engine:?} disagrees with the vectorized join-graph engine"
             );
         }
     }
@@ -179,10 +197,11 @@ fn gen_query() -> impl Strategy<Value = String> {
     prop_oneof![path, with_pred, with_for]
 }
 
-/// Compile a random query down to a conjunctive query, plan it, force the
-/// cost gate open, and check the parallel executor against the sequential
-/// one row-for-row and counter-for-counter.
-fn check_parallel_on(tree: &Tree, query: &str) {
+/// Compile a random query down to a conjunctive query, plan it, and check
+/// the vectorized executor against the scalar one row-for-row and
+/// counter-for-counter at batch sizes 1, 2, and 1024 — sequentially and
+/// with the cost gate forced open so the parallel batch path runs too.
+fn check_vectorized_on(tree: &Tree, query: &str) {
     let Ok(core) = compile_to_core(query) else { return };
     let compiled = compile(&core).expect("compilation succeeds");
     let mut store = DocStore::new();
@@ -193,15 +212,24 @@ fn check_parallel_on(tree: &Tree, query: &str) {
     let db = Database::with_default_indexes(store);
 
     let mut phys = optimizer::plan(&db, &cq);
-    // Force the cost gate open: random toy plans are always "too cheap",
-    // but the equivalence must hold regardless of what the gate decides.
+    // Force the cost gate open so the parallel combinations below fan out
+    // even on toy plans.
     phys.est_cost = 1e9;
-    let (seq_rows, seq_stats) = execute_rows_opts(&db, &phys, &ExecOptions::default());
-    for (degree, morsel_size) in [(2usize, 1usize), (4, 2), (8, 3)] {
-        let opts = ExecOptions { parallelism: degree, morsel_size, ..ExecOptions::default() };
-        let (par_rows, par_stats) = execute_rows_opts(&db, &phys, &opts);
-        assert_eq!(seq_rows, par_rows, "rows diverged on {query} at degree {degree}");
-        assert_stats_invariant(query, degree, &seq_stats, &par_stats);
+    let scalar = ExecOptions { vectorized: false, ..ExecOptions::default() };
+    let (base_rows, base_stats) = execute_rows_opts(&db, &phys, &scalar);
+    for batch_size in [1usize, 2, 1024] {
+        for (degree, morsel_size) in [(1usize, 4usize), (4, 2)] {
+            let opts = ExecOptions {
+                parallelism: degree,
+                morsel_size,
+                vectorized: true,
+                batch_size,
+            };
+            let (rows, stats) = execute_rows_opts(&db, &phys, &opts);
+            let mode = format!("batch={batch_size}, degree={degree}");
+            assert_eq!(base_rows, rows, "rows diverged on {query} ({mode})");
+            assert_invariant_stats(query, &mode, &base_stats, &stats);
+        }
     }
 }
 
@@ -211,10 +239,10 @@ proptest! {
         .. ProptestConfig::default()
     })]
 
-    /// Random workhorse queries over random documents: the parallel
-    /// executor is indistinguishable from the sequential one.
+    /// Random workhorse queries over random documents: the vectorized
+    /// executor is indistinguishable from the scalar one.
     #[test]
-    fn parallel_matches_sequential_on_random_queries(tree in gen_tree(), query in gen_query()) {
-        check_parallel_on(&tree, &query);
+    fn vectorized_matches_scalar_on_random_queries(tree in gen_tree(), query in gen_query()) {
+        check_vectorized_on(&tree, &query);
     }
 }

@@ -294,21 +294,30 @@ impl QueryReport {
     }
 
     /// Emit to stderr per the `JGI_OBS` env switch (`text` | `json` | off).
+    ///
+    /// The whole report is rendered into one buffer and written with a
+    /// single `write_all` under the stderr lock, so reports from
+    /// concurrent workers (the serve pool) interleave at record
+    /// granularity — never torn mid-line.
     pub fn emit(&self, label: &str) {
-        match jgi_obs::ObsMode::from_env() {
-            jgi_obs::ObsMode::Off => {}
+        use std::io::Write as _;
+        let buf = match jgi_obs::ObsMode::from_env() {
+            jgi_obs::ObsMode::Off => return,
             jgi_obs::ObsMode::Text => {
-                eprintln!("[jgi-obs] {label}");
-                eprint!("{}", self.render_text());
+                format!("[jgi-obs] {label}\n{}", self.render_text())
             }
             jgi_obs::ObsMode::Json => {
                 let mut pairs = vec![("report".to_string(), Json::str(label))];
                 if let Json::Obj(rest) = self.to_json() {
                     pairs.extend(rest);
                 }
-                eprintln!("{}", Json::Obj(pairs).render());
+                format!("{}\n", Json::Obj(pairs).render())
             }
-        }
+        };
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let _ = out.write_all(buf.as_bytes());
+        let _ = out.flush();
     }
 }
 

@@ -532,6 +532,27 @@ pub fn execute_rows_opts(
         jgi_obs::counter("btree.descents", stats.btree_descents);
         jgi_obs::counter("btree.skip", stats.btree_skips);
     }
+    // Always-on process totals: deposit the same per-execution summary into
+    // the global registry, recording or not. One counter batch per query,
+    // so the per-row hot path stays untouched; disabled registry = one
+    // relaxed load per call.
+    let reg = jgi_obs::Registry::global();
+    if reg.is_enabled() {
+        reg.counter("exec.queries", 1);
+        reg.counter("exec.raw_rows", stats.raw_rows);
+        reg.counter("exec.sort_rows", stats.sort_rows);
+        reg.counter("exec.dedup_removed", stats.dedup_removed);
+        let (mut probes, mut comparisons) = (0u64, 0u64);
+        for op in &stats.per_op {
+            probes += op.index_probes;
+            comparisons += op.comparisons;
+        }
+        reg.counter("exec.index_probes", probes);
+        reg.counter("exec.comparisons", comparisons);
+        reg.counter("exec.vector.batches", stats.vector_batches);
+        reg.counter("btree.descents", stats.btree_descents);
+        reg.counter("btree.skip", stats.btree_skips);
+    }
     (out, stats)
 }
 

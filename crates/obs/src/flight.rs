@@ -1,0 +1,342 @@
+//! The query flight recorder: a fixed-capacity buffer that retains full
+//! diagnostic payloads — per-phase spans, metrics, plan fingerprint,
+//! EXPLAIN ANALYZE — for the requests worth looking at later: the slowest,
+//! plus every shed / deadline-missed / errored one.
+//!
+//! Retention policy (capacity `C`):
+//!
+//! * a **slow pool** of `3C/4` entries keeps the top-K requests by total
+//!   latency (evict-min on overflow), so a latency spike an hour ago is
+//!   still inspectable after traffic recovers;
+//! * an **anomaly ring** of `C/4` entries keeps the most recent shed /
+//!   deadline / error records FIFO, so failures are never crowded out by
+//!   merely-slow successes (nor vice versa).
+//!
+//! Keeping the serving path cheap is a design requirement, enforced two
+//! ways. Admission is two-phase: callers ask
+//! [`FlightRecorder::would_admit_slow`] *before* assembling a record, and
+//! only construct it when it would actually be kept (anomalies are always
+//! admitted). And the expensive diagnostics are *lazy*: a record carries
+//! an opaque `payload` (generic `P` — the serving layer stores `Arc`s to
+//! the plan and snapshot plus the request report), and the EXPLAIN
+//! ANALYZE / report-JSON rendering happens at `TRACE` dump time, never at
+//! offer time. Early in a server's life nearly every request enters the
+//! still-filling slow pool, so eager payloads would tax exactly the
+//! warmup phase a benchmark measures.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Mint a process-unique trace id. Ids are dense and ordered, which makes
+/// `TRACE` dumps easy to correlate with client logs; uniqueness, not
+/// unpredictability, is the goal.
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// How a recorded request ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// Completed with a result of `rows` nodes.
+    Ok { rows: u64 },
+    /// Completed, but the engine declared "did not finish" (budget).
+    Dnf,
+    /// Refused at admission: the worker queue was full.
+    Shed,
+    /// Dequeued (or finished) past its deadline.
+    Deadline,
+    /// Failed with a serve-layer error.
+    Error { code: &'static str, message: String },
+}
+
+impl FlightOutcome {
+    /// Short status tag used in dumps and retention decisions.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FlightOutcome::Ok { .. } => "ok",
+            FlightOutcome::Dnf => "dnf",
+            FlightOutcome::Shed => "shed",
+            FlightOutcome::Deadline => "deadline",
+            FlightOutcome::Error { .. } => "error",
+        }
+    }
+
+    /// Anomalies bypass the slow-pool latency bar.
+    pub fn is_anomaly(&self) -> bool {
+        !matches!(self, FlightOutcome::Ok { .. })
+    }
+}
+
+/// One retained request: identity, outcome, per-phase timings, and an
+/// opaque diagnostic payload `P` the owner renders lazily at dump time
+/// (the serving layer keeps `Arc`s to the plan and snapshot there).
+#[derive(Debug, Clone)]
+pub struct FlightRecord<P = ()> {
+    /// Trace id minted at parse time.
+    pub trace_id: u64,
+    /// The query text.
+    pub query: String,
+    /// Execution engine label (`"join graph"`, …).
+    pub engine: String,
+    /// How the request ended.
+    pub outcome: FlightOutcome,
+    /// End-to-end latency in microseconds (queue wait included).
+    pub total_us: u64,
+    /// `(phase, µs)` pairs in pipeline order — queue / prepare / execute /
+    /// serialize at the serve layer, with compile sub-phases inside the
+    /// report payload.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Did the plan come from the cache?
+    pub cached_plan: bool,
+    /// Snapshot generation the request ran against.
+    pub generation: u64,
+    /// Remaining deadline budget at completion (negative = missed), when
+    /// the request carried a deadline.
+    pub deadline_slack_us: Option<i64>,
+    /// Hash of the emitted SQL + generation: requests with equal
+    /// fingerprints ran the same plan shape.
+    pub plan_fingerprint: String,
+    /// Owner-defined lazy payload; rendered only at dump time.
+    pub payload: P,
+}
+
+impl<P> FlightRecord<P> {
+    /// Render the common fields as one JSON object (one `TRACE` output
+    /// line). Owners append payload-derived fields (EXPLAIN ANALYZE, the
+    /// full report) to the returned object.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = vec![
+            ("trace_id".into(), Json::Str(format!("{:016x}", self.trace_id))),
+            ("status".into(), Json::Str(self.outcome.tag().into())),
+            ("query".into(), Json::Str(self.query.clone())),
+            ("engine".into(), Json::Str(self.engine.clone())),
+            ("total_us".into(), Json::UInt(self.total_us)),
+            (
+                "phases".into(),
+                Json::Obj(
+                    self.phases
+                        .iter()
+                        .map(|&(name, us)| (name.to_string(), Json::UInt(us)))
+                        .collect(),
+                ),
+            ),
+            ("cached_plan".into(), Json::Bool(self.cached_plan)),
+            ("generation".into(), Json::UInt(self.generation)),
+            ("plan_fingerprint".into(), Json::Str(self.plan_fingerprint.clone())),
+        ];
+        match &self.outcome {
+            FlightOutcome::Ok { rows } => fields.push(("rows".into(), Json::UInt(*rows))),
+            FlightOutcome::Error { code, message } => {
+                fields.push(("error".into(), Json::Str(code.to_string())));
+                fields.push(("message".into(), Json::Str(message.clone())));
+            }
+            _ => {}
+        }
+        if let Some(slack) = self.deadline_slack_us {
+            fields.push(("deadline_slack_us".into(), Json::Int(slack)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The fixed-capacity recorder. Not internally synchronized — the serving
+/// layer wraps it in a `Mutex` and keeps the critical section to
+/// admission + insertion (records carry only cheap payload handles).
+#[derive(Debug)]
+pub struct FlightRecorder<P = ()> {
+    slow_capacity: usize,
+    anomaly_capacity: usize,
+    /// Top-K by `total_us`; unordered, evict-min on overflow (K is tens,
+    /// a linear scan beats heap bookkeeping at this size).
+    slow: Vec<FlightRecord<P>>,
+    /// Most recent anomalies, FIFO.
+    anomalies: VecDeque<FlightRecord<P>>,
+    offered: u64,
+    admitted: u64,
+}
+
+impl<P> FlightRecorder<P> {
+    /// A recorder retaining at most `capacity` records, split 3:1 between
+    /// the slow pool and the anomaly ring.
+    pub fn new(capacity: usize) -> FlightRecorder<P> {
+        let capacity = capacity.max(2);
+        let anomaly_capacity = (capacity / 4).max(1);
+        FlightRecorder {
+            slow_capacity: capacity - anomaly_capacity,
+            anomaly_capacity,
+            slow: Vec::new(),
+            anomalies: VecDeque::new(),
+            offered: 0,
+            admitted: 0,
+        }
+    }
+
+    /// Would a *successful* request of `total_us` enter the slow pool
+    /// right now? Callers use this to skip building the expensive payload
+    /// for the common fast request. Anomalies skip this check.
+    pub fn would_admit_slow(&self, total_us: u64) -> bool {
+        self.slow.len() < self.slow_capacity
+            || self.slow.iter().any(|r| r.total_us < total_us)
+    }
+
+    /// Offer a record. Anomalous outcomes go to the anomaly ring (oldest
+    /// evicted); successes enter the slow pool if they beat its minimum.
+    /// Returns whether the record was kept.
+    pub fn offer(&mut self, record: FlightRecord<P>) -> bool {
+        self.offered += 1;
+        if record.outcome.is_anomaly() {
+            if self.anomalies.len() == self.anomaly_capacity {
+                self.anomalies.pop_front();
+            }
+            self.anomalies.push_back(record);
+            self.admitted += 1;
+            return true;
+        }
+        if self.slow.len() < self.slow_capacity {
+            self.slow.push(record);
+            self.admitted += 1;
+            return true;
+        }
+        let (mut min_i, mut min_us) = (0usize, u64::MAX);
+        for (i, r) in self.slow.iter().enumerate() {
+            if r.total_us < min_us {
+                (min_i, min_us) = (i, r.total_us);
+            }
+        }
+        if record.total_us > min_us {
+            self.slow[min_i] = record;
+            self.admitted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The `n` most interesting records, slowest first: the slow pool and
+    /// the anomaly ring merged and sorted by `total_us` descending (ties
+    /// broken by trace id, newest first).
+    pub fn dump(&self, n: usize) -> Vec<&FlightRecord<P>> {
+        let mut all: Vec<&FlightRecord<P>> =
+            self.slow.iter().chain(self.anomalies.iter()).collect();
+        all.sort_by(|a, b| {
+            b.total_us.cmp(&a.total_us).then(b.trace_id.cmp(&a.trace_id))
+        });
+        all.truncate(n);
+        all
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.slow.len() + self.anomalies.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(offered, admitted)` lifetime totals.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.offered, self.admitted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: u64, total_us: u64, outcome: FlightOutcome) -> FlightRecord {
+        FlightRecord {
+            trace_id,
+            query: "doc('x')//y".into(),
+            engine: "join graph".into(),
+            outcome,
+            total_us,
+            phases: vec![("queue", 1), ("execute", total_us.saturating_sub(1))],
+            cached_plan: true,
+            generation: 1,
+            deadline_slack_us: None,
+            plan_fingerprint: format!("{trace_id:016x}"),
+            payload: (),
+        }
+    }
+
+    #[test]
+    fn slow_pool_keeps_top_k_by_latency() {
+        let mut fr = FlightRecorder::new(4); // slow 3 + anomaly 1
+        for (id, us) in [(1, 10), (2, 50), (3, 30), (4, 5), (5, 40)] {
+            fr.offer(rec(id, us, FlightOutcome::Ok { rows: 1 }));
+        }
+        let ids: Vec<u64> = fr.dump(10).iter().map(|r| r.trace_id).collect();
+        assert_eq!(ids, vec![2, 5, 3], "50, 40, 30 survive; 10 and 5 evicted");
+        assert!(!fr.would_admit_slow(20));
+        assert!(fr.would_admit_slow(35));
+        assert_eq!(fr.stats(), (5, 4), "id 4 (5µs) was refused");
+    }
+
+    #[test]
+    fn anomalies_never_crowd_out_nor_get_crowded_out() {
+        let mut fr = FlightRecorder::new(8); // slow 6 + anomaly 2
+        for id in 1..=6 {
+            fr.offer(rec(id, 1000 * id, FlightOutcome::Ok { rows: 0 }));
+        }
+        // Fast failures are still admitted (anomaly ring), FIFO capped at 2.
+        fr.offer(rec(7, 1, FlightOutcome::Shed));
+        fr.offer(rec(8, 1, FlightOutcome::Deadline));
+        fr.offer(rec(
+            9,
+            1,
+            FlightOutcome::Error { code: "frontend", message: "parse error".into() },
+        ));
+        assert_eq!(fr.len(), 8);
+        let tags: Vec<&str> =
+            fr.dump(16).iter().map(|r| r.outcome.tag()).collect();
+        assert_eq!(tags.iter().filter(|t| **t == "ok").count(), 6);
+        assert!(tags.contains(&"deadline") && tags.contains(&"error"));
+        assert!(!tags.contains(&"shed"), "oldest anomaly rotated out");
+    }
+
+    #[test]
+    fn dump_orders_slowest_first_and_truncates() {
+        let mut fr = FlightRecorder::new(8);
+        fr.offer(rec(1, 300, FlightOutcome::Ok { rows: 0 }));
+        fr.offer(rec(2, 100, FlightOutcome::Dnf));
+        fr.offer(rec(3, 200, FlightOutcome::Ok { rows: 0 }));
+        let us: Vec<u64> = fr.dump(2).iter().map(|r| r.total_us).collect();
+        assert_eq!(us, vec![300, 200]);
+    }
+
+    #[test]
+    fn record_renders_stable_json_shape() {
+        let mut r = rec(0xabc, 42, FlightOutcome::Error {
+            code: "deadline",
+            message: "deadline exceeded".into(),
+        });
+        r.deadline_slack_us = Some(-17);
+        let line = r.to_json().render();
+        assert!(line.starts_with("{\"trace_id\":\"0000000000000abc\""));
+        assert!(line.contains("\"status\":\"error\""));
+        assert!(line.contains("\"phases\":{\"queue\":1,\"execute\":41}"));
+        assert!(line.contains("\"deadline_slack_us\":-17"));
+        assert!(line.contains("\"error\":\"deadline\""));
+        assert!(!line.contains('\n'), "one record = one line");
+    }
+
+    #[test]
+    fn trace_ids_are_unique_across_threads() {
+        let mut ids: Vec<u64> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| s.spawn(|| (0..100).map(|_| next_trace_id()).collect::<Vec<_>>()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+}

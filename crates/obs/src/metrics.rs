@@ -105,6 +105,19 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Fold another histogram into this one, bucket-wise. Exact for
+    /// bucketed quantiles (both sides share the fixed power-of-two
+    /// boundaries); `sum` saturates like [`Histogram::record`].
+    pub fn merge(&mut self, other: &Histogram) {
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Occupied buckets as `(lo, hi, count)` triples, low to high.
     pub fn occupied_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -167,6 +180,12 @@ impl Metrics {
         self.histograms.entry(name).or_default().record(value);
     }
 
+    /// Replace the named histogram with a pre-aggregated one (used when
+    /// flattening a registry snapshot back into a `Metrics` set).
+    pub fn set_histogram(&mut self, name: &'static str, h: Histogram) {
+        self.histograms.insert(name, h);
+    }
+
     /// Current value of a counter (0 when never incremented).
     pub fn counter_value(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -222,14 +241,7 @@ impl Metrics {
             self.gauge(name, v);
         }
         for (name, h) in other.histograms() {
-            let dst = self.histograms.entry(name).or_default();
-            for (i, &n) in h.buckets.iter().enumerate() {
-                dst.buckets[i] += n;
-            }
-            dst.count += h.count;
-            dst.sum = dst.sum.saturating_add(h.sum);
-            dst.min = dst.min.min(h.min);
-            dst.max = dst.max.max(h.max);
+            self.histograms.entry(name).or_default().merge(h);
         }
     }
 

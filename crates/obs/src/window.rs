@@ -1,0 +1,161 @@
+//! Sliding-window histograms: recent-traffic latency distributions for a
+//! long-running service.
+//!
+//! A lifetime [`Histogram`] answers "what happened since the process
+//! started", which is the wrong question for a server that has been up
+//! for a week — yesterday's overload would flatten today's p99 forever.
+//! A [`WindowHistogram`] keeps a ring of `slices` log-bucketed histograms
+//! and rotates through them as time advances: slice `epoch % slices` is
+//! reused for epoch `epoch`, so an observation lands in exactly one slice
+//! and a slice older than the window is overwritten in place — fixed
+//! memory, no allocation after construction, no background sweeper.
+//!
+//! Time is expressed as an *epoch* (a monotonically increasing slice
+//! number) supplied by the caller — the [`crate::registry::Registry`]
+//! derives it from one shared `Instant`, which keeps every window in the
+//! registry aligned on the same slice boundaries and makes the type
+//! trivially testable (tests pass epochs directly, no sleeping).
+
+use crate::metrics::Histogram;
+
+/// Default number of ring slices.
+pub const DEFAULT_SLICES: usize = 8;
+
+/// A ring of histograms covering the last `slices` epochs, plus a
+/// cumulative lifetime histogram (Prometheus `_sum`/`_count` need a
+/// monotone series; the window quantiles need recency).
+#[derive(Debug, Clone)]
+pub struct WindowHistogram {
+    /// `(epoch, histogram)` per slot; `u64::MAX` marks a never-used slot.
+    slices: Vec<(u64, Histogram)>,
+    lifetime: Histogram,
+}
+
+impl WindowHistogram {
+    /// A window of `slices` ring slots (clamped to ≥ 1).
+    pub fn new(slices: usize) -> WindowHistogram {
+        WindowHistogram {
+            slices: vec![(u64::MAX, Histogram::default()); slices.max(1)],
+            lifetime: Histogram::default(),
+        }
+    }
+
+    /// Record one observation at the given epoch. Reuses (and resets) the
+    /// ring slot if it still holds a stale epoch.
+    pub fn observe(&mut self, epoch: u64, v: u64) {
+        let n = self.slices.len() as u64;
+        let slot = (epoch % n) as usize;
+        if self.slices[slot].0 != epoch {
+            self.slices[slot] = (epoch, Histogram::default());
+        }
+        self.slices[slot].1.record(v);
+        self.lifetime.record(v);
+    }
+
+    /// Fold a pre-aggregated histogram into the slice for `epoch` (used
+    /// when merging a finished per-query recording into the registry).
+    pub fn absorb(&mut self, epoch: u64, h: &Histogram) {
+        let n = self.slices.len() as u64;
+        let slot = (epoch % n) as usize;
+        if self.slices[slot].0 != epoch {
+            self.slices[slot] = (epoch, Histogram::default());
+        }
+        self.slices[slot].1.merge(h);
+        self.lifetime.merge(h);
+    }
+
+    /// The merged distribution of every slice still inside the window
+    /// ending at `now_epoch` (i.e. epochs in `(now_epoch - slices,
+    /// now_epoch]`).
+    pub fn window(&self, now_epoch: u64) -> Histogram {
+        let n = self.slices.len() as u64;
+        let mut out = Histogram::default();
+        for (epoch, h) in &self.slices {
+            if *epoch <= now_epoch && now_epoch - *epoch < n {
+                out.merge(h);
+            }
+        }
+        out
+    }
+
+    /// Everything ever observed.
+    pub fn lifetime(&self) -> &Histogram {
+        &self.lifetime
+    }
+
+    /// Fold another window into this one, slice by slice (same slice
+    /// count assumed; epochs align because registries share one clock).
+    pub fn merge(&mut self, other: &WindowHistogram) {
+        self.lifetime.merge(&other.lifetime);
+        let n = self.slices.len() as u64;
+        for (epoch, h) in &other.slices {
+            if *epoch == u64::MAX {
+                continue;
+            }
+            let slot = (*epoch % n) as usize;
+            if self.slices[slot].0 == *epoch {
+                self.slices[slot].1.merge(h);
+            } else if self.slices[slot].0 == u64::MAX || self.slices[slot].0 < *epoch {
+                self.slices[slot] = (*epoch, h.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_rotates_out_stale_slices() {
+        let mut w = WindowHistogram::new(4);
+        w.observe(0, 10);
+        w.observe(1, 20);
+        w.observe(2, 30);
+        assert_eq!(w.window(2).count(), 3);
+        // Epoch 4 reuses slot 0 (epoch 0's slice is overwritten).
+        w.observe(4, 40);
+        let win = w.window(4);
+        assert_eq!(win.count(), 3, "epochs 1,2,4 remain in a 4-slice window");
+        assert_eq!(win.min(), Some(20));
+        // Lifetime keeps everything.
+        assert_eq!(w.lifetime().count(), 4);
+        assert_eq!(w.lifetime().min(), Some(10));
+    }
+
+    #[test]
+    fn far_future_epoch_empties_the_window() {
+        let mut w = WindowHistogram::new(4);
+        for e in 0..4 {
+            w.observe(e, 100);
+        }
+        assert_eq!(w.window(3).count(), 4);
+        assert_eq!(w.window(100).count(), 0, "everything aged out");
+        assert_eq!(w.lifetime().count(), 4);
+    }
+
+    #[test]
+    fn merge_aligns_slices_by_epoch() {
+        let mut a = WindowHistogram::new(4);
+        let mut b = WindowHistogram::new(4);
+        a.observe(5, 1);
+        b.observe(5, 3);
+        b.observe(6, 7);
+        a.merge(&b);
+        let win = a.window(6);
+        assert_eq!(win.count(), 3);
+        assert_eq!(win.max(), Some(7));
+        assert_eq!(a.lifetime().count(), 3);
+    }
+
+    #[test]
+    fn absorb_folds_a_summary_into_one_slice() {
+        let mut h = Histogram::default();
+        h.record(4);
+        h.record(9);
+        let mut w = WindowHistogram::new(2);
+        w.absorb(3, &h);
+        assert_eq!(w.window(3).count(), 2);
+        assert_eq!(w.window(3).max(), Some(9));
+    }
+}

@@ -4,7 +4,8 @@
 //! loadgen [--threads N] [--duration 2s|500ms] [--workers N]
 //!         [--engine joingraph] [--xmark-scale F] [--dblp-pubs N]
 //!         [--cache N] [--parallelism N|auto] [--morsel-size N]
-//!         [--out BENCH_serve.json]
+//!         [--no-telemetry] [--out BENCH_serve.json]
+//!         [--obs-out BENCH_obs.json] [--obs-runs N]
 //! ```
 //!
 //! Measures a single-thread fresh-`Session`-per-query baseline, then
@@ -13,8 +14,14 @@
 //! and writes one JSON row (schema golden-tested in `jgi-serve`) to
 //! `BENCH_serve.json` (or `--out`). Exits non-zero on result divergence
 //! or request errors, so CI smoke runs fail loudly.
+//!
+//! With `--obs-out`, runs the telemetry benchmark instead: `--obs-runs`
+//! interleaved (telemetry on, telemetry off) leg pairs, reporting median
+//! throughput per leg, the always-on overhead percentage, and the p99
+//! tail attributed to queue / prepare / execute / serialize, written as
+//! one `BENCH_obs.json` row.
 
-use jgi_serve::{run_load, LoadConfig};
+use jgi_serve::{run_load, run_obs_bench, LoadConfig};
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -36,8 +43,15 @@ options:
                         baseline sessions and the server alike (default: 1)
   --morsel-size N       tuples per parallel morsel; must be a power of two
                         and at least 16 (default: engine default)
+  --no-telemetry        disable the always-on service telemetry (registry
+                        and flight recorder) for the load run
   --out PATH            where the BENCH_serve.json row is written
                         (default: BENCH_serve.json)
+  --obs-out PATH        run the telemetry overhead + tail-attribution
+                        benchmark instead and write its BENCH_obs.json
+                        row to PATH
+  --obs-runs N          interleaved on/off run pairs for --obs-out
+                        (default: 3; median throughput per leg wins)
   -h, --help            print this help and exit
 
 Measures a single-thread fresh-Session-per-query baseline, then drives the
@@ -48,7 +62,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
          [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] \
-         [--morsel-size N] [--out PATH] (--help for details)"
+         [--morsel-size N] [--no-telemetry] [--out PATH] [--obs-out PATH] \
+         [--obs-runs N] (--help for details)"
     );
     std::process::exit(2)
 }
@@ -66,6 +81,8 @@ fn parse_duration(s: &str) -> Option<Duration> {
 fn main() {
     let mut cfg = LoadConfig::default();
     let mut out = String::from("BENCH_serve.json");
+    let mut obs_out: Option<String> = None;
+    let mut obs_runs: usize = 3;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -103,7 +120,10 @@ fn main() {
                     }
                 }
             }
+            "--no-telemetry" => cfg.telemetry = false,
             "--out" => out = val("--out"),
+            "--obs-out" => obs_out = Some(val("--obs-out")),
+            "--obs-runs" => obs_runs = val("--obs-runs").parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0)
@@ -113,6 +133,26 @@ fn main() {
                 usage()
             }
         }
+    }
+
+    if let Some(obs_path) = obs_out {
+        let summary = run_obs_bench(&cfg, obs_runs);
+        eprint!("{}", summary.render_text());
+        let row = summary.to_json().render();
+        if let Err(e) = std::fs::write(&obs_path, format!("{row}\n")) {
+            eprintln!("cannot write {obs_path}: {e}");
+            std::process::exit(1);
+        }
+        println!("{row}");
+        eprintln!("wrote {obs_path}");
+        if summary.divergence > 0 || summary.errors > 0 {
+            eprintln!(
+                "FAIL: {} divergent results, {} errors",
+                summary.divergence, summary.errors
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     let summary = run_load(&cfg);

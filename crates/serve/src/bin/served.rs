@@ -15,7 +15,7 @@
 //! The wire protocol is specified in `PROTOCOL.md` at the repository
 //! root.
 
-use jgi_serve::protocol::{handle_command, parse_command, Command};
+use jgi_serve::protocol::{handle_command, parse_command, Command, Reply};
 use jgi_serve::{ServeConfig, Server};
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use std::io::{BufRead, BufReader, Write};
@@ -47,8 +47,10 @@ options:
                         xmark:SCALE:SEED or dblp:PUBS:SEED (repeatable)
   -h, --help            print this help and exit
 
-Commands (one per line): LOAD, PREPARE, EXEC, EXPLAIN, STATS, QUIT.
-One JSON reply per line; see PROTOCOL.md for request/response shapes.";
+Commands (one per line): LOAD, PREPARE, EXEC, EXPLAIN, STATS, METRICS,
+TRACE, QUIT. One JSON reply per line, except METRICS (a Prometheus text
+block terminated by `# EOF`) and TRACE (a JSON header line followed by
+one JSON line per retained flight record); see PROTOCOL.md.";
 
 fn usage() -> ! {
     eprintln!(
@@ -158,16 +160,22 @@ fn preload(server: &Server, spec: &str) {
     eprintln!("preloaded {spec} (generation {generation})");
 }
 
-/// One protocol session: read lines, write one JSON reply per line.
+/// One protocol session: read lines, write one reply per command — a
+/// single JSON line for most commands, a multi-line block for METRICS
+/// and TRACE ([`Reply::render`] carries its own framing either way).
 fn serve_stream(server: &Server, reader: impl BufRead, mut writer: impl Write) {
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        let reply = match parse_command(&line) {
+        let rendered = match parse_command(&line) {
             Ok(None) => continue, // blank/comment
             Ok(Some(cmd)) => {
-                let json = handle_command(server, &cmd);
+                let reply = handle_command(server, &cmd);
                 let quit = cmd == Command::Quit;
-                if writeln!(writer, "{}", json.render()).and_then(|()| writer.flush()).is_err() {
+                if writer
+                    .write_all(reply.render().as_bytes())
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
                     return;
                 }
                 if quit {
@@ -175,13 +183,14 @@ fn serve_stream(server: &Server, reader: impl BufRead, mut writer: impl Write) {
                 }
                 continue;
             }
-            Err(e) => jgi_obs::Json::obj([
+            Err(e) => Reply::Json(jgi_obs::Json::obj([
                 ("ok", jgi_obs::Json::Bool(false)),
                 ("error", jgi_obs::Json::str(e.to_string())),
                 ("code", jgi_obs::Json::str(e.code())),
-            ]),
+            ]))
+            .render(),
         };
-        if writeln!(writer, "{}", reply.render()).and_then(|()| writer.flush()).is_err() {
+        if writer.write_all(rendered.as_bytes()).and_then(|()| writer.flush()).is_err() {
             return;
         }
     }

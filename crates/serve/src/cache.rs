@@ -13,7 +13,7 @@
 //! unsafe code to audit.
 
 use jgi_core::Prepared;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Cache key: one prepared plan per query text, context document, and
@@ -53,6 +53,20 @@ impl CacheStats {
     }
 }
 
+/// Per-generation accounting: how one snapshot generation's plans fared.
+/// A generation that keeps missing after its load settles points at a
+/// churning workload; high invalidations quantify what a document load
+/// cost in warmed plans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GenStats {
+    /// Probe hits against keys of this generation.
+    pub hits: u64,
+    /// Probe misses against keys of this generation.
+    pub misses: u64,
+    /// Entries of this generation purged by [`PlanCache::invalidate_older`].
+    pub invalidations: u64,
+}
+
 struct Entry {
     plan: Arc<Prepared>,
     touched: u64,
@@ -64,26 +78,36 @@ pub struct PlanCache {
     tick: u64,
     map: HashMap<CacheKey, Entry>,
     stats: CacheStats,
+    per_gen: BTreeMap<u64, GenStats>,
 }
 
 impl PlanCache {
     /// Cache holding at most `capacity` plans (capacity 0 disables
     /// caching: every probe misses, every insert evicts immediately).
     pub fn new(capacity: usize) -> PlanCache {
-        PlanCache { capacity, tick: 0, map: HashMap::new(), stats: CacheStats::default() }
+        PlanCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+            per_gen: BTreeMap::new(),
+        }
     }
 
     /// Look up a plan; counts a hit or a miss and refreshes recency.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Prepared>> {
         self.tick += 1;
+        let gen = self.per_gen.entry(key.generation).or_default();
         match self.map.get_mut(key) {
             Some(e) => {
                 e.touched = self.tick;
                 self.stats.hits += 1;
+                gen.hits += 1;
                 Some(Arc::clone(&e.plan))
             }
             None => {
                 self.stats.misses += 1;
+                gen.misses += 1;
                 None
             }
         }
@@ -120,9 +144,17 @@ impl PlanCache {
     /// `current`. Key-embedded generations already prevent stale *hits*;
     /// this reclaims the memory eagerly on document load.
     pub fn invalidate_older(&mut self, current: u64) {
-        let before = self.map.len();
-        self.map.retain(|k, _| k.generation >= current);
-        self.stats.invalidations += (before - self.map.len()) as u64;
+        let mut purged = 0u64;
+        let per_gen = &mut self.per_gen;
+        self.map.retain(|k, _| {
+            let keep = k.generation >= current;
+            if !keep {
+                purged += 1;
+                per_gen.entry(k.generation).or_default().invalidations += 1;
+            }
+            keep
+        });
+        self.stats.invalidations += purged;
     }
 
     /// Live entry count.
@@ -138,6 +170,13 @@ impl PlanCache {
     /// Accounting so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Per-generation hit/miss/invalidation breakdown, generation-ordered.
+    /// Generations appear once probed or invalidated, and are retained
+    /// after their entries go stale (`STATS` reports the history).
+    pub fn generation_stats(&self) -> impl Iterator<Item = (u64, GenStats)> + '_ {
+        self.per_gen.iter().map(|(&g, &s)| (g, s))
     }
 }
 
@@ -208,6 +247,26 @@ mod tests {
         assert!(c.get(&key(qa, 1)).is_some(), "recently-used survives");
         assert!(c.get(&key(qb, 1)).is_none(), "LRU evicted");
         assert!(c.get(&key(qc, 1)).is_some());
+    }
+
+    #[test]
+    fn per_generation_breakdown_tracks_probes_and_purges() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let q = r#"doc("t.xml")/child::a/child::b"#;
+        assert!(c.get(&key(q, 1)).is_none()); // gen 1 miss
+        c.insert(key(q, 1), plan(&s, q));
+        assert!(c.get(&key(q, 1)).is_some()); // gen 1 hit
+        assert!(c.get(&key(q, 2)).is_none()); // gen 2 miss
+        c.invalidate_older(2); // purges the gen-1 entry
+        let gens: Vec<_> = c.generation_stats().collect();
+        assert_eq!(
+            gens,
+            vec![
+                (1, GenStats { hits: 1, misses: 1, invalidations: 1 }),
+                (2, GenStats { hits: 0, misses: 1, invalidations: 0 }),
+            ]
+        );
     }
 
     #[test]

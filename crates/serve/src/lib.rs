@@ -15,11 +15,21 @@
 //!   admission queue (full queue = immediate [`ServeError::Overloaded`]
 //!   shed), per-request deadlines, structured errors end-to-end;
 //! * [`protocol`] — the `jgi-served` line protocol (`LOAD` / `PREPARE` /
-//!   `EXEC` / `EXPLAIN` / `STATS`, one JSON reply per line — the wire
-//!   format is specified in PROTOCOL.md at the repository root);
+//!   `EXEC` / `EXPLAIN` / `STATS` / `METRICS` / `TRACE`, one JSON reply
+//!   per line except the `METRICS` Prometheus block — the wire format is
+//!   specified in PROTOCOL.md at the repository root);
 //! * [`load`] — the closed-loop `loadgen` harness replaying the Q1–Q8
-//!   corpus and emitting a `BENCH_serve.json` row from the service's
-//!   `jgi-obs` histograms.
+//!   corpus, emitting a `BENCH_serve.json` row from the service's
+//!   `jgi-obs` histograms plus a `BENCH_obs.json` row attributing the
+//!   p99 tail to queue / prepare / execute / serialize and measuring the
+//!   always-on telemetry overhead.
+//!
+//! Service telemetry (this is DESIGN.md §9): each [`Server`] owns a
+//! lock-striped always-on [`jgi_obs::Registry`] — request, shed, and
+//! deadline counters, sliding-window latency histograms — exposed as
+//! Prometheus text over `METRICS`, while a [`jgi_obs::FlightRecorder`]
+//! retains the slowest and every anomalous request (full report, plan
+//! fingerprint, EXPLAIN ANALYZE) for live `TRACE` dumps.
 //!
 //! Binaries: `jgi-served` (stdin or TCP transport) and `loadgen`.
 
@@ -32,8 +42,8 @@ pub mod snapshot;
 
 pub use cache::{CacheKey, CacheStats, PlanCache};
 pub use error::ServeError;
-pub use load::{run_load, LoadConfig, LoadSummary};
-pub use protocol::{handle_command, parse_command, Command};
+pub use load::{run_load, run_obs_bench, LoadConfig, LoadSummary, ObsBenchSummary};
+pub use protocol::{handle_command, parse_command, Command, Reply};
 pub use server::{ExecReply, ServeConfig, Server};
 pub use snapshot::{Master, Snapshot};
 

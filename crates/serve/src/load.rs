@@ -55,6 +55,9 @@ pub struct LoadConfig {
     /// Morsel-size override for the parallel partitioner (baseline and
     /// served alike); `None` keeps the engine default.
     pub morsel_size: Option<usize>,
+    /// Always-on service telemetry (registry + flight recorder). The
+    /// overhead benchmark runs one leg with this off.
+    pub telemetry: bool,
 }
 
 impl Default for LoadConfig {
@@ -70,8 +73,26 @@ impl Default for LoadConfig {
             baseline_passes: 1,
             parallelism: Parallelism::Fixed(1),
             morsel_size: None,
+            telemetry: true,
         }
     }
+}
+
+/// One request's client-side phase breakdown, µs. `serialize_us` times
+/// rendering the EXEC-shape JSON reply (what the protocol layer does);
+/// `total_us` is the client-visible end-to-end time including it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSample {
+    /// End-to-end client-visible latency.
+    pub total_us: u64,
+    /// Queue wait before a worker dequeued the job.
+    pub queue_us: u64,
+    /// Plan resolution (cache probe, compile on miss).
+    pub prepare_us: u64,
+    /// Execution wall-clock on the worker.
+    pub exec_us: u64,
+    /// Reply rendering.
+    pub serialize_us: u64,
 }
 
 /// Everything one load run produced.
@@ -109,6 +130,8 @@ pub struct LoadSummary {
     pub deadline_missed: u64,
     /// Full service metrics (for JGI_OBS-style inspection).
     pub metrics: Metrics,
+    /// Per-request phase samples (client-side), for tail attribution.
+    pub samples: Vec<PhaseSample>,
 }
 
 impl LoadSummary {
@@ -251,6 +274,8 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
             morsel_size: cfg.morsel_size,
             ..Budgets::default()
         },
+        telemetry: cfg.telemetry,
+        ..ServeConfig::default()
     }));
     server.add_tree(xmark);
     server.add_tree(dblp);
@@ -263,6 +288,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
     let requests = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let divergence = Arc::new(AtomicU64::new(0));
+    let all_samples = Arc::new(std::sync::Mutex::new(Vec::<PhaseSample>::new()));
     let deadline = Instant::now() + cfg.duration;
     let t0 = Instant::now();
     let clients: Vec<_> = (0..cfg.threads.max(1))
@@ -272,29 +298,69 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
             let requests = Arc::clone(&requests);
             let errors = Arc::clone(&errors);
             let divergence = Arc::clone(&divergence);
+            let all_samples = Arc::clone(&all_samples);
             let engine = cfg.engine;
             std::thread::Builder::new()
                 .name(format!("loadgen-client-{i}"))
                 .spawn(move || {
                     let corpus = paper_corpus();
+                    let mut samples = Vec::new();
                     // Stagger starting offsets so threads don't convoy on
                     // the same query.
                     let mut at = i % corpus.len();
                     while Instant::now() < deadline {
                         let (name, query, ctx) = corpus[at];
                         at = (at + 1) % corpus.len();
+                        let t_req = Instant::now();
                         match server.execute(query, ctx, engine, None) {
                             Ok(reply) => {
                                 requests.fetch_add(1, Ordering::Relaxed);
                                 if reference.get(name) != Some(&reply.nodes) {
                                     divergence.fetch_add(1, Ordering::Relaxed);
                                 }
+                                // Time the serialize phase exactly as the
+                                // protocol layer would render this reply.
+                                let t_ser = Instant::now();
+                                let line = Json::obj([
+                                    ("ok", Json::Bool(true)),
+                                    ("engine", Json::str(reply.engine.name())),
+                                    (
+                                        "rows",
+                                        reply
+                                            .nodes
+                                            .as_ref()
+                                            .map_or(Json::Null, |n| Json::UInt(n.len() as u64)),
+                                    ),
+                                    ("dnf", Json::Bool(reply.nodes.is_none())),
+                                    (
+                                        "trace_id",
+                                        Json::str(format!("{:016x}", reply.trace_id)),
+                                    ),
+                                    ("wall_us", Json::UInt(reply.wall.as_micros() as u64)),
+                                    (
+                                        "queue_us",
+                                        Json::UInt(reply.queue_wait.as_micros() as u64),
+                                    ),
+                                    ("cached", Json::Bool(reply.cached_plan)),
+                                    ("generation", Json::UInt(reply.generation)),
+                                ])
+                                .render();
+                                std::hint::black_box(line.len());
+                                let serialize = t_ser.elapsed();
+                                samples.push(PhaseSample {
+                                    total_us: (t_req.elapsed()).as_micros() as u64,
+                                    queue_us: reply.queue_wait.as_micros() as u64,
+                                    prepare_us: reply.prepare.as_micros() as u64,
+                                    exec_us: reply.wall.as_micros() as u64,
+                                    serialize_us: serialize.as_micros() as u64,
+                                });
                             }
                             Err(_) => {
                                 errors.fetch_add(1, Ordering::Relaxed);
                             }
                         }
                     }
+                    all_samples.lock().expect("samples lock").extend(samples);
                 })
                 .expect("spawn client thread")
         })
@@ -303,6 +369,9 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
         c.join().expect("client thread");
     }
     let elapsed = t0.elapsed();
+    let samples = Arc::try_unwrap(all_samples)
+        .map(|m| m.into_inner().expect("samples lock"))
+        .unwrap_or_default();
 
     let metrics = server.metrics();
     let lat = metrics.histogram("serve.total_us").cloned().unwrap_or_default();
@@ -324,6 +393,258 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
         shed: metrics.counter_value("serve.admission.shed"),
         deadline_missed: metrics.counter_value("serve.deadline.missed"),
         metrics,
+        samples,
+    }
+}
+
+/// Mean of one phase across a sample slice, µs.
+fn phase_mean(samples: &[PhaseSample], f: impl Fn(&PhaseSample) -> u64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|s| f(s) as f64).sum::<f64>() / samples.len() as f64
+}
+
+/// Exact percentile over client-side samples (sorted copy).
+fn sample_percentile(sorted_totals: &[u64], q: f64) -> u64 {
+    if sorted_totals.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_totals.len() as f64).ceil() as usize).clamp(1, sorted_totals.len());
+    sorted_totals[rank - 1]
+}
+
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite qps"));
+    values[values.len() / 2]
+}
+
+/// Per-phase attribution of the p99 latency tail: where does a slow
+/// request actually spend its time?
+#[derive(Debug, Clone, Default)]
+pub struct TailAttribution {
+    /// The p99 threshold (exact, over client-side samples), µs.
+    pub p99_us: u64,
+    /// Requests at or above the threshold.
+    pub samples: usize,
+    /// Mean time per phase within the tail, µs.
+    pub queue_us: f64,
+    /// Mean prepare time within the tail, µs.
+    pub prepare_us: f64,
+    /// Mean execution time within the tail, µs.
+    pub exec_us: f64,
+    /// Mean serialization time within the tail, µs.
+    pub serialize_us: f64,
+    /// Mean end-to-end time within the tail, µs.
+    pub total_us: f64,
+}
+
+impl TailAttribution {
+    fn from_samples(samples: &[PhaseSample]) -> TailAttribution {
+        let mut totals: Vec<u64> = samples.iter().map(|s| s.total_us).collect();
+        totals.sort_unstable();
+        let p99 = sample_percentile(&totals, 0.99);
+        let tail: Vec<PhaseSample> =
+            samples.iter().filter(|s| s.total_us >= p99).copied().collect();
+        TailAttribution {
+            p99_us: p99,
+            samples: tail.len(),
+            queue_us: phase_mean(&tail, |s| s.queue_us),
+            prepare_us: phase_mean(&tail, |s| s.prepare_us),
+            exec_us: phase_mean(&tail, |s| s.exec_us),
+            serialize_us: phase_mean(&tail, |s| s.serialize_us),
+            total_us: phase_mean(&tail, |s| s.total_us),
+        }
+    }
+
+    /// One phase's share of the tail's end-to-end time, percent.
+    pub fn pct(&self, phase_us: f64) -> f64 {
+        if self.total_us == 0.0 {
+            0.0
+        } else {
+            100.0 * phase_us / self.total_us
+        }
+    }
+}
+
+/// The telemetry benchmark: interleaved on/off legs measuring what the
+/// always-on registry + flight recorder cost, plus p99 tail attribution.
+#[derive(Debug, Clone)]
+pub struct ObsBenchSummary {
+    /// Configuration echo (the telemetry-on leg's config).
+    pub config: LoadConfig,
+    /// Interleaved (on, off) run pairs.
+    pub runs: usize,
+    /// Median throughput with telemetry on, requests/s.
+    pub qps_on: f64,
+    /// Median throughput with telemetry off, requests/s.
+    pub qps_off: f64,
+    /// Median client-side p50 latency with telemetry on, µs.
+    pub p50_on_us: u64,
+    /// Median client-side p50 latency with telemetry off, µs.
+    pub p50_off_us: u64,
+    /// Errors across every leg (expected 0).
+    pub errors: u64,
+    /// Baseline divergence across every leg (must be 0).
+    pub divergence: u64,
+    /// Requests completed across the telemetry-on legs.
+    pub requests_on: u64,
+    /// Requests completed across the telemetry-off legs.
+    pub requests_off: u64,
+    /// p99 tail attribution, over every telemetry-on sample.
+    pub tail: TailAttribution,
+}
+
+impl ObsBenchSummary {
+    /// Throughput cost of always-on telemetry, percent of the off leg
+    /// (negative = on was faster, i.e. the difference is inside noise).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.qps_off == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.qps_off - self.qps_on) / self.qps_off
+        }
+    }
+
+    /// The `BENCH_obs.json` row. Key set is golden-tested — extend it,
+    /// don't rename.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str("obs")),
+            ("threads", Json::UInt(self.config.threads as u64)),
+            ("workers", Json::UInt(self.config.workers as u64)),
+            ("engine", Json::str(self.config.engine.name())),
+            ("xmark_scale", Json::Num(self.config.xmark_scale)),
+            ("dblp_pubs", Json::UInt(self.config.dblp_pubs as u64)),
+            ("duration_ms", Json::UInt(self.config.duration.as_millis() as u64)),
+            ("runs", Json::UInt(self.runs as u64)),
+            ("requests_on", Json::UInt(self.requests_on)),
+            ("requests_off", Json::UInt(self.requests_off)),
+            ("errors", Json::UInt(self.errors)),
+            ("divergence", Json::UInt(self.divergence)),
+            ("qps_on", Json::Num(self.qps_on)),
+            ("qps_off", Json::Num(self.qps_off)),
+            ("overhead_pct", Json::Num(self.overhead_pct())),
+            ("p50_on_us", Json::UInt(self.p50_on_us)),
+            ("p50_off_us", Json::UInt(self.p50_off_us)),
+            (
+                "tail",
+                Json::obj([
+                    ("p99_us", Json::UInt(self.tail.p99_us)),
+                    ("samples", Json::UInt(self.tail.samples as u64)),
+                    ("total_us", Json::Num(self.tail.total_us)),
+                    ("queue_us", Json::Num(self.tail.queue_us)),
+                    ("prepare_us", Json::Num(self.tail.prepare_us)),
+                    ("exec_us", Json::Num(self.tail.exec_us)),
+                    ("serialize_us", Json::Num(self.tail.serialize_us)),
+                    ("queue_pct", Json::Num(self.tail.pct(self.tail.queue_us))),
+                    ("prepare_pct", Json::Num(self.tail.pct(self.tail.prepare_us))),
+                    ("exec_pct", Json::Num(self.tail.pct(self.tail.exec_us))),
+                    ("serialize_pct", Json::Num(self.tail.pct(self.tail.serialize_us))),
+                ]),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering for the terminal.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "obs bench: {} interleaved on/off runs, {} threads x {:?} over Q1-Q8",
+            self.runs, self.config.threads, self.config.duration
+        );
+        let _ = writeln!(
+            out,
+            "  qps on {:.0} / off {:.0} -> telemetry overhead {:.2}% (p50 {}us on / {}us off)",
+            self.qps_on,
+            self.qps_off,
+            self.overhead_pct(),
+            self.p50_on_us,
+            self.p50_off_us
+        );
+        let _ = writeln!(
+            out,
+            "  p99 tail ({} samples >= {}us): queue {:.0}us ({:.0}%)  prepare {:.0}us \
+             ({:.0}%)  exec {:.0}us ({:.0}%)  serialize {:.0}us ({:.0}%)",
+            self.tail.samples,
+            self.tail.p99_us,
+            self.tail.queue_us,
+            self.tail.pct(self.tail.queue_us),
+            self.tail.prepare_us,
+            self.tail.pct(self.tail.prepare_us),
+            self.tail.exec_us,
+            self.tail.pct(self.tail.exec_us),
+            self.tail.serialize_us,
+            self.tail.pct(self.tail.serialize_us),
+        );
+        let _ = writeln!(
+            out,
+            "  errors {}  divergence {}",
+            self.errors, self.divergence
+        );
+        out
+    }
+}
+
+/// Run the telemetry overhead benchmark: `runs` interleaved pairs of
+/// (telemetry on, telemetry off) load runs — interleaving cancels thermal
+/// and cache drift — reporting median throughput per leg and the p99
+/// tail attribution from the on-leg samples. The process-wide engine
+/// registry is disabled for the off legs too, so the off leg is the true
+/// zero-telemetry cost.
+pub fn run_obs_bench(cfg: &LoadConfig, runs: usize) -> ObsBenchSummary {
+    let runs = runs.max(1);
+    let global = jgi_obs::Registry::global();
+    let mut qps_on = Vec::new();
+    let mut qps_off = Vec::new();
+    let mut p50_on = Vec::new();
+    let mut p50_off = Vec::new();
+    let (mut errors, mut divergence) = (0u64, 0u64);
+    let (mut requests_on, mut requests_off) = (0u64, 0u64);
+    let mut on_samples: Vec<PhaseSample> = Vec::new();
+    let sample_p50 = |samples: &[PhaseSample]| {
+        let mut totals: Vec<u64> = samples.iter().map(|s| s.total_us).collect();
+        totals.sort_unstable();
+        sample_percentile(&totals, 0.50) as f64
+    };
+    for _ in 0..runs {
+        let on_cfg = LoadConfig { telemetry: true, ..cfg.clone() };
+        global.set_enabled(true);
+        let on = run_load(&on_cfg);
+        qps_on.push(on.qps);
+        p50_on.push(sample_p50(&on.samples));
+        errors += on.errors;
+        divergence += on.divergence;
+        requests_on += on.requests;
+        on_samples.extend(on.samples.iter().copied());
+
+        let off_cfg = LoadConfig { telemetry: false, ..cfg.clone() };
+        global.set_enabled(false);
+        let off = run_load(&off_cfg);
+        global.set_enabled(true);
+        qps_off.push(off.qps);
+        p50_off.push(sample_p50(&off.samples));
+        errors += off.errors;
+        divergence += off.divergence;
+        requests_off += off.requests;
+    }
+    ObsBenchSummary {
+        config: LoadConfig { telemetry: true, ..cfg.clone() },
+        runs,
+        qps_on: median(&mut qps_on),
+        qps_off: median(&mut qps_off),
+        p50_on_us: median(&mut p50_on) as u64,
+        p50_off_us: median(&mut p50_off) as u64,
+        errors,
+        divergence,
+        requests_on,
+        requests_off,
+        tail: TailAttribution::from_samples(&on_samples),
     }
 }
 
@@ -381,5 +702,77 @@ mod tests {
         assert!(summary.requests > 0, "a 150ms run completes requests");
         assert_eq!(summary.divergence, 0, "results must match the sequential baseline");
         assert_eq!(summary.errors, 0);
+    }
+
+    /// Smoke + golden test for the telemetry overhead bench: both legs
+    /// run, divergence stays zero, and the `BENCH_obs.json` key set is
+    /// stable. The <5% overhead acceptance number comes from the release
+    /// `loadgen --obs-out` run, not from this debug-build smoke.
+    #[test]
+    fn obs_bench_runs_both_legs_and_keeps_schema() {
+        let cfg = LoadConfig {
+            threads: 2,
+            duration: Duration::from_millis(120),
+            workers: 2,
+            ..LoadConfig::default()
+        };
+        let summary = run_obs_bench(&cfg, 1);
+        assert!(summary.requests_on > 0, "telemetry-on leg completes requests");
+        assert!(summary.requests_off > 0, "telemetry-off leg completes requests");
+        assert_eq!(summary.divergence, 0, "telemetry must never change results");
+        assert_eq!(summary.errors, 0);
+        assert!(summary.qps_on > 0.0 && summary.qps_off > 0.0);
+        assert!(summary.tail.samples > 0, "p99 tail is non-empty by construction");
+        let row = summary.to_json();
+        let rendered = row.render();
+        let Json::Obj(pairs) = row else { panic!("obs row must be an object") };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "bench",
+                "threads",
+                "workers",
+                "engine",
+                "xmark_scale",
+                "dblp_pubs",
+                "duration_ms",
+                "runs",
+                "requests_on",
+                "requests_off",
+                "errors",
+                "divergence",
+                "qps_on",
+                "qps_off",
+                "overhead_pct",
+                "p50_on_us",
+                "p50_off_us",
+                "tail",
+            ],
+            "BENCH_obs.json key set changed — update the golden test and EXPERIMENTS.md deliberately"
+        );
+        assert!(rendered.starts_with(r#"{"bench":"obs""#), "{rendered}");
+        let tail = pairs.iter().find(|(k, _)| k == "tail").map(|(_, v)| v).unwrap();
+        let Json::Obj(tail_pairs) = tail else { panic!("tail must be an object") };
+        let tail_keys: Vec<&str> = tail_pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            tail_keys,
+            vec![
+                "p99_us",
+                "samples",
+                "total_us",
+                "queue_us",
+                "prepare_us",
+                "exec_us",
+                "serialize_us",
+                "queue_pct",
+                "prepare_pct",
+                "exec_pct",
+                "serialize_pct",
+            ]
+        );
+        // The registry the off leg disabled is process-global: make sure
+        // the bench restored it for everyone running after us.
+        assert!(jgi_obs::Registry::global().is_enabled());
     }
 }

@@ -10,19 +10,27 @@
 //!                                    execute on a back-end (default joingraph)
 //! EXPLAIN [ctx=<doc>] <query…>       render the join-graph physical plan
 //! STATS                              service statistics (one JSON object)
+//! METRICS                            Prometheus text exposition (multi-line,
+//!                                    terminated by a `# EOF` comment line)
+//! TRACE [n]                          flight-recorder dump: header JSON line,
+//!                                    then up to n records (default 16), one
+//!                                    JSON object per line, slowest first
 //! QUIT                               close the connection
 //! ```
 //!
 //! `engine=` accepts `joingraph`, `stacked`, `navwhole`, `navsegmented`.
-//! Replies always carry `"ok"`; failures add `"error"` (message) and
-//! `"code"` (stable short code, see [`ServeError::code`]).
+//! JSON replies always carry `"ok"`; failures add `"error"` (message) and
+//! `"code"` (stable short code, see [`ServeError::code`]). `METRICS` is
+//! the one non-JSON reply: raw exposition text whose final line is the
+//! comment `# EOF` (a legal 0.0.4 comment), so line-oriented clients know
+//! where the block ends.
 
 use crate::error::ServeError;
 use crate::server::Server;
 use jgi_core::Engine;
 use jgi_obs::Json;
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A parsed protocol command.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +49,32 @@ pub enum Command {
     Explain { context_doc: Option<String>, query: String },
     /// `STATS`
     Stats,
+    /// `METRICS`
+    Metrics,
+    /// `TRACE [n]`
+    Trace { n: usize },
     /// `QUIT`
     Quit,
+}
+
+/// One protocol reply: a single JSON object (the normal case) or a raw
+/// pre-rendered block (`METRICS` exposition text, `TRACE` JSON lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// One JSON object; the transport renders it as one line.
+    Json(Json),
+    /// Raw text written verbatim (already newline-terminated).
+    Raw(String),
+}
+
+impl Reply {
+    /// Render to the exact bytes the transport writes (newline included).
+    pub fn render(&self) -> String {
+        match self {
+            Reply::Json(j) => format!("{}\n", j.render()),
+            Reply::Raw(s) => s.clone(),
+        }
+    }
 }
 
 fn protocol_err(m: impl Into<String>) -> ServeError {
@@ -165,6 +197,16 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
             Command::Explain { context_doc: o.ctx, query: o.query }
         }
         "STATS" => Command::Stats,
+        "METRICS" => Command::Metrics,
+        "TRACE" => {
+            let n = match rest.split_whitespace().next() {
+                None => 16,
+                Some(s) => s
+                    .parse::<usize>()
+                    .map_err(|_| protocol_err("TRACE [n]: n must be a non-negative integer"))?,
+            };
+            Command::Trace { n }
+        }
         "QUIT" | "EXIT" => Command::Quit,
         other => return Err(protocol_err(format!("unknown command `{other}`"))),
     };
@@ -179,17 +221,17 @@ fn err_json(e: &ServeError) -> Json {
     ])
 }
 
-/// Run one command against a server and render its one-line JSON reply.
-/// `QUIT` replies `{"ok":true,"bye":true}`; the transport layer closes.
-pub fn handle_command(server: &Server, cmd: &Command) -> Json {
+/// Run one command against a server and produce its reply. `QUIT`
+/// replies `{"ok":true,"bye":true}`; the transport layer closes.
+pub fn handle_command(server: &Server, cmd: &Command) -> Reply {
     match run_command(server, cmd) {
-        Ok(json) => json,
-        Err(e) => err_json(&e),
+        Ok(reply) => reply,
+        Err(e) => Reply::Json(err_json(&e)),
     }
 }
 
-fn run_command(server: &Server, cmd: &Command) -> Result<Json, ServeError> {
-    Ok(match cmd {
+fn run_command(server: &Server, cmd: &Command) -> Result<Reply, ServeError> {
+    Ok(Reply::Json(match cmd {
         Command::LoadXmark { scale, seed } => {
             let g = server
                 .add_tree(generate_xmark(XmarkConfig { scale: *scale, seed: *seed }));
@@ -219,7 +261,11 @@ fn run_command(server: &Server, cmd: &Command) -> Result<Json, ServeError> {
         Command::Exec { engine, timeout_ms, context_doc, query } => {
             let deadline = timeout_ms.map(Duration::from_millis);
             let reply = server.execute(query, context_doc.as_deref(), *engine, deadline)?;
-            Json::obj([
+            // The reply is rendered here (not in the transport) so the
+            // serialize phase lands in the telemetry with the other
+            // phases: queue / prepare / execute / serialize.
+            let t0 = Instant::now();
+            let json = Json::obj([
                 ("ok", Json::Bool(true)),
                 ("engine", Json::str(reply.engine.name())),
                 (
@@ -230,12 +276,17 @@ fn run_command(server: &Server, cmd: &Command) -> Result<Json, ServeError> {
                         .map_or(Json::Null, |n| Json::UInt(n.len() as u64)),
                 ),
                 ("dnf", Json::Bool(reply.nodes.is_none())),
+                ("trace_id", Json::str(format!("{:016x}", reply.trace_id))),
                 ("wall_us", Json::UInt(reply.wall.as_micros() as u64)),
                 ("queue_us", Json::UInt(reply.queue_wait.as_micros() as u64)),
+                ("prepare_us", Json::UInt(reply.prepare.as_micros() as u64)),
                 ("cached", Json::Bool(reply.cached_plan)),
                 ("deadline_exceeded", Json::Bool(reply.deadline_exceeded)),
                 ("generation", Json::UInt(reply.generation)),
-            ])
+            ]);
+            let rendered = format!("{}\n", json.render());
+            server.registry().observe_us("serve.serialize_us", t0.elapsed());
+            return Ok(Reply::Raw(rendered));
         }
         Command::Explain { context_doc, query } => {
             let (plan, cached) = server.prepare(query, context_doc.as_deref())?;
@@ -255,8 +306,31 @@ fn run_command(server: &Server, cmd: &Command) -> Result<Json, ServeError> {
             ])
         }
         Command::Stats => server.stats_json(),
+        Command::Metrics => {
+            // Raw exposition block; the trailing `# EOF` comment is legal
+            // 0.0.4 and doubles as the line-protocol terminator.
+            let mut text = server.metrics_prometheus();
+            text.push_str("# EOF\n");
+            return Ok(Reply::Raw(text));
+        }
+        Command::Trace { n } => {
+            let records = server.trace_dump(*n);
+            let mut out = format!(
+                "{}\n",
+                Json::obj([
+                    ("ok", Json::Bool(true)),
+                    ("count", Json::UInt(records.len() as u64)),
+                ])
+                .render()
+            );
+            for r in records {
+                out.push_str(&r.render());
+                out.push('\n');
+            }
+            return Ok(Reply::Raw(out));
+        }
         Command::Quit => Json::obj([("ok", Json::Bool(true)), ("bye", Json::Bool(true))]),
-    })
+    }))
 }
 
 fn load_reply(server: &Server, generation: u64) -> Json {
@@ -306,6 +380,9 @@ mod tests {
             })
         );
         assert_eq!(parse_command("STATS").unwrap(), Some(Command::Stats));
+        assert_eq!(parse_command("METRICS").unwrap(), Some(Command::Metrics));
+        assert_eq!(parse_command("TRACE").unwrap(), Some(Command::Trace { n: 16 }));
+        assert_eq!(parse_command("trace 5").unwrap(), Some(Command::Trace { n: 5 }));
         assert_eq!(parse_command("quit").unwrap(), Some(Command::Quit));
     }
 
@@ -318,6 +395,8 @@ mod tests {
             "EXEC engine=warp9 //a",
             "EXEC timeout_ms=soon //a",
             "EXEC engine=stacked", // no query
+            "TRACE many",
+            "TRACE -3",
             "FROBNICATE //a",
         ] {
             assert!(
@@ -337,6 +416,46 @@ mod tests {
                 assert_eq!(query, "//open_auction");
             }
             other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_and_trace_replies_over_a_live_server() {
+        let server = crate::Server::new(crate::ServeConfig {
+            workers: 1,
+            ..crate::ServeConfig::default()
+        });
+        let run = |line: &str| {
+            handle_command(&server, &parse_command(line).unwrap().unwrap()).render()
+        };
+        assert!(run("LOAD XMARK 0.002 5").contains("\"generation\":1"));
+        let exec = run(r#"EXEC doc("auction.xml")/descendant::open_auction[bidder]"#);
+        assert!(exec.contains("\"trace_id\":\""), "EXEC echoes the trace id: {exec}");
+        assert!(exec.contains("\"prepare_us\":"), "EXEC reports prepare time: {exec}");
+        assert!(exec.ends_with('\n') && !exec.trim_end().contains('\n'), "one line");
+
+        // METRICS: valid exposition, `# EOF`-terminated.
+        let metrics = run("METRICS");
+        assert!(metrics.ends_with("# EOF\n"), "terminator present");
+        jgi_obs::expo::validate_exposition(&metrics).expect("valid Prometheus text");
+        assert!(metrics.contains("jgi_serve_requests_total 1"));
+        assert!(metrics.contains("jgi_serve_serialize_us"), "serialize phase recorded");
+
+        // TRACE: header JSON + one record line per retained request.
+        let trace = run("TRACE 8");
+        let mut lines = trace.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("{\"ok\":true,\"count\":"), "header: {header}");
+        let records: Vec<&str> = lines.collect();
+        assert!(!records.is_empty(), "the request was retained");
+        assert!(records[0].contains("\"trace_id\":\""));
+        assert!(records[0].contains("\"phases\":{"));
+
+        // STATS carries the new breakdown fields.
+        let stats = run("STATS");
+        for needle in ["\"queue_len\":", "\"generations\":[", "\"flight\":{", "\"telemetry\":true"]
+        {
+            assert!(stats.contains(needle), "missing {needle} in {stats}");
         }
     }
 }

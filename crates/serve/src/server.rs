@@ -1,25 +1,40 @@
 //! The concurrent query service: shared snapshots, plan cache, worker
-//! pool, admission control.
+//! pool, admission control, and always-on telemetry.
 //!
-//! Request path: the calling thread resolves the current [`Snapshot`] and
-//! the prepared plan (cache probe, compile on miss), then submits an
-//! execution job to a bounded queue served by N OS worker threads. The
-//! queue is the admission controller — when it is full the request is
-//! shed immediately with [`ServeError::Overloaded`] instead of growing an
-//! unbounded backlog. Workers check per-request deadlines at dequeue time
-//! and refuse work that can no longer meet them.
+//! Request path: the calling thread mints a trace id, resolves the
+//! current [`Snapshot`] and the prepared plan (cache probe, compile on
+//! miss), then submits an execution job to a bounded queue served by N OS
+//! worker threads. The queue is the admission controller — when it is
+//! full the request is shed immediately with [`ServeError::Overloaded`]
+//! instead of growing an unbounded backlog. Workers check per-request
+//! deadlines at dequeue time and refuse work that can no longer meet
+//! them.
 //!
-//! All service accounting — request counters, shed/deadline counters,
-//! cache hit/miss/eviction counters, queue-wait and latency histograms —
-//! lives in one [`jgi_obs::Metrics`] registry, the same stats code path
-//! the per-query reports use.
+//! Telemetry is two-layered:
+//!
+//! * every request threads its trace id through admission → cache lookup
+//!   → prepare → execute → reply, and the [`ExecReply`] carries the full
+//!   per-query [`QueryReport`] (per-phase spans, engine counters) back to
+//!   the caller;
+//! * service-wide accounting — request / shed / deadline counters, cache
+//!   hit/miss/eviction counters, queue-wait and latency sliding-window
+//!   histograms — lives in a per-server lock-striped [`Registry`], and
+//!   each finished request's counter deltas are folded in, so registry
+//!   totals always equal the sum of per-request deltas. The slowest and
+//!   every anomalous (shed / deadline / errored / dnf) request is
+//!   retained in a [`FlightRecorder`] with its plan fingerprint, full
+//!   report, and EXPLAIN ANALYZE, dumpable live over `TRACE`.
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::error::ServeError;
 use crate::snapshot::{Master, Snapshot};
-use jgi_core::{execute_prepared, prepare_on, Budgets, Engine, Prepared};
-use jgi_obs::{Json, Metrics};
+use jgi_core::{execute_prepared, prepare_on, Budgets, Engine, Prepared, QueryReport};
+use jgi_obs::expo::render_prometheus;
+use jgi_obs::{
+    next_trace_id, FlightOutcome, FlightRecord, FlightRecorder, Json, Metrics, Registry,
+};
 use jgi_xml::Tree;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
@@ -41,6 +56,11 @@ pub struct ServeConfig {
     /// saturates the cores with concurrent requests, so per-query morsel
     /// fan-out is an explicit opt-in (`jgi-served --parallelism`).
     pub budgets: Budgets,
+    /// Always-on service telemetry (registry + flight recorder). On by
+    /// default; the overhead benchmark flips it off for its baseline leg.
+    pub telemetry: bool,
+    /// Flight-recorder capacity (records, split 3:1 slow:anomaly).
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +74,8 @@ impl Default for ServeConfig {
                 parallelism: jgi_core::Parallelism::Fixed(1),
                 ..Budgets::default()
             },
+            telemetry: true,
+            flight_capacity: 64,
         }
     }
 }
@@ -68,6 +90,8 @@ pub struct ExecReply {
     pub wall: Duration,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
+    /// Time spent resolving the plan (near-zero on a cache hit).
+    pub prepare: Duration,
     /// The deadline passed while the job ran (the result is still
     /// returned; the flag lets closed-loop clients account the miss).
     pub deadline_exceeded: bool,
@@ -77,6 +101,11 @@ pub struct ExecReply {
     pub engine: Engine,
     /// Snapshot generation the request executed against.
     pub generation: u64,
+    /// Trace id minted at request entry, echoed in replies and `TRACE`.
+    pub trace_id: u64,
+    /// The full per-query report (phases, spans, metric deltas) — the
+    /// request-scoped half of the telemetry story.
+    pub report: QueryReport,
 }
 
 struct Job {
@@ -92,7 +121,9 @@ struct State {
     snapshot: RwLock<Arc<Snapshot>>,
     master: Mutex<Master>,
     cache: Mutex<PlanCache>,
-    metrics: Mutex<Metrics>,
+    registry: Registry,
+    flight: Mutex<FlightRecorder<Option<FlightPayload>>>,
+    queue_len: AtomicUsize,
     config: ServeConfig,
 }
 
@@ -109,11 +140,28 @@ impl Server {
     pub fn new(config: ServeConfig) -> Server {
         let master = Master::new();
         let snapshot = master.publish(config.budgets);
+        let registry = Registry::new();
+        registry.set_enabled(config.telemetry);
+        // Pre-register the core series so a scrape of an idle server
+        // already exposes them at zero (absent-vs-zero is a real
+        // distinction to Prometheus alerting).
+        for name in [
+            "serve.requests",
+            "serve.errors",
+            "serve.cache.hit",
+            "serve.cache.miss",
+            "serve.admission.shed",
+            "serve.deadline.missed",
+        ] {
+            registry.counter(name, 0);
+        }
         let state = Arc::new(State {
             snapshot: RwLock::new(snapshot),
             master: Mutex::new(master),
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
-            metrics: Mutex::new(Metrics::default()),
+            registry,
+            flight: Mutex::new(FlightRecorder::new(config.flight_capacity)),
+            queue_len: AtomicUsize::new(0),
             config: config.clone(),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
@@ -161,9 +209,8 @@ impl Server {
             cache.invalidate_older(generation);
             cache.stats().invalidations - before
         };
-        let mut m = self.state.metrics.lock().expect("metrics lock");
-        m.counter("serve.loads", 1);
-        m.counter("serve.cache.invalidation", invalidated);
+        self.state.registry.counter("serve.loads", 1);
+        self.state.registry.counter("serve.cache.invalidation", invalidated);
         generation
     }
 
@@ -193,8 +240,7 @@ impl Server {
         };
         let t0 = Instant::now();
         if let Some(plan) = self.state.cache.lock().expect("cache lock").get(&key) {
-            let mut m = self.state.metrics.lock().expect("metrics lock");
-            m.counter("serve.cache.hit", 1);
+            self.state.registry.counter("serve.cache.hit", 1);
             return Ok((plan, true));
         }
         let plan = Arc::new(prepare_on(&snapshot.store, query, context_doc)?);
@@ -204,15 +250,17 @@ impl Server {
             cache.insert(key, Arc::clone(&plan));
             cache.stats().evictions - before
         };
-        let mut m = self.state.metrics.lock().expect("metrics lock");
-        m.counter("serve.cache.miss", 1);
-        m.counter("serve.cache.eviction", evicted);
-        m.hist("serve.prepare_us", t0.elapsed().as_micros() as u64);
+        let reg = &self.state.registry;
+        reg.counter("serve.cache.miss", 1);
+        reg.counter("serve.cache.eviction", evicted);
+        reg.observe_us("serve.prepare_us", t0.elapsed());
         Ok((plan, false))
     }
 
-    /// Serve one query end-to-end: cache-resolved prepare, admission,
-    /// worker execution, reply. `deadline` overrides the config default.
+    /// Serve one query end-to-end: trace id mint, cache-resolved prepare,
+    /// admission, worker execution, reply. `deadline` overrides the
+    /// config default. Every terminal state — success, dnf, shed,
+    /// deadline refusal, error — is offered to the flight recorder.
     pub fn execute(
         &self,
         query: &str,
@@ -220,14 +268,73 @@ impl Server {
         engine: Engine,
         deadline: Option<Duration>,
     ) -> Result<ExecReply, ServeError> {
+        let trace_id = next_trace_id();
+        let t_start = Instant::now();
         let snapshot = self.snapshot();
-        let (prepared, cached) = self.prepare_on_snapshot(&snapshot, query, context_doc)?;
-        let mut reply = self.execute_prepared(snapshot, prepared, engine, deadline)?;
-        reply.cached_plan = cached;
-        Ok(reply)
+        let generation = snapshot.generation;
+        let effective_deadline = deadline.or(self.state.config.default_deadline);
+
+        let prep0 = Instant::now();
+        let (prepared, cached) = match self.prepare_on_snapshot(&snapshot, query, context_doc) {
+            Ok(v) => v,
+            Err(e) => {
+                self.offer_anomaly(
+                    trace_id,
+                    query,
+                    engine,
+                    generation,
+                    FlightOutcome::Error { code: e.code(), message: e.to_string() },
+                    t_start.elapsed(),
+                    vec![("prepare", prep0.elapsed().as_micros() as u64)],
+                    None,
+                );
+                return Err(e);
+            }
+        };
+        let prepare = prep0.elapsed();
+        let fingerprint = plan_fingerprint(&prepared, generation);
+
+        match self.execute_prepared(Arc::clone(&snapshot), Arc::clone(&prepared), engine, deadline)
+        {
+            Ok(mut reply) => {
+                reply.cached_plan = cached;
+                reply.trace_id = trace_id;
+                reply.prepare = prepare;
+                let slack = effective_deadline.map(|d| {
+                    d.as_micros() as i64 - (prepare + reply.queue_wait + reply.wall).as_micros() as i64
+                });
+                self.offer_result(&snapshot, &prepared, &reply, fingerprint, slack);
+                Ok(reply)
+            }
+            Err(e) => {
+                let outcome = match &e {
+                    ServeError::Overloaded { .. } => FlightOutcome::Shed,
+                    ServeError::DeadlineExceeded => FlightOutcome::Deadline,
+                    other => {
+                        FlightOutcome::Error { code: other.code(), message: other.to_string() }
+                    }
+                };
+                let total = t_start.elapsed();
+                let slack = effective_deadline
+                    .map(|d| d.as_micros() as i64 - total.as_micros() as i64);
+                self.offer_anomaly(
+                    trace_id,
+                    query,
+                    engine,
+                    generation,
+                    outcome,
+                    total,
+                    vec![("prepare", prepare.as_micros() as u64)],
+                    Some((fingerprint, slack)),
+                );
+                Err(e)
+            }
+        }
     }
 
-    /// Submit an already-prepared plan against a pinned snapshot.
+    /// Submit an already-prepared plan against a pinned snapshot. The
+    /// lower-level seam under [`Server::execute`]: no trace id, no flight
+    /// recording — callers that want those go through `execute`.
     pub fn execute_prepared(
         &self,
         snapshot: Arc<Snapshot>,
@@ -248,23 +355,40 @@ impl Server {
             reply: reply_tx,
         };
         let queue = self.queue.as_ref().ok_or(ServeError::Shutdown)?;
+        // Count the job in *before* sending: a worker can dequeue (and
+        // decrement) the instant `try_send` returns, so incrementing
+        // afterwards would race the counter below zero.
+        let len = self.state.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
         match queue.try_send(job) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.state.registry.gauge("serve.queue.depth", len as i64);
+            }
             Err(TrySendError::Full(_)) => {
-                let mut m = self.state.metrics.lock().expect("metrics lock");
-                m.counter("serve.admission.shed", 1);
+                self.state.queue_len.fetch_sub(1, Ordering::Relaxed);
+                self.state.registry.counter("serve.admission.shed", 1);
                 return Err(ServeError::Overloaded {
                     queue_depth: self.state.config.queue_depth,
                 });
             }
-            Err(TrySendError::Disconnected(_)) => return Err(ServeError::Shutdown),
+            Err(TrySendError::Disconnected(_)) => {
+                self.state.queue_len.fetch_sub(1, Ordering::Relaxed);
+                return Err(ServeError::Shutdown);
+            }
         }
         reply_rx.recv().map_err(|_| ServeError::Shutdown)?
     }
 
-    /// A copy of the service metrics registry.
+    /// The service registry (always-on counters, gauges, window
+    /// histograms). The protocol layer deposits its serialize timings
+    /// here.
+    pub fn registry(&self) -> &Registry {
+        &self.state.registry
+    }
+
+    /// A flattened copy of the service metrics (lifetime histograms) —
+    /// the pre-registry shape, kept for `STATS` and the load harness.
     pub fn metrics(&self) -> Metrics {
-        self.state.metrics.lock().expect("metrics lock").clone()
+        self.state.registry.snapshot().to_metrics()
     }
 
     /// Cache accounting.
@@ -272,13 +396,70 @@ impl Server {
         self.state.cache.lock().expect("cache lock").stats()
     }
 
+    /// The `METRICS` reply: this server's registry rendered as Prometheus
+    /// text exposition (prefix `jgi_`), followed by the process-wide
+    /// engine registry (prefix `jgi_process_` — operator totals from
+    /// every session in the process, not just this server).
+    pub fn metrics_prometheus(&self) -> String {
+        let mut out = render_prometheus(&self.state.registry.snapshot(), "jgi_");
+        out.push_str(&render_prometheus(&Registry::global().snapshot(), "jgi_process_"));
+        out
+    }
+
+    /// The `TRACE n` payload: the n most interesting retained requests,
+    /// slowest first, one JSON object each. The expensive diagnostics —
+    /// EXPLAIN ANALYZE re-derivation, report JSON — are rendered *here*,
+    /// from the cheap handles the record kept, so dumping is where the
+    /// cost lands, never the serving path. Records are cloned out of the
+    /// lock first (clones are `Arc` bumps plus a report copy), so a slow
+    /// render never blocks admission.
+    pub fn trace_dump(&self, n: usize) -> Vec<Json> {
+        let records: Vec<FlightRecord<Option<FlightPayload>>> = {
+            let flight = self.state.flight.lock().expect("flight lock");
+            flight.dump(n).into_iter().cloned().collect()
+        };
+        records
+            .into_iter()
+            .map(|r| {
+                let mut json = r.to_json();
+                if let (Json::Obj(fields), Some(p)) = (&mut json, &r.payload) {
+                    // EXPLAIN ANALYZE from the run's own ExecStats:
+                    // re-deriving the physical plan is deterministic given
+                    // (db, cq), so the recorded actuals line up
+                    // operator-for-operator without re-executing.
+                    if let (Some(cq), Some(exec)) = (&p.prepared.cq, &p.report.exec) {
+                        let plan = jgi_engine::optimizer::plan(&p.snapshot.db, cq);
+                        fields.push((
+                            "explain".into(),
+                            Json::Str(jgi_engine::explain::render_analyze(
+                                &p.snapshot.db,
+                                &plan,
+                                exec,
+                            )),
+                        ));
+                    }
+                    fields.push(("report".into(), p.report.to_json()));
+                }
+                json
+            })
+            .collect()
+    }
+
+    /// Flight-recorder accounting: `(retained, offered, admitted)`.
+    pub fn flight_stats(&self) -> (usize, u64, u64) {
+        let flight = self.state.flight.lock().expect("flight lock");
+        let (offered, admitted) = flight.stats();
+        (flight.len(), offered, admitted)
+    }
+
     /// One JSON object describing the live service (the `STATS` reply).
     pub fn stats_json(&self) -> Json {
         let snapshot = self.snapshot();
-        let (cache_len, cs) = {
+        let (cache_len, cs, gens) = {
             let cache = self.state.cache.lock().expect("cache lock");
-            (cache.len(), cache.stats())
+            (cache.len(), cache.stats(), cache.generation_stats().collect::<Vec<_>>())
         };
+        let (flight_len, flight_offered, flight_admitted) = self.flight_stats();
         let metrics = self.metrics();
         Json::Obj(vec![
             ("ok".into(), Json::Bool(true)),
@@ -287,6 +468,11 @@ impl Server {
             ("nodes".into(), Json::UInt(snapshot.store.len() as u64)),
             ("workers".into(), Json::UInt(self.state.config.workers as u64)),
             ("queue_depth".into(), Json::UInt(self.state.config.queue_depth as u64)),
+            (
+                "queue_len".into(),
+                Json::UInt(self.state.queue_len.load(Ordering::Relaxed) as u64),
+            ),
+            ("telemetry".into(), Json::Bool(self.state.config.telemetry)),
             (
                 "cache".into(),
                 Json::obj([
@@ -297,11 +483,159 @@ impl Server {
                     ("evictions", Json::UInt(cs.evictions)),
                     ("invalidations", Json::UInt(cs.invalidations)),
                     ("hit_rate", Json::Num(cs.hit_rate())),
+                    (
+                        "generations",
+                        Json::Arr(
+                            gens.into_iter()
+                                .map(|(g, s)| {
+                                    Json::obj([
+                                        ("generation", Json::UInt(g)),
+                                        ("hits", Json::UInt(s.hits)),
+                                        ("misses", Json::UInt(s.misses)),
+                                        ("invalidations", Json::UInt(s.invalidations)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+            (
+                "flight".into(),
+                Json::obj([
+                    ("capacity", Json::UInt(self.state.config.flight_capacity as u64)),
+                    ("retained", Json::UInt(flight_len as u64)),
+                    ("offered", Json::UInt(flight_offered)),
+                    ("admitted", Json::UInt(flight_admitted)),
                 ]),
             ),
             ("metrics".into(), metrics.to_json()),
         ])
     }
+
+    /// Offer a completed (ok / dnf) request to the flight recorder. The
+    /// record is only assembled when it would actually be admitted, and
+    /// even then it carries only cheap handles ([`FlightPayload`]) — the
+    /// EXPLAIN ANALYZE re-derivation and report JSON render are deferred
+    /// to [`Server::trace_dump`], off the serving path.
+    fn offer_result(
+        &self,
+        snapshot: &Arc<Snapshot>,
+        prepared: &Arc<Prepared>,
+        reply: &ExecReply,
+        fingerprint: String,
+        deadline_slack_us: Option<i64>,
+    ) {
+        if !self.state.config.telemetry {
+            return;
+        }
+        let total_us = (reply.prepare + reply.queue_wait + reply.wall).as_micros() as u64;
+        let outcome = match &reply.nodes {
+            Some(n) => FlightOutcome::Ok { rows: n.len() as u64 },
+            None => FlightOutcome::Dnf,
+        };
+        if !outcome.is_anomaly()
+            && !self.state.flight.lock().expect("flight lock").would_admit_slow(total_us)
+        {
+            return;
+        }
+        let mut phases = vec![
+            ("queue", reply.queue_wait.as_micros() as u64),
+            ("prepare", reply.prepare.as_micros() as u64),
+        ];
+        for name in jgi_core::PHASES {
+            if let Some(d) = reply.report.phase(name) {
+                phases.push((name, d.as_micros() as u64));
+            }
+        }
+        let record = FlightRecord {
+            trace_id: reply.trace_id,
+            query: prepared.text.clone(),
+            engine: reply.engine.label().to_string(),
+            outcome,
+            total_us,
+            phases,
+            cached_plan: reply.cached_plan,
+            generation: reply.generation,
+            deadline_slack_us,
+            plan_fingerprint: fingerprint,
+            payload: Some(FlightPayload {
+                snapshot: Arc::clone(snapshot),
+                prepared: Arc::clone(prepared),
+                report: reply.report.clone(),
+            }),
+        };
+        self.state.flight.lock().expect("flight lock").offer(record);
+    }
+
+    /// Offer a failed request (shed / deadline / error) to the flight
+    /// recorder. Anomalies always admit, so no pre-check.
+    #[allow(clippy::too_many_arguments)]
+    fn offer_anomaly(
+        &self,
+        trace_id: u64,
+        query: &str,
+        engine: Engine,
+        generation: u64,
+        outcome: FlightOutcome,
+        total: Duration,
+        phases: Vec<(&'static str, u64)>,
+        fingerprint_slack: Option<(String, Option<i64>)>,
+    ) {
+        if !self.state.config.telemetry {
+            return;
+        }
+        let (plan_fingerprint, deadline_slack_us) = match fingerprint_slack {
+            Some((f, s)) => (f, s),
+            None => (String::new(), None),
+        };
+        let record = FlightRecord {
+            trace_id,
+            query: query.to_string(),
+            engine: engine.label().to_string(),
+            outcome,
+            total_us: total.as_micros() as u64,
+            phases,
+            cached_plan: false,
+            generation,
+            deadline_slack_us,
+            plan_fingerprint,
+            payload: None,
+        };
+        self.state.flight.lock().expect("flight lock").offer(record);
+    }
+}
+
+/// Lazy flight-record payload: cheap handles captured at offer time. The
+/// snapshot `Arc` pins the generation the request ran against, so the
+/// EXPLAIN ANALYZE re-derivation at dump time sees exactly the database
+/// the run saw (at most `flight_capacity` old generations stay alive).
+#[derive(Clone)]
+struct FlightPayload {
+    snapshot: Arc<Snapshot>,
+    prepared: Arc<Prepared>,
+    report: QueryReport,
+}
+
+impl std::fmt::Debug for FlightPayload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightPayload")
+            .field("generation", &self.snapshot.generation)
+            .field("query", &self.prepared.text)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hash the emitted SQL (join-graph and stacked) plus the snapshot
+/// generation: requests with equal fingerprints ran the same plan shape
+/// against the same document set.
+fn plan_fingerprint(prepared: &Prepared, generation: u64) -> String {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    prepared.sql.hash(&mut h);
+    prepared.stacked_sql.hash(&mut h);
+    generation.hash(&mut h);
+    format!("{:016x}", h.finish())
 }
 
 impl Drop for Server {
@@ -325,45 +659,48 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &State) {
             Ok(job) => job,
             Err(_) => return, // queue closed: graceful shutdown
         };
+        let len = state.queue_len.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        let reg = &state.registry;
+        reg.gauge("serve.queue.depth", len as i64);
         let queue_wait = job.enqueued.elapsed();
-        let now = Instant::now();
         if let Some(d) = job.deadline {
-            if now > d {
-                let mut m = state.metrics.lock().expect("metrics lock");
-                m.counter("serve.requests", 1);
-                m.counter("serve.deadline.missed", 1);
-                m.hist("serve.queue_us", queue_wait.as_micros() as u64);
+            if Instant::now() > d {
+                reg.counter("serve.requests", 1);
+                reg.counter("serve.deadline.missed", 1);
+                reg.observe_us("serve.queue_us", queue_wait);
                 let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
                 continue;
             }
         }
         let result = execute_prepared(&job.snapshot.ctx(), &job.prepared, job.engine);
-        let mut m = state.metrics.lock().expect("metrics lock");
-        m.counter("serve.requests", 1);
-        m.hist("serve.queue_us", queue_wait.as_micros() as u64);
+        reg.counter("serve.requests", 1);
+        reg.observe_us("serve.queue_us", queue_wait);
         let reply = match result {
             Ok(outcome) => {
-                m.hist("serve.latency_us", outcome.wall.as_micros() as u64);
-                m.hist(
-                    "serve.total_us",
-                    (queue_wait + outcome.wall).as_micros() as u64,
-                );
+                reg.observe_us("serve.latency_us", outcome.wall);
+                reg.observe_us("serve.total_us", queue_wait + outcome.wall);
+                // Fold this request's metric deltas (rewrite counters from
+                // the prepare, operator counters from the run) into the
+                // always-on totals.
+                reg.merge_metrics(&outcome.report.metrics);
                 Ok(ExecReply {
                     deadline_exceeded: job.deadline.is_some_and(|d| Instant::now() > d),
                     nodes: outcome.nodes,
                     wall: outcome.wall,
                     queue_wait,
-                    cached_plan: false, // caller fills in
+                    prepare: Duration::ZERO, // caller fills in
+                    cached_plan: false,      // caller fills in
                     engine: job.engine,
                     generation: job.snapshot.generation,
+                    trace_id: 0, // caller fills in
+                    report: outcome.report,
                 })
             }
             Err(e) => {
-                m.counter("serve.errors", 1);
+                reg.counter("serve.errors", 1);
                 Err(ServeError::Session(e))
             }
         };
-        drop(m);
         // A vanished client (closed reply channel) is not a worker error.
         let _ = job.reply.send(reply);
     }
@@ -397,6 +734,10 @@ mod tests {
         assert_eq!(first.nodes, second.nodes);
         let cs = s.cache_stats();
         assert_eq!((cs.hits, cs.misses), (1, 1));
+        // Tracing: distinct ids, report riding on the reply.
+        assert_ne!(first.trace_id, 0);
+        assert_ne!(first.trace_id, second.trace_id);
+        assert_eq!(first.report.rows, first.nodes.as_ref().map(|n| n.len()));
     }
 
     #[test]
@@ -441,5 +782,74 @@ mod tests {
         assert!(matches!(err, Err(ServeError::DeadlineExceeded)));
         let m = s.metrics();
         assert_eq!(m.counter_value("serve.deadline.missed"), 1);
+    }
+
+    #[test]
+    fn flight_recorder_retains_successes_and_anomalies() {
+        let s = server();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        let _ = s.execute("for $x in", None, Engine::JoinGraph, None);
+        let _ = s.execute(q, None, Engine::JoinGraph, Some(Duration::ZERO));
+        let dump = s.trace_dump(16);
+        assert!(dump.len() >= 3, "got {} records", dump.len());
+        let rendered: Vec<String> = dump.iter().map(|j| j.render()).collect();
+        let ok = rendered
+            .iter()
+            .find(|r| r.contains("\"status\":\"ok\""))
+            .expect("successful request retained");
+        assert!(ok.contains("\"explain\":\""), "success carries EXPLAIN ANALYZE: {ok}");
+        assert!(ok.contains("\"report\":{"), "success carries the full report");
+        assert!(ok.contains("\"queue\":"), "per-phase breakdown present");
+        assert!(ok.contains("\"execute\":"), "pipeline phases present");
+        assert!(rendered.iter().any(|r| r.contains("\"status\":\"error\"")));
+        let deadline = rendered
+            .iter()
+            .find(|r| r.contains("\"status\":\"deadline\""))
+            .expect("deadline refusal retained");
+        assert!(deadline.contains("\"deadline_slack_us\":-"), "negative slack: {deadline}");
+        // All trace ids distinct.
+        let (retained, offered, admitted) = s.flight_stats();
+        assert_eq!(retained as u64, admitted);
+        assert_eq!(offered, 3);
+    }
+
+    #[test]
+    fn telemetry_off_disables_registry_and_flight() {
+        let s = Server::new(ServeConfig {
+            workers: 1,
+            telemetry: false,
+            ..ServeConfig::default()
+        });
+        s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+        let q = r#"doc("auction.xml")/descendant::bidder"#;
+        s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        assert!(s.metrics().is_empty(), "disabled registry stays empty");
+        assert_eq!(s.trace_dump(8).len(), 0, "flight recorder stays empty");
+    }
+
+    #[test]
+    fn prometheus_exposition_is_valid_and_complete() {
+        let s = server();
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        let text = s.metrics_prometheus();
+        jgi_obs::expo::validate_exposition(&text).expect("valid exposition");
+        for needle in [
+            "jgi_serve_requests_total 2",
+            "jgi_serve_cache_hit_total 1",
+            "jgi_serve_cache_miss_total 1",
+            // Pre-registered at startup: present (at zero) without events.
+            "jgi_serve_admission_shed_total 0",
+            "jgi_serve_deadline_missed_total 0",
+            "jgi_serve_errors_total 0",
+            "# TYPE jgi_serve_total_us summary",
+            "jgi_serve_total_us{quantile=\"0.99\"}",
+            "jgi_serve_total_us_count 2",
+            "jgi_process_exec_queries_total",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
     }
 }

@@ -124,6 +124,92 @@ RETURN (est_rows N, act_rows N)
     assert_eq!(normalize(&analyze), expected, "full output:\n{analyze}");
 }
 
+/// Serve-style telemetry under contention: 8 client threads hammer one
+/// [`jgi_serve::Server`], and (a) every request's `QueryReport` metric
+/// deltas are identical to every other run of the same query — thread-
+/// local `Recording`s never bleed across concurrent requests — while
+/// (b) the always-on registry's counter totals equal the sum of the
+/// per-request deltas exactly, for every counter the reports carry.
+#[test]
+fn concurrent_requests_isolate_recordings_and_sum_into_registry() {
+    use std::collections::BTreeMap;
+
+    let server = jgi_serve::Server::new(jgi_serve::ServeConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    server.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 5 }));
+    let queries = [Q1, Q2];
+    let passes = 2usize;
+
+    // Each reply is tagged with the index of the query that produced it.
+    let replies: Vec<(usize, jgi_serve::ExecReply)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let server = &server;
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    for _ in 0..passes {
+                        for (qi, q) in queries.iter().enumerate() {
+                            let reply = server
+                                .execute(q, None, Engine::JoinGraph, None)
+                                .expect("corpus executes");
+                            mine.push((qi, reply));
+                        }
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    assert_eq!(replies.len(), 8 * passes * queries.len());
+
+    // Trace ids are globally unique across concurrent requests.
+    let mut ids: Vec<u64> = replies.iter().map(|(_, r)| r.trace_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), replies.len(), "trace ids must be unique");
+
+    // (a) Isolation: every concurrent run of a query reports the same
+    // rows and byte-identical counter deltas as every other run of it.
+    type RunShape = (Option<usize>, Vec<(&'static str, u64)>);
+    let mut reference: BTreeMap<usize, RunShape> = BTreeMap::new();
+    for (qi, reply) in &replies {
+        let counters: Vec<(&'static str, u64)> = reply.report.metrics.counters().collect();
+        assert!(!counters.is_empty(), "report must carry counter deltas");
+        let entry = reference
+            .entry(*qi)
+            .or_insert_with(|| (reply.report.rows, counters.clone()));
+        assert_eq!(entry.0, reply.report.rows, "row count diverged across threads");
+        assert_eq!(
+            entry.1, counters,
+            "per-request counter deltas diverged across concurrent runs"
+        );
+    }
+    assert_eq!(reference.len(), queries.len());
+
+    // (b) Registry totals are exactly the sum of per-request deltas.
+    let mut expected: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for (_, reply) in &replies {
+        for (k, v) in reply.report.metrics.counters() {
+            *expected.entry(k).or_insert(0) += v;
+        }
+    }
+    let totals = server.metrics();
+    for (k, v) in expected {
+        assert_eq!(
+            totals.counter_value(k),
+            v,
+            "registry total for {k} must equal the sum of per-request deltas"
+        );
+    }
+    assert_eq!(
+        totals.counter_value("serve.requests"),
+        replies.len() as u64
+    );
+}
+
 /// A vectorized corpus run surfaces the batch-pipeline work in the obs
 /// metrics: batches actually flow (`exec.vector.batches`) and the sorted
 /// batched B-tree probes actually skip descents (`btree.skip`).

@@ -28,6 +28,7 @@ pub mod cert;
 pub mod corpus;
 pub mod lint;
 pub mod oracle;
+pub mod sync_lint;
 
 use jgi_algebra::NodeId;
 use jgi_rewrite::driver::IsolateError;
@@ -37,6 +38,7 @@ pub use audit::{checked_isolate, AuditObserver, AuditReport};
 pub use cert::certify;
 pub use lint::{lint, LintDiag, LINTS};
 pub use oracle::{falsify, OracleConfig};
+pub use sync_lint::{scan_source, scan_workspace, SyncDiag, SyncRule};
 
 /// One certification violation: a property fact claimed by
 /// `jgi_rewrite::props` that the checker could not reproduce (static

@@ -988,7 +988,7 @@ fn execute_parallel(
     }
 
     let vectorized = opts.vectorized;
-    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let cursor = jgi_sync::AtomicUsize::named("morsel_cursor", 0);
     let worker_out: Vec<(Vec<Vec<Value>>, ExecStats)> = std::thread::scope(|s| {
         let frontier = &frontier;
         let order_idx = &order_idx;
@@ -1006,7 +1006,10 @@ fn execute_parallel(
                         let mut entry = Batch::shaped(plan.n_aliases);
                         let mut entry_sel: Vec<u32> = Vec::new();
                         loop {
-                            let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // relaxed: work-distribution cursor — each morsel
+                            // index is claimed by exactly one RMW winner, and
+                            // the scope join publishes the results.
+                            let m = cursor.fetch_add_relaxed(1);
                             if m >= n_morsels {
                                 break;
                             }
@@ -1028,7 +1031,9 @@ fn execute_parallel(
                         let mut scratch: Vec<StepScratch> =
                             (depth..plan.steps.len()).map(|_| StepScratch::default()).collect();
                         loop {
-                            let m = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // relaxed: same claim-by-RMW cursor as the
+                            // vectorized arm above.
+                            let m = cursor.fetch_add_relaxed(1);
                             if m >= n_morsels {
                                 break;
                             }

@@ -1,0 +1,378 @@
+//! The schedule explorer: depth-first enumeration over the tree of
+//! scheduling decisions, CHESS-style iterative preemption bounding, and
+//! the public [`explore`] entry point.
+//!
+//! Each *execution* runs the model closure once under the runtime in
+//! the private `rt` runtime, replaying a forced prefix of choices and taking default
+//! (no-preemption) choices past it. The runtime records every decision
+//! point with its candidate set; the explorer then backtracks: bump the
+//! deepest point with an untried, in-budget alternative and re-execute
+//! with the longer forced prefix. Preemption bounds escalate `0..=P`, so
+//! the first refutation found uses the fewest preemptions any failure
+//! needs — that schedule is printed as the minimal counterexample.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, Ctx, ExecCfg, Runtime, Stop};
+
+/// Exploration limits. The defaults are sized for the invariant models in
+/// [`crate::models`]: small thread counts, a few operations each.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Maximum preemptive context switches per schedule (CHESS bound).
+    /// Non-preemptive switches (at blocks and thread exits) are free.
+    pub preemption_bound: usize,
+    /// Hard cap on executions (explored + pruned) per bound pass;
+    /// exceeding it marks the report `capped` instead of running forever.
+    pub max_schedules: u64,
+    /// Per-execution operation cap (guards against models whose schedule
+    /// space is accidentally unbounded).
+    pub max_steps: usize,
+    /// Enable state-hash pruning of already-explored subtrees.
+    pub prune: bool,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { preemption_bound: 2, max_schedules: 50_000, max_steps: 5_000, prune: true }
+    }
+}
+
+/// Verdict of an exploration.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Every schedule within the bound satisfied all invariants.
+    Certified,
+    /// Some schedule violated an invariant (or deadlocked, or panicked).
+    Refuted {
+        /// The invariant message (or deadlock/panic description).
+        message: String,
+        /// The failing interleaving, one visible operation per line.
+        trace: Vec<String>,
+        /// Preemptions in the failing schedule — minimal by construction.
+        preemptions: usize,
+    },
+}
+
+/// What an exploration did and found.
+#[derive(Debug, Clone)]
+pub struct Report {
+    pub outcome: Outcome,
+    /// Executions run to completion (or failure) across all bound passes.
+    pub schedules: u64,
+    /// Executions cut early by the state-hash prune.
+    pub pruned: u64,
+    /// True if `max_schedules` stopped a pass before it was exhausted
+    /// (certification is then only up to the cap, and the suite fails).
+    pub capped: bool,
+    /// The preemption bound in effect when exploration ended.
+    pub bound: usize,
+    /// Deepest decision sequence seen (schedule length).
+    pub max_depth: usize,
+}
+
+impl Report {
+    pub fn refuted(&self) -> bool {
+        matches!(self.outcome, Outcome::Refuted { .. })
+    }
+}
+
+/// One frame of the DFS stack: a decision point (candidates recorded
+/// during some execution) and which candidate the *next* execution is
+/// forced to take.
+struct StackPoint {
+    candidates: Vec<usize>,
+    idx: usize,
+    decider: usize,
+    decider_enabled: bool,
+    preemptions_before: usize,
+}
+
+impl StackPoint {
+    /// Next untried alternative whose preemption cost fits the bound.
+    fn next_alternative(&self, bound: usize) -> Option<usize> {
+        (self.idx + 1..self.candidates.len()).find(|&i| {
+            let c = self.candidates[i];
+            let preemptive = self.decider_enabled && c != self.decider;
+            !preemptive || self.preemptions_before < bound
+        })
+    }
+}
+
+/// Install (once) a panic hook that silences the runtime's controlled
+/// unwinds while leaving genuine panics visible.
+fn install_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<rt::Sentinel>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run the model closure once as thread 0 under `rt`.
+fn run_execution<F: Fn()>(rt: &Arc<Runtime>, f: &F) {
+    rt::set_ctx(Some(Ctx { rt: Arc::clone(rt), id: 0 }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+    match result {
+        Ok(()) => rt.main_exit(true),
+        Err(payload) => {
+            if !payload.is::<rt::Sentinel>() {
+                rt.fail(0, format!("model panicked: {}", panic_message(payload.as_ref())));
+            }
+            rt.main_exit(false);
+        }
+    }
+    rt::set_ctx(None);
+}
+
+/// Explore every interleaving of `model` within `cfg`'s bounds. The
+/// closure is re-executed once per schedule and must be deterministic
+/// given the interleaving (all cross-thread communication through
+/// [`crate::sync`] / [`crate::thread`]).
+pub fn explore<F: Fn()>(cfg: &Config, model: F) -> Report {
+    install_hook();
+    let mut total_schedules = 0u64;
+    let mut total_pruned = 0u64;
+    let mut max_depth = 0usize;
+    for bound in 0..=cfg.preemption_bound {
+        // Fresh prune set per pass: the budget semantics of the seen-keys
+        // change with the bound.
+        let seen: Arc<Mutex<HashSet<(u64, u32)>>> = Arc::new(Mutex::new(HashSet::new()));
+        let mut stack: Vec<StackPoint> = Vec::new();
+        loop {
+            let prefix: Vec<usize> = stack.iter().map(|p| p.candidates[p.idx]).collect();
+            let runtime = Arc::new(Runtime::new(
+                prefix.clone(),
+                Arc::clone(&seen),
+                ExecCfg { max_steps: cfg.max_steps, prune: cfg.prune },
+            ));
+            run_execution(&runtime, &model);
+            let (stop, failure, points, trace, preemptions) = runtime.harvest();
+            max_depth = max_depth.max(points.len());
+            match stop {
+                Some(Stop::Failed) => {
+                    return Report {
+                        outcome: Outcome::Refuted {
+                            message: failure.unwrap_or_else(|| "unknown failure".to_string()),
+                            trace,
+                            preemptions,
+                        },
+                        schedules: total_schedules + 1,
+                        pruned: total_pruned,
+                        capped: false,
+                        bound,
+                        max_depth,
+                    };
+                }
+                Some(Stop::Pruned { .. }) => total_pruned += 1,
+                None => total_schedules += 1,
+            }
+            // Extend the stack with the decision points this execution
+            // discovered past the forced prefix. (A pruned execution still
+            // contributes its points up to the cut — their alternatives
+            // lead to states the prune said nothing about.)
+            for p in points.into_iter().skip(prefix.len()) {
+                stack.push(StackPoint {
+                    candidates: p.candidates,
+                    idx: 0,
+                    decider: p.decider,
+                    decider_enabled: p.decider_enabled,
+                    preemptions_before: p.preemptions_before,
+                });
+            }
+            if total_schedules + total_pruned >= cfg.max_schedules {
+                return Report {
+                    outcome: Outcome::Certified,
+                    schedules: total_schedules,
+                    pruned: total_pruned,
+                    capped: true,
+                    bound,
+                    max_depth,
+                };
+            }
+            // Backtrack: advance the deepest point with an in-budget
+            // alternative; pop exhausted points.
+            let mut advanced = false;
+            while let Some(top) = stack.last_mut() {
+                if let Some(next) = top.next_alternative(bound) {
+                    top.idx = next;
+                    advanced = true;
+                    break;
+                }
+                stack.pop();
+            }
+            if !advanced {
+                break; // pass exhausted
+            }
+        }
+    }
+    Report {
+        outcome: Outcome::Certified,
+        schedules: total_schedules,
+        pruned: total_pruned,
+        capped: false,
+        bound: cfg.preemption_bound,
+        max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::{AtomicUsize, Mutex};
+    use crate::{ensure, thread};
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn atomic_counter_certifies() {
+        let report = explore(&Config::default(), || {
+            let n = StdArc::new(AtomicUsize::named("n", 0));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let n = StdArc::clone(&n);
+                    thread::spawn(if i == 0 { "inc-a" } else { "inc-b" }, move || {
+                        n.fetch_add_relaxed(1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            let v = n.load_relaxed();
+            ensure!(v == 2, "lost update: counter is {v}, expected 2");
+        });
+        assert!(!report.refuted(), "atomic counter must certify: {:?}", report.outcome);
+        assert!(report.schedules > 1, "must explore >1 interleaving, got {}", report.schedules);
+    }
+
+    #[test]
+    fn load_store_race_is_refuted_with_one_preemption() {
+        let report = explore(&Config::default(), || {
+            let n = StdArc::new(AtomicUsize::named("n", 0));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let n = StdArc::clone(&n);
+                    thread::spawn(if i == 0 { "rmw-a" } else { "rmw-b" }, move || {
+                        // Deliberately non-atomic read-modify-write.
+                        let v = n.load_relaxed();
+                        n.store_relaxed(v + 1);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            let v = n.load_relaxed();
+            ensure!(v == 2, "lost update: counter is {v}, expected 2");
+        });
+        match report.outcome {
+            Outcome::Refuted { preemptions, ref message, .. } => {
+                assert!(message.contains("lost update"), "unexpected message: {message}");
+                assert_eq!(preemptions, 1, "lost update needs exactly one preemption");
+            }
+            Outcome::Certified => panic!("load/store race must be refuted"),
+        }
+    }
+
+    #[test]
+    fn mutex_guards_read_modify_write() {
+        let report = explore(&Config::default(), || {
+            let n = StdArc::new(Mutex::named("n", 0u64));
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let n = StdArc::clone(&n);
+                    thread::spawn(if i == 0 { "lock-a" } else { "lock-b" }, move || {
+                        let mut g = n.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("model thread");
+            }
+            let v = *n.lock();
+            ensure!(v == 2, "mutex lost update: counter is {v}");
+        });
+        assert!(!report.refuted(), "mutex counter must certify: {:?}", report.outcome);
+    }
+
+    #[test]
+    fn lock_order_inversion_deadlocks() {
+        let report = explore(&Config::default(), || {
+            let a = StdArc::new(Mutex::named("a", ()));
+            let b = StdArc::new(Mutex::named("b", ()));
+            let t1 = {
+                let (a, b) = (StdArc::clone(&a), StdArc::clone(&b));
+                thread::spawn("ab", move || {
+                    let _ga = a.lock();
+                    let _gb = b.lock();
+                })
+            };
+            let t2 = {
+                let (a, b) = (StdArc::clone(&a), StdArc::clone(&b));
+                thread::spawn("ba", move || {
+                    let _gb = b.lock();
+                    let _ga = a.lock();
+                })
+            };
+            let _ = t1.join();
+            let _ = t2.join();
+        });
+        match report.outcome {
+            Outcome::Refuted { ref message, .. } => {
+                assert!(message.contains("deadlock"), "expected deadlock, got: {message}");
+            }
+            Outcome::Certified => panic!("lock-order inversion must deadlock"),
+        }
+    }
+
+    #[test]
+    fn pruning_cuts_schedules() {
+        let run = |prune: bool| {
+            explore(&Config { prune, ..Config::default() }, || {
+                let n = StdArc::new(AtomicUsize::named("n", 0));
+                let handles: Vec<_> = ["t0", "t1", "t2"]
+                    .iter()
+                    .map(|name| {
+                        let n = StdArc::clone(&n);
+                        thread::spawn(name, move || {
+                            n.fetch_add_relaxed(1);
+                            n.fetch_add_relaxed(1);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().expect("model thread");
+                }
+                ensure!(n.load_relaxed() == 6, "lost update");
+            })
+        };
+        let with = run(true);
+        let without = run(false);
+        assert!(!with.refuted() && !without.refuted());
+        assert!(with.pruned > 0, "expected prune hits, got {}", with.pruned);
+        assert!(
+            with.schedules < without.schedules,
+            "pruning must reduce executions: {} vs {}",
+            with.schedules,
+            without.schedules
+        );
+    }
+}

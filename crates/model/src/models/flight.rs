@@ -1,0 +1,120 @@
+//! Flight-recorder admission (`jgi-obs` `FlightRecorder`).
+//!
+//! The recorder keeps a bounded slow-pool (evict-min on overflow) and a
+//! bounded anomaly ring, behind one mutex, with a two-phase API: a cheap
+//! `would_admit` pre-check outside any payload construction, then the
+//! real `offer` that re-checks under the lock. The race worth proving:
+//! between pre-check and offer another thread can fill the pool, so the
+//! offer-time re-check is what keeps the pools bounded — the TOCTOU gap
+//! must be benign. Invariants: pool sizes never exceed capacity, and
+//! `offered >= admitted >= resident` counters stay conserved.
+
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::{ensure, explore, thread, Config, Report};
+
+const SLOW_CAP: usize = 1;
+const ANOM_CAP: usize = 1;
+
+#[derive(Default)]
+struct Rec {
+    slow: Vec<u64>,
+    anomalies: Vec<u64>,
+    offered: u64,
+    admitted: u64,
+}
+
+impl Rec {
+    fn would_admit_slow(&self, weight: u64) -> bool {
+        self.slow.len() < SLOW_CAP || self.slow.iter().any(|&w| w < weight)
+    }
+
+    /// Offer under the lock, re-checking admission (mirrors
+    /// `FlightRecorder::offer`).
+    fn offer_slow(&mut self, weight: u64) {
+        self.offered += 1;
+        if self.slow.len() < SLOW_CAP {
+            self.slow.push(weight);
+            self.admitted += 1;
+        } else {
+            let (min_idx, &min_w) = self
+                .slow
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &w)| w)
+                .expect("non-empty pool");
+            if weight > min_w {
+                self.slow[min_idx] = weight;
+                self.admitted += 1;
+            }
+        }
+    }
+
+    fn offer_anomaly(&mut self, trace: u64) {
+        self.offered += 1;
+        if self.anomalies.len() == ANOM_CAP {
+            self.anomalies.remove(0); // FIFO ring
+        }
+        self.anomalies.push(trace);
+        self.admitted += 1;
+    }
+}
+
+fn slow_path(rec: &Mutex<Rec>, weight: u64) {
+    let admit = rec.lock().would_admit_slow(weight);
+    if admit {
+        // Payload is built outside the lock in the real recorder; by the
+        // time we offer, the pool may have changed.
+        let mut r = rec.lock();
+        r.offer_slow(weight);
+        ensure!(r.slow.len() <= SLOW_CAP, "slow pool overflow: {} > {SLOW_CAP}", r.slow.len());
+        ensure!(r.admitted <= r.offered, "admitted {} > offered {}", r.admitted, r.offered);
+    }
+}
+
+fn anomaly_path(rec: &Mutex<Rec>, trace: u64) {
+    let mut r = rec.lock();
+    r.offer_anomaly(trace);
+    ensure!(
+        r.anomalies.len() <= ANOM_CAP,
+        "anomaly ring overflow: {} > {ANOM_CAP}",
+        r.anomalies.len()
+    );
+}
+
+/// Two slow offers race over a capacity-1 pool (exercising the
+/// pre-check/offer gap) while an anomaly offer rolls the ring.
+pub fn check(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let rec = Arc::new(Mutex::named("flight", Rec::default()));
+        let offers: Vec<_> = [("slow-light", 10u64), ("slow-heavy", 50u64)]
+            .into_iter()
+            .map(|(name, weight)| {
+                let rec = Arc::clone(&rec);
+                thread::spawn(name, move || slow_path(&rec, weight))
+            })
+            .collect();
+        let anomaly = {
+            let rec = Arc::clone(&rec);
+            thread::spawn("anomaly", move || anomaly_path(&rec, 7))
+        };
+        for o in offers {
+            o.join().expect("offer");
+        }
+        anomaly.join().expect("anomaly");
+        let r = rec.lock();
+        let resident = (r.slow.len() + r.anomalies.len()) as u64;
+        ensure!(r.slow.len() <= SLOW_CAP, "slow pool overflow at quiescence");
+        ensure!(r.anomalies.len() <= ANOM_CAP, "anomaly ring overflow at quiescence");
+        ensure!(
+            r.admitted >= resident && r.offered >= r.admitted,
+            "admission counters inconsistent: offered {} admitted {} resident {resident}",
+            r.offered,
+            r.admitted,
+        );
+        // The heavy offer always lands: capacity admits it, eviction
+        // prefers it.
+        ensure!(r.slow.contains(&50), "heavy trace evicted by a lighter one");
+    })
+}

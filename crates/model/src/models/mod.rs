@@ -1,0 +1,96 @@
+//! Executable models of the serving core's five concurrency protocols.
+//!
+//! Each model is a faithful miniature of the real protocol — same
+//! operation order, same lock granularity, scaled-down constants so the
+//! schedule space is exhaustively explorable — plus the historical or
+//! deliberately-broken variant the checker must *refute*. Keeping the
+//! refuted variants in the suite is the vacuity guard that matters most:
+//! a checker that certifies everything proves nothing.
+//!
+//! | model                      | mirrors                                   |
+//! |----------------------------|-------------------------------------------|
+//! | [`queue`]                  | `jgi-serve` admission-queue accounting     |
+//! | [`registry`]               | `jgi-obs` lock-striped registry merge      |
+//! | [`snapshot_cache`]         | `jgi-serve` snapshot publish + plan cache  |
+//! | [`flight`]                 | `jgi-obs` flight-recorder ring admission   |
+//! | [`window`]                 | `jgi-obs` window-histogram epoch rotation  |
+
+pub mod flight;
+pub mod queue;
+pub mod registry;
+pub mod snapshot_cache;
+pub mod window;
+
+use crate::{Config, Report};
+
+/// What the suite expects from a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Every schedule must satisfy the invariants.
+    Certify,
+    /// Some schedule must violate them (regression models).
+    Refute,
+}
+
+/// One entry in the model suite.
+pub struct ModelSpec {
+    pub name: &'static str,
+    pub about: &'static str,
+    pub expect: Expectation,
+    pub run: fn(&Config) -> Report,
+}
+
+/// The full suite, certified protocols first, then the regression models
+/// that must be refuted.
+pub fn catalog() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec {
+            name: "queue-accounting",
+            about: "admission queue_len: increment-before-enqueue with rollback (shipped order)",
+            expect: Expectation::Certify,
+            run: |cfg| queue::check(queue::QueueOrder::IncrementBeforeEnqueue, cfg),
+        },
+        ModelSpec {
+            name: "registry-merge-totals",
+            about: "lock-striped registry: shard totals conserve deltas, snapshots monotone",
+            expect: Expectation::Certify,
+            run: registry::check,
+        },
+        ModelSpec {
+            name: "snapshot-cache-consistency",
+            about: "generation-keyed plan cache never serves a stale plan across publish",
+            expect: Expectation::Certify,
+            run: |cfg| snapshot_cache::check(snapshot_cache::CacheKeying::ByGeneration, cfg),
+        },
+        ModelSpec {
+            name: "flight-ring-admission",
+            about: "flight recorder: two-phase admission keeps pools bounded, counters conserved",
+            expect: Expectation::Certify,
+            run: flight::check,
+        },
+        ModelSpec {
+            name: "window-epoch-rotation",
+            about: "window histogram: stale-epoch observers never rotate a slot backwards",
+            expect: Expectation::Certify,
+            run: |cfg| window::check(window::RotationRule::DropStale, cfg),
+        },
+        ModelSpec {
+            name: "regression-queue-pre-pr6",
+            about: "REGRESSION pre-PR6 enqueue-then-increment order: queue_len underflow",
+            expect: Expectation::Refute,
+            run: |cfg| queue::check(queue::QueueOrder::EnqueueBeforeIncrement, cfg),
+        },
+        ModelSpec {
+            name: "regression-cache-unkeyed",
+            about: "REGRESSION generation-unkeyed plan cache: serves a stale plan",
+            expect: Expectation::Refute,
+            run: |cfg| snapshot_cache::check(snapshot_cache::CacheKeying::QueryOnly, cfg),
+        },
+        ModelSpec {
+            name: "regression-window-stale-reset",
+            about: "REGRESSION reset-on-mismatch rotation: stale observer rotates slot backwards",
+            expect: Expectation::Refute,
+            run: |cfg| window::check(window::RotationRule::ResetOnMismatch, cfg),
+        },
+    ]
+}

@@ -1,0 +1,112 @@
+//! Admission-queue accounting (`jgi-serve` `State::queue_len`).
+//!
+//! The server tracks queue depth in an atomic counter next to (not
+//! inside) the bounded channel, because `mpsc` exposes no cheap `len`.
+//! PR 6 fixed a real underflow here: the original order enqueued first
+//! and incremented after, so a worker could dequeue and decrement before
+//! the producer's increment, driving `queue_len` through zero. The
+//! shipped order increments first, then enqueues, and rolls the
+//! increment back if the channel refuses.
+//!
+//! Both orders are modeled; the suite requires the shipped order to
+//! certify and the original to be refuted.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::sync::{AtomicUsize, Mutex};
+use crate::{ensure, explore, thread, Config, Report};
+
+/// Which side of the PR 6 fix to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOrder {
+    /// Shipped: increment, try-enqueue, roll back on refusal.
+    IncrementBeforeEnqueue,
+    /// Pre-PR 6: enqueue, then increment — refutable.
+    EnqueueBeforeIncrement,
+}
+
+struct Q {
+    len: AtomicUsize,
+    slots: Mutex<VecDeque<u8>>,
+    cap: usize,
+}
+
+fn produce(q: &Q, order: QueueOrder, item: u8) {
+    match order {
+        QueueOrder::IncrementBeforeEnqueue => {
+            q.len.fetch_add_relaxed(1);
+            let pushed = {
+                let mut slots = q.slots.lock();
+                if slots.len() < q.cap {
+                    slots.push_back(item);
+                    true
+                } else {
+                    false
+                }
+            };
+            if !pushed {
+                // Channel full: roll the increment back.
+                let prev = q.len.fetch_sub_relaxed(1);
+                ensure!(prev >= 1, "rollback underflow: queue_len was 0 at rollback");
+            }
+        }
+        QueueOrder::EnqueueBeforeIncrement => {
+            let pushed = {
+                let mut slots = q.slots.lock();
+                if slots.len() < q.cap {
+                    slots.push_back(item);
+                    true
+                } else {
+                    false
+                }
+            };
+            if pushed {
+                q.len.fetch_add_relaxed(1);
+            }
+        }
+    }
+}
+
+fn consume(q: &Q, attempts: usize) {
+    for _ in 0..attempts {
+        let popped = q.slots.lock().pop_front();
+        if popped.is_some() {
+            let prev = q.len.fetch_sub_relaxed(1);
+            ensure!(prev >= 1, "queue_len underflow: worker decremented a zero counter");
+        }
+    }
+}
+
+/// Two producers race one worker over a capacity-1 channel, so both the
+/// full-channel rollback path and the dequeue race are reachable.
+pub fn check(order: QueueOrder, cfg: &Config) -> Report {
+    explore(cfg, move || {
+        let q = Arc::new(Q {
+            len: AtomicUsize::named("queue_len", 0),
+            slots: Mutex::named("queue", VecDeque::new()),
+            cap: 1,
+        });
+        let producers: Vec<_> = [("producer-a", 1u8), ("producer-b", 2u8)]
+            .into_iter()
+            .map(|(name, item)| {
+                let q = Arc::clone(&q);
+                thread::spawn(name, move || produce(&q, order, item))
+            })
+            .collect();
+        let worker = {
+            let q = Arc::clone(&q);
+            thread::spawn("worker", move || consume(&q, 2))
+        };
+        for p in producers {
+            p.join().expect("producer");
+        }
+        worker.join().expect("worker");
+        let len = q.len.load_relaxed();
+        let depth = q.slots.lock().len();
+        ensure!(
+            len == depth,
+            "quiescent drift: queue_len={len} but the channel holds {depth} item(s)"
+        );
+    })
+}

@@ -1,0 +1,79 @@
+//! Lock-striped registry merge totals (`jgi-obs` `Registry`).
+//!
+//! The real registry pins each thread to a shard and merges per-shard
+//! state on scrape, while writers keep recording. The invariants: a
+//! scrape never observes more than the deltas actually applied,
+//! successive scrapes are monotone (counters only grow), and the
+//! quiescent total equals the sum of all deltas — conservation across
+//! the stripe boundaries.
+
+use std::sync::Arc;
+
+use crate::sync::Mutex;
+use crate::{ensure, explore, thread, Config, Report};
+
+struct Shards {
+    shard0: Mutex<u64>,
+    shard1: Mutex<u64>,
+}
+
+impl Shards {
+    /// Scrape-order merge: lock one shard at a time, like the real
+    /// registry's `gather` (it never holds two shard locks at once).
+    fn merge(&self) -> u64 {
+        let a = *self.shard0.lock();
+        let b = *self.shard1.lock();
+        a + b
+    }
+}
+
+const DELTAS: [u64; 2] = [3, 5];
+const TOTAL: u64 = (DELTAS[0] + DELTAS[1]) * 2;
+
+fn writer(shards: &Shards, pin: usize) {
+    for d in DELTAS {
+        match pin {
+            0 => *shards.shard0.lock() += d,
+            _ => *shards.shard1.lock() += d,
+        }
+    }
+}
+
+fn scraper(shards: &Shards) {
+    let first = shards.merge();
+    ensure!(first <= TOTAL, "scrape over-counts: merged {first} > applied {TOTAL}");
+    let second = shards.merge();
+    ensure!(
+        second >= first,
+        "scrape not monotone: second merge {second} < first merge {first}"
+    );
+    ensure!(second <= TOTAL, "scrape over-counts: merged {second} > applied {TOTAL}");
+}
+
+/// Two pinned writers race a scraper doing two one-shard-at-a-time
+/// merges; the main thread checks conservation at quiescence.
+pub fn check(cfg: &Config) -> Report {
+    explore(cfg, || {
+        let shards = Arc::new(Shards {
+            shard0: Mutex::named("shard-0", 0),
+            shard1: Mutex::named("shard-1", 0),
+        });
+        let writers: Vec<_> = [("writer-0", 0usize), ("writer-1", 1usize)]
+            .into_iter()
+            .map(|(name, pin)| {
+                let shards = Arc::clone(&shards);
+                thread::spawn(name, move || writer(&shards, pin))
+            })
+            .collect();
+        let scrape = {
+            let shards = Arc::clone(&shards);
+            thread::spawn("scraper", move || scraper(&shards))
+        };
+        for w in writers {
+            w.join().expect("writer");
+        }
+        scrape.join().expect("scraper");
+        let total = shards.merge();
+        ensure!(total == TOTAL, "conservation broken: quiescent total {total} != {TOTAL}");
+    })
+}

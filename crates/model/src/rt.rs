@@ -1,0 +1,669 @@
+//! The exploration runtime: thread registry, token-passing scheduler,
+//! choice recording/replay, state hashing, and failure capture.
+//!
+//! Exactly one model thread holds the *token* at any moment. A thread
+//! about to perform a visible operation (atomic op, lock attempt, spawn,
+//! join) calls into the runtime: if it holds the token it makes a
+//! *scheduling decision* — which runnable thread performs the next
+//! operation — then parks until it is (re-)chosen. The chosen thread wakes
+//! already holding the token, performs its one operation while every other
+//! thread is parked (so effects are serialized — the checker explores
+//! sequentially-consistent interleavings), and keeps running until its own
+//! next yield point, where it decides again. One decision per operation;
+//! the recorded decision vector *is* the schedule, and replaying a prefix
+//! reproduces the execution exactly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to unwind model threads when an execution stops
+/// early (invariant failure, deadlock, prune, step cap). Recognized by the
+/// explorer's panic hook so controlled unwinds stay silent.
+pub(crate) struct Sentinel;
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub rt: Arc<Runtime>,
+    pub id: usize,
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Fail the current schedule (invariant violation). Inside an exploration
+/// this records the failure and unwinds; outside it panics normally.
+pub(crate) fn fail_current(message: String) -> ! {
+    match current_ctx() {
+        Some(ctx) => {
+            ctx.rt.fail(ctx.id, message);
+            std::panic::panic_any(Sentinel)
+        }
+        None => panic!("invariant violated: {message}"),
+    }
+}
+
+/// Why an execution stopped before running to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Stop {
+    /// An invariant failed (or a model thread panicked, or deadlock).
+    Failed,
+    /// The state at decision `at` was already fully explored.
+    Pruned { at: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Block {
+    Mutex(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    Join(usize),
+}
+
+struct ThreadRec {
+    name: String,
+    status: Status,
+    /// Rolling hash of everything this thread has observed: `(op, cell,
+    /// value)` per operation. Model code is deterministic given its
+    /// observations, so equal histories mean equal thread-local state.
+    history: u64,
+}
+
+/// One scheduling decision as recorded during an execution: the candidate
+/// threads (default choice first), which was chosen, and enough context to
+/// cost alternatives under the preemption bound.
+#[derive(Debug, Clone)]
+pub(crate) struct RecordedPoint {
+    /// Candidate threads, chosen-thread first (`candidates[0]` is what
+    /// this execution did; the tail is the DFS worklist).
+    pub candidates: Vec<usize>,
+    pub decider: usize,
+    pub decider_enabled: bool,
+    pub preemptions_before: usize,
+}
+
+#[derive(Default)]
+struct CellRec {
+    /// Schedule-stable identity: a hash of the model-supplied name, or a
+    /// first-use ordinal for anonymous cells (models name their cells so
+    /// state hashes are comparable across schedules).
+    id: u64,
+    /// Current value (atomics) or an acquire/release chain hash (locks).
+    value: u64,
+}
+
+#[derive(Default)]
+struct MutexRec {
+    holder: Option<usize>,
+}
+
+#[derive(Default)]
+struct RwRec {
+    writer: Option<usize>,
+    readers: Vec<usize>,
+}
+
+pub(crate) struct ExecCfg {
+    pub max_steps: usize,
+    pub prune: bool,
+}
+
+pub(crate) struct RtState {
+    threads: Vec<ThreadRec>,
+    holder: usize,
+    /// Decisions made so far (== operations performed or granted).
+    decisions: usize,
+    /// Forced chosen-thread per decision index (the DFS replay prefix).
+    prefix: Vec<usize>,
+    pub(crate) points: Vec<RecordedPoint>,
+    pub(crate) trace: Vec<String>,
+    pub(crate) preemptions: usize,
+    steps: usize,
+    cells: HashMap<usize, CellRec>,
+    next_cell_ord: u64,
+    mutexes: HashMap<usize, MutexRec>,
+    rwlocks: HashMap<usize, RwRec>,
+    pub(crate) failure: Option<String>,
+    pub(crate) stop: Option<Stop>,
+    finished: usize,
+}
+
+pub(crate) struct Runtime {
+    state: Mutex<RtState>,
+    cv: Condvar,
+    cfg: ExecCfg,
+    /// `(state hash, preemptions used)` pairs whose subtrees are fully
+    /// explored — shared across the executions of one DFS pass.
+    seen: Arc<Mutex<HashSet<(u64, u32)>>>,
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    (h, v).hash(&mut hasher);
+    hasher.finish()
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    s.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl Runtime {
+    pub(crate) fn new(
+        prefix: Vec<usize>,
+        seen: Arc<Mutex<HashSet<(u64, u32)>>>,
+        cfg: ExecCfg,
+    ) -> Runtime {
+        Runtime {
+            state: Mutex::new(RtState {
+                threads: vec![ThreadRec {
+                    name: "main".to_string(),
+                    status: Status::Runnable,
+                    history: hash_str("main"),
+                }],
+                holder: 0,
+                decisions: 0,
+                prefix,
+                points: Vec::new(),
+                trace: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                cells: HashMap::new(),
+                next_cell_ord: 0,
+                mutexes: HashMap::new(),
+                rwlocks: HashMap::new(),
+                failure: None,
+                stop: None,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            cfg,
+            seen,
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, RtState> {
+        self.state.lock().expect("model runtime state")
+    }
+
+    /// Record an invariant failure and stop the execution. First failure
+    /// wins; later ones (from threads unwinding) are ignored.
+    pub(crate) fn fail(&self, id: usize, message: String) {
+        let mut st = self.lock_state();
+        if st.stop.is_none() {
+            let name = st.threads.get(id).map_or("?", |t| t.name.as_str()).to_string();
+            st.trace.push(format!("[{name}] INVARIANT VIOLATED: {message}"));
+            st.failure = Some(message);
+            st.stop = Some(Stop::Failed);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn enabled(st: &RtState) -> Vec<usize> {
+        (0..st.threads.len()).filter(|&i| st.threads[i].status == Status::Runnable).collect()
+    }
+
+    fn state_hash(st: &RtState, decider: usize) -> u64 {
+        let mut cells: Vec<(u64, u64)> = st.cells.values().map(|c| (c.id, c.value)).collect();
+        cells.sort_unstable();
+        let mut h = mix(0x6a67_695f_6d64_6c00, decider as u64);
+        for (id, v) in cells {
+            h = mix(h, mix(id, v));
+        }
+        for t in &st.threads {
+            let s = match t.status {
+                Status::Runnable => 1u64,
+                Status::Finished => 2,
+                Status::Blocked(Block::Mutex(a)) => mix(3, a as u64),
+                Status::Blocked(Block::RwRead(a)) => mix(4, a as u64),
+                Status::Blocked(Block::RwWrite(a)) => mix(5, a as u64),
+                Status::Blocked(Block::Join(t)) => mix(6, t as u64),
+            };
+            h = mix(h, mix(t.history, s));
+        }
+        h
+    }
+
+    /// Make one scheduling decision: pick the thread that performs the
+    /// next operation. Within the replay prefix the recorded choice is
+    /// forced; past it the default (no-preemption) choice is taken and the
+    /// state-hash prune is consulted. Returns `Err(())` when the execution
+    /// must stop (the caller unwinds via [`Sentinel`]).
+    fn decide(&self, st: &mut RtState, decider: usize) -> Result<usize, ()> {
+        if st.stop.is_some() {
+            return Err(());
+        }
+        let enabled = Self::enabled(st);
+        if enabled.is_empty() {
+            // Someone is blocked (the decider itself is blocked or
+            // finished, or it would be enabled) and nobody can run.
+            if st.threads.iter().any(|t| matches!(t.status, Status::Blocked(_))) {
+                let waiting: Vec<&str> = st
+                    .threads
+                    .iter()
+                    .filter(|t| matches!(t.status, Status::Blocked(_)))
+                    .map(|t| t.name.as_str())
+                    .collect();
+                st.failure = Some(format!("deadlock: {} blocked forever", waiting.join(", ")));
+                st.trace.push(format!(
+                    "[{}] DEADLOCK: {} blocked forever",
+                    st.threads[decider].name,
+                    waiting.join(", ")
+                ));
+                st.stop = Some(Stop::Failed);
+            }
+            self.cv.notify_all();
+            return Err(());
+        }
+        let idx = st.decisions;
+        let decider_enabled = enabled.contains(&decider);
+        let hash = Self::state_hash(st, decider);
+        let key = (hash, st.preemptions as u32);
+        let chosen = if idx < st.prefix.len() {
+            let forced = st.prefix[idx];
+            if !enabled.contains(&forced) {
+                // Replay divergence means the model is nondeterministic
+                // outside the controlled schedule — a model bug worth
+                // surfacing loudly, not a hang.
+                st.failure = Some(format!(
+                    "replay divergence at decision {idx}: prefix chose a non-runnable thread \
+                     (model code is nondeterministic outside the scheduler)"
+                ));
+                st.stop = Some(Stop::Failed);
+                self.cv.notify_all();
+                return Err(());
+            }
+            // Register prefix states so later runs can prune against them.
+            if self.cfg.prune {
+                self.seen.lock().expect("seen set").insert(key);
+            }
+            forced
+        } else {
+            if self.cfg.prune && !self.seen.lock().expect("seen set").insert(key) {
+                // This exact (state, budget-used) was reached before, and
+                // DFS order guarantees its subtree completed — cut here.
+                st.stop = Some(Stop::Pruned { at: idx });
+                self.cv.notify_all();
+                return Err(());
+            }
+            if decider_enabled {
+                decider
+            } else {
+                enabled[0]
+            }
+        };
+        // The chosen thread leads the candidate list: past the prefix it is
+        // the default choice, within it the explorer-forced alternative.
+        // Either way the explorer resumes DFS from the untried tail.
+        let mut candidates = Vec::with_capacity(enabled.len());
+        candidates.push(chosen);
+        for &e in &enabled {
+            if e != chosen {
+                candidates.push(e);
+            }
+        }
+        let preemptions_before = st.preemptions;
+        if decider_enabled && chosen != decider {
+            st.preemptions += 1;
+        }
+        st.points.push(RecordedPoint {
+            candidates,
+            decider,
+            decider_enabled,
+            preemptions_before,
+        });
+        st.decisions += 1;
+        st.holder = chosen;
+        Ok(chosen)
+    }
+
+    fn park_until_chosen(&self, mut st: MutexGuard<'_, RtState>, me: usize) {
+        loop {
+            if st.stop.is_some() {
+                drop(st);
+                std::panic::panic_any(Sentinel);
+            }
+            if st.holder == me {
+                return;
+            }
+            st = self.cv.wait(st).expect("model runtime state");
+        }
+    }
+
+    /// The yield point proper: decide (if holding the token), park until
+    /// chosen, then bump the step counter. On return the calling thread
+    /// holds the token and performs its one visible operation.
+    pub(crate) fn acquire_slot(&self, me: usize) {
+        let mut st = self.lock_state();
+        if st.stop.is_some() {
+            drop(st);
+            std::panic::panic_any(Sentinel);
+        }
+        if st.holder == me {
+            match self.decide(&mut st, me) {
+                Ok(next) => {
+                    if next != me {
+                        self.cv.notify_all();
+                    }
+                }
+                Err(()) => {
+                    drop(st);
+                    std::panic::panic_any(Sentinel);
+                }
+            }
+        }
+        self.park_until_chosen(st, me);
+        self.granted(me);
+    }
+
+    /// Bookkeeping once a grant is consumed (also used by the blocked
+    /// wake-up paths, which receive their grant without re-deciding).
+    fn granted(&self, me: usize) {
+        let mut st = self.lock_state();
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps {
+            let name = st.threads[me].name.clone();
+            st.trace.push(format!("[{name}] STEP CAP: execution exceeded max_steps"));
+            st.failure = Some(format!(
+                "execution exceeded max_steps={} (unbounded schedule?)",
+                self.cfg.max_steps
+            ));
+            st.stop = Some(Stop::Failed);
+            drop(st);
+            self.cv.notify_all();
+            std::panic::panic_any(Sentinel);
+        }
+    }
+
+    /// Block `me` on `on`, hand the token to some enabled thread, and park
+    /// until `me` is chosen again (after being made runnable). The wake-up
+    /// *is* the grant for the retry operation — no fresh decision is made
+    /// by `me` before retrying.
+    fn block_and_wait(&self, me: usize, on: Block) {
+        let mut st = self.lock_state();
+        st.threads[me].status = Status::Blocked(on);
+        match self.decide(&mut st, me) {
+            Ok(_) => self.cv.notify_all(),
+            Err(()) => {
+                drop(st);
+                std::panic::panic_any(Sentinel);
+            }
+        }
+        self.park_until_chosen(st, me);
+        self.granted(me);
+    }
+
+    /// Record one performed operation: trace line, observation-history
+    /// mix, and the cell's new value for state hashing. Called while the
+    /// performer still holds the token.
+    pub(crate) fn commit(&self, me: usize, cell_addr: usize, name: &str, op: &str, value: u64) {
+        let mut st = self.lock_state();
+        let cell_id = self.cell_id(&mut st, cell_addr, name);
+        let tname = st.threads[me].name.clone();
+        st.trace.push(format!("[{tname}] {op}"));
+        let h = st.threads[me].history;
+        st.threads[me].history = mix(h, mix(mix(hash_str(op), cell_id), value));
+        if let Some(cell) = st.cells.get_mut(&cell_addr) {
+            cell.value = value;
+        }
+    }
+
+    fn cell_id(&self, st: &mut RtState, addr: usize, name: &str) -> u64 {
+        if let Some(c) = st.cells.get(&addr) {
+            return c.id;
+        }
+        let id = if name.is_empty() {
+            st.next_cell_ord += 1;
+            mix(0xce11, st.next_cell_ord)
+        } else {
+            hash_str(name)
+        };
+        st.cells.insert(addr, CellRec { id, value: 0 });
+        id
+    }
+
+    // ---- mutex ----------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, addr: usize, name: &str) {
+        self.acquire_slot(me);
+        loop {
+            let mut st = self.lock_state();
+            let held = st.mutexes.entry(addr).or_default().holder.is_some();
+            if !held {
+                st.mutexes.get_mut(&addr).expect("mutex rec").holder = Some(me);
+                drop(st);
+                let chain = self.chain_bump(addr, name, me, 1);
+                self.commit(me, addr, name, &format!("lock {name}"), chain);
+                return;
+            }
+            drop(st);
+            // Woken and granted: retry the acquire (another thread may
+            // have slipped in between the unlock and our grant).
+            self.block_and_wait(me, Block::Mutex(addr));
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, addr: usize, name: &str) {
+        let mut st = self.lock_state();
+        if let Some(rec) = st.mutexes.get_mut(&addr) {
+            rec.holder = None;
+        }
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Mutex(addr)) {
+                t.status = Status::Runnable;
+            }
+        }
+        let tname = st.threads[me].name.clone();
+        st.trace.push(format!("[{tname}] unlock {name}"));
+        drop(st);
+        let chain = self.chain_bump(addr, name, me, 2);
+        let mut st = self.lock_state();
+        let h = st.threads[me].history;
+        st.threads[me].history = mix(h, chain);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Advance a lock cell's acquire/release chain hash: the protected
+    /// data is a deterministic function of the critical-section order, so
+    /// hashing `(who, what)` per transition captures it for pruning.
+    fn chain_bump(&self, addr: usize, name: &str, me: usize, what: u64) -> u64 {
+        let mut st = self.lock_state();
+        let id = self.cell_id(&mut st, addr, name);
+        let cell = st.cells.get_mut(&addr).expect("lock cell");
+        cell.value = mix(cell.value, mix(mix(id, me as u64), what));
+        cell.value
+    }
+
+    // ---- rwlock ---------------------------------------------------------
+
+    pub(crate) fn rw_lock(&self, me: usize, addr: usize, name: &str, write: bool) {
+        self.acquire_slot(me);
+        loop {
+            let mut st = self.lock_state();
+            let rec = st.rwlocks.entry(addr).or_default();
+            let free = if write {
+                rec.writer.is_none() && rec.readers.is_empty()
+            } else {
+                rec.writer.is_none()
+            };
+            if free {
+                if write {
+                    rec.writer = Some(me);
+                } else {
+                    rec.readers.push(me);
+                }
+                drop(st);
+                let kind = if write { "write" } else { "read" };
+                let chain = self.chain_bump(addr, name, me, if write { 3 } else { 4 });
+                self.commit(me, addr, name, &format!("{kind}-lock {name}"), chain);
+                return;
+            }
+            drop(st);
+            self.block_and_wait(me, if write { Block::RwWrite(addr) } else { Block::RwRead(addr) });
+        }
+    }
+
+    pub(crate) fn rw_unlock(&self, me: usize, addr: usize, name: &str, write: bool) {
+        let mut st = self.lock_state();
+        if let Some(rec) = st.rwlocks.get_mut(&addr) {
+            if write {
+                rec.writer = None;
+            } else {
+                rec.readers.retain(|&r| r != me);
+            }
+            let readers_empty = rec.readers.is_empty();
+            let writer_none = rec.writer.is_none();
+            for t in st.threads.iter_mut() {
+                match t.status {
+                    Status::Blocked(Block::RwRead(a)) if a == addr && writer_none => {
+                        t.status = Status::Runnable;
+                    }
+                    Status::Blocked(Block::RwWrite(a))
+                        if a == addr && writer_none && readers_empty =>
+                    {
+                        t.status = Status::Runnable;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let tname = st.threads[me].name.clone();
+        let kind = if write { "write" } else { "read" };
+        st.trace.push(format!("[{tname}] {kind}-unlock {name}"));
+        drop(st);
+        let chain = self.chain_bump(addr, name, me, if write { 5 } else { 6 });
+        let mut st = self.lock_state();
+        let h = st.threads[me].history;
+        st.threads[me].history = mix(h, chain);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    // ---- threads --------------------------------------------------------
+
+    /// Register a new model thread (spawn is the caller's visible op; the
+    /// caller holds the token). Returns the new thread's id.
+    pub(crate) fn register_thread(&self, name: &str) -> usize {
+        let mut st = self.lock_state();
+        let id = st.threads.len();
+        st.threads.push(ThreadRec {
+            name: name.to_string(),
+            status: Status::Runnable,
+            history: mix(hash_str(name), id as u64),
+        });
+        id
+    }
+
+    /// First park of a freshly spawned model thread: wait for its first
+    /// grant, which is consumed by the "start" pseudo-op.
+    pub(crate) fn initial_park(&self, me: usize) {
+        let st = self.lock_state();
+        self.park_until_chosen(st, me);
+        self.granted(me);
+        let mut st = self.lock_state();
+        let tname = st.threads[me].name.clone();
+        st.trace.push(format!("[{tname}] start"));
+    }
+
+    /// Mark `me` finished, wake joiners, and hand the token on (or signal
+    /// completion when every thread is done).
+    pub(crate) fn finish_thread(&self, me: usize, clean: bool) {
+        let mut st = self.lock_state();
+        st.threads[me].status = Status::Finished;
+        st.finished += 1;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked(Block::Join(me)) {
+                t.status = Status::Runnable;
+            }
+        }
+        if !clean || st.stop.is_some() {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        if st.finished == st.threads.len() {
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        match self.decide(&mut st, me) {
+            Ok(_) | Err(()) => {}
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Join: block until `target` finishes. The join itself is a visible
+    /// operation (it orders the joiner after everything the target did).
+    pub(crate) fn join_thread(&self, me: usize, target: usize) {
+        self.acquire_slot(me);
+        loop {
+            let st = self.lock_state();
+            if st.threads[target].status == Status::Finished {
+                let target_name = st.threads[target].name.clone();
+                drop(st);
+                self.commit(
+                    me,
+                    0xdead_0000 + target, // per-target pseudo cell
+                    "join",
+                    &format!("join {target_name}"),
+                    target as u64,
+                );
+                return;
+            }
+            drop(st);
+            self.block_and_wait(me, Block::Join(target));
+        }
+    }
+
+    /// Main-thread epilogue: the model closure returned while children may
+    /// still be running (models normally join, but a refuted run unwinds).
+    /// Drive the remaining threads to completion or stop.
+    pub(crate) fn main_exit(&self, clean: bool) {
+        self.finish_thread(0, clean);
+        let mut st = self.lock_state();
+        loop {
+            if st.stop.is_some() || st.finished == st.threads.len() {
+                return;
+            }
+            if Self::enabled(&st).is_empty()
+                && st.threads.iter().any(|t| matches!(t.status, Status::Blocked(_)))
+            {
+                st.failure = Some("deadlock at main exit: children blocked forever".to_string());
+                st.stop = Some(Stop::Failed);
+                drop(st);
+                self.cv.notify_all();
+                return;
+            }
+            st = self.cv.wait(st).expect("model runtime state");
+        }
+    }
+
+    /// Snapshot the outcome of a finished execution for the explorer.
+    pub(crate) fn harvest(
+        &self,
+    ) -> (Option<Stop>, Option<String>, Vec<RecordedPoint>, Vec<String>, usize) {
+        let st = self.lock_state();
+        (st.stop.clone(), st.failure.clone(), st.points.clone(), st.trace.clone(), st.preemptions)
+    }
+}

@@ -1,0 +1,359 @@
+//! Schedule-controlled synchronization primitives.
+//!
+//! Same surface as the `jgi-sync` facade (explicit-ordering atomic
+//! methods, `Mutex`, `RwLock`); under `cfg(jgi_model)` the facade
+//! re-exports these types so production code runs unmodified inside the
+//! checker. Outside an active exploration every operation falls through
+//! to plain `std::sync` behavior; inside one, every operation first
+//! acquires the scheduler token (a yield point), performs its effect
+//! while all other threads are parked, then records the observation for
+//! state hashing and trace output.
+//!
+//! The checker serializes operations, so the *requested* ordering is
+//! irrelevant to what it explores: it checks atomicity and interleaving
+//! under sequential consistency, not weak-memory reordering. The
+//! explicit-ordering method names exist so call sites document intent
+//! and the static audit (DESIGN.md §10) can hold them to it.
+//!
+//! Cells take a `name` so their identity is stable across re-executions
+//! (heap addresses are not); anonymous cells still work but weaken
+//! state-hash pruning across schedules.
+
+use std::sync::atomic::Ordering;
+
+use crate::rt::{self, Ctx};
+
+/// Run one atomic operation as a scheduled visible op (or plain, outside
+/// an exploration). `op` renders the trace line; `new` is the cell value
+/// after the op, mixed into the state hash.
+fn scheduled<R>(
+    ctx: &Ctx,
+    addr: usize,
+    name: &str,
+    effect: impl FnOnce() -> R,
+    render: impl FnOnce(&R) -> (String, u64),
+) -> R {
+    ctx.rt.acquire_slot(ctx.id);
+    let out = effect();
+    let (op, new) = render(&out);
+    ctx.rt.commit(ctx.id, addr, name, &op, new);
+    out
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        pub struct $name {
+            inner: $std,
+            name: &'static str,
+        }
+
+        impl $name {
+            pub const fn new(v: $prim) -> $name {
+                $name { inner: <$std>::new(v), name: "" }
+            }
+
+            /// Construct with a schedule-stable cell name (models should
+            /// prefer this; see module docs).
+            pub const fn named(name: &'static str, v: $prim) -> $name {
+                $name { inner: <$std>::new(v), name }
+            }
+
+            fn addr(&self) -> usize {
+                self as *const $name as usize
+            }
+
+            fn label(&self) -> &str {
+                if self.name.is_empty() { "atomic" } else { self.name }
+            }
+
+            fn load_with(&self, order: Ordering, tag: &str) -> $prim {
+                match rt::current_ctx() {
+                    None => self.inner.load(order),
+                    Some(ctx) => scheduled(
+                        &ctx,
+                        self.addr(),
+                        self.name,
+                        || self.inner.load(Ordering::SeqCst),
+                        |v| (format!("{}.load -> {v} [{tag}]", self.label()), *v as u64),
+                    ),
+                }
+            }
+
+            fn store_with(&self, v: $prim, order: Ordering, tag: &str) {
+                match rt::current_ctx() {
+                    None => self.inner.store(v, order),
+                    Some(ctx) => scheduled(
+                        &ctx,
+                        self.addr(),
+                        self.name,
+                        || self.inner.store(v, Ordering::SeqCst),
+                        |_| (format!("{}.store({v}) [{tag}]", self.label()), v as u64),
+                    ),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! model_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            fn fetch_add_with(&self, d: $prim, order: Ordering, tag: &str) -> $prim {
+                match rt::current_ctx() {
+                    None => self.inner.fetch_add(d, order),
+                    Some(ctx) => scheduled(
+                        &ctx,
+                        self.addr(),
+                        self.name,
+                        || self.inner.fetch_add(d, Ordering::SeqCst),
+                        |prev| {
+                            (
+                                format!("{}.fetch_add({d}) -> {prev} [{tag}]", self.label()),
+                                prev.wrapping_add(d) as u64,
+                            )
+                        },
+                    ),
+                }
+            }
+
+            fn fetch_sub_with(&self, d: $prim, order: Ordering, tag: &str) -> $prim {
+                match rt::current_ctx() {
+                    None => self.inner.fetch_sub(d, order),
+                    Some(ctx) => scheduled(
+                        &ctx,
+                        self.addr(),
+                        self.name,
+                        || self.inner.fetch_sub(d, Ordering::SeqCst),
+                        |prev| {
+                            (
+                                format!("{}.fetch_sub({d}) -> {prev} [{tag}]", self.label()),
+                                prev.wrapping_sub(d) as u64,
+                            )
+                        },
+                    ),
+                }
+            }
+
+            pub fn load_relaxed(&self) -> $prim {
+                self.load_with(Ordering::Relaxed, "relaxed")
+            }
+
+            pub fn load_acquire(&self) -> $prim {
+                self.load_with(Ordering::Acquire, "acquire")
+            }
+
+            pub fn store_relaxed(&self, v: $prim) {
+                self.store_with(v, Ordering::Relaxed, "relaxed")
+            }
+
+            pub fn store_release(&self, v: $prim) {
+                self.store_with(v, Ordering::Release, "release")
+            }
+
+            pub fn fetch_add_relaxed(&self, d: $prim) -> $prim {
+                self.fetch_add_with(d, Ordering::Relaxed, "relaxed")
+            }
+
+            pub fn fetch_add_acq_rel(&self, d: $prim) -> $prim {
+                self.fetch_add_with(d, Ordering::AcqRel, "acq-rel")
+            }
+
+            pub fn fetch_sub_relaxed(&self, d: $prim) -> $prim {
+                self.fetch_sub_with(d, Ordering::Relaxed, "relaxed")
+            }
+
+            pub fn fetch_sub_acq_rel(&self, d: $prim) -> $prim {
+                self.fetch_sub_with(d, Ordering::AcqRel, "acq-rel")
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+model_atomic_arith!(AtomicUsize, usize);
+
+model_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+model_atomic_arith!(AtomicU64, u64);
+
+model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+impl AtomicBool {
+    pub fn load_relaxed(&self) -> bool {
+        self.load_with(Ordering::Relaxed, "relaxed")
+    }
+
+    pub fn load_acquire(&self) -> bool {
+        self.load_with(Ordering::Acquire, "acquire")
+    }
+
+    pub fn store_relaxed(&self, v: bool) {
+        self.store_with(v, Ordering::Relaxed, "relaxed")
+    }
+
+    pub fn store_release(&self, v: bool) {
+        self.store_with(v, Ordering::Release, "release")
+    }
+}
+
+// ---- Mutex ---------------------------------------------------------------
+
+/// Mutex with the facade surface: `lock()` returns a guard directly
+/// (poisoning is recovered — an unwinding model thread must not wedge
+/// sibling schedules).
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    name: &'static str,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t), name: "" }
+    }
+
+    pub const fn named(name: &'static str, t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t), name }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as usize
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let rt = match rt::current_ctx() {
+            None => None,
+            Some(ctx) => {
+                // Blocks (at model level) until the scheduler grants the
+                // lock; the inner std lock below is then uncontended.
+                ctx.rt.mutex_lock(ctx.id, self.addr(), self.name);
+                Some(ctx)
+            }
+        };
+        let guard = self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        MutexGuard { ctx: rt, addr: self.addr(), name: self.name, guard }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    ctx: Option<Ctx>,
+    addr: usize,
+    name: &'static str,
+    guard: std::sync::MutexGuard<'a, T>,
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            // Release at model level first: the runtime marks the lock
+            // free and wakes waiters, but nobody runs until this thread's
+            // next yield point — by then the inner guard (dropped right
+            // after this body) is gone.
+            ctx.rt.mutex_unlock(ctx.id, self.addr, self.name);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+// ---- RwLock --------------------------------------------------------------
+
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+    name: &'static str,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(t), name: "" }
+    }
+
+    pub const fn named(name: &'static str, t: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(t), name }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const RwLock<T> as usize
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let ctx = rt::current_ctx();
+        if let Some(ctx) = &ctx {
+            ctx.rt.rw_lock(ctx.id, self.addr(), self.name, false);
+        }
+        let guard = self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockReadGuard { ctx, addr: self.addr(), name: self.name, guard }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let ctx = rt::current_ctx();
+        if let Some(ctx) = &ctx {
+            ctx.rt.rw_lock(ctx.id, self.addr(), self.name, true);
+        }
+        let guard = self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockWriteGuard { ctx, addr: self.addr(), name: self.name, guard }
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    ctx: Option<Ctx>,
+    addr: usize,
+    name: &'static str,
+    guard: std::sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            ctx.rt.rw_unlock(ctx.id, self.addr, self.name, false);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    ctx: Option<Ctx>,
+    addr: usize,
+    name: &'static str,
+    guard: std::sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(ctx) = self.ctx.take() {
+            ctx.rt.rw_unlock(ctx.id, self.addr, self.name, true);
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}

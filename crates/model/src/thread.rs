@@ -1,0 +1,119 @@
+//! Model thread spawn/join.
+//!
+//! Model threads are real OS threads, but only one ever runs at a time:
+//! each parks in the runtime until the scheduler grants it the token for
+//! its next visible operation. Outside an exploration `spawn` falls
+//! through to `std::thread` (named), so the same code path backs the
+//! `jgi-sync` facade under `cfg(jgi_model)` builds.
+
+use std::sync::{Arc, Mutex};
+
+use crate::rt::{self, Ctx, Runtime};
+
+enum Imp<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        id: usize,
+        rt: Arc<Runtime>,
+        result: Arc<Mutex<Option<T>>>,
+        os: Option<std::thread::JoinHandle<()>>,
+    },
+}
+
+pub struct JoinHandle<T> {
+    imp: Imp<T>,
+}
+
+/// Spawn a named thread. Inside an exploration the spawn is a visible
+/// operation of the parent and the child starts parked, runnable but not
+/// running until scheduled.
+pub fn spawn<T, F>(name: &str, f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match rt::current_ctx() {
+        None => JoinHandle {
+            imp: Imp::Std(
+                std::thread::Builder::new()
+                    .name(name.to_string())
+                    .spawn(f)
+                    .expect("spawn thread"),
+            ),
+        },
+        Some(ctx) => {
+            // The spawn itself is the parent's visible op.
+            ctx.rt.acquire_slot(ctx.id);
+            let id = ctx.rt.register_thread(name);
+            ctx.rt.commit(
+                ctx.id,
+                0xbeef_0000 + id, // per-child pseudo cell
+                "spawn",
+                &format!("spawn {name}"),
+                id as u64,
+            );
+            let result: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let rt = Arc::clone(&ctx.rt);
+            let slot = Arc::clone(&result);
+            let os = std::thread::Builder::new()
+                .name(format!("jgi-model-{name}"))
+                .spawn(move || {
+                    rt::set_ctx(Some(Ctx { rt: Arc::clone(&rt), id }));
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        rt.initial_park(id);
+                        f()
+                    }));
+                    match out {
+                        Ok(v) => {
+                            *slot.lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
+                                Some(v);
+                            rt.finish_thread(id, true);
+                        }
+                        Err(payload) => {
+                            if !payload.is::<rt::Sentinel>() {
+                                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                                    (*s).to_string()
+                                } else if let Some(s) = payload.downcast_ref::<String>() {
+                                    s.clone()
+                                } else {
+                                    "<non-string panic payload>".to_string()
+                                };
+                                rt.fail(id, format!("model thread panicked: {msg}"));
+                            }
+                            rt.finish_thread(id, false);
+                        }
+                    }
+                    rt::set_ctx(None);
+                })
+                .expect("spawn model thread");
+            JoinHandle { imp: Imp::Model { id, rt: Arc::clone(&ctx.rt), result, os: Some(os) } }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Join the thread. Inside an exploration this is a visible operation
+    /// that blocks (at model level) until the target finishes; an `Err` is
+    /// only returned outside explorations (inside, a failed child stops
+    /// the whole schedule first).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.imp {
+            Imp::Std(h) => h.join(),
+            Imp::Model { id, rt, result, os } => {
+                let ctx = rt::current_ctx().expect("model JoinHandle joined outside exploration");
+                rt.join_thread(ctx.id, id);
+                let v = result.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take();
+                if let Some(h) = os {
+                    // Target finished at model level; the OS thread exits
+                    // imminently.
+                    let _ = h.join();
+                }
+                match v {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("model thread failed".to_string())
+                        as Box<dyn std::any::Any + Send>),
+                }
+            }
+        }
+    }
+}

@@ -25,7 +25,8 @@
 //! warmup phase a benchmark measures.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+
+use jgi_sync::AtomicU64;
 
 use crate::json::Json;
 
@@ -34,7 +35,10 @@ use crate::json::Json;
 /// unpredictability, is the goal.
 pub fn next_trace_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    // relaxed: ticket allocator — RMW atomicity alone guarantees the
+    // uniqueness we need; ids cross threads only inside records that
+    // travel through locks (audit: DESIGN.md §10).
+    NEXT.fetch_add_relaxed(1)
 }
 
 /// How a recorded request ended.

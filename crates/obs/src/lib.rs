@@ -140,8 +140,9 @@ pub fn emit(label: &str, rec: &Recording) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use jgi_sync::Mutex;
     use std::io::Write;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
 
     #[test]
     fn mode_parses_env_values() {
@@ -187,7 +188,7 @@ mod tests {
 
     impl Write for ChunkSink {
         fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-            self.0.lock().unwrap().push(buf.to_vec());
+            self.0.lock().push(buf.to_vec());
             Ok(buf.len())
         }
         fn flush(&mut self) -> std::io::Result<()> {
@@ -218,7 +219,7 @@ mod tests {
                 });
             }
         });
-        let chunks = sink.0.lock().unwrap();
+        let chunks = sink.0.lock();
         assert_eq!(chunks.len(), 400, "one write call per record");
         for chunk in chunks.iter() {
             let s = std::str::from_utf8(chunk).expect("utf8");

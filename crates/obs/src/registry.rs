@@ -26,9 +26,10 @@
 //! `jgi_serve::Server` so tests and multiple services stay isolated.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+use jgi_sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex};
 
 use crate::metrics::{Histogram, Metrics};
 use crate::window::{WindowHistogram, DEFAULT_SLICES};
@@ -92,11 +93,11 @@ impl Registry {
     /// shrink `slice_len` to exercise rotation without sleeping).
     pub fn with_config(shards: usize, slices: usize, slice_len: Duration) -> Registry {
         Registry {
-            enabled: AtomicBool::new(true),
+            enabled: AtomicBool::named("registry_enabled", true),
             start: Instant::now(),
             slice_len: slice_len.max(Duration::from_millis(1)),
             slices: slices.max(1),
-            gauge_seq: AtomicU64::new(0),
+            gauge_seq: AtomicU64::named("gauge_seq", 0),
             shards: (0..shards.max(1)).map(|_| Mutex::new(ShardData::default())).collect(),
         }
     }
@@ -112,12 +113,15 @@ impl Registry {
     /// single relaxed load — this is the `telemetry off` leg of the
     /// overhead benchmark.
     pub fn set_enabled(&self, enabled: bool) {
-        self.enabled.store(enabled, Ordering::Relaxed);
+        // relaxed: standalone on/off flag; no data is published through it
+        // and entry points tolerate a lagged view (audit: DESIGN.md §10).
+        self.enabled.store_relaxed(enabled);
     }
 
     /// Is the registry accepting writes?
     pub fn is_enabled(&self) -> bool {
-        self.enabled.load(Ordering::Relaxed)
+        // relaxed: see `set_enabled` — flag guards no other data.
+        self.enabled.load_relaxed()
     }
 
     /// Shard count (for tests and docs).
@@ -140,7 +144,9 @@ impl Registry {
         }
         let pin = PIN.with(|c| {
             if c.get() == usize::MAX {
-                c.set(NEXT.fetch_add(1, Ordering::Relaxed));
+                // relaxed: ticket allocator — only uniqueness matters, and
+                // RMW atomicity alone guarantees it (audit: DESIGN.md §10).
+                c.set(NEXT.fetch_add_relaxed(1));
             }
             c.get()
         });
@@ -153,7 +159,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let mut s = self.shard().lock().expect("registry shard");
+        let mut s = self.shard().lock();
         *s.counters.entry(name).or_insert(0) += delta;
     }
 
@@ -163,8 +169,11 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut s = self.shard().lock().expect("registry shard");
+        // relaxed: sequence stamps need uniqueness and per-thread order
+        // only; snapshot's max-wins merge runs under the shard locks
+        // (audit: DESIGN.md §10).
+        let seq = self.gauge_seq.fetch_add_relaxed(1) + 1;
+        let mut s = self.shard().lock();
         s.gauges.insert(name, (seq, value));
     }
 
@@ -176,7 +185,7 @@ impl Registry {
         }
         let epoch = self.epoch();
         let slices = self.slices;
-        let mut s = self.shard().lock().expect("registry shard");
+        let mut s = self.shard().lock();
         s.windows.entry(name).or_insert_with(|| WindowHistogram::new(slices)).observe(epoch, value);
     }
 
@@ -197,8 +206,9 @@ impl Registry {
         }
         let epoch = self.epoch();
         let slices = self.slices;
-        let seq = self.gauge_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut s = self.shard().lock().expect("registry shard");
+        // relaxed: same sequence-stamp argument as `gauge` above.
+        let seq = self.gauge_seq.fetch_add_relaxed(1) + 1;
+        let mut s = self.shard().lock();
         for (name, v) in m.counters() {
             *s.counters.entry(name).or_insert(0) += v;
         }
@@ -219,7 +229,7 @@ impl Registry {
         let mut gauges: BTreeMap<&'static str, (u64, i64)> = BTreeMap::new();
         let mut windows: BTreeMap<&'static str, WindowHistogram> = BTreeMap::new();
         for shard in &self.shards {
-            let s = shard.lock().expect("registry shard");
+            let s = shard.lock();
             for (&name, &v) in &s.counters {
                 *counters.entry(name).or_insert(0) += v;
             }

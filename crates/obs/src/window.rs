@@ -40,27 +40,45 @@ impl WindowHistogram {
         }
     }
 
+    /// Rotate `slot` forward for `epoch` if needed; returns false when the
+    /// caller's epoch is *older* than what the slot holds — a stale writer
+    /// (the registry computes the epoch before taking the shard lock) must
+    /// never rotate a slot backwards and wipe a newer slice's counts. The
+    /// jgi-model `window-epoch-rotation` model refutes the old
+    /// reset-on-any-mismatch rule and certifies this one.
+    fn rotate_for(&mut self, slot: usize, epoch: u64) -> bool {
+        let current = self.slices[slot].0;
+        if current == epoch {
+            return true;
+        }
+        if current == u64::MAX || current < epoch {
+            self.slices[slot] = (epoch, Histogram::default());
+            return true;
+        }
+        false
+    }
+
     /// Record one observation at the given epoch. Reuses (and resets) the
-    /// ring slot if it still holds a stale epoch.
+    /// ring slot if it holds an older epoch; an observation carrying an
+    /// epoch older than the slot's lands in the lifetime totals only.
     pub fn observe(&mut self, epoch: u64, v: u64) {
         let n = self.slices.len() as u64;
         let slot = (epoch % n) as usize;
-        if self.slices[slot].0 != epoch {
-            self.slices[slot] = (epoch, Histogram::default());
+        if self.rotate_for(slot, epoch) {
+            self.slices[slot].1.record(v);
         }
-        self.slices[slot].1.record(v);
         self.lifetime.record(v);
     }
 
     /// Fold a pre-aggregated histogram into the slice for `epoch` (used
     /// when merging a finished per-query recording into the registry).
+    /// Same stale-epoch rule as [`Self::observe`].
     pub fn absorb(&mut self, epoch: u64, h: &Histogram) {
         let n = self.slices.len() as u64;
         let slot = (epoch % n) as usize;
-        if self.slices[slot].0 != epoch {
-            self.slices[slot] = (epoch, Histogram::default());
+        if self.rotate_for(slot, epoch) {
+            self.slices[slot].1.merge(h);
         }
-        self.slices[slot].1.merge(h);
         self.lifetime.merge(h);
     }
 
@@ -146,6 +164,27 @@ mod tests {
         assert_eq!(win.count(), 3);
         assert_eq!(win.max(), Some(7));
         assert_eq!(a.lifetime().count(), 3);
+    }
+
+    #[test]
+    fn stale_writer_cannot_rotate_a_slot_backwards() {
+        // A writer that computed its epoch before a slice boundary (the
+        // registry reads the clock outside the shard lock) arrives after
+        // a newer epoch already claimed the slot. It must not wipe the
+        // newer counts; its observation survives in the lifetime view.
+        let mut w = WindowHistogram::new(2);
+        w.observe(2, 30); // slot 0, epoch 2
+        w.observe(0, 10); // stale writer: epoch 0 also maps to slot 0
+        assert_eq!(w.slices[0].0, 2, "slot keeps the newer epoch");
+        assert_eq!(w.window(2).count(), 1, "newer slice count survives");
+        assert_eq!(w.window(2).min(), Some(30));
+        assert_eq!(w.lifetime().count(), 2, "stale observation kept for lifetime");
+        // Same rule for absorb.
+        let mut h = Histogram::default();
+        h.record(5);
+        w.absorb(0, &h);
+        assert_eq!(w.window(2).count(), 1);
+        assert_eq!(w.lifetime().count(), 3);
     }
 
     #[test]

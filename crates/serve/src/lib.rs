@@ -62,4 +62,14 @@ const _: () = {
     assert_send_sync::<jgi_core::Prepared>();
     assert_send_sync::<Server>();
     assert_send_sync::<ServeError>();
+    // Telemetry shared by every worker and the scrape path.
+    assert_send_sync::<jgi_obs::Registry>();
+    assert_send_sync::<jgi_obs::FlightRecorder>();
+    // The jgi-sync facade itself: the model-build substitution must not
+    // silently lose thread-safety relative to the std types it mirrors.
+    assert_send_sync::<jgi_sync::AtomicUsize>();
+    assert_send_sync::<jgi_sync::AtomicU64>();
+    assert_send_sync::<jgi_sync::AtomicBool>();
+    assert_send_sync::<jgi_sync::Mutex<Vec<u64>>>();
+    assert_send_sync::<jgi_sync::RwLock<Vec<u64>>>();
 };

@@ -24,8 +24,8 @@ use jgi_core::{Budgets, Engine, Parallelism, Session};
 use jgi_obs::{Json, Metrics};
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use jgi_xml::Tree;
+use jgi_sync::{AtomicU64, Mutex};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -288,7 +288,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
     let requests = Arc::new(AtomicU64::new(0));
     let errors = Arc::new(AtomicU64::new(0));
     let divergence = Arc::new(AtomicU64::new(0));
-    let all_samples = Arc::new(std::sync::Mutex::new(Vec::<PhaseSample>::new()));
+    let all_samples = Arc::new(Mutex::new(Vec::<PhaseSample>::new()));
     let deadline = Instant::now() + cfg.duration;
     let t0 = Instant::now();
     let clients: Vec<_> = (0..cfg.threads.max(1))
@@ -300,9 +300,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
             let divergence = Arc::clone(&divergence);
             let all_samples = Arc::clone(&all_samples);
             let engine = cfg.engine;
-            std::thread::Builder::new()
-                .name(format!("loadgen-client-{i}"))
-                .spawn(move || {
+            jgi_sync::thread::spawn_named(&format!("loadgen-client-{i}"), move || {
                     let corpus = paper_corpus();
                     let mut samples = Vec::new();
                     // Stagger starting offsets so threads don't convoy on
@@ -314,9 +312,13 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
                         let t_req = Instant::now();
                         match server.execute(query, ctx, engine, None) {
                             Ok(reply) => {
-                                requests.fetch_add(1, Ordering::Relaxed);
+                                // relaxed: monotone load-harness tallies; only
+                                // read after every client thread is joined, so
+                                // the joins order the final loads.
+                                requests.fetch_add_relaxed(1);
                                 if reference.get(name) != Some(&reply.nodes) {
-                                    divergence.fetch_add(1, Ordering::Relaxed);
+                                    // relaxed: same tally discipline.
+                                    divergence.fetch_add_relaxed(1);
                                 }
                                 // Time the serialize phase exactly as the
                                 // protocol layer would render this reply.
@@ -356,32 +358,32 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
                                 });
                             }
                             Err(_) => {
-                                errors.fetch_add(1, Ordering::Relaxed);
+                                // relaxed: same tally discipline as `requests`.
+                                errors.fetch_add_relaxed(1);
                             }
                         }
                     }
-                    all_samples.lock().expect("samples lock").extend(samples);
+                    all_samples.lock().extend(samples);
                 })
-                .expect("spawn client thread")
         })
         .collect();
     for c in clients {
         c.join().expect("client thread");
     }
     let elapsed = t0.elapsed();
-    let samples = Arc::try_unwrap(all_samples)
-        .map(|m| m.into_inner().expect("samples lock"))
-        .unwrap_or_default();
+    let samples = Arc::try_unwrap(all_samples).map(Mutex::into_inner).unwrap_or_default();
 
     let metrics = server.metrics();
     let lat = metrics.histogram("serve.total_us").cloned().unwrap_or_default();
-    let requests = requests.load(Ordering::Relaxed);
+    // relaxed: all clients are joined above; the loads race with nothing.
+    let requests = requests.load_relaxed();
     LoadSummary {
         config: cfg.clone(),
         elapsed,
         requests,
-        errors: errors.load(Ordering::Relaxed),
-        divergence: divergence.load(Ordering::Relaxed),
+        // relaxed: post-join reads, same as `requests` above.
+        errors: errors.load_relaxed(),
+        divergence: divergence.load_relaxed(),
         qps: requests as f64 / elapsed.as_secs_f64().max(1e-9),
         baseline_qps,
         p50_us: lat.percentile(0.50).unwrap_or(0),

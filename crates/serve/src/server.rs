@@ -34,10 +34,10 @@ use jgi_obs::{
     next_trace_id, FlightOutcome, FlightRecord, FlightRecorder, Json, Metrics, Registry,
 };
 use jgi_xml::Tree;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
-use std::thread::JoinHandle;
+use jgi_sync::thread::JoinHandle;
+use jgi_sync::{AtomicUsize, Mutex, RwLock};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Service configuration.
@@ -156,24 +156,23 @@ impl Server {
             registry.counter(name, 0);
         }
         let state = Arc::new(State {
-            snapshot: RwLock::new(snapshot),
-            master: Mutex::new(master),
-            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            snapshot: RwLock::named("snapshot", snapshot),
+            master: Mutex::named("master", master),
+            cache: Mutex::named("plan_cache", PlanCache::new(config.cache_capacity)),
             registry,
-            flight: Mutex::new(FlightRecorder::new(config.flight_capacity)),
-            queue_len: AtomicUsize::new(0),
+            flight: Mutex::named("flight", FlightRecorder::new(config.flight_capacity)),
+            queue_len: AtomicUsize::named("queue_len", 0),
             config: config.clone(),
         });
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth);
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(Mutex::named("worker_rx", rx));
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let state = Arc::clone(&state);
-                std::thread::Builder::new()
-                    .name(format!("jgi-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, &state))
-                    .expect("spawn worker thread")
+                jgi_sync::thread::spawn_named(&format!("jgi-serve-worker-{i}"), move || {
+                    worker_loop(&rx, &state)
+                })
             })
             .collect();
         Server { state, queue: Some(tx), workers }
@@ -181,7 +180,7 @@ impl Server {
 
     /// The current snapshot (cheap: one `RwLock` read + `Arc` clone).
     pub fn snapshot(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.state.snapshot.read().expect("snapshot lock"))
+        Arc::clone(&self.state.snapshot.read())
     }
 
     /// Load a document from XML text; returns the new generation.
@@ -197,14 +196,14 @@ impl Server {
     /// plans cached against older generations.
     pub fn add_tree(&self, tree: Tree) -> u64 {
         let snapshot = {
-            let mut master = self.state.master.lock().expect("master lock");
+            let mut master = self.state.master.lock();
             master.add_tree(tree);
             master.publish(self.state.config.budgets)
         };
         let generation = snapshot.generation;
-        *self.state.snapshot.write().expect("snapshot lock") = snapshot;
+        *self.state.snapshot.write() = snapshot;
         let invalidated = {
-            let mut cache = self.state.cache.lock().expect("cache lock");
+            let mut cache = self.state.cache.lock();
             let before = cache.stats().invalidations;
             cache.invalidate_older(generation);
             cache.stats().invalidations - before
@@ -239,13 +238,13 @@ impl Server {
             generation: snapshot.generation,
         };
         let t0 = Instant::now();
-        if let Some(plan) = self.state.cache.lock().expect("cache lock").get(&key) {
+        if let Some(plan) = self.state.cache.lock().get(&key) {
             self.state.registry.counter("serve.cache.hit", 1);
             return Ok((plan, true));
         }
         let plan = Arc::new(prepare_on(&snapshot.store, query, context_doc)?);
         let evicted = {
-            let mut cache = self.state.cache.lock().expect("cache lock");
+            let mut cache = self.state.cache.lock();
             let before = cache.stats().evictions;
             cache.insert(key, Arc::clone(&plan));
             cache.stats().evictions - before
@@ -357,21 +356,28 @@ impl Server {
         let queue = self.queue.as_ref().ok_or(ServeError::Shutdown)?;
         // Count the job in *before* sending: a worker can dequeue (and
         // decrement) the instant `try_send` returns, so incrementing
-        // afterwards would race the counter below zero.
-        let len = self.state.queue_len.fetch_add(1, Ordering::Relaxed) + 1;
+        // afterwards would race the counter below zero. The jgi-model
+        // `queue-accounting` model certifies this order and refutes the
+        // old one (`regression-queue-pre-pr6`).
+        // relaxed: depth counter next to the channel; the channel's own
+        // synchronization orders the job hand-off, the counter only feeds
+        // metrics and tolerates lag (audit: DESIGN.md §10).
+        let len = self.state.queue_len.fetch_add_relaxed(1) + 1;
         match queue.try_send(job) {
             Ok(()) => {
                 self.state.registry.gauge("serve.queue.depth", len as i64);
             }
             Err(TrySendError::Full(_)) => {
-                self.state.queue_len.fetch_sub(1, Ordering::Relaxed);
+                // relaxed: rollback of the increment above, same argument.
+                self.state.queue_len.fetch_sub_relaxed(1);
                 self.state.registry.counter("serve.admission.shed", 1);
                 return Err(ServeError::Overloaded {
                     queue_depth: self.state.config.queue_depth,
                 });
             }
             Err(TrySendError::Disconnected(_)) => {
-                self.state.queue_len.fetch_sub(1, Ordering::Relaxed);
+                // relaxed: rollback of the increment above, same argument.
+                self.state.queue_len.fetch_sub_relaxed(1);
                 return Err(ServeError::Shutdown);
             }
         }
@@ -393,7 +399,7 @@ impl Server {
 
     /// Cache accounting.
     pub fn cache_stats(&self) -> CacheStats {
-        self.state.cache.lock().expect("cache lock").stats()
+        self.state.cache.lock().stats()
     }
 
     /// The `METRICS` reply: this server's registry rendered as Prometheus
@@ -415,7 +421,7 @@ impl Server {
     /// render never blocks admission.
     pub fn trace_dump(&self, n: usize) -> Vec<Json> {
         let records: Vec<FlightRecord<Option<FlightPayload>>> = {
-            let flight = self.state.flight.lock().expect("flight lock");
+            let flight = self.state.flight.lock();
             flight.dump(n).into_iter().cloned().collect()
         };
         records
@@ -447,7 +453,7 @@ impl Server {
 
     /// Flight-recorder accounting: `(retained, offered, admitted)`.
     pub fn flight_stats(&self) -> (usize, u64, u64) {
-        let flight = self.state.flight.lock().expect("flight lock");
+        let flight = self.state.flight.lock();
         let (offered, admitted) = flight.stats();
         (flight.len(), offered, admitted)
     }
@@ -456,7 +462,7 @@ impl Server {
     pub fn stats_json(&self) -> Json {
         let snapshot = self.snapshot();
         let (cache_len, cs, gens) = {
-            let cache = self.state.cache.lock().expect("cache lock");
+            let cache = self.state.cache.lock();
             (cache.len(), cache.stats(), cache.generation_stats().collect::<Vec<_>>())
         };
         let (flight_len, flight_offered, flight_admitted) = self.flight_stats();
@@ -470,7 +476,8 @@ impl Server {
             ("queue_depth".into(), Json::UInt(self.state.config.queue_depth as u64)),
             (
                 "queue_len".into(),
-                Json::UInt(self.state.queue_len.load(Ordering::Relaxed) as u64),
+                // relaxed: point-in-time stats read of a metrics counter.
+                Json::UInt(self.state.queue_len.load_relaxed() as u64),
             ),
             ("telemetry".into(), Json::Bool(self.state.config.telemetry)),
             (
@@ -535,7 +542,7 @@ impl Server {
             None => FlightOutcome::Dnf,
         };
         if !outcome.is_anomaly()
-            && !self.state.flight.lock().expect("flight lock").would_admit_slow(total_us)
+            && !self.state.flight.lock().would_admit_slow(total_us)
         {
             return;
         }
@@ -565,7 +572,9 @@ impl Server {
                 report: reply.report.clone(),
             }),
         };
-        self.state.flight.lock().expect("flight lock").offer(record);
+        // Offer-time re-check inside `offer` keeps the pre-check gap
+        // benign (jgi-model `flight-ring-admission` certifies the TOCTOU).
+        self.state.flight.lock().offer(record);
     }
 
     /// Offer a failed request (shed / deadline / error) to the flight
@@ -602,7 +611,7 @@ impl Server {
             plan_fingerprint,
             payload: None,
         };
-        self.state.flight.lock().expect("flight lock").offer(record);
+        self.state.flight.lock().offer(record);
     }
 }
 
@@ -655,11 +664,13 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &State) {
         // idle worker waits in recv, the rest wait on the lock; a finished
         // worker re-queues for the lock, so dispatch stays fair enough and
         // execution itself is fully parallel.
-        let job = match rx.lock().expect("worker queue lock").recv() {
+        let job = match rx.lock().recv() {
             Ok(job) => job,
             Err(_) => return, // queue closed: graceful shutdown
         };
-        let len = state.queue_len.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+        // relaxed: paired with the producer's increment-before-enqueue;
+        // see `execute_prepared` (audit: DESIGN.md §10).
+        let len = state.queue_len.fetch_sub_relaxed(1).saturating_sub(1);
         let reg = &state.registry;
         reg.gauge("serve.queue.depth", len as i64);
         let queue_wait = job.enqueued.elapsed();

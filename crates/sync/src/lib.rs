@@ -1,0 +1,85 @@
+//! # jgi-sync — the synchronization facade for the serving core
+//!
+//! Every concurrency primitive the hot path uses goes through this
+//! crate; direct `std::sync::atomic` / `std::sync::Mutex` use outside it
+//! is a CI failure (`lint-sync` + `clippy.toml`). Two builds:
+//!
+//! * **Normal** (default): `#[inline]` newtype wrappers over `std::sync`
+//!   that monomorphize to exactly the std instructions — zero cost. The
+//!   atomic wrappers expose *explicit-ordering* methods
+//!   ([`AtomicUsize::load_relaxed`], [`AtomicUsize::fetch_add_acq_rel`],
+//!   …) so the memory ordering is part of the call-site text: no bare
+//!   `Ordering::` imports, every `_relaxed` call site carries a
+//!   `// relaxed:` audit comment (DESIGN.md §10 holds the table), and a
+//!   grep finds every ordering decision in the tree.
+//! * **`--cfg jgi_model`** (set via `RUSTFLAGS`): pure re-exports of the
+//!   schedule-controlled shims in `jgi-model`, so the deterministic
+//!   interleaving checker can drive production code through every
+//!   schedule without source changes.
+//!
+//! Lock wrappers panic on poisoning (a poisoned lock means a worker
+//! panicked mid-update; continuing would serve corrupt state). The
+//! `named` constructors attach a schedule-stable cell name used by the
+//! checker's state hashing; normal builds ignore the name at zero cost.
+
+// This crate is the one place allowed to touch std::sync directly.
+#![allow(clippy::disallowed_types)]
+
+#[cfg(jgi_model)]
+pub use jgi_model::sync::{
+    AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+#[cfg(jgi_model)]
+pub mod thread {
+    pub use jgi_model::thread::JoinHandle;
+
+    /// Spawn a named thread (schedule-controlled inside explorations).
+    pub fn spawn_named<T, F>(name: &str, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        jgi_model::thread::spawn(name, f)
+    }
+}
+
+#[cfg(not(jgi_model))]
+mod std_impl;
+
+#[cfg(not(jgi_model))]
+pub use std_impl::{
+    AtomicBool, AtomicU64, AtomicUsize, Mutex, MutexGuard, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+#[cfg(not(jgi_model))]
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn a named thread. Thread names show up in panic messages and
+    /// debugger/`/proc` listings; the serving core always names its
+    /// workers.
+    pub fn spawn_named<T, F>(name: &str, f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(f)
+            .expect("spawn named thread")
+    }
+}
+
+// The facade types must stay thread-portable in both builds: the serving
+// core embeds them in types it shares across workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AtomicUsize>();
+    assert_send_sync::<AtomicU64>();
+    assert_send_sync::<AtomicBool>();
+    assert_send_sync::<Mutex<Vec<u64>>>();
+    assert_send_sync::<RwLock<Vec<u64>>>();
+};

@@ -1,0 +1,145 @@
+//! Normal-build implementation: `#[inline]` newtypes over `std::sync`.
+//!
+//! Each atomic method pins one `Ordering` in its name; the wrapper
+//! bodies are single std calls, so after inlining the facade costs
+//! nothing. See the crate docs for the discipline this buys.
+
+use std::sync::atomic::Ordering;
+
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+macro_rules! facade_atomic {
+    ($name:ident, $std:ty, $prim:ty) => {
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: $std,
+        }
+
+        impl $name {
+            #[inline]
+            pub const fn new(v: $prim) -> $name {
+                $name { inner: <$std>::new(v) }
+            }
+
+            /// Like [`Self::new`] with a schedule-stable cell name for
+            /// the checker; normal builds ignore the name.
+            #[inline]
+            pub const fn named(_name: &'static str, v: $prim) -> $name {
+                $name { inner: <$std>::new(v) }
+            }
+
+            #[inline]
+            pub fn load_relaxed(&self) -> $prim {
+                self.inner.load(Ordering::Relaxed)
+            }
+
+            #[inline]
+            pub fn load_acquire(&self) -> $prim {
+                self.inner.load(Ordering::Acquire)
+            }
+
+            #[inline]
+            pub fn store_relaxed(&self, v: $prim) {
+                self.inner.store(v, Ordering::Relaxed)
+            }
+
+            #[inline]
+            pub fn store_release(&self, v: $prim) {
+                self.inner.store(v, Ordering::Release)
+            }
+        }
+    };
+}
+
+macro_rules! facade_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            #[inline]
+            pub fn fetch_add_relaxed(&self, d: $prim) -> $prim {
+                self.inner.fetch_add(d, Ordering::Relaxed)
+            }
+
+            #[inline]
+            pub fn fetch_add_acq_rel(&self, d: $prim) -> $prim {
+                self.inner.fetch_add(d, Ordering::AcqRel)
+            }
+
+            #[inline]
+            pub fn fetch_sub_relaxed(&self, d: $prim) -> $prim {
+                self.inner.fetch_sub(d, Ordering::Relaxed)
+            }
+
+            #[inline]
+            pub fn fetch_sub_acq_rel(&self, d: $prim) -> $prim {
+                self.inner.fetch_sub(d, Ordering::AcqRel)
+            }
+        }
+    };
+}
+
+facade_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+facade_atomic_arith!(AtomicUsize, usize);
+
+facade_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+facade_atomic_arith!(AtomicU64, u64);
+
+facade_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+/// `std::sync::Mutex` with the facade surface: `lock()` panics on
+/// poisoning instead of returning a `Result` (see crate docs).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    #[inline]
+    pub const fn new(t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    #[inline]
+    pub const fn named(_name: &'static str, t: T) -> Mutex<T> {
+        Mutex { inner: std::sync::Mutex::new(t) }
+    }
+
+    #[inline]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned: a holder panicked mid-update")
+    }
+
+    #[inline]
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned: a holder panicked mid-update")
+    }
+}
+
+/// `std::sync::RwLock` with the facade surface; same poisoning policy.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    #[inline]
+    pub const fn new(t: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(t) }
+    }
+
+    #[inline]
+    pub const fn named(_name: &'static str, t: T) -> RwLock<T> {
+        RwLock { inner: std::sync::RwLock::new(t) }
+    }
+
+    #[inline]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.inner.read().expect("rwlock poisoned: a writer panicked mid-update")
+    }
+
+    #[inline]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.inner.write().expect("rwlock poisoned: a writer panicked mid-update")
+    }
+}

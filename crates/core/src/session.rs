@@ -375,6 +375,11 @@ pub struct Prepared {
     /// Report holding the prepare-side phase timings (parse through
     /// emit-SQL); [`Session::execute`] extends a copy with plan/execute.
     pub report: QueryReport,
+    /// Documents the query references via `doc("uri")`, deduplicated in
+    /// first-occurrence order. The serve layer uses this as the plan's
+    /// dependency set: a cached plan is reusable iff every listed
+    /// document is at the version it was compiled against.
+    pub docs: Vec<String>,
 }
 
 /// Intra-query parallelism degree for the join-graph executor.
@@ -577,6 +582,7 @@ pub fn prepare_on(
         report.metrics = rec.metrics;
     }
     report.rewrite = stats.clone();
+    let docs = core.doc_uris();
     Ok(Prepared {
         text: query.to_string(),
         core,
@@ -588,6 +594,7 @@ pub fn prepare_on(
         sql,
         stacked_sql,
         report,
+        docs,
     })
 }
 

@@ -12,10 +12,12 @@
 //! | [`queue`]                  | `jgi-serve` admission-queue accounting     |
 //! | [`registry`]               | `jgi-obs` lock-striped registry merge      |
 //! | [`snapshot_cache`]         | `jgi-serve` snapshot publish + plan cache  |
+//! | [`publish`]                | `jgi-serve` transactional mutation publish |
 //! | [`flight`]                 | `jgi-obs` flight-recorder ring admission   |
 //! | [`window`]                 | `jgi-obs` window-histogram epoch rotation  |
 
 pub mod flight;
+pub mod publish;
 pub mod queue;
 pub mod registry;
 pub mod snapshot_cache;
@@ -63,6 +65,14 @@ pub fn catalog() -> Vec<ModelSpec> {
             run: |cfg| snapshot_cache::check(snapshot_cache::CacheKeying::ByGeneration, cfg),
         },
         ModelSpec {
+            name: "snapshot-publish-atomicity",
+            about: "single-swap publish + dep-validated probe: no torn batch, no stale plan",
+            expect: Expectation::Certify,
+            run: |cfg| {
+                publish::check(publish::PublishMode::SingleSwap, publish::ProbeRule::ValidateDeps, cfg)
+            },
+        },
+        ModelSpec {
             name: "flight-ring-admission",
             about: "flight recorder: two-phase admission keeps pools bounded, counters conserved",
             expect: Expectation::Certify,
@@ -85,6 +95,22 @@ pub fn catalog() -> Vec<ModelSpec> {
             about: "REGRESSION generation-unkeyed plan cache: serves a stale plan",
             expect: Expectation::Refute,
             run: |cfg| snapshot_cache::check(snapshot_cache::CacheKeying::QueryOnly, cfg),
+        },
+        ModelSpec {
+            name: "regression-publish-per-doc",
+            about: "REGRESSION per-document publish pointers: reader sees a torn batch",
+            expect: Expectation::Refute,
+            run: |cfg| {
+                publish::check(publish::PublishMode::PerDocument, publish::ProbeRule::ValidateDeps, cfg)
+            },
+        },
+        ModelSpec {
+            name: "regression-cache-trust-purge",
+            about: "REGRESSION purge-only cache freshness: racing miss re-inserts a stale plan",
+            expect: Expectation::Refute,
+            run: |cfg| {
+                publish::check(publish::PublishMode::SingleSwap, publish::ProbeRule::TrustPurge, cfg)
+            },
         },
         ModelSpec {
             name: "regression-window-stale-reset",

@@ -10,6 +10,14 @@
 //!
 //! The refutable variant drops the generation key (probe by query alone)
 //! and the checker finds the stale-plan schedule in that window.
+//!
+//! Historical note: this models the pre-mutation cache, whose key
+//! embedded the snapshot generation. The shipped cache now validates
+//! per-document `(uri, version)` dependencies instead — that protocol
+//! (and its own refutable variants) is [`super::publish`]. The
+//! generation-keyed design stays in the suite because it is the simpler
+//! instance of the same publish/invalidate window and its refutation
+//! still guards the checker against vacuity.
 
 use std::sync::Arc;
 

@@ -1,0 +1,126 @@
+//! # jgi-mutate — live document mutation over the pre/size/level encoding
+//!
+//! The tabular infoset encoding (paper §2.1) keys every node by its
+//! document-order rank `pre`, which is what makes XPath axes cheap range
+//! predicates — and what makes updates expensive: one subtree insert
+//! renumbers every following node. This crate removes that limitation with
+//! a **delta overlay** per document:
+//!
+//! * the immutable **base** columns (an [`jgi_xml::DocStore`] holding
+//!   exactly one document) stay shared, `Arc`-style;
+//! * deletes become **tombstones** — whole-subtree `[lo, hi]` ranges of
+//!   base `pre` ranks masked out of the merged view;
+//! * inserts become **pending fragments** with *gapped numbering*: each
+//!   fragment is keyed by `(anchor, gap)` where `anchor` is the base `pre`
+//!   rank the fragment immediately precedes in merged document order and
+//!   `gap` is a bisectable 64-bit sequence number ordering fragments that
+//!   share an anchor. New inserts bisect the gap between their neighbours,
+//!   so no existing key ever changes;
+//! * `size` is maintained **incrementally**: every surviving base ancestor
+//!   of an edit carries a signed correction in a side table, so the merged
+//!   `size` column is `base size + correction` without renumbering. Base
+//!   `level` values are invariant under subtree insertion and deletion,
+//!   and fragment levels derive from their (base) parent.
+//!
+//! The merged view is addressable row by row ([`OverlayDoc::merged_row`],
+//! [`OverlayDoc::locate`]) and collapses to dense columns via
+//! [`OverlayDoc::materialize`] — byte-identical to a full reparse of the
+//! mutated document, which is exactly what the oracle test suite checks.
+//! When the overlay grows past a threshold, [`OverlayDoc::compact`] folds
+//! it into a new base; until then every operation costs `O(overlay +
+//! affected subtree)`, not `O(document)` re-encoding.
+//!
+//! `jgi-serve` builds its transactional multi-document commit on top: one
+//! `OverlayDoc` per loaded document, per-document snapshots rebuilt only
+//! for documents a commit touched, published with a single atomic snapshot
+//! swap (DESIGN.md §11).
+
+mod overlay;
+
+pub use overlay::{Loc, MergedRow, OverlayDoc};
+
+use jgi_xml::{NodeId, NodeKind, Tree};
+use std::fmt;
+
+/// One subtree mutation, addressed in the document's current *merged*
+/// numbering — the `pre` ranks clients observe in query results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Insert the parsed `xml` fragment as the `pos`-th content child of
+    /// the element at `parent` (`pos` is clamped to the child count;
+    /// attributes stay pinned before position 0).
+    Insert {
+        /// Merged `pre` rank of the target parent (must be an element).
+        parent: u32,
+        /// Content-child position, clamped.
+        pos: u32,
+        /// Fragment text: a single well-formed element.
+        xml: String,
+    },
+    /// Delete the subtree rooted at `pre` (any node except a document
+    /// root).
+    Delete {
+        /// Merged `pre` rank of the subtree root.
+        pre: u32,
+    },
+    /// Replace the subtree at `pre` with the parsed `xml` fragment,
+    /// keeping its position (any node except a document root or an
+    /// attribute).
+    Replace {
+        /// Merged `pre` rank of the subtree to replace.
+        pre: u32,
+        /// Replacement text: a single well-formed element.
+        xml: String,
+    },
+}
+
+/// Why a mutation was rejected. Every variant maps to a stable wire code
+/// (PROTOCOL.md); rejected operations leave the overlay untouched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutateError {
+    /// The target document is not loaded (raised by the serve layer).
+    BadDoc(String),
+    /// The target `pre` rank does not exist or has the wrong node kind.
+    BadTarget(String),
+    /// The fragment failed to parse or is not a single element.
+    BadFragment(String),
+}
+
+impl fmt::Display for MutateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutateError::BadDoc(m) => write!(f, "unknown document: {m}"),
+            MutateError::BadTarget(m) => write!(f, "bad mutation target: {m}"),
+            MutateError::BadFragment(m) => write!(f, "bad fragment: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MutateError {}
+
+impl MutateError {
+    /// Stable machine-readable code for protocol replies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            MutateError::BadDoc(_) => "mutate_doc",
+            MutateError::BadTarget(_) => "mutate_target",
+            MutateError::BadFragment(_) => "mutate_fragment",
+        }
+    }
+}
+
+/// Parse a mutation fragment: a single well-formed element (attributes and
+/// arbitrary content inside are fine). Returns the parsed tree and the id
+/// of the fragment's root element within it.
+pub fn parse_fragment(xml: &str) -> Result<(Tree, NodeId), MutateError> {
+    let tree =
+        jgi_xml::parse("#fragment", xml).map_err(|e| MutateError::BadFragment(e.to_string()))?;
+    let kids = tree.content_children(tree.root());
+    if kids.len() != 1 || tree.node(kids[0]).kind != NodeKind::Elem {
+        return Err(MutateError::BadFragment(
+            "fragment must be exactly one element".to_string(),
+        ));
+    }
+    let root = kids[0];
+    Ok((tree, root))
+}

@@ -1,0 +1,974 @@
+//! The delta overlay: tombstones + gapped pending fragments over an
+//! immutable single-document base store.
+//!
+//! ## Invariants (DESIGN.md §11)
+//!
+//! 1. **Whole subtrees.** Tombstone ranges cover complete base subtrees;
+//!    pending fragments are complete trees. Partial subtrees never occur.
+//! 2. **Base parents.** Every pending fragment's root has a *base* parent
+//!    that is never tombstoned. Inserting under a pending node grafts into
+//!    that fragment's tree instead of nesting fragments, so the invariant
+//!    is closed under further edits.
+//! 3. **Gapped order.** Fragments are totally ordered by `(anchor, gap)`
+//!    where `anchor` is the base `pre` rank the fragment immediately
+//!    precedes in merged document order (`u32::MAX` for end-of-document)
+//!    and `gap` bisects between neighbours. Keys are immutable once
+//!    assigned; gap exhaustion (nothing left to bisect) triggers a
+//!    compaction, never a renumbering.
+//! 4. **Incremental size, invariant level.** For every surviving base row
+//!    `b`, merged `size(b) = base size(b) + correction(b)`; corrections
+//!    live only on ancestors of edits. Base `level` values never change;
+//!    fragment levels are `level(parent) + 1 + depth-in-fragment`.
+//!
+//! Anchors may point at tombstoned rows: the merged walk emits fragments
+//! anchored at `b` *before* deciding whether `b` itself is visible, which
+//! places a fragment exactly where the deleted subtree used to start.
+
+use crate::{MutateError, Op};
+use jgi_xml::encode::{parse_decimal, NO_PARENT, NO_VALUE};
+use jgi_xml::{DocStore, NodeId, NodeKind, Tree};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Anchor sentinel: the fragment follows every base row.
+const END: u32 = u32::MAX;
+
+/// A pending insert: one complete subtree waiting to be merged.
+#[derive(Debug, Clone)]
+struct Frag {
+    /// Base `pre` rank of the first base row at-or-after this fragment in
+    /// merged document order ([`END`] if none).
+    anchor: u32,
+    /// Order among fragments sharing an anchor; bisected on insert.
+    gap: u64,
+    /// Base `pre` rank of the fragment root's parent (never tombstoned).
+    parent: u32,
+    /// The fragment content (a parsed tree; `root` is the subtree root).
+    tree: Tree,
+    /// The fragment's root node within `tree`.
+    root: NodeId,
+}
+
+/// Address of one merged row: either a surviving base row or a node of a
+/// pending fragment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// A base row that is not tombstoned.
+    Base(u32),
+    /// A node inside the `frag`-th pending fragment.
+    Frag {
+        /// Index into the fragment list (merged order).
+        frag: usize,
+        /// The node within that fragment's tree.
+        node: NodeId,
+    },
+}
+
+/// One row of the merged view, resolved to strings — the scan-time merge
+/// of base columns, tombstones, and pending fragments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedRow {
+    /// Merged subtree size (base size + correction, or fragment subtree).
+    pub size: u32,
+    /// Merged level (base level, or derived from the fragment's parent).
+    pub level: u16,
+    /// Node kind.
+    pub kind: NodeKind,
+    /// Resolved name, if any.
+    pub name: Option<String>,
+    /// Resolved string value for rows with `size <= 1`.
+    pub value: Option<String>,
+    /// `value` cast to decimal, if the cast succeeds.
+    pub data: Option<f64>,
+}
+
+/// Internal failure mode of one apply attempt.
+enum Fail {
+    /// User-visible rejection; the overlay is untouched.
+    User(MutateError),
+    /// No gap left to bisect at the required slot; compaction resolves it.
+    GapExhausted,
+}
+
+impl From<MutateError> for Fail {
+    fn from(e: MutateError) -> Fail {
+        Fail::User(e)
+    }
+}
+
+/// Midpoint strictly between `lo` and `hi`, if one exists.
+fn mid(lo: u64, hi: u64) -> Option<u64> {
+    let m = lo + (hi - lo) / 2;
+    (m != lo).then_some(m)
+}
+
+/// A single document under mutation: immutable base columns plus the
+/// delta overlay (tombstones, pending fragments, size corrections).
+#[derive(Debug, Clone)]
+pub struct OverlayDoc {
+    /// Dense, immutable base columns — exactly one document, root at 0.
+    base: Arc<DocStore>,
+    /// Tombstoned base ranges `[lo, hi]`, inclusive, sorted, disjoint.
+    tombs: Vec<(u32, u32)>,
+    /// Pending fragments sorted by `(anchor, gap)` = merged order.
+    frags: Vec<Frag>,
+    /// Merged-size corrections for base rows touched by any edit. An entry
+    /// also marks the row's `value`/`data` for recomputation on
+    /// materialize (content under it changed even when the delta nets 0).
+    corrections: BTreeMap<u32, i64>,
+    /// Operations applied since creation (including compacted-away ones).
+    ops_applied: u64,
+    /// Memoized dense view of the current merged state.
+    published: Option<Arc<DocStore>>,
+}
+
+impl OverlayDoc {
+    /// Wrap a single-document store (document root at `pre` 0).
+    pub fn new(base: Arc<DocStore>) -> OverlayDoc {
+        assert_eq!(base.doc_roots, vec![0], "OverlayDoc wraps exactly one document");
+        OverlayDoc {
+            base,
+            tombs: Vec::new(),
+            frags: Vec::new(),
+            corrections: BTreeMap::new(),
+            ops_applied: 0,
+            published: None,
+        }
+    }
+
+    /// The immutable base columns.
+    pub fn base(&self) -> &Arc<DocStore> {
+        &self.base
+    }
+
+    /// Number of rows in the merged view.
+    pub fn merged_len(&self) -> u32 {
+        self.base.len() as u32 - self.tombstoned_rows() + self.pending_rows()
+    }
+
+    /// Overlay weight: tombstoned base rows plus pending fragment rows —
+    /// the quantity compared against the compaction threshold.
+    pub fn overlay_rows(&self) -> u32 {
+        self.tombstoned_rows() + self.pending_rows()
+    }
+
+    /// Operations applied over the overlay's lifetime.
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    fn tombstoned_rows(&self) -> u32 {
+        self.tombs.iter().map(|&(lo, hi)| hi - lo + 1).sum()
+    }
+
+    fn pending_rows(&self) -> u32 {
+        self.frags.iter().map(|f| 1 + f.tree.subtree_size(f.root)).sum()
+    }
+
+    /// Apply one operation. On success returns the signed merged-row-count
+    /// delta; on failure the overlay is untouched. Gap exhaustion is
+    /// handled internally by compacting and retrying once.
+    pub fn apply(&mut self, op: &Op) -> Result<i64, MutateError> {
+        match self.try_apply(op) {
+            Ok(d) => {
+                self.ops_applied += 1;
+                self.published = None;
+                Ok(d)
+            }
+            Err(Fail::User(e)) => Err(e),
+            Err(Fail::GapExhausted) => {
+                self.compact();
+                match self.try_apply(op) {
+                    Ok(d) => {
+                        self.ops_applied += 1;
+                        self.published = None;
+                        Ok(d)
+                    }
+                    Err(Fail::User(e)) => Err(e),
+                    Err(Fail::GapExhausted) => {
+                        unreachable!("a fresh overlay has unbounded gaps")
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_apply(&mut self, op: &Op) -> Result<i64, Fail> {
+        match op {
+            Op::Insert { parent, pos, xml } => {
+                let (tree, root) = crate::parse_fragment(xml)?;
+                self.try_insert(*parent, *pos, tree, root)
+            }
+            Op::Delete { pre } => self.try_delete(*pre),
+            Op::Replace { pre, xml } => {
+                let (tree, root) = crate::parse_fragment(xml)?;
+                self.try_replace(*pre, tree, root)
+            }
+        }
+    }
+
+    // --- op application ----------------------------------------------------
+
+    fn try_insert(
+        &mut self,
+        parent_pre: u32,
+        pos: u32,
+        tree: Tree,
+        root: NodeId,
+    ) -> Result<i64, Fail> {
+        let ploc = self.locate(parent_pre).ok_or_else(|| {
+            MutateError::BadTarget(format!("no node at pre {parent_pre}"))
+        })?;
+        if self.loc_kind(ploc) != NodeKind::Elem {
+            return Err(MutateError::BadTarget(format!(
+                "insert parent at pre {parent_pre} is {}, not an element",
+                self.loc_kind(ploc).tag()
+            ))
+            .into());
+        }
+        let added = 1 + tree.subtree_size(root) as i64;
+        match ploc {
+            Loc::Frag { frag, node } => {
+                // Graft into the pending fragment; no new key needed.
+                self.frags[frag].tree.graft(node, pos as usize, &tree, root);
+                let chain = self.frags[frag].parent;
+                self.bump_sizes(chain, added);
+            }
+            Loc::Base(p) => {
+                let children = self.merged_content_children(p);
+                let succ = children.get(pos as usize).copied();
+                let (anchor, gap) = self.slot_before(p, succ)?;
+                let at = self
+                    .frags
+                    .binary_search_by_key(&(anchor, gap), |f| (f.anchor, f.gap))
+                    .unwrap_err();
+                self.frags.insert(at, Frag { anchor, gap, parent: p, tree, root });
+                self.bump_sizes(p, added);
+            }
+        }
+        Ok(added)
+    }
+
+    fn try_delete(&mut self, pre: u32) -> Result<i64, Fail> {
+        let loc = self
+            .locate(pre)
+            .ok_or_else(|| MutateError::BadTarget(format!("no node at pre {pre}")))?;
+        match loc {
+            Loc::Frag { frag, node } => {
+                let removed = 1 + self.frags[frag].tree.subtree_size(node) as i64;
+                let chain = self.frags[frag].parent;
+                if node == self.frags[frag].root {
+                    self.frags.remove(frag);
+                } else {
+                    self.frags[frag].tree.detach(node);
+                }
+                self.bump_sizes(chain, -removed);
+                Ok(-removed)
+            }
+            Loc::Base(p) => {
+                if self.base.kind[p as usize] == NodeKind::Doc {
+                    return Err(MutateError::BadTarget(
+                        "cannot delete a document root".to_string(),
+                    )
+                    .into());
+                }
+                let end = p + self.base.size[p as usize];
+                let removed = 1
+                    + self.base.size[p as usize] as i64
+                    + self.corrections.get(&p).copied().unwrap_or(0);
+                // Pending fragments inside the subtree die with it (their
+                // rows are already counted in `removed` via corrections).
+                self.frags.retain(|f| f.parent < p || f.parent > end);
+                // Corrections for rows that no longer exist.
+                self.corrections.retain(|&k, _| k < p || k > end);
+                // Tombstone the whole base range, absorbing nested ones.
+                self.tombs.retain(|&(lo, hi)| lo < p || hi > end);
+                let at = self.tombs.binary_search(&(p, end)).unwrap_err();
+                self.tombs.insert(at, (p, end));
+                let parent = self.base.parent[p as usize];
+                debug_assert_ne!(parent, NO_PARENT, "non-root rows have parents");
+                self.bump_sizes(parent, -removed);
+                Ok(-removed)
+            }
+        }
+    }
+
+    fn try_replace(&mut self, pre: u32, tree: Tree, root: NodeId) -> Result<i64, Fail> {
+        let loc = self
+            .locate(pre)
+            .ok_or_else(|| MutateError::BadTarget(format!("no node at pre {pre}")))?;
+        match self.loc_kind(loc) {
+            NodeKind::Doc => {
+                return Err(MutateError::BadTarget(
+                    "cannot replace a document root".to_string(),
+                )
+                .into())
+            }
+            NodeKind::Attr => {
+                return Err(MutateError::BadTarget(
+                    "cannot replace an attribute with an element".to_string(),
+                )
+                .into())
+            }
+            _ => {}
+        }
+        let added = 1 + tree.subtree_size(root) as i64;
+        match loc {
+            Loc::Frag { frag, node } => {
+                let removed = 1 + self.frags[frag].tree.subtree_size(node) as i64;
+                if node == self.frags[frag].root {
+                    self.frags[frag].tree = tree;
+                    self.frags[frag].root = root;
+                } else {
+                    self.frags[frag].tree.replace_subtree(node, &tree, root);
+                }
+                let chain = self.frags[frag].parent;
+                self.bump_sizes(chain, added - removed);
+                Ok(added - removed)
+            }
+            Loc::Base(p) => {
+                // The replacement occupies exactly p's old slot: anchored at
+                // p (which the delete below tombstones), after any fragments
+                // already sitting there. Reserve the gap *before* mutating
+                // so a gap-exhaustion retry sees untouched state.
+                let gap = mid(self.max_gap_at(p), u64::MAX).ok_or(Fail::GapExhausted)?;
+                let parent = self.base.parent[p as usize];
+                let removed = self.try_delete(pre)?;
+                let at = self
+                    .frags
+                    .binary_search_by_key(&(p, gap), |f| (f.anchor, f.gap))
+                    .unwrap_err();
+                self.frags.insert(at, Frag { anchor: p, gap, parent, tree, root });
+                self.bump_sizes(parent, added);
+                Ok(added + removed)
+            }
+        }
+    }
+
+    /// Add `delta` to the merged-size correction of `start` and every base
+    /// ancestor above it. Entries are created on first touch and kept even
+    /// at net zero: an entry also flags `value`/`data` recomputation.
+    fn bump_sizes(&mut self, start: u32, delta: i64) {
+        let mut a = start;
+        loop {
+            *self.corrections.entry(a).or_insert(0) += delta;
+            let up = self.base.parent[a as usize];
+            if up == NO_PARENT {
+                break;
+            }
+            a = up;
+        }
+    }
+
+    // --- merged addressing -------------------------------------------------
+
+    /// Walk the merged view in document order; `f` returns `false` to stop.
+    fn walk(&self, mut f: impl FnMut(Loc) -> bool) {
+        let n = self.base.len() as u32;
+        let mut fi = 0;
+        let mut ti = 0;
+        let mut b = 0u32;
+        loop {
+            let key = if b == n { END } else { b };
+            while fi < self.frags.len() && self.frags[fi].anchor == key {
+                let fr = &self.frags[fi];
+                let mut stack = vec![fr.root];
+                while let Some(id) = stack.pop() {
+                    if !f(Loc::Frag { frag: fi, node: id }) {
+                        return;
+                    }
+                    for &c in fr.tree.all_children(id).iter().rev() {
+                        stack.push(c);
+                    }
+                }
+                fi += 1;
+            }
+            if b == n {
+                break;
+            }
+            while ti < self.tombs.len() && self.tombs[ti].1 < b {
+                ti += 1;
+            }
+            let dead = ti < self.tombs.len() && self.tombs[ti].0 <= b;
+            if !dead && !f(Loc::Base(b)) {
+                return;
+            }
+            b += 1;
+        }
+    }
+
+    /// Resolve a merged `pre` rank to its location, if it exists.
+    pub fn locate(&self, pre: u32) -> Option<Loc> {
+        let mut i = 0u32;
+        let mut found = None;
+        self.walk(|loc| {
+            if i == pre {
+                found = Some(loc);
+                false
+            } else {
+                i += 1;
+                true
+            }
+        });
+        found
+    }
+
+    fn is_tombstoned(&self, p: u32) -> bool {
+        match self.tombs.binary_search_by_key(&p, |&(lo, _)| lo) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(i) => self.tombs[i - 1].1 >= p,
+        }
+    }
+
+    fn loc_kind(&self, loc: Loc) -> NodeKind {
+        match loc {
+            Loc::Base(p) => self.base.kind[p as usize],
+            Loc::Frag { frag, node } => self.frags[frag].tree.node(node).kind,
+        }
+    }
+
+    fn loc_size(&self, loc: Loc) -> u32 {
+        match loc {
+            Loc::Base(p) => {
+                let d = self.corrections.get(&p).copied().unwrap_or(0);
+                (self.base.size[p as usize] as i64 + d) as u32
+            }
+            Loc::Frag { frag, node } => self.frags[frag].tree.subtree_size(node),
+        }
+    }
+
+    fn loc_level(&self, loc: Loc) -> u16 {
+        match loc {
+            Loc::Base(p) => self.base.level[p as usize],
+            Loc::Frag { frag, node } => {
+                let fr = &self.frags[frag];
+                let rel = fr.tree.level(node) - fr.tree.level(fr.root);
+                self.base.level[fr.parent as usize] + 1 + rel
+            }
+        }
+    }
+
+    /// Read one merged row by its merged `pre` rank — the scan-time merge
+    /// of base columns, tombstones, and pending fragments.
+    pub fn merged_row(&self, pre: u32) -> Option<MergedRow> {
+        let loc = self.locate(pre)?;
+        let size = self.loc_size(loc);
+        let kind = self.loc_kind(loc);
+        let name = match loc {
+            Loc::Base(p) => self.base.name_str(p).map(str::to_string),
+            Loc::Frag { frag, node } => {
+                self.frags[frag].tree.name(node).map(str::to_string)
+            }
+        };
+        let value = if size > 1 { None } else { Some(self.merged_string_value(pre, loc, size)) };
+        let data = value.as_deref().and_then(parse_decimal);
+        Some(MergedRow { size, level: self.loc_level(loc), kind, name, value, data })
+    }
+
+    /// String value of a merged row with `size <= 1`: its own content for
+    /// leaves, the single descendant's text (if it is a text node) for
+    /// one-child subtrees.
+    fn merged_string_value(&self, pre: u32, loc: Loc, size: u32) -> String {
+        debug_assert!(size <= 1);
+        let own = |loc: Loc| -> String {
+            match loc {
+                Loc::Base(p) => self.base.value_str(p).unwrap_or("").to_string(),
+                Loc::Frag { frag, node } => {
+                    self.frags[frag].tree.node(node).text.clone().unwrap_or_default()
+                }
+            }
+        };
+        match self.loc_kind(loc) {
+            NodeKind::Text | NodeKind::Comment | NodeKind::Pi | NodeKind::Attr => own(loc),
+            NodeKind::Elem | NodeKind::Doc => {
+                if size == 0 {
+                    return String::new();
+                }
+                // The single descendant is the next merged row.
+                match self.locate(pre + 1) {
+                    Some(child) if self.loc_kind(child) == NodeKind::Text => own(child),
+                    _ => String::new(),
+                }
+            }
+        }
+    }
+
+    /// Content children of the visible base element `p` in merged order:
+    /// surviving base children interleaved with direct pending-fragment
+    /// children (a fragment precedes base child `c` iff its anchor
+    /// is `<= c`).
+    fn merged_content_children(&self, p: u32) -> Vec<Loc> {
+        let mut base_kids = Vec::new();
+        let end = p + self.base.size[p as usize];
+        let mut q = p + 1;
+        while q <= end {
+            if !self.is_tombstoned(q) && self.base.kind[q as usize] != NodeKind::Attr {
+                base_kids.push(q);
+            }
+            q += self.base.size[q as usize] + 1;
+        }
+        let frag_kids: Vec<usize> = self
+            .frags
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.parent == p)
+            .map(|(i, _)| i)
+            .collect();
+        let mut out = Vec::with_capacity(base_kids.len() + frag_kids.len());
+        let (mut bi, mut fi) = (0, 0);
+        while bi < base_kids.len() || fi < frag_kids.len() {
+            let take_frag = fi < frag_kids.len()
+                && (bi >= base_kids.len()
+                    || self.frags[frag_kids[fi]].anchor <= base_kids[bi]);
+            if take_frag {
+                let frag = frag_kids[fi];
+                out.push(Loc::Frag { frag, node: self.frags[frag].root });
+                fi += 1;
+            } else {
+                out.push(Loc::Base(base_kids[bi]));
+                bi += 1;
+            }
+        }
+        out
+    }
+
+    /// Largest gap among fragments at `anchor`, or 0 (the virtual lower
+    /// bound — [`mid`] never assigns it).
+    fn max_gap_at(&self, anchor: u32) -> u64 {
+        self.frags
+            .iter()
+            .filter(|f| f.anchor == anchor)
+            .map(|f| f.gap)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Compute the `(anchor, gap)` key for a fragment inserted under base
+    /// element `p` immediately before `succ` (or appended when `None`).
+    fn slot_before(&self, p: u32, succ: Option<Loc>) -> Result<(u32, u64), Fail> {
+        match succ {
+            Some(Loc::Base(c)) => {
+                // Every fragment already at anchor c sits before row c and
+                // before our insertion point (later content at c would have
+                // been the successor instead), so go above all of them.
+                let g = mid(self.max_gap_at(c), u64::MAX).ok_or(Fail::GapExhausted)?;
+                Ok((c, g))
+            }
+            Some(Loc::Frag { frag, .. }) => {
+                let f = &self.frags[frag];
+                let lo = if frag > 0 && self.frags[frag - 1].anchor == f.anchor {
+                    self.frags[frag - 1].gap
+                } else {
+                    0
+                };
+                let g = mid(lo, f.gap).ok_or(Fail::GapExhausted)?;
+                Ok((f.anchor, g))
+            }
+            None => {
+                // Append as last child of p: the slot sits at the boundary
+                // between p's subtree and whatever follows it. Fragments
+                // already at that anchor split into content of p (parent
+                // inside p's subtree — we go after) and later content of
+                // p's ancestors (parent outside — we go before).
+                let n = self.base.len() as u32;
+                let next = p + self.base.size[p as usize] + 1;
+                let anchor = if next >= n { END } else { next };
+                let end = p + self.base.size[p as usize];
+                let (mut lo, mut hi) = (0u64, u64::MAX);
+                for f in self.frags.iter().filter(|f| f.anchor == anchor) {
+                    if f.parent >= p && f.parent <= end {
+                        lo = lo.max(f.gap);
+                    } else {
+                        hi = hi.min(f.gap);
+                    }
+                }
+                let g = mid(lo, hi).ok_or(Fail::GapExhausted)?;
+                Ok((anchor, g))
+            }
+        }
+    }
+
+    // --- materialization ---------------------------------------------------
+
+    /// Collapse the merged view into dense columns — byte-identical to
+    /// re-encoding the mutated document from scratch (the oracle property).
+    pub fn materialize(&self) -> DocStore {
+        let mut out = DocStore::new();
+        out.names = self.base.names.clone();
+        out.values = self.base.values.clone();
+        let total = self.merged_len() as usize;
+        out.size.reserve(total);
+        out.level.reserve(total);
+        out.kind.reserve(total);
+        out.name.reserve(total);
+        out.value.reserve(total);
+        out.data.reserve(total);
+        out.parent.reserve(total);
+
+        let mut new_of_base = vec![u32::MAX; self.base.len()];
+        // Base rows whose content changed: recompute value/data at the end.
+        let mut recompute: Vec<u32> = Vec::new();
+        // Fragment-node pre assignments, reused per fragment.
+        let mut frag_pre: Vec<(NodeId, u32)> = Vec::new();
+
+        self.walk(|loc| {
+            let pre = out.len() as u32;
+            match loc {
+                Loc::Base(b) => {
+                    let i = b as usize;
+                    new_of_base[i] = pre;
+                    let delta = self.corrections.get(&b).copied();
+                    let size = (self.base.size[i] as i64 + delta.unwrap_or(0)) as u32;
+                    out.size.push(size);
+                    out.level.push(self.base.level[i]);
+                    out.kind.push(self.base.kind[i]);
+                    out.name.push(self.base.name[i]);
+                    out.value.push(self.base.value[i]);
+                    out.data.push(self.base.data[i]);
+                    let par = self.base.parent[i];
+                    out.parent.push(if par == NO_PARENT {
+                        NO_PARENT
+                    } else {
+                        new_of_base[par as usize]
+                    });
+                    if delta.is_some() {
+                        recompute.push(pre);
+                    }
+                }
+                Loc::Frag { frag, node } => {
+                    let fr = &self.frags[frag];
+                    if node == fr.root {
+                        frag_pre.clear();
+                    }
+                    frag_pre.push((node, pre));
+                    let t = &fr.tree;
+                    let size = t.subtree_size(node);
+                    let rel = t.level(node) - t.level(fr.root);
+                    out.size.push(size);
+                    out.level.push(self.base.level[fr.parent as usize] + 1 + rel);
+                    out.kind.push(t.node(node).kind);
+                    let name = match t.node(node).name {
+                        Some(nm) => out.names.intern(t.names.resolve(nm)),
+                        None => jgi_xml::NO_NAME,
+                    };
+                    out.name.push(name);
+                    if size <= 1 {
+                        let sv = t.string_value(node);
+                        out.data.push(parse_decimal(&sv).unwrap_or(f64::NAN));
+                        out.value.push(out.values.intern(&sv));
+                    } else {
+                        out.value.push(NO_VALUE);
+                        out.data.push(f64::NAN);
+                    }
+                    let parent = if node == fr.root {
+                        new_of_base[fr.parent as usize]
+                    } else {
+                        let tp = t.node(node).parent.expect("fragment nodes have parents");
+                        frag_pre
+                            .iter()
+                            .rev()
+                            .find(|&&(id, _)| id == tp)
+                            .expect("fragment parents precede children")
+                            .1
+                    };
+                    out.parent.push(parent);
+                }
+            }
+            true
+        });
+
+        // Rows whose subtree changed: value/data follow the merged size.
+        for pre in recompute {
+            let i = pre as usize;
+            let size = out.size[i];
+            if size > 1 {
+                out.value[i] = NO_VALUE;
+                out.data[i] = f64::NAN;
+            } else {
+                let mut sv = String::new();
+                for q in pre + 1..=pre + size {
+                    if out.kind[q as usize] == NodeKind::Text {
+                        sv.push_str(out.values.resolve(out.value[q as usize]));
+                    }
+                }
+                out.data[i] = parse_decimal(&sv).unwrap_or(f64::NAN);
+                out.value[i] = out.values.intern(&sv);
+            }
+        }
+
+        out.doc_roots = vec![0];
+        debug_assert_eq!(out.len(), total);
+        out
+    }
+
+    /// Fold the overlay into a fresh base. Merged numbering is unchanged.
+    pub fn compact(&mut self) {
+        if self.overlay_rows() == 0 {
+            return;
+        }
+        self.base = Arc::new(self.materialize());
+        self.tombs.clear();
+        self.frags.clear();
+        self.corrections.clear();
+        self.published = None;
+    }
+
+    /// Compact if the overlay has reached `threshold` rows. Returns
+    /// whether a compaction ran.
+    pub fn maybe_compact(&mut self, threshold: u32) -> bool {
+        if self.overlay_rows() >= threshold {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Dense columns for the current merged state: the shared base when
+    /// the overlay is empty (no copy), a memoized materialization
+    /// otherwise.
+    pub fn current(&mut self) -> Arc<DocStore> {
+        if self.overlay_rows() == 0 {
+            return Arc::clone(&self.base);
+        }
+        if let Some(s) = &self.published {
+            return Arc::clone(s);
+        }
+        let s = Arc::new(self.materialize());
+        self.published = Some(Arc::clone(&s));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig2_store() -> Arc<DocStore> {
+        let mut t = Tree::new("auction.xml");
+        let oa = t.add_element(t.root(), "open_auction");
+        t.add_attr(oa, "id", "1");
+        t.add_text_element(oa, "initial", "15");
+        let bidder = t.add_element(oa, "bidder");
+        t.add_text_element(bidder, "time", "18:43");
+        t.add_text_element(bidder, "increase", "4.20");
+        let mut s = DocStore::new();
+        s.add_tree(&t);
+        Arc::new(s)
+    }
+
+    /// One node's encoded row: (size, level, kind tag, name, value).
+    type Row = (u32, u16, &'static str, Option<String>, Option<String>);
+
+    fn columns(s: &DocStore) -> Vec<Row> {
+        (0..s.len() as u32)
+            .map(|p| {
+                (
+                    s.size[p as usize],
+                    s.level[p as usize],
+                    s.kind[p as usize].tag(),
+                    s.name_str(p).map(str::to_string),
+                    s.value_str(p).map(str::to_string),
+                )
+            })
+            .collect()
+    }
+
+    /// Re-encode oracle: materialized columns equal a fresh encoding of
+    /// the equivalently-mutated tree.
+    fn assert_matches_reencode(ov: &OverlayDoc, tree: &Tree) {
+        let mut expect = DocStore::new();
+        expect.add_tree(tree);
+        let got = ov.materialize();
+        assert_eq!(columns(&got), columns(&expect));
+        assert_eq!(got.parent, expect.parent);
+        // The scan-time merged view agrees row-for-row with the dense one.
+        for pre in 0..got.len() as u32 {
+            let row = ov.merged_row(pre).expect("row exists");
+            assert_eq!(row.size, expect.size[pre as usize], "size at {pre}");
+            assert_eq!(row.level, expect.level[pre as usize], "level at {pre}");
+            assert_eq!(row.kind, expect.kind[pre as usize], "kind at {pre}");
+            assert_eq!(
+                row.value.as_deref(),
+                expect.value_str(pre).or(if expect.size[pre as usize] <= 1 {
+                    Some("")
+                } else {
+                    None
+                }),
+                "value at {pre}"
+            );
+        }
+        assert_eq!(ov.merged_len() as usize, expect.len());
+    }
+
+    #[test]
+    fn insert_between_siblings() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        // <open_auction> is pre 1; insert between <initial> and <bidder>.
+        let d = ov
+            .apply(&Op::Insert { parent: 1, pos: 1, xml: "<extra>9</extra>".into() })
+            .unwrap();
+        assert_eq!(d, 2);
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        shadow.add_text_element(oa, "initial", "15");
+        shadow.add_text_element(oa, "extra", "9");
+        let bidder = shadow.add_element(oa, "bidder");
+        shadow.add_text_element(bidder, "time", "18:43");
+        shadow.add_text_element(bidder, "increase", "4.20");
+        assert_matches_reencode(&ov, &shadow);
+    }
+
+    #[test]
+    fn delete_masks_subtree_and_fixes_sizes() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        // Delete <bidder> (pre 5, subtree of 5 rows).
+        let d = ov.apply(&Op::Delete { pre: 5 }).unwrap();
+        assert_eq!(d, -5);
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        shadow.add_text_element(oa, "initial", "15");
+        assert_matches_reencode(&ov, &shadow);
+        // Deleted ranks are gone from the merged view.
+        assert!(ov.locate(5).is_none());
+    }
+
+    #[test]
+    fn replace_keeps_position() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        // Replace <initial> (pre 3) in place.
+        let d = ov
+            .apply(&Op::Replace { pre: 3, xml: "<revised>99</revised>".into() })
+            .unwrap();
+        assert_eq!(d, 0);
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        shadow.add_text_element(oa, "revised", "99");
+        let bidder = shadow.add_element(oa, "bidder");
+        shadow.add_text_element(bidder, "time", "18:43");
+        shadow.add_text_element(bidder, "increase", "4.20");
+        assert_matches_reencode(&ov, &shadow);
+    }
+
+    #[test]
+    fn insert_under_pending_fragment_grafts() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "<wrap/>".into() }).unwrap();
+        // The new <wrap/> lands right after the id attribute, at pre 3.
+        assert_eq!(ov.merged_row(3).unwrap().name.as_deref(), Some("wrap"));
+        ov.apply(&Op::Insert { parent: 3, pos: 0, xml: "<inner>x</inner>".into() })
+            .unwrap();
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        let wrap = shadow.add_element(oa, "wrap");
+        shadow.add_text_element(wrap, "inner", "x");
+        shadow.add_text_element(oa, "initial", "15");
+        let bidder = shadow.add_element(oa, "bidder");
+        shadow.add_text_element(bidder, "time", "18:43");
+        shadow.add_text_element(bidder, "increase", "4.20");
+        assert_matches_reencode(&ov, &shadow);
+    }
+
+    #[test]
+    fn value_column_follows_size_across_the_leaf_boundary() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        // <initial> has size 1 and value "15"; growing it past size 1 must
+        // clear the value, deleting back down must restore one.
+        ov.apply(&Op::Insert { parent: 3, pos: 1, xml: "<pad/>".into() }).unwrap();
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        let initial = shadow.add_text_element(oa, "initial", "15");
+        shadow.add_element(initial, "pad");
+        let bidder = shadow.add_element(oa, "bidder");
+        shadow.add_text_element(bidder, "time", "18:43");
+        shadow.add_text_element(bidder, "increase", "4.20");
+        assert_matches_reencode(&ov, &shadow);
+        // Now delete the text child "15" (pre 4): initial holds only <pad/>.
+        ov.apply(&Op::Delete { pre: 4 }).unwrap();
+        let t = shadow.content_children(initial)[0];
+        shadow.detach(t);
+        assert_matches_reencode(&ov, &shadow);
+    }
+
+    #[test]
+    fn rejections_leave_state_untouched() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        let before = ov.materialize();
+        assert!(matches!(
+            ov.apply(&Op::Delete { pre: 0 }),
+            Err(MutateError::BadTarget(_))
+        ));
+        assert!(matches!(
+            ov.apply(&Op::Delete { pre: 999 }),
+            Err(MutateError::BadTarget(_))
+        ));
+        assert!(matches!(
+            ov.apply(&Op::Insert { parent: 2, pos: 0, xml: "<x/>".into() }),
+            Err(MutateError::BadTarget(_)) // attribute parent
+        ));
+        assert!(matches!(
+            ov.apply(&Op::Replace { pre: 2, xml: "<x/>".into() }),
+            Err(MutateError::BadTarget(_)) // attribute target
+        ));
+        assert!(matches!(
+            ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "<a><b></a>".into() }),
+            Err(MutateError::BadFragment(_))
+        ));
+        assert!(matches!(
+            ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "no element".into() }),
+            Err(MutateError::BadFragment(_))
+        ));
+        assert_eq!(columns(&before), columns(&ov.materialize()));
+        assert_eq!(ov.ops_applied(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_numbering_and_content() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "<a>1</a>".into() }).unwrap();
+        ov.apply(&Op::Delete { pre: 8 }).unwrap(); // <time> subtree after shift
+        let dense_before = ov.materialize();
+        assert!(ov.overlay_rows() > 0);
+        ov.compact();
+        assert_eq!(ov.overlay_rows(), 0);
+        let dense_after = ov.materialize();
+        assert_eq!(columns(&dense_before), columns(&dense_after));
+        // current() now shares the base without copying.
+        let cur = ov.current();
+        assert!(Arc::ptr_eq(&cur, ov.base()));
+    }
+
+    #[test]
+    fn current_is_memoized_until_next_op() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "<a/>".into() }).unwrap();
+        let a = ov.current();
+        let b = ov.current();
+        assert!(Arc::ptr_eq(&a, &b));
+        ov.apply(&Op::Insert { parent: 1, pos: 0, xml: "<b/>".into() }).unwrap();
+        let c = ov.current();
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn append_at_document_end() {
+        let mut ov = OverlayDoc::new(fig2_store());
+        // Append as last child of <open_auction>: lands after <bidder>.
+        ov.apply(&Op::Insert { parent: 1, pos: 99, xml: "<tail/>".into() }).unwrap();
+        let mut shadow = Tree::new("auction.xml");
+        let oa = shadow.add_element(shadow.root(), "open_auction");
+        shadow.add_attr(oa, "id", "1");
+        shadow.add_text_element(oa, "initial", "15");
+        let bidder = shadow.add_element(oa, "bidder");
+        shadow.add_text_element(bidder, "time", "18:43");
+        shadow.add_text_element(bidder, "increase", "4.20");
+        shadow.add_element(oa, "tail");
+        assert_matches_reencode(&ov, &shadow);
+    }
+}

@@ -6,6 +6,7 @@
 //!         [--cache N] [--parallelism N|auto] [--morsel-size N]
 //!         [--no-telemetry] [--out BENCH_serve.json]
 //!         [--obs-out BENCH_obs.json] [--obs-runs N]
+//!         [--mutate-mix F]... [--mutate-out BENCH_mutate.json]
 //! ```
 //!
 //! Measures a single-thread fresh-`Session`-per-query baseline, then
@@ -20,8 +21,13 @@
 //! throughput per leg, the always-on overhead percentage, and the p99
 //! tail attributed to queue / prepare / execute / serialize, written as
 //! one `BENCH_obs.json` row.
+//!
+//! With `--mutate-mix` (repeatable), runs the live-mutation benchmark
+//! instead: one leg per requested write fraction, interleaving `INSERT`
+//! commits into the query stream and verifying the end state against a
+//! full-reparse oracle, written as one `BENCH_mutate.json` row.
 
-use jgi_serve::{run_load, run_obs_bench, LoadConfig};
+use jgi_serve::{run_load, run_mutate_bench, run_obs_bench, LoadConfig};
 use std::time::Duration;
 
 const HELP: &str = "\
@@ -52,6 +58,11 @@ options:
                         row to PATH
   --obs-runs N          interleaved on/off run pairs for --obs-out
                         (default: 3; median throughput per leg wins)
+  --mutate-mix F        run the live-mutation benchmark instead, with one
+                        leg at write fraction F (0..1); repeat the flag
+                        for several legs (e.g. 0 0.01 0.10)
+  --mutate-out PATH     where the BENCH_mutate.json row is written
+                        (default: BENCH_mutate.json)
   -h, --help            print this help and exit
 
 Measures a single-thread fresh-Session-per-query baseline, then drives the
@@ -63,7 +74,7 @@ fn usage() -> ! {
         "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
          [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] \
          [--morsel-size N] [--no-telemetry] [--out PATH] [--obs-out PATH] \
-         [--obs-runs N] (--help for details)"
+         [--obs-runs N] [--mutate-mix F]... [--mutate-out PATH] (--help for details)"
     );
     std::process::exit(2)
 }
@@ -83,6 +94,8 @@ fn main() {
     let mut out = String::from("BENCH_serve.json");
     let mut obs_out: Option<String> = None;
     let mut obs_runs: usize = 3;
+    let mut mutate_mixes: Vec<f64> = Vec::new();
+    let mut mutate_out = String::from("BENCH_mutate.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let mut val = |name: &str| {
@@ -124,6 +137,15 @@ fn main() {
             "--out" => out = val("--out"),
             "--obs-out" => obs_out = Some(val("--obs-out")),
             "--obs-runs" => obs_runs = val("--obs-runs").parse().unwrap_or_else(|_| usage()),
+            "--mutate-mix" => {
+                let f: f64 = val("--mutate-mix").parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&f) {
+                    eprintln!("--mutate-mix: write fraction must be in 0..=1");
+                    usage()
+                }
+                mutate_mixes.push(f);
+            }
+            "--mutate-out" => mutate_out = val("--mutate-out"),
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0)
@@ -133,6 +155,27 @@ fn main() {
                 usage()
             }
         }
+    }
+
+    if !mutate_mixes.is_empty() {
+        let summary = run_mutate_bench(&cfg, &mutate_mixes);
+        eprint!("{}", summary.render_text());
+        let row = summary.to_json().render();
+        if let Err(e) = std::fs::write(&mutate_out, format!("{row}\n")) {
+            eprintln!("cannot write {mutate_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("{row}");
+        eprintln!("wrote {mutate_out}");
+        if summary.divergence() > 0 || summary.errors() > 0 {
+            eprintln!(
+                "FAIL: {} divergent results, {} errors",
+                summary.divergence(),
+                summary.errors()
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     if let Some(obs_path) = obs_out {

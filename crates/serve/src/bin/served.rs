@@ -47,10 +47,12 @@ options:
                         xmark:SCALE:SEED or dblp:PUBS:SEED (repeatable)
   -h, --help            print this help and exit
 
-Commands (one per line): LOAD, PREPARE, EXEC, EXPLAIN, STATS, METRICS,
-TRACE, QUIT. One JSON reply per line, except METRICS (a Prometheus text
-block terminated by `# EOF`) and TRACE (a JSON header line followed by
-one JSON line per retained flight record); see PROTOCOL.md.";
+Commands (one per line): LOAD, PREPARE, EXEC, EXPLAIN, INSERT, DELETE,
+REPLACE, STATS, METRICS, TRACE, QUIT. One JSON reply per line, except
+METRICS (a Prometheus text block terminated by `# EOF`) and TRACE (a JSON
+header line followed by one JSON line per retained flight record); the
+mutation commands address nodes by the global pre ranks EXEC returns and
+apply atomically; see PROTOCOL.md.";
 
 fn usage() -> ! {
     eprintln!(

@@ -4,8 +4,20 @@
 //! emission — is the part of the pipeline the paper argues should happen
 //! once; execution is what the relational workhorse repeats. The cache
 //! keys the full [`Prepared`] artifact set on `(query text, context
-//! document, snapshot generation)`: a document load bumps the generation,
-//! so stale plans can never serve a new document set.
+//! document)` and tracks **per-document dependencies**: each entry
+//! records the `(uri, version)` pairs its plan was compiled against (the
+//! plan's `doc("uri")` set), and a probe only hits while every dependency
+//! is still at that version in the probing snapshot. A mutation commit to
+//! one document therefore invalidates exactly the plans that read it —
+//! plans over other documents keep serving out of the cache (the old
+//! design embedded the snapshot generation in the key, so *any* load
+//! recompiled *everything*).
+//!
+//! Invalidation is two-layered: [`PlanCache::invalidate_docs`] purges
+//! eagerly when a commit publishes, and the dependency check on probe
+//! catches any entry a racing insert slipped past the purge. A plan that
+//! depends on an *unloaded* document records `(uri, 0)` and stays valid
+//! until that document first loads.
 //!
 //! Eviction is LRU over a monotonic touch tick. The scan on eviction is
 //! O(capacity), which is deliberate: capacities are small (hundreds), the
@@ -16,29 +28,34 @@ use jgi_core::Prepared;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-/// Cache key: one prepared plan per query text, context document, and
-/// snapshot generation.
+/// Cache key: one prepared plan per query text and context document.
+/// Freshness is *not* part of the key — it is checked against the entry's
+/// recorded document dependencies at probe time.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// The query text, verbatim.
     pub query: String,
     /// The context document rooted paths resolve against.
     pub context_doc: Option<String>,
-    /// Snapshot generation the plan was compiled against.
-    pub generation: u64,
 }
 
 /// Hit/miss/eviction accounting, mirrored into the service metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Probes that found a live entry.
+    /// Probes that found a live, version-valid entry.
     pub hits: u64,
-    /// Probes that found nothing (caller compiles and inserts).
+    /// Probes that found nothing usable (caller compiles and inserts).
     pub misses: u64,
     /// Entries evicted by LRU capacity pressure.
     pub evictions: u64,
-    /// Entries dropped because their generation went stale.
+    /// Entries dropped because a document dependency changed version
+    /// (eager purge on commit, or stale-dependency detection on probe).
     pub invalidations: u64,
+    /// Document-invalidation events processed: one per document per
+    /// [`PlanCache::invalidate_docs`] call. `invalidations /
+    /// invalidated_docs` is the average number of warmed plans one
+    /// document change costs.
+    pub invalidated_docs: u64,
 }
 
 impl CacheStats {
@@ -53,26 +70,30 @@ impl CacheStats {
     }
 }
 
-/// Per-generation accounting: how one snapshot generation's plans fared.
-/// A generation that keeps missing after its load settles points at a
-/// churning workload; high invalidations quantify what a document load
-/// cost in warmed plans.
+/// Per-generation accounting: how the plans compiled during one snapshot
+/// generation fared. A generation that keeps missing after its load
+/// settles points at a churning workload; high invalidations quantify
+/// what a document change cost in warmed plans.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GenStats {
-    /// Probe hits against keys of this generation.
+    /// Probe hits against entries compiled in this generation.
     pub hits: u64,
-    /// Probe misses against keys of this generation.
+    /// Probe misses while this generation was current.
     pub misses: u64,
-    /// Entries of this generation purged by [`PlanCache::invalidate_older`].
+    /// Entries compiled in this generation that were purged.
     pub invalidations: u64,
 }
 
 struct Entry {
     plan: Arc<Prepared>,
+    /// `(uri, version)` the plan was compiled against — its `doc()` set.
+    deps: Vec<(String, u64)>,
+    /// Snapshot generation the plan was compiled in (accounting only).
+    generation: u64,
     touched: u64,
 }
 
-/// LRU cache of prepared plans.
+/// LRU cache of prepared plans with per-document dependency validation.
 pub struct PlanCache {
     capacity: usize,
     tick: u64,
@@ -94,32 +115,81 @@ impl PlanCache {
         }
     }
 
-    /// Look up a plan; counts a hit or a miss and refreshes recency.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<Prepared>> {
+    /// Look up a plan valid against the probing snapshot: `version_of`
+    /// maps a document URI to its current version (0 = not loaded).
+    /// An entry whose recorded dependencies all match is a hit; a
+    /// version mismatch drops the stale entry and counts both an
+    /// invalidation and a miss. `generation` is the probing snapshot's
+    /// generation, used for the per-generation breakdown only.
+    pub fn get(
+        &mut self,
+        key: &CacheKey,
+        generation: u64,
+        version_of: &dyn Fn(&str) -> u64,
+    ) -> Option<Arc<Prepared>> {
         self.tick += 1;
-        let gen = self.per_gen.entry(key.generation).or_default();
-        match self.map.get_mut(key) {
-            Some(e) => {
+        if let Some(e) = self.map.get_mut(key) {
+            if e.deps.iter().all(|(uri, v)| version_of(uri) == *v) {
                 e.touched = self.tick;
                 self.stats.hits += 1;
-                gen.hits += 1;
-                Some(Arc::clone(&e.plan))
+                self.per_gen.entry(e.generation).or_default().hits += 1;
+                return Some(Arc::clone(&e.plan));
             }
-            None => {
-                self.stats.misses += 1;
-                gen.misses += 1;
-                None
-            }
+            // Stale dependency the eager purge missed (insert raced a
+            // commit): drop it here.
+            let compiled_in = e.generation;
+            self.map.remove(key);
+            self.stats.invalidations += 1;
+            self.per_gen.entry(compiled_in).or_default().invalidations += 1;
         }
+        self.stats.misses += 1;
+        self.per_gen.entry(generation).or_default().misses += 1;
+        None
     }
 
-    /// Insert a plan, evicting the least-recently-used entry when at
-    /// capacity. Re-inserting an existing key refreshes it in place.
-    pub fn insert(&mut self, key: CacheKey, plan: Arc<Prepared>) {
+    /// Re-probe after waiting for another thread's in-flight compile of
+    /// the same key. On success the caller's earlier [`PlanCache::get`]
+    /// miss is reclassified as a hit — it was served from the cache, just
+    /// after a wait — so `misses` keeps meaning *compilations* exactly.
+    /// `generation` must be the same probing generation the original miss
+    /// was counted under.
+    pub fn get_after_wait(
+        &mut self,
+        key: &CacheKey,
+        generation: u64,
+        version_of: &dyn Fn(&str) -> u64,
+    ) -> Option<Arc<Prepared>> {
         self.tick += 1;
-        if self.map.contains_key(&key) {
-            let e = self.map.get_mut(&key).expect("just checked");
+        let e = self.map.get_mut(key)?;
+        if !e.deps.iter().all(|(uri, v)| version_of(uri) == *v) {
+            // The fill we waited for is already stale (a commit landed in
+            // between): leave the original miss standing and recompile.
+            return None;
+        }
+        e.touched = self.tick;
+        self.stats.misses = self.stats.misses.saturating_sub(1);
+        self.stats.hits += 1;
+        let probed = self.per_gen.entry(generation).or_default();
+        probed.misses = probed.misses.saturating_sub(1);
+        self.per_gen.entry(e.generation).or_default().hits += 1;
+        Some(Arc::clone(&e.plan))
+    }
+
+    /// Insert a plan compiled against the given document versions,
+    /// evicting the least-recently-used entry when at capacity.
+    /// Re-inserting an existing key refreshes it in place.
+    pub fn insert(
+        &mut self,
+        key: CacheKey,
+        plan: Arc<Prepared>,
+        deps: Vec<(String, u64)>,
+        generation: u64,
+    ) {
+        self.tick += 1;
+        if let Some(e) = self.map.get_mut(&key) {
             e.plan = plan;
+            e.deps = deps;
+            e.generation = generation;
             e.touched = self.tick;
             return;
         }
@@ -137,24 +207,31 @@ impl PlanCache {
                 self.stats.evictions += 1;
             }
         }
-        self.map.insert(key, Entry { plan, touched: self.tick });
+        self.map
+            .insert(key, Entry { plan, deps, generation, touched: self.tick });
     }
 
-    /// Drop every entry compiled against a generation older than
-    /// `current`. Key-embedded generations already prevent stale *hits*;
-    /// this reclaims the memory eagerly on document load.
-    pub fn invalidate_older(&mut self, current: u64) {
+    /// Eagerly drop every entry depending on any of `uris` (at whatever
+    /// version — the documents just changed, so any recorded version is
+    /// stale). Called when a commit or load publishes. Returns the number
+    /// of entries purged.
+    pub fn invalidate_docs<S: AsRef<str>>(&mut self, uris: &[S]) -> u64 {
         let mut purged = 0u64;
         let per_gen = &mut self.per_gen;
-        self.map.retain(|k, _| {
-            let keep = k.generation >= current;
+        self.map.retain(|_, e| {
+            let keep = !e
+                .deps
+                .iter()
+                .any(|(dep, _)| uris.iter().any(|u| u.as_ref() == dep));
             if !keep {
                 purged += 1;
-                per_gen.entry(k.generation).or_default().invalidations += 1;
+                per_gen.entry(e.generation).or_default().invalidations += 1;
             }
             keep
         });
         self.stats.invalidations += purged;
+        self.stats.invalidated_docs += uris.len() as u64;
+        purged
     }
 
     /// Live entry count.
@@ -194,12 +271,17 @@ mod tests {
         s
     }
 
-    fn key(q: &str, generation: u64) -> CacheKey {
-        CacheKey { query: q.to_string(), context_doc: None, generation }
+    fn key(q: &str) -> CacheKey {
+        CacheKey { query: q.to_string(), context_doc: None }
     }
 
     fn plan(s: &DocStore, q: &str) -> Arc<Prepared> {
         Arc::new(prepare_on(s, q, None).unwrap())
+    }
+
+    /// A fixed version map: every listed doc at the given version.
+    fn vmap<'a>(pairs: &'a [(&'a str, u64)]) -> impl Fn(&str) -> u64 + 'a {
+        move |uri| pairs.iter().find(|(u, _)| *u == uri).map_or(0, |(_, v)| *v)
     }
 
     #[test]
@@ -207,25 +289,57 @@ mod tests {
         let s = store();
         let mut c = PlanCache::new(4);
         let q = r#"doc("t.xml")/child::a/child::b"#;
-        assert!(c.get(&key(q, 1)).is_none());
-        c.insert(key(q, 1), plan(&s, q));
-        let hit = c.get(&key(q, 1)).expect("second probe hits");
+        let versions = vmap(&[("t.xml", 1)]);
+        assert!(c.get(&key(q), 1, &versions).is_none());
+        c.insert(key(q), plan(&s, q), vec![("t.xml".into(), 1)], 1);
+        let hit = c.get(&key(q), 1, &versions).expect("second probe hits");
         assert_eq!(hit.text, q);
         assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, ..Default::default() });
     }
 
     #[test]
-    fn generation_bump_invalidates() {
+    fn version_bump_invalidates_only_dependents() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let qt = r#"doc("t.xml")/child::a/child::b"#;
+        let qu = r#"doc("u.xml")/child::a"#;
+        c.insert(key(qt), plan(&s, qt), vec![("t.xml".into(), 1)], 2);
+        c.insert(key(qu), plan(&s, qu), vec![("u.xml".into(), 1)], 2);
+        // t.xml moves to version 2: the eager purge drops exactly the
+        // t-dependent entry.
+        assert_eq!(c.invalidate_docs(&["t.xml"]), 1);
+        assert_eq!(c.len(), 1);
+        let after = vmap(&[("t.xml", 2), ("u.xml", 1)]);
+        assert!(c.get(&key(qt), 3, &after).is_none(), "t plan gone");
+        assert!(c.get(&key(qu), 3, &after).is_some(), "u plan survives the t commit");
+        let cs = c.stats();
+        assert_eq!(cs.invalidations, 1);
+        assert_eq!(cs.invalidated_docs, 1);
+    }
+
+    #[test]
+    fn stale_dependency_is_caught_on_probe() {
         let s = store();
         let mut c = PlanCache::new(4);
         let q = r#"doc("t.xml")/child::a/child::b"#;
-        c.insert(key(q, 1), plan(&s, q));
-        // A new generation misses even for the identical query text...
-        assert!(c.get(&key(q, 2)).is_none());
-        // ...and an eager purge reclaims the stale entry.
-        c.invalidate_older(2);
-        assert_eq!(c.len(), 0);
+        // Entry recorded against version 1; the snapshot has moved on to
+        // version 2 without an eager purge (insert raced the commit).
+        c.insert(key(q), plan(&s, q), vec![("t.xml".into(), 1)], 1);
+        assert!(c.get(&key(q), 2, &vmap(&[("t.xml", 2)])).is_none());
+        assert_eq!(c.len(), 0, "the stale entry was dropped by the probe");
         assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn unloaded_dependency_stays_valid_until_the_doc_loads() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let q = r#"doc("ghost.xml")/child::a"#;
+        // Compiled while ghost.xml was absent: dependency (ghost.xml, 0).
+        c.insert(key(q), plan(&s, q), vec![("ghost.xml".into(), 0)], 1);
+        assert!(c.get(&key(q), 1, &vmap(&[])).is_some(), "still absent: valid");
+        // The document appears: the plan must recompile against it.
+        assert!(c.get(&key(q), 2, &vmap(&[("ghost.xml", 1)])).is_none());
     }
 
     #[test]
@@ -237,16 +351,18 @@ mod tests {
             r#"doc("t.xml")/child::a/child::b"#,
             r#"doc("t.xml")/descendant::b"#,
         );
-        c.insert(key(qa, 1), plan(&s, qa));
-        c.insert(key(qb, 1), plan(&s, qb));
+        let deps = || vec![("t.xml".to_string(), 1)];
+        let versions = vmap(&[("t.xml", 1)]);
+        c.insert(key(qa), plan(&s, qa), deps(), 1);
+        c.insert(key(qb), plan(&s, qb), deps(), 1);
         // Touch qa so qb becomes the LRU victim.
-        assert!(c.get(&key(qa, 1)).is_some());
-        c.insert(key(qc, 1), plan(&s, qc));
+        assert!(c.get(&key(qa), 1, &versions).is_some());
+        c.insert(key(qc), plan(&s, qc), deps(), 1);
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().evictions, 1);
-        assert!(c.get(&key(qa, 1)).is_some(), "recently-used survives");
-        assert!(c.get(&key(qb, 1)).is_none(), "LRU evicted");
-        assert!(c.get(&key(qc, 1)).is_some());
+        assert!(c.get(&key(qa), 1, &versions).is_some(), "recently-used survives");
+        assert!(c.get(&key(qb), 1, &versions).is_none(), "LRU evicted");
+        assert!(c.get(&key(qc), 1, &versions).is_some());
     }
 
     #[test]
@@ -254,11 +370,13 @@ mod tests {
         let s = store();
         let mut c = PlanCache::new(4);
         let q = r#"doc("t.xml")/child::a/child::b"#;
-        assert!(c.get(&key(q, 1)).is_none()); // gen 1 miss
-        c.insert(key(q, 1), plan(&s, q));
-        assert!(c.get(&key(q, 1)).is_some()); // gen 1 hit
-        assert!(c.get(&key(q, 2)).is_none()); // gen 2 miss
-        c.invalidate_older(2); // purges the gen-1 entry
+        let v1 = vmap(&[("t.xml", 1)]);
+        assert!(c.get(&key(q), 1, &v1).is_none()); // miss in gen 1
+        c.insert(key(q), plan(&s, q), vec![("t.xml".into(), 1)], 1);
+        assert!(c.get(&key(q), 1, &v1).is_some()); // hit on the gen-1 entry
+        c.invalidate_docs(&["t.xml"]); // commit purges it
+        let v2 = vmap(&[("t.xml", 2)]);
+        assert!(c.get(&key(q), 2, &v2).is_none()); // miss in gen 2
         let gens: Vec<_> = c.generation_stats().collect();
         assert_eq!(
             gens,
@@ -270,12 +388,34 @@ mod tests {
     }
 
     #[test]
+    fn wait_hit_reclassifies_the_miss() {
+        let s = store();
+        let mut c = PlanCache::new(4);
+        let q = r#"doc("t.xml")/child::a/child::b"#;
+        let versions = vmap(&[("t.xml", 1)]);
+        // Two threads miss; the leader compiles and inserts, the follower
+        // re-probes after the wait.
+        assert!(c.get(&key(q), 1, &versions).is_none()); // leader
+        assert!(c.get(&key(q), 1, &versions).is_none()); // follower
+        c.insert(key(q), plan(&s, q), vec![("t.xml".into(), 1)], 1);
+        assert!(c.get_after_wait(&key(q), 1, &versions).is_some());
+        // Net accounting: one compile (the leader), one served-from-cache.
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, ..Default::default() });
+        let gens: Vec<_> = c.generation_stats().collect();
+        assert_eq!(gens, vec![(1, GenStats { hits: 1, misses: 1, invalidations: 0 })]);
+        // A fill that went stale while the follower waited is NOT a hit:
+        // the original miss stands and the caller recompiles.
+        assert!(c.get_after_wait(&key(q), 2, &vmap(&[("t.xml", 2)])).is_none());
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
     fn zero_capacity_disables_caching() {
         let s = store();
         let mut c = PlanCache::new(0);
         let q = r#"doc("t.xml")/child::a"#;
-        c.insert(key(q, 1), plan(&s, q));
-        assert!(c.get(&key(q, 1)).is_none());
+        c.insert(key(q), plan(&s, q), vec![("t.xml".into(), 1)], 1);
+        assert!(c.get(&key(q), 1, &vmap(&[("t.xml", 1)])).is_none());
         assert!(c.is_empty());
     }
 }

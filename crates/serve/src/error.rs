@@ -1,6 +1,7 @@
 //! Structured service errors — a request can fail, a worker cannot crash.
 
 use jgi_core::SessionError;
+use jgi_mutate::MutateError;
 use std::fmt;
 
 /// Everything that can go wrong serving one request. Every variant is a
@@ -21,6 +22,9 @@ pub enum ServeError {
     Shutdown,
     /// Malformed protocol input.
     Protocol(String),
+    /// A mutation was rejected (bad target, bad fragment, unknown
+    /// document). The batch it arrived in was not applied.
+    Mutate(MutateError),
 }
 
 impl fmt::Display for ServeError {
@@ -33,6 +37,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             ServeError::Shutdown => write!(f, "service shutting down"),
             ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServeError::Mutate(e) => write!(f, "{e}"),
         }
     }
 }
@@ -41,6 +46,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Session(e) => Some(e),
+            ServeError::Mutate(e) => Some(e),
             _ => None,
         }
     }
@@ -65,6 +71,9 @@ impl ServeError {
             ServeError::DeadlineExceeded => "deadline",
             ServeError::Shutdown => "shutdown",
             ServeError::Protocol(_) => "protocol",
+            // Stable per-cause codes: mutate_doc / mutate_target /
+            // mutate_fragment (PROTOCOL.md).
+            ServeError::Mutate(e) => e.code(),
         }
     }
 }

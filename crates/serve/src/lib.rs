@@ -5,17 +5,26 @@
 //! relational engine is the workhorse that repeats execution. This crate
 //! serves that split to many clients at once:
 //!
-//! * [`Snapshot`] / [`Master`] — immutable, `Arc`-shared document state
-//!   (tabular encoding + eagerly-indexed [`jgi_engine::Database`] +
-//!   navigational db), swapped atomically on document load so readers
-//!   never block loaders and vice versa;
+//! * [`Snapshot`] / [`Master`] — immutable, `Arc`-shared document state,
+//!   **segmented per document** (each a [`snapshot::DocSnap`]: tabular
+//!   encoding + eagerly-indexed [`jgi_engine::Database`] + navigational
+//!   db, carrying its own version), swapped atomically on load and on
+//!   mutation commit so readers never block writers and vice versa;
+//!   unchanged documents share their `DocSnap` `Arc` across generations;
+//! * live mutation — [`Server::commit`] applies a batch of
+//!   [`jgi_mutate::Op`]s addressed in global `pre` ranks all-or-nothing
+//!   through the per-document delta overlays, bumps only the touched
+//!   documents' versions, and publishes the next generation;
 //! * [`PlanCache`] — LRU cache of full [`jgi_core::Prepared`] artifact
-//!   sets keyed on `(query, context doc, snapshot generation)`;
+//!   sets keyed on `(query, context doc)` with per-document
+//!   `(uri, version)` dependency validation: a commit invalidates exactly
+//!   the plans that read the touched documents;
 //! * [`Server`] — worker pool of N OS threads behind a *bounded*
 //!   admission queue (full queue = immediate [`ServeError::Overloaded`]
 //!   shed), per-request deadlines, structured errors end-to-end;
 //! * [`protocol`] — the `jgi-served` line protocol (`LOAD` / `PREPARE` /
-//!   `EXEC` / `EXPLAIN` / `STATS` / `METRICS` / `TRACE`, one JSON reply
+//!   `EXEC` / `EXPLAIN` / `INSERT` / `DELETE` / `REPLACE` / `STATS` /
+//!   `METRICS` / `TRACE`, one JSON reply
 //!   per line except the `METRICS` Prometheus block — the wire format is
 //!   specified in PROTOCOL.md at the repository root);
 //! * [`load`] — the closed-loop `loadgen` harness replaying the Q1–Q8
@@ -42,10 +51,13 @@ pub mod snapshot;
 
 pub use cache::{CacheKey, CacheStats, PlanCache};
 pub use error::ServeError;
-pub use load::{run_load, run_obs_bench, LoadConfig, LoadSummary, ObsBenchSummary};
+pub use load::{
+    run_load, run_mutate_bench, run_obs_bench, LoadConfig, LoadSummary, MutateBenchSummary,
+    MutateLeg, ObsBenchSummary,
+};
 pub use protocol::{handle_command, parse_command, Command, Reply};
 pub use server::{ExecReply, ServeConfig, Server};
-pub use snapshot::{Master, Snapshot};
+pub use snapshot::{CommitOutcome, DocEntry, DocSnap, Master, Snapshot};
 
 /// The `Send + Sync` audit, enforced at compile time: everything a worker
 /// thread touches — the snapshot (store, database with its B-trees,

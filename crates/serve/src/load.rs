@@ -21,6 +21,7 @@ use crate::cache::CacheStats;
 use crate::server::{ServeConfig, Server};
 use jgi_core::queries::paper_corpus;
 use jgi_core::{Budgets, Engine, Parallelism, Session};
+use jgi_mutate::Op;
 use jgi_obs::{Json, Metrics};
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use jgi_xml::Tree;
@@ -650,6 +651,272 @@ pub fn run_obs_bench(cfg: &LoadConfig, runs: usize) -> ObsBenchSummary {
     }
 }
 
+/// One write-mix leg of the mutation benchmark.
+#[derive(Debug, Clone)]
+pub struct MutateLeg {
+    /// Write fraction of this leg, percent (0, 1, 10 in the standard run).
+    pub mix_pct: f64,
+    /// Queries completed.
+    pub requests: u64,
+    /// Mutation batches committed.
+    pub mutations: u64,
+    /// Failed queries or rejected commits (expected 0).
+    pub errors: u64,
+    /// End-state oracle mismatches across Q1–Q8 (must be 0).
+    pub divergence: u64,
+    /// Completed operations (queries + commits) per second.
+    pub qps: f64,
+    /// Plan-cache accounting over the measured window only: the warm-up
+    /// `PREPARE` pass is subtracted out, and the snapshot is taken before
+    /// the oracle pass, so neither skews the steady-state hit rate.
+    pub cache: CacheStats,
+}
+
+/// The `--mutate-mix` benchmark: the Q1–Q8 closed loop at several write
+/// mixes, quantifying what live mutation costs the plan-cache economics.
+#[derive(Debug, Clone)]
+pub struct MutateBenchSummary {
+    /// Configuration echo.
+    pub config: LoadConfig,
+    /// One leg per requested write mix, in request order.
+    pub legs: Vec<MutateLeg>,
+}
+
+impl MutateBenchSummary {
+    /// Total divergence across every leg.
+    pub fn divergence(&self) -> u64 {
+        self.legs.iter().map(|l| l.divergence).sum()
+    }
+
+    /// Total errors across every leg.
+    pub fn errors(&self) -> u64 {
+        self.legs.iter().map(|l| l.errors).sum()
+    }
+
+    /// The `BENCH_mutate.json` row. Key set is golden-tested — extend it,
+    /// don't rename.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::str("mutate")),
+            ("threads", Json::UInt(self.config.threads as u64)),
+            ("workers", Json::UInt(self.config.workers as u64)),
+            ("engine", Json::str(self.config.engine.name())),
+            ("xmark_scale", Json::Num(self.config.xmark_scale)),
+            ("dblp_pubs", Json::UInt(self.config.dblp_pubs as u64)),
+            ("duration_ms", Json::UInt(self.config.duration.as_millis() as u64)),
+            (
+                "legs",
+                Json::Arr(
+                    self.legs
+                        .iter()
+                        .map(|l| {
+                            Json::obj([
+                                ("mix_pct", Json::Num(l.mix_pct)),
+                                ("requests", Json::UInt(l.requests)),
+                                ("mutations", Json::UInt(l.mutations)),
+                                ("errors", Json::UInt(l.errors)),
+                                ("divergence", Json::UInt(l.divergence)),
+                                ("qps", Json::Num(l.qps)),
+                                ("cache_hits", Json::UInt(l.cache.hits)),
+                                ("cache_misses", Json::UInt(l.cache.misses)),
+                                ("cache_hit_rate", Json::Num(l.cache.hit_rate())),
+                                ("invalidations", Json::UInt(l.cache.invalidations)),
+                                ("invalidated_docs", Json::UInt(l.cache.invalidated_docs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering for the terminal.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "mutate bench: {} threads x {:?} over Q1-Q8 + INSERT probes ({} workers)",
+            self.config.threads, self.config.duration, self.config.workers
+        );
+        for l in &self.legs {
+            let _ = writeln!(
+                out,
+                "  {:>4.0}% writes: {:.0} qps ({} queries, {} commits), cache hit rate \
+                 {:.1}% ({} invalidations over {} doc events), errors {}, divergence {}",
+                l.mix_pct,
+                l.qps,
+                l.requests,
+                l.mutations,
+                100.0 * l.cache.hit_rate(),
+                l.cache.invalidations,
+                l.cache.invalidated_docs,
+                l.errors,
+                l.divergence
+            );
+        }
+        out
+    }
+}
+
+/// The mutation probe every write commits: a fresh empty element inserted
+/// as the first content child of the XMark root element (global `pre` 1 —
+/// the document node is 0). The target is position-stable under its own
+/// repetition and the probes commute, so the end state depends only on
+/// *how many* committed — which is what makes the shadow-tree oracle
+/// exact under arbitrary thread interleaving.
+const MUTATE_PROBE: &str = "<mutprobe/>";
+
+fn run_mutate_leg(cfg: &LoadConfig, frac: f64) -> MutateLeg {
+    let (xmark, dblp) = corpus_trees(cfg);
+    let server = Arc::new(Server::new(ServeConfig {
+        workers: cfg.workers,
+        queue_depth: cfg.threads.max(4) * 2,
+        cache_capacity: cfg.cache_capacity,
+        default_deadline: None,
+        budgets: Budgets {
+            parallelism: cfg.parallelism,
+            morsel_size: cfg.morsel_size,
+            ..Budgets::default()
+        },
+        telemetry: cfg.telemetry,
+        ..ServeConfig::default()
+    }));
+    server.add_tree(xmark.clone());
+    server.add_tree(dblp.clone());
+    for &(_, query, ctx) in &paper_corpus() {
+        server.prepare(query, ctx).expect("corpus compiles on server");
+    }
+    // Baseline after the warm-up pass: the leg reports window deltas, so
+    // the 8 cold compiles (and the 2 load events) don't dilute short runs.
+    let warm = server.cache_stats();
+
+    // A write every `every`-th operation per client approximates the
+    // requested fraction deterministically (no RNG in the hot loop).
+    let every = if frac > 0.0 { (1.0 / frac).round().max(1.0) as u64 } else { 0 };
+    let requests = Arc::new(AtomicU64::new(0));
+    let mutations = Arc::new(AtomicU64::new(0));
+    let errors = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + cfg.duration;
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..cfg.threads.max(1))
+        .map(|i| {
+            let server = Arc::clone(&server);
+            let requests = Arc::clone(&requests);
+            let mutations = Arc::clone(&mutations);
+            let errors = Arc::clone(&errors);
+            let engine = cfg.engine;
+            jgi_sync::thread::spawn_named(&format!("mutate-client-{i}"), move || {
+                let corpus = paper_corpus();
+                let mut at = i % corpus.len();
+                let mut n = 0u64;
+                while Instant::now() < deadline {
+                    // Phase-shift the write cadence by thread index so
+                    // commits spread over the run (and short smoke runs
+                    // still reach one).
+                    let mutate = every != 0 && (n + i as u64).is_multiple_of(every);
+                    n += 1;
+                    if mutate {
+                        match server.commit(&[Op::Insert {
+                            parent: 1,
+                            pos: 0,
+                            xml: MUTATE_PROBE.to_string(),
+                        }]) {
+                            // relaxed: monotone tallies, read only after the
+                            // client joins order the final loads.
+                            Ok(_) => {
+                                mutations.fetch_add_relaxed(1);
+                            }
+                            Err(_) => {
+                                // relaxed: same tally discipline.
+                                errors.fetch_add_relaxed(1);
+                            }
+                        }
+                        continue;
+                    }
+                    let (_, query, ctx) = corpus[at];
+                    at = (at + 1) % corpus.len();
+                    match server.execute(query, ctx, engine, None) {
+                        // relaxed: same tally discipline.
+                        Ok(_) => {
+                            requests.fetch_add_relaxed(1);
+                        }
+                        Err(_) => {
+                            // relaxed: same tally discipline.
+                            errors.fetch_add_relaxed(1);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("mutate client thread");
+    }
+    let elapsed = t0.elapsed();
+    // relaxed: every client is joined; nothing races these loads.
+    let requests = requests.load_relaxed();
+    let mutations = mutations.load_relaxed();
+    let mut leg_errors = errors.load_relaxed();
+    // Freeze the cache accounting before the oracle pass below adds its
+    // own probes, and subtract the warm-up baseline.
+    let end = server.cache_stats();
+    let cache = CacheStats {
+        hits: end.hits - warm.hits,
+        misses: end.misses - warm.misses,
+        evictions: end.evictions - warm.evictions,
+        invalidations: end.invalidations - warm.invalidations,
+        invalidated_docs: end.invalidated_docs - warm.invalidated_docs,
+    };
+
+    // End-state oracle: graft the same number of probes into a shadow
+    // tree, reparse-from-scratch in a fresh Session, and demand the
+    // server's post-run answers match exactly. The probes commute, so
+    // thread interleaving cannot change the end state — only the count
+    // matters.
+    let mut shadow = xmark;
+    let frag = jgi_xml::parse("mutprobe.xml", MUTATE_PROBE).expect("probe parses");
+    let frag_root = frag.content_children(frag.root())[0];
+    let site = shadow.content_children(shadow.root())[0];
+    for _ in 0..mutations {
+        shadow.graft(site, 0, &frag, frag_root);
+    }
+    let mut session = Session::new();
+    session.budgets.parallelism = cfg.parallelism;
+    session.budgets.morsel_size = cfg.morsel_size;
+    session.add_tree(shadow);
+    session.add_tree(dblp);
+    let mut divergence = 0u64;
+    for &(_, query, ctx) in &paper_corpus() {
+        let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        let expect = session.execute(&prepared, cfg.engine).expect("oracle executes").nodes;
+        match server.execute(query, ctx, cfg.engine, None) {
+            Ok(reply) if reply.nodes == expect => {}
+            Ok(_) => divergence += 1,
+            Err(_) => leg_errors += 1,
+        }
+    }
+
+    MutateLeg {
+        mix_pct: 100.0 * frac,
+        requests,
+        mutations,
+        errors: leg_errors,
+        divergence,
+        qps: (requests + mutations) as f64 / elapsed.as_secs_f64().max(1e-9),
+        cache,
+    }
+}
+
+/// Run the mutation benchmark: one fresh server per write mix, each leg a
+/// closed loop interleaving `INSERT` commits into the Q1–Q8 corpus at the
+/// given fraction, checked against a full-reparse end-state oracle. The
+/// standard mixes are `[0.0, 0.01, 0.10]`.
+pub fn run_mutate_bench(cfg: &LoadConfig, mixes: &[f64]) -> MutateBenchSummary {
+    let legs = mixes.iter().map(|&frac| run_mutate_leg(cfg, frac)).collect();
+    MutateBenchSummary { config: cfg.clone(), legs }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -776,5 +1043,76 @@ mod tests {
         // The registry the off leg disabled is process-global: make sure
         // the bench restored it for everyone running after us.
         assert!(jgi_obs::Registry::global().is_enabled());
+    }
+
+    /// Smoke + golden test for the mutation bench: a read-only leg and a
+    /// write-heavy leg both run, the end-state oracle holds, and the
+    /// `BENCH_mutate.json` key set is stable. The ≥90% hit-rate acceptance
+    /// number comes from the release `loadgen --mutate-mix` run, not from
+    /// this debug-build smoke.
+    #[test]
+    fn mutate_bench_runs_legs_and_keeps_schema() {
+        let cfg = LoadConfig {
+            threads: 2,
+            duration: Duration::from_millis(150),
+            workers: 2,
+            ..LoadConfig::default()
+        };
+        let summary = run_mutate_bench(&cfg, &[0.0, 0.10]);
+        assert_eq!(summary.legs.len(), 2);
+        assert_eq!(summary.divergence(), 0, "end-state oracle must hold on every leg");
+        assert_eq!(summary.errors(), 0);
+        let read_only = &summary.legs[0];
+        assert_eq!(read_only.mutations, 0, "the 0% leg commits nothing");
+        assert!(read_only.requests > 0, "a 150ms leg completes requests");
+        let writes = &summary.legs[1];
+        assert!(writes.mutations > 0, "the 10% leg commits mutations");
+        assert!(
+            writes.cache.invalidated_docs >= writes.mutations,
+            "every commit purges at least its touched document"
+        );
+
+        let row = summary.to_json();
+        let rendered = row.render();
+        let Json::Obj(pairs) = row else { panic!("mutate row must be an object") };
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "bench",
+                "threads",
+                "workers",
+                "engine",
+                "xmark_scale",
+                "dblp_pubs",
+                "duration_ms",
+                "legs",
+            ],
+            "BENCH_mutate.json key set changed — update the golden test and EXPERIMENTS.md \
+             deliberately"
+        );
+        assert!(rendered.starts_with(r#"{"bench":"mutate""#), "{rendered}");
+        let legs = pairs.iter().find(|(k, _)| k == "legs").map(|(_, v)| v).unwrap();
+        let Json::Arr(legs) = legs else { panic!("legs must be an array") };
+        for leg in legs {
+            let Json::Obj(leg_pairs) = leg else { panic!("each leg must be an object") };
+            let leg_keys: Vec<&str> = leg_pairs.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(
+                leg_keys,
+                vec![
+                    "mix_pct",
+                    "requests",
+                    "mutations",
+                    "errors",
+                    "divergence",
+                    "qps",
+                    "cache_hits",
+                    "cache_misses",
+                    "cache_hit_rate",
+                    "invalidations",
+                    "invalidated_docs",
+                ]
+            );
+        }
     }
 }

@@ -9,6 +9,10 @@
 //! EXEC [engine=<e>] [timeout_ms=<n>] [ctx=<doc>] <query…>
 //!                                    execute on a back-end (default joingraph)
 //! EXPLAIN [ctx=<doc>] <query…>       render the join-graph physical plan
+//! INSERT parent=<pre> pos=<k> <xml…> insert a subtree as child k of the
+//!                                    node at global pre rank <pre>
+//! DELETE pre=<n>                     delete the subtree rooted at <n>
+//! REPLACE pre=<n> <xml…>             replace the subtree rooted at <n>
 //! STATS                              service statistics (one JSON object)
 //! METRICS                            Prometheus text exposition (multi-line,
 //!                                    terminated by a `# EOF` comment line)
@@ -24,10 +28,17 @@
 //! the one non-JSON reply: raw exposition text whose final line is the
 //! comment `# EOF` (a legal 0.0.4 comment), so line-oriented clients know
 //! where the block ends.
+//!
+//! The three mutation commands address nodes by **global** `pre` rank
+//! (what `EXEC` returns) and apply atomically: a rejected mutation
+//! changes nothing and replies with a stable code (`mutate_target`,
+//! `mutate_fragment`, `mutate_doc`). The full wire contract, including
+//! reply shapes and error codes, is PROTOCOL.md at the repository root.
 
 use crate::error::ServeError;
 use crate::server::Server;
 use jgi_core::Engine;
+use jgi_mutate::Op;
 use jgi_obs::Json;
 use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
 use std::time::{Duration, Instant};
@@ -47,6 +58,27 @@ pub enum Command {
     Exec { engine: Engine, timeout_ms: Option<u64>, context_doc: Option<String>, query: String },
     /// `EXPLAIN [ctx=<doc>] <query…>`
     Explain { context_doc: Option<String>, query: String },
+    /// `INSERT parent=<pre> pos=<k> <xml…>`
+    Insert {
+        /// Global `pre` rank of the parent node.
+        parent: u32,
+        /// Content-child position (clamped to the child count).
+        pos: u32,
+        /// Fragment XML (exactly one element).
+        xml: String,
+    },
+    /// `DELETE pre=<n>`
+    Delete {
+        /// Global `pre` rank of the subtree root to delete.
+        pre: u32,
+    },
+    /// `REPLACE pre=<n> <xml…>`
+    Replace {
+        /// Global `pre` rank of the subtree root to replace.
+        pre: u32,
+        /// Fragment XML (exactly one element).
+        xml: String,
+    },
     /// `STATS`
     Stats,
     /// `METRICS`
@@ -196,6 +228,29 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
             }
             Command::Explain { context_doc: o.ctx, query: o.query }
         }
+        "INSERT" => {
+            // INSERT parent=<pre> pos=<k> <xml…>
+            let (parent, rest) = parse_u32_kv(rest, "parent", "INSERT parent=<pre> pos=<k> <xml…>")?;
+            let (pos, xml) = parse_u32_kv(rest, "pos", "INSERT parent=<pre> pos=<k> <xml…>")?;
+            if xml.is_empty() {
+                return Err(protocol_err("INSERT needs a fragment"));
+            }
+            Command::Insert { parent, pos, xml: xml.to_string() }
+        }
+        "DELETE" => {
+            let (pre, tail) = parse_u32_kv(rest, "pre", "DELETE pre=<n>")?;
+            if !tail.is_empty() {
+                return Err(protocol_err("DELETE takes only pre=<n>"));
+            }
+            Command::Delete { pre }
+        }
+        "REPLACE" => {
+            let (pre, xml) = parse_u32_kv(rest, "pre", "REPLACE pre=<n> <xml…>")?;
+            if xml.is_empty() {
+                return Err(protocol_err("REPLACE needs a fragment"));
+            }
+            Command::Replace { pre, xml: xml.to_string() }
+        }
         "STATS" => Command::Stats,
         "METRICS" => Command::Metrics,
         "TRACE" => {
@@ -211,6 +266,26 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
         other => return Err(protocol_err(format!("unknown command `{other}`"))),
     };
     Ok(Some(cmd))
+}
+
+/// Split a leading `key=<u32>` token off `rest`; `usage` is the error
+/// message when the token is missing or malformed.
+fn parse_u32_kv<'a>(
+    rest: &'a str,
+    key: &str,
+    usage: &str,
+) -> Result<(u32, &'a str), ServeError> {
+    let (head, tail) = match rest.split_once(char::is_whitespace) {
+        Some((h, t)) => (h, t.trim_start()),
+        None => (rest, ""),
+    };
+    match head.split_once('=') {
+        Some((k, v)) if k == key => {
+            let n = v.parse::<u32>().map_err(|_| protocol_err(usage))?;
+            Ok((n, tail))
+        }
+        _ => Err(protocol_err(usage)),
+    }
 }
 
 fn err_json(e: &ServeError) -> Json {
@@ -294,16 +369,34 @@ fn run_command(server: &Server, cmd: &Command) -> Result<Reply, ServeError> {
             let cq = plan.cq.as_ref().ok_or_else(|| {
                 protocol_err("plan is outside the extractable join-graph fragment")
             })?;
-            let physical = jgi_engine::optimizer::plan(&snapshot.db, cq);
+            // Explain against the same segment the plan would execute on.
+            let (segment, _) = snapshot.resolve(&plan.docs);
+            let physical = jgi_engine::optimizer::plan(&segment.db, cq);
             Json::obj([
                 ("ok", Json::Bool(true)),
                 ("cached", Json::Bool(cached)),
-                ("plan", Json::str(jgi_engine::explain::render(&snapshot.db, &physical))),
+                ("plan", Json::str(jgi_engine::explain::render(&segment.db, &physical))),
                 (
                     "sql",
                     plan.sql.as_ref().map_or(Json::Null, |s| Json::str(s.clone())),
                 ),
             ])
+        }
+        Command::Insert { parent, pos, xml } => {
+            let out = server.commit(&[Op::Insert {
+                parent: *parent,
+                pos: *pos,
+                xml: xml.clone(),
+            }])?;
+            mutate_reply(server, &out)
+        }
+        Command::Delete { pre } => {
+            let out = server.commit(&[Op::Delete { pre: *pre }])?;
+            mutate_reply(server, &out)
+        }
+        Command::Replace { pre, xml } => {
+            let out = server.commit(&[Op::Replace { pre: *pre, xml: xml.clone() }])?;
+            mutate_reply(server, &out)
         }
         Command::Stats => server.stats_json(),
         Command::Metrics => {
@@ -339,7 +432,32 @@ fn load_reply(server: &Server, generation: u64) -> Json {
         ("ok", Json::Bool(true)),
         ("generation", Json::UInt(generation)),
         ("documents", Json::UInt(snapshot.documents() as u64)),
-        ("nodes", Json::UInt(snapshot.store.len() as u64)),
+        ("nodes", Json::UInt(snapshot.node_count())),
+    ])
+}
+
+/// Reply for a committed mutation: the new generation, the touched
+/// documents with their new versions, and the post-commit node count.
+fn mutate_reply(server: &Server, out: &crate::snapshot::CommitOutcome) -> Json {
+    Json::obj([
+        ("ok", Json::Bool(true)),
+        ("generation", Json::UInt(out.generation)),
+        (
+            "docs",
+            Json::Arr(
+                out.touched
+                    .iter()
+                    .map(|(uri, version)| {
+                        Json::obj([
+                            ("uri", Json::str(uri.clone())),
+                            ("version", Json::UInt(*version)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("rows_delta", Json::Int(out.rows_delta)),
+        ("nodes", Json::UInt(server.snapshot().node_count())),
     ])
 }
 
@@ -379,6 +497,18 @@ mod tests {
                 query: r#"doc("a.xml")//b"#.into()
             })
         );
+        assert_eq!(
+            parse_command("INSERT parent=12 pos=0 <bid>7</bid>").unwrap(),
+            Some(Command::Insert { parent: 12, pos: 0, xml: "<bid>7</bid>".into() })
+        );
+        assert_eq!(
+            parse_command("DELETE pre=9").unwrap(),
+            Some(Command::Delete { pre: 9 })
+        );
+        assert_eq!(
+            parse_command("replace pre=4 <item kind=\"new\">rug</item>").unwrap(),
+            Some(Command::Replace { pre: 4, xml: "<item kind=\"new\">rug</item>".into() })
+        );
         assert_eq!(parse_command("STATS").unwrap(), Some(Command::Stats));
         assert_eq!(parse_command("METRICS").unwrap(), Some(Command::Metrics));
         assert_eq!(parse_command("TRACE").unwrap(), Some(Command::Trace { n: 16 }));
@@ -398,6 +528,13 @@ mod tests {
             "TRACE many",
             "TRACE -3",
             "FROBNICATE //a",
+            "INSERT <a/>",                  // missing parent=/pos=
+            "INSERT parent=1 <a/>",         // missing pos=
+            "INSERT parent=1 pos=0",        // missing fragment
+            "DELETE 9",                     // bare rank, needs pre=
+            "DELETE pre=9 extra",           // trailing junk
+            "REPLACE pre=x <a/>",           // non-numeric rank
+            "REPLACE pre=4",                // missing fragment
         ] {
             assert!(
                 matches!(parse_command(bad), Err(ServeError::Protocol(_))),
@@ -453,9 +590,45 @@ mod tests {
 
         // STATS carries the new breakdown fields.
         let stats = run("STATS");
-        for needle in ["\"queue_len\":", "\"generations\":[", "\"flight\":{", "\"telemetry\":true"]
-        {
+        for needle in [
+            "\"queue_len\":",
+            "\"generations\":[",
+            "\"flight\":{",
+            "\"telemetry\":true",
+            "\"docs\":[",
+            "\"invalidated_docs\":",
+        ] {
             assert!(stats.contains(needle), "missing {needle} in {stats}");
         }
+    }
+
+    #[test]
+    fn mutation_commands_over_a_live_server() {
+        let server = crate::Server::new(crate::ServeConfig {
+            workers: 1,
+            ..crate::ServeConfig::default()
+        });
+        let run = |line: &str| {
+            handle_command(&server, &parse_command(line).unwrap().unwrap()).render()
+        };
+        assert!(run("LOAD DOC t.xml <a><b>1</b></a>").contains("\"nodes\":4"));
+        // Insert a sibling after <b>: root element <a> is global pre 1.
+        let ins = run("INSERT parent=1 pos=1 <b>2</b>");
+        assert!(ins.contains("\"ok\":true"), "insert applies: {ins}");
+        assert!(ins.contains("\"version\":2"), "t.xml bumps to v2: {ins}");
+        assert!(ins.contains("\"rows_delta\":2"), "element+text rows: {ins}");
+        let exec = run(r#"EXEC doc("t.xml")/child::a/child::b"#);
+        assert!(exec.contains("\"rows\":2"), "insert visible to queries: {exec}");
+        // Replace the first <b>, then delete the second (doc=0, a=1,
+        // c=2, text=3, b=4, text=5 after the replace).
+        assert!(run("REPLACE pre=2 <c>9</c>").contains("\"version\":3"));
+        let del = run("DELETE pre=4");
+        assert!(del.contains("\"rows_delta\":-2"), "delete drops 2 rows: {del}");
+        let after = run(r#"EXEC doc("t.xml")/child::a/child::c"#);
+        assert!(after.contains("\"rows\":1"), "final shape <a><c>9</c></a>: {after}");
+        // A bad target is a structured reply, not a dead server.
+        let bad = run("DELETE pre=9999");
+        assert!(bad.contains("\"ok\":false") && bad.contains("\"code\":\"mutate_target\""));
+        assert!(run("STATS").contains("\"ok\":true"));
     }
 }

@@ -27,8 +27,10 @@
 
 use crate::cache::{CacheKey, CacheStats, PlanCache};
 use crate::error::ServeError;
-use crate::snapshot::{Master, Snapshot};
+use crate::snapshot::{CommitOutcome, Master, Snapshot};
 use jgi_core::{execute_prepared, prepare_on, Budgets, Engine, Prepared, QueryReport};
+use jgi_engine::Database;
+use jgi_mutate::Op;
 use jgi_obs::expo::render_prometheus;
 use jgi_obs::{
     next_trace_id, FlightOutcome, FlightRecord, FlightRecorder, Json, Metrics, Registry,
@@ -36,6 +38,7 @@ use jgi_obs::{
 use jgi_xml::Tree;
 use jgi_sync::thread::JoinHandle;
 use jgi_sync::{AtomicUsize, Mutex, RwLock};
+use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -121,6 +124,13 @@ struct State {
     snapshot: RwLock<Arc<Snapshot>>,
     master: Mutex<Master>,
     cache: Mutex<PlanCache>,
+    /// Single-flight table: one lock per cache key currently being
+    /// compiled. A miss acquires (or creates) its key's lock before
+    /// compiling; concurrent misses on the same key block on it and
+    /// re-probe the cache once the leader's insert lands. Lock order:
+    /// the per-key lock is only ever taken with no other lock held, and
+    /// `cache`/`flights` are leaf locks taken (one at a time) under it.
+    flights: Mutex<HashMap<CacheKey, Arc<Mutex<()>>>>,
     registry: Registry,
     flight: Mutex<FlightRecorder<Option<FlightPayload>>>,
     queue_len: AtomicUsize,
@@ -138,7 +148,7 @@ pub struct Server {
 impl Server {
     /// Start a service with no documents loaded (generation 0).
     pub fn new(config: ServeConfig) -> Server {
-        let master = Master::new();
+        let mut master = Master::new();
         let snapshot = master.publish(config.budgets);
         let registry = Registry::new();
         registry.set_enabled(config.telemetry);
@@ -152,6 +162,7 @@ impl Server {
             "serve.cache.miss",
             "serve.admission.shed",
             "serve.deadline.missed",
+            "serve.commits",
         ] {
             registry.counter(name, 0);
         }
@@ -159,6 +170,7 @@ impl Server {
             snapshot: RwLock::named("snapshot", snapshot),
             master: Mutex::named("master", master),
             cache: Mutex::named("plan_cache", PlanCache::new(config.cache_capacity)),
+            flights: Mutex::named("plan_flights", HashMap::new()),
             registry,
             flight: Mutex::named("flight", FlightRecorder::new(config.flight_capacity)),
             queue_len: AtomicUsize::named("queue_len", 0),
@@ -193,8 +205,10 @@ impl Server {
     /// Load an already-built tree (e.g. from the synthetic generators);
     /// returns the new generation. Publishes a fresh snapshot (index
     /// build happens here, never on the request path) and eagerly purges
-    /// plans cached against older generations.
+    /// exactly the cached plans that depend on the loaded document —
+    /// plans over other documents keep serving from the cache.
     pub fn add_tree(&self, tree: Tree) -> u64 {
+        let uri = tree.uri().to_string();
         let snapshot = {
             let mut master = self.state.master.lock();
             master.add_tree(tree);
@@ -202,21 +216,41 @@ impl Server {
         };
         let generation = snapshot.generation;
         *self.state.snapshot.write() = snapshot;
-        let invalidated = {
-            let mut cache = self.state.cache.lock();
-            let before = cache.stats().invalidations;
-            cache.invalidate_older(generation);
-            cache.stats().invalidations - before
-        };
+        let invalidated = self.state.cache.lock().invalidate_docs(&[uri]);
         self.state.registry.counter("serve.loads", 1);
         self.state.registry.counter("serve.cache.invalidation", invalidated);
         generation
     }
 
+    /// Apply a mutation batch (global `pre` addressing) atomically and
+    /// publish the resulting snapshot. Either every op in the batch
+    /// validates and the new generation becomes visible in one pointer
+    /// swap, or the document state is untouched and the error names the
+    /// offending op. Cached plans depending on the touched documents are
+    /// purged; everything else stays warm — the point of per-document
+    /// versioning.
+    pub fn commit(&self, ops: &[Op]) -> Result<CommitOutcome, ServeError> {
+        let (outcome, snapshot) = {
+            let mut master = self.state.master.lock();
+            let outcome = master.commit(ops)?;
+            (outcome, master.publish(self.state.config.budgets))
+        };
+        *self.state.snapshot.write() = snapshot;
+        let touched: Vec<&str> = outcome.touched.iter().map(|(u, _)| u.as_str()).collect();
+        let invalidated = self.state.cache.lock().invalidate_docs(&touched);
+        let reg = &self.state.registry;
+        reg.counter("serve.commits", 1);
+        reg.counter("serve.cache.invalidation", invalidated);
+        Ok(outcome)
+    }
+
     /// Resolve a prepared plan through the cache. Returns the plan and
-    /// whether it was a cache hit. Compilation happens outside every lock;
-    /// two racing misses may both compile, last insert wins — acceptable,
-    /// both artifacts are equivalent.
+    /// whether it was a cache hit. Misses are **single-flight**: one
+    /// thread compiles a given `(query, context)` while concurrent misses
+    /// on the same key wait for its insert and reuse it (counted as hits
+    /// — they were served from the cache, just after a wait). Compilation
+    /// itself runs outside the cache and flight-table locks, so hits on
+    /// *other* keys proceed undisturbed while a compile is in flight.
     pub fn prepare(
         &self,
         query: &str,
@@ -235,20 +269,58 @@ impl Server {
         let key = CacheKey {
             query: query.to_string(),
             context_doc: context_doc.map(|s| s.to_string()),
-            generation: snapshot.generation,
         };
         let t0 = Instant::now();
-        if let Some(plan) = self.state.cache.lock().get(&key) {
+        let versions = |uri: &str| snapshot.version_of(uri);
+        if let Some(plan) =
+            self.state.cache.lock().get(&key, snapshot.generation, &versions)
+        {
             self.state.registry.counter("serve.cache.hit", 1);
             return Ok((plan, true));
         }
-        let plan = Arc::new(prepare_on(&snapshot.store, query, context_doc)?);
+        // Miss. Take the key's flight lock: the first misser leads and
+        // compiles; followers block here until the leader's insert lands,
+        // then re-probe instead of duplicating an expensive compile (a
+        // commit invalidating N warm plans would otherwise trigger
+        // threads × N concurrent compilations of the same N plans).
+        let flight = {
+            let mut flights = self.state.flights.lock();
+            Arc::clone(
+                flights
+                    .entry(key.clone())
+                    .or_insert_with(|| Arc::new(Mutex::named("plan_flight", ()))),
+            )
+        };
+        let _leader = flight.lock();
+        if let Some(plan) =
+            self.state.cache.lock().get_after_wait(&key, snapshot.generation, &versions)
+        {
+            self.state.registry.counter("serve.cache.hit", 1);
+            return Ok((plan, true));
+        }
+        let compiled = prepare_on(&snapshot.prepare_store(), query, context_doc);
+        let plan = match compiled {
+            Ok(p) => Arc::new(p),
+            Err(e) => {
+                // Unblock followers; whoever re-probes next leads the
+                // retry (and reports its own error to its own client).
+                self.state.flights.lock().remove(&key);
+                return Err(e.into());
+            }
+        };
+        // Record the document versions the plan was compiled against (its
+        // doc() set): the entry stays valid exactly while they all hold.
+        let deps: Vec<(String, u64)> =
+            plan.docs.iter().map(|u| (u.clone(), snapshot.version_of(u))).collect();
         let evicted = {
             let mut cache = self.state.cache.lock();
             let before = cache.stats().evictions;
-            cache.insert(key, Arc::clone(&plan));
+            cache.insert(key.clone(), Arc::clone(&plan), deps, snapshot.generation);
             cache.stats().evictions - before
         };
+        // The insert is visible: retire the flight entry so later misses
+        // (after an invalidation) start a fresh flight.
+        self.state.flights.lock().remove(&key);
         let reg = &self.state.registry;
         reg.counter("serve.cache.miss", 1);
         reg.counter("serve.cache.eviction", evicted);
@@ -434,14 +506,10 @@ impl Server {
                     // (db, cq), so the recorded actuals line up
                     // operator-for-operator without re-executing.
                     if let (Some(cq), Some(exec)) = (&p.prepared.cq, &p.report.exec) {
-                        let plan = jgi_engine::optimizer::plan(&p.snapshot.db, cq);
+                        let plan = jgi_engine::optimizer::plan(&p.db, cq);
                         fields.push((
                             "explain".into(),
-                            Json::Str(jgi_engine::explain::render_analyze(
-                                &p.snapshot.db,
-                                &plan,
-                                exec,
-                            )),
+                            Json::Str(jgi_engine::explain::render_analyze(&p.db, &plan, exec)),
                         ));
                     }
                     fields.push(("report".into(), p.report.to_json()));
@@ -471,7 +539,24 @@ impl Server {
             ("ok".into(), Json::Bool(true)),
             ("generation".into(), Json::UInt(snapshot.generation)),
             ("documents".into(), Json::UInt(snapshot.documents() as u64)),
-            ("nodes".into(), Json::UInt(snapshot.store.len() as u64)),
+            ("nodes".into(), Json::UInt(snapshot.node_count())),
+            (
+                "docs".into(),
+                Json::Arr(
+                    snapshot
+                        .docs
+                        .iter()
+                        .map(|d| {
+                            Json::obj([
+                                ("uri", Json::Str(d.snap.uri.clone())),
+                                ("version", Json::UInt(d.snap.version)),
+                                ("nodes", Json::UInt(d.snap.store.len() as u64)),
+                                ("base_pre", Json::UInt(d.base_pre as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("workers".into(), Json::UInt(self.state.config.workers as u64)),
             ("queue_depth".into(), Json::UInt(self.state.config.queue_depth as u64)),
             (
@@ -489,6 +574,7 @@ impl Server {
                     ("misses", Json::UInt(cs.misses)),
                     ("evictions", Json::UInt(cs.evictions)),
                     ("invalidations", Json::UInt(cs.invalidations)),
+                    ("invalidated_docs", Json::UInt(cs.invalidated_docs)),
                     ("hit_rate", Json::Num(cs.hit_rate())),
                     (
                         "generations",
@@ -567,7 +653,9 @@ impl Server {
             deadline_slack_us,
             plan_fingerprint: fingerprint,
             payload: Some(FlightPayload {
-                snapshot: Arc::clone(snapshot),
+                // Re-resolve the segment the worker executed against (same
+                // snapshot, same dependency set → same segment).
+                db: Arc::clone(&snapshot.resolve(&prepared.docs).0.db),
                 prepared: Arc::clone(prepared),
                 report: reply.report.clone(),
             }),
@@ -616,12 +704,13 @@ impl Server {
 }
 
 /// Lazy flight-record payload: cheap handles captured at offer time. The
-/// snapshot `Arc` pins the generation the request ran against, so the
-/// EXPLAIN ANALYZE re-derivation at dump time sees exactly the database
-/// the run saw (at most `flight_capacity` old generations stay alive).
+/// database `Arc` pins the exact segment (document + version) the request
+/// executed against, so the EXPLAIN ANALYZE re-derivation at dump time
+/// sees exactly the database the run saw — at most `flight_capacity` old
+/// per-document versions stay alive, not whole snapshots.
 #[derive(Clone)]
 struct FlightPayload {
-    snapshot: Arc<Snapshot>,
+    db: Arc<Database>,
     prepared: Arc<Prepared>,
     report: QueryReport,
 }
@@ -629,7 +718,6 @@ struct FlightPayload {
 impl std::fmt::Debug for FlightPayload {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FlightPayload")
-            .field("generation", &self.snapshot.generation)
             .field("query", &self.prepared.text)
             .finish_non_exhaustive()
     }
@@ -683,7 +771,12 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &State) {
                 continue;
             }
         }
-        let result = execute_prepared(&job.snapshot.ctx(), &job.prepared, job.engine);
+        // Route the plan to its document's segment (the whole corpus is
+        // single-document) or the combined view, then lift result ranks
+        // back into the global numbering.
+        let (segment, base_pre) = job.snapshot.resolve(&job.prepared.docs);
+        let result =
+            execute_prepared(&segment.ctx(job.snapshot.budgets), &job.prepared, job.engine);
         reg.counter("serve.requests", 1);
         reg.observe_us("serve.queue_us", queue_wait);
         let reply = match result {
@@ -696,7 +789,9 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, state: &State) {
                 reg.merge_metrics(&outcome.report.metrics);
                 Ok(ExecReply {
                     deadline_exceeded: job.deadline.is_some_and(|d| Instant::now() > d),
-                    nodes: outcome.nodes,
+                    nodes: outcome
+                        .nodes
+                        .map(|v| v.into_iter().map(|p| p + base_pre).collect()),
                     wall: outcome.wall,
                     queue_wait,
                     prepare: Duration::ZERO, // caller fills in
@@ -733,6 +828,31 @@ mod tests {
         s
     }
 
+    /// Concurrent misses on one key compile exactly once: the leader's
+    /// compile is the only miss, every other thread is served from its
+    /// insert (first-probe hit or reclassified wait-hit — either way the
+    /// counts are deterministic).
+    #[test]
+    fn concurrent_misses_single_flight() {
+        let s = Arc::new(server());
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let s = Arc::clone(&s);
+                jgi_sync::thread::spawn_named(&format!("sf-client-{i}"), move || {
+                    s.execute(q, None, Engine::JoinGraph, None).expect("executes").nodes
+                })
+            })
+            .collect();
+        let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]), "all clients agree");
+        let stats = s.cache_stats();
+        assert_eq!(stats.misses, 1, "one compile for four concurrent requests");
+        assert_eq!(stats.hits, 3);
+        // The flight table drains once the insert lands.
+        assert!(s.state.flights.lock().is_empty());
+    }
+
     #[test]
     fn executes_and_caches() {
         let s = server();
@@ -764,21 +884,62 @@ mod tests {
     }
 
     #[test]
-    fn document_load_bumps_generation_and_invalidates() {
+    fn document_load_keeps_unrelated_plans_cached() {
         let s = server();
         let q = r#"doc("auction.xml")/descendant::bidder"#;
         let before = s.execute(q, None, Engine::JoinGraph, None).unwrap();
         let g = s.load_xml("extra.xml", "<a><b>1</b></a>").unwrap();
         assert_eq!(g, 2);
         let after = s.execute(q, None, Engine::JoinGraph, None).unwrap();
-        assert!(!after.cached_plan, "generation bump misses the cache");
+        assert!(
+            after.cached_plan,
+            "loading an unrelated document keeps the auction plan warm"
+        );
         assert_eq!(after.generation, 2);
         assert_eq!(before.nodes, after.nodes, "old document unchanged");
-        assert!(s.cache_stats().invalidations >= 1);
+        assert_eq!(s.cache_stats().invalidations, 0);
         let extra = s
             .execute(r#"doc("extra.xml")/child::a/child::b"#, None, Engine::JoinGraph, None)
             .unwrap();
         assert_eq!(extra.nodes.map(|n| n.len()), Some(1));
+        // Reloading a document the plan DOES depend on purges it.
+        s.add_tree(generate_xmark(XmarkConfig { scale: 0.002, seed: 7 }));
+        let reloaded = s.execute(q, None, Engine::JoinGraph, None).unwrap();
+        assert!(!reloaded.cached_plan, "reload of auction.xml recompiles its plans");
+        assert_eq!(s.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn commit_mutates_queries_and_purges_only_dependents() {
+        let s = server();
+        s.load_xml("extra.xml", "<a><b>1</b></a>").unwrap();
+        let qa = r#"doc("auction.xml")/descendant::bidder"#;
+        let qe = r#"doc("extra.xml")/child::a/child::b"#;
+        let bidders = s.execute(qa, None, Engine::JoinGraph, None).unwrap();
+        let before = s.execute(qe, None, Engine::JoinGraph, None).unwrap();
+        assert_eq!(before.nodes.as_ref().map(|n| n.len()), Some(1));
+        // Insert a second <b> under extra.xml's root element. extra.xml
+        // loads after auction.xml, so its root element sits at global
+        // base_pre + 1.
+        let base = s.snapshot().docs[1].base_pre;
+        let out = s
+            .commit(&[Op::Insert { parent: base + 1, pos: 1, xml: "<b>2</b>".into() }])
+            .expect("commit applies");
+        assert_eq!(out.touched, vec![("extra.xml".to_string(), 2)]);
+        let after = s.execute(qe, None, Engine::JoinGraph, None).unwrap();
+        assert!(!after.cached_plan, "mutation recompiles the touched doc's plan");
+        assert_eq!(after.nodes.map(|n| n.len()), Some(2), "insert is visible");
+        let again = s.execute(qa, None, Engine::JoinGraph, None).unwrap();
+        assert!(again.cached_plan, "auction plan survives the extra.xml commit");
+        assert_eq!(again.nodes, bidders.nodes, "auction results untouched");
+        // A bad batch is rejected atomically and leaves state alone.
+        let err = s.commit(&[
+            Op::Insert { parent: base + 1, pos: 0, xml: "<c/>".into() },
+            Op::Delete { pre: 1_000_000 },
+        ]);
+        assert!(matches!(err, Err(ServeError::Mutate(_))));
+        let still = s.execute(qe, None, Engine::JoinGraph, None).unwrap();
+        assert_eq!(still.nodes.map(|n| n.len()), Some(2), "failed batch applied nothing");
     }
 
     #[test]

@@ -155,6 +155,42 @@ impl DocStore {
         }
     }
 
+    /// Rebuild the in-memory [`Tree`] of the document rooted at `doc_root`
+    /// (a `DOC` row). Inverse of [`DocStore::add_tree`] up to interner ids:
+    /// re-encoding the returned tree reproduces the same rows. Used by the
+    /// mutation subsystem to rebuild per-document navigational state after a
+    /// commit, where there is no parsed tree to go back to.
+    pub fn extract_tree(&self, doc_root: u32) -> Tree {
+        let d = doc_root as usize;
+        assert_eq!(self.kind[d], NodeKind::Doc, "extract_tree starts at a DOC row");
+        let mut tree = Tree::new(self.names.resolve(self.name[d]));
+        let size = self.size[d];
+        // Map each row's pre rank (relative to doc_root) to its tree node.
+        let mut ids = vec![tree.root(); size as usize + 1];
+        for pre in doc_root + 1..=doc_root + size {
+            let i = pre as usize;
+            let parent = ids[(self.parent[i] - doc_root) as usize];
+            let id = match self.kind[i] {
+                NodeKind::Elem => tree.add_element(parent, self.names.resolve(self.name[i])),
+                NodeKind::Attr => tree.add_attr(
+                    parent,
+                    self.names.resolve(self.name[i]),
+                    self.value_str(pre).unwrap_or(""),
+                ),
+                NodeKind::Text => tree.add_text(parent, self.value_str(pre).unwrap_or("")),
+                NodeKind::Comment => tree.add_comment(parent, self.value_str(pre).unwrap_or("")),
+                NodeKind::Pi => tree.add_pi(
+                    parent,
+                    self.names.resolve(self.name[i]),
+                    self.value_str(pre).unwrap_or(""),
+                ),
+                NodeKind::Doc => unreachable!("nested DOC row at pre {pre}"),
+            };
+            ids[(pre - doc_root) as usize] = id;
+        }
+        tree
+    }
+
     /// Render rows `[from, to)` as an aligned text table (Fig. 2 style), for
     /// examples and debugging.
     pub fn render(&self, from: u32, to: u32) -> String {
@@ -302,6 +338,29 @@ mod tests {
         let text = store.render(0, 10);
         assert!(text.contains("open_auction"));
         assert!(text.lines().count() == 11);
+    }
+
+    /// `extract_tree` inverts `add_tree`: re-encoding the extracted tree
+    /// reproduces every column byte-for-byte.
+    #[test]
+    fn extract_tree_roundtrips() {
+        let mut store = DocStore::new();
+        let mut t2 = fig2_tree();
+        let oa = t2.content_children(t2.root())[0];
+        t2.add_comment(oa, " note ");
+        t2.add_pi(oa, "target", "data");
+        store.add_tree(&t2);
+        let rebuilt = store.extract_tree(0);
+        let mut store2 = DocStore::new();
+        store2.add_tree(&rebuilt);
+        assert_eq!(store.size, store2.size);
+        assert_eq!(store.level, store2.level);
+        assert_eq!(store.kind, store2.kind);
+        assert_eq!(store.parent, store2.parent);
+        for pre in 0..store.len() as u32 {
+            assert_eq!(store.name_str(pre), store2.name_str(pre), "name of pre {pre}");
+            assert_eq!(store.value_str(pre), store2.value_str(pre), "value of pre {pre}");
+        }
     }
 
     /// Invariants of the pre/size/level encoding, checked on the Fig. 2 doc:

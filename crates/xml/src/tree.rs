@@ -91,6 +91,10 @@ pub struct Tree {
     /// Interned element/attribute/PI names (plus the document URI).
     pub names: Interner,
     nodes: Vec<Node>,
+    /// Arena entries orphaned by [`Tree::detach`]. Unreachable entries are
+    /// harmless — document order and the encoder walk from the root — but
+    /// the count keeps [`Tree::preorder`]'s coverage check meaningful.
+    unreachable: u32,
 }
 
 impl Tree {
@@ -108,6 +112,7 @@ impl Tree {
                 children: Vec::new(),
                 n_attrs: 0,
             }],
+            unreachable: 0,
         }
     }
 
@@ -312,9 +317,15 @@ impl Tree {
         (0..self.nodes.len() as u32).map(NodeId)
     }
 
+    /// Number of nodes reachable from the root (arena length minus entries
+    /// orphaned by [`Tree::detach`]).
+    pub fn reachable_len(&self) -> usize {
+        self.nodes.len() - self.unreachable as usize
+    }
+
     /// All node ids in document (pre-)order, starting at the root.
     pub fn preorder(&self) -> Vec<NodeId> {
-        let mut order = Vec::with_capacity(self.len());
+        let mut order = Vec::with_capacity(self.reachable_len());
         let mut stack = vec![self.root()];
         while let Some(id) = stack.pop() {
             order.push(id);
@@ -322,7 +333,7 @@ impl Tree {
                 stack.push(c);
             }
         }
-        debug_assert_eq!(order.len(), self.len(), "unreachable nodes in tree arena");
+        debug_assert_eq!(order.len(), self.reachable_len(), "unreachable nodes in tree arena");
         order
     }
 
@@ -359,6 +370,96 @@ impl Tree {
             }
         }
         assert_eq!(expected as usize, self.nodes.len(), "unreachable nodes in tree arena");
+    }
+
+    // --- Subtree mutation --------------------------------------------------
+    //
+    // The live-mutation subsystem (`jgi-mutate`) and its full-reparse oracle
+    // both edit documents as trees: a fragment is grafted in, a subtree is
+    // detached, or one replaces the other in place. Detached arena entries
+    // are left behind rather than compacted — `NodeId` order was never
+    // required to be document order, and every consumer walks from the root.
+
+    /// Position of `id` among its parent's *content* children, or `None` for
+    /// attribute children and the document root.
+    pub fn content_position(&self, id: NodeId) -> Option<usize> {
+        let parent = self.node(id).parent?;
+        let p = self.node(parent);
+        let idx = p.children.iter().position(|&c| c == id)?;
+        (idx >= p.n_attrs as usize).then(|| idx - p.n_attrs as usize)
+    }
+
+    /// Detach the subtree rooted at `id` from its parent, removing it from
+    /// document order. The arena entries remain, unreachable.
+    ///
+    /// # Panics
+    /// Panics if `id` is the document root.
+    pub fn detach(&mut self, id: NodeId) {
+        let parent = self.node(id).parent.expect("cannot detach the document root");
+        let p = &mut self.nodes[parent.0 as usize];
+        let idx = p.children.iter().position(|&c| c == id).expect("child links are consistent");
+        p.children.remove(idx);
+        if (idx as u32) < p.n_attrs {
+            p.n_attrs -= 1;
+        }
+        self.nodes[id.0 as usize].parent = None;
+        self.unreachable += 1 + self.subtree_size(id);
+    }
+
+    /// Deep-copy the subtree rooted at `src_root` of `src` and insert the
+    /// copy as the `pos`-th *content* child of `parent` (clamped to the
+    /// current child count; attributes stay pinned before `pos` 0). Names
+    /// are re-interned into this tree. Returns the id of the new root.
+    ///
+    /// # Panics
+    /// Panics if the grafted root is a document root or an attribute —
+    /// grafts are content subtrees (attributes *inside* the fragment are
+    /// copied as usual).
+    pub fn graft(&mut self, parent: NodeId, pos: usize, src: &Tree, src_root: NodeId) -> NodeId {
+        let kind = src.node(src_root).kind;
+        assert!(
+            kind != NodeKind::Doc && kind != NodeKind::Attr,
+            "graft roots must be content nodes, got {}",
+            kind.tag()
+        );
+        let new_root = self.copy_subtree(src, src_root);
+        self.nodes[new_root.0 as usize].parent = Some(parent);
+        let p = &mut self.nodes[parent.0 as usize];
+        let idx = p.n_attrs as usize + pos.min(p.children.len() - p.n_attrs as usize);
+        p.children.insert(idx, new_root);
+        new_root
+    }
+
+    /// Replace the subtree at `id` with a copy of `src_root` from `src`,
+    /// keeping its position among the parent's content children. Returns the
+    /// id of the replacement root.
+    ///
+    /// # Panics
+    /// Panics if `id` is the document root or an attribute child.
+    pub fn replace_subtree(&mut self, id: NodeId, src: &Tree, src_root: NodeId) -> NodeId {
+        let parent = self.node(id).parent.expect("cannot replace the document root");
+        let pos = self.content_position(id).expect("cannot replace an attribute");
+        self.detach(id);
+        self.graft(parent, pos, src, src_root)
+    }
+
+    fn copy_subtree(&mut self, src: &Tree, id: NodeId) -> NodeId {
+        let n = src.node(id);
+        let name = n.name.map(|nm| self.names.intern(src.names.resolve(nm)));
+        let new_id = self.push(Node {
+            kind: n.kind,
+            name,
+            text: n.text.clone(),
+            parent: None,
+            children: Vec::new(),
+            n_attrs: n.n_attrs,
+        });
+        for &c in src.all_children(id) {
+            let cc = self.copy_subtree(src, c);
+            self.nodes[cc.0 as usize].parent = Some(new_id);
+            self.nodes[new_id.0 as usize].children.push(cc);
+        }
+        new_id
     }
 }
 
@@ -421,6 +522,65 @@ mod tests {
         let e = t.add_element(t.root(), "e");
         t.add_text(e, "body");
         t.add_attr(e, "late", "nope");
+    }
+
+    #[test]
+    fn graft_detach_replace() {
+        let mut t = fig2_tree();
+        let oa = t.content_children(t.root())[0];
+        // Fragment: <extra note="n"><v>7</v></extra>
+        let mut frag = Tree::new("frag");
+        let extra = frag.add_element(frag.root(), "extra");
+        frag.add_attr(extra, "note", "n");
+        frag.add_text_element(extra, "v", "7");
+        // Graft between <initial> and <bidder>.
+        let grafted = t.graft(oa, 1, &frag, extra);
+        assert_eq!(t.name(grafted), Some("extra"));
+        assert_eq!(t.content_position(grafted), Some(1));
+        assert_eq!(t.content_children(oa).len(), 3);
+        assert_eq!(t.string_value(grafted), "7");
+        assert_eq!(t.node(grafted).n_attrs, 1);
+        // Detach the bidder subtree (5 nodes).
+        let bidder = t.content_children(oa)[2];
+        let before = t.reachable_len();
+        t.detach(bidder);
+        assert_eq!(t.reachable_len(), before - 5);
+        assert_eq!(t.content_children(oa).len(), 2);
+        assert_eq!(t.preorder().len(), t.reachable_len());
+        // Replace <initial> in place.
+        let initial = t.content_children(oa)[0];
+        let mut frag2 = Tree::new("frag2");
+        let repl = frag2.add_text_element(frag2.root(), "revised", "99");
+        let new_root = t.replace_subtree(initial, &frag2, repl);
+        assert_eq!(t.content_position(new_root), Some(0));
+        assert_eq!(t.name(t.content_children(oa)[0]), Some("revised"));
+        // Attributes survive all of the above, pinned first.
+        assert_eq!(t.attrs(oa).len(), 1);
+    }
+
+    #[test]
+    fn graft_positions_clamp() {
+        let mut t = Tree::new("x");
+        let e = t.add_element(t.root(), "e");
+        let mut frag = Tree::new("f");
+        let a = frag.add_element(frag.root(), "a");
+        let b = frag.add_element(frag.root(), "b");
+        t.graft(e, 0, &frag, a);
+        t.graft(e, 99, &frag, b); // clamped to append
+        let names: Vec<_> =
+            t.content_children(e).iter().map(|&c| t.name(c).unwrap().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn detach_attribute_updates_count() {
+        let mut t = Tree::new("x");
+        let e = t.add_element(t.root(), "e");
+        let attr = t.add_attr(e, "id", "1");
+        t.add_text(e, "body");
+        t.detach(attr);
+        assert_eq!(t.attrs(e).len(), 0);
+        assert_eq!(t.content_children(e).len(), 1);
     }
 
     #[test]

@@ -86,6 +86,53 @@ pub enum BoolCore {
 }
 
 impl Core {
+    /// All `doc("uri")` references in the expression, deduplicated, in
+    /// first-occurrence order. This is the query's document dependency
+    /// set: a cached plan stays valid exactly as long as every listed
+    /// document is unchanged (jgi-serve keys plan-cache entries on it).
+    pub fn doc_uris(&self) -> Vec<String> {
+        let mut uris = Vec::new();
+        self.collect_doc_uris(&mut uris);
+        uris
+    }
+
+    fn collect_doc_uris(&self, uris: &mut Vec<String>) {
+        match self {
+            Core::Doc(uri) => {
+                if !uris.iter().any(|u| u == uri) {
+                    uris.push(uri.clone());
+                }
+            }
+            Core::For { seq, body, .. } => {
+                seq.collect_doc_uris(uris);
+                body.collect_doc_uris(uris);
+            }
+            Core::Let { value, body, .. } => {
+                value.collect_doc_uris(uris);
+                body.collect_doc_uris(uris);
+            }
+            Core::If { cond, then } => {
+                match cond.as_ref() {
+                    BoolCore::Ebv(e) => e.collect_doc_uris(uris),
+                    BoolCore::ValCmp { lhs, .. } => lhs.collect_doc_uris(uris),
+                    BoolCore::Cmp { lhs, rhs, .. } => {
+                        lhs.collect_doc_uris(uris);
+                        rhs.collect_doc_uris(uris);
+                    }
+                }
+                then.collect_doc_uris(uris);
+            }
+            Core::Ddo(e) => e.collect_doc_uris(uris),
+            Core::Step { input, .. } => input.collect_doc_uris(uris),
+            Core::Seq(items) => {
+                for e in items {
+                    e.collect_doc_uris(uris);
+                }
+            }
+            Core::Var(_) | Core::Empty => {}
+        }
+    }
+
     /// Pretty-print with indentation (used in examples and docs/tests).
     pub fn pretty(&self) -> String {
         let mut s = String::new();
@@ -218,6 +265,35 @@ mod tests {
             }),
         };
         assert_eq!(e.free_vars(), vec!["in".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn doc_uris_walks_all_positions() {
+        // for $x in doc("a.xml")//item return
+        //   if (doc("b.xml")//open = $x) then (doc("a.xml"), doc("c.xml")) else ()
+        let step = |input: Core| Core::Ddo(Box::new(Core::Step {
+            input: Box::new(input),
+            axis: Axis::Descendant,
+            test: NodeTest::Wildcard,
+        }));
+        let e = Core::For {
+            var: "x".into(),
+            seq: Box::new(step(Core::Doc("a.xml".into()))),
+            body: Box::new(Core::If {
+                cond: Box::new(BoolCore::Cmp {
+                    lhs: step(Core::Doc("b.xml".into())),
+                    op: CompOp::Eq,
+                    rhs: Core::Var("x".into()),
+                }),
+                then: Box::new(Core::Seq(vec![
+                    Core::Doc("a.xml".into()),
+                    Core::Doc("c.xml".into()),
+                ])),
+            }),
+        };
+        // Deduplicated, first-occurrence order; BoolCore operands included.
+        assert_eq!(e.doc_uris(), vec!["a.xml", "b.xml", "c.xml"]);
+        assert!(Core::Empty.doc_uris().is_empty());
     }
 
     #[test]

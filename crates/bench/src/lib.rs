@@ -11,7 +11,12 @@
 //! * `lint-plans` — golden plan-lint run over the Q1–Q8 corpus;
 //! * `parallel` — sequential vs N-thread morsel-driven execution on
 //!   Q1–Q8 per XMark scale, with a hard zero-divergence check; emits
-//!   `BENCH_parallel.json` (see EXPERIMENTS.md).
+//!   `BENCH_parallel.json` (see EXPERIMENTS.md);
+//! * `backend-oracle` — Q1–Q8 through `jgi-engine` *and* through the
+//!   emitted join-graph SQL on a real backend (SQLite via the CLI shell),
+//!   results compared after pre-rank recovery, zero divergence required;
+//!   also checks/blesses the per-dialect golden SQL fixtures; emits
+//!   `BENCH_sql.json` (schema in EXPERIMENTS.md, dialect spec in SQL.md).
 //!
 //! Criterion benches: `queries` (per-query micro timings), `btree`,
 //! `isolation` (rewriter throughput), `axis_steps`.

@@ -769,6 +769,26 @@ impl Session {
         &self.nav
     }
 
+    /// Export the session's documents as relational `doc` rows — the
+    /// paper's `doc(pre,size,level,kind,name,value,data,parent)` encoding
+    /// with interner ids resolved to strings and sentinels to SQL `NULL`s.
+    /// Row `i` is `pre` rank `i`, so a backend loaded from this export
+    /// agrees with the engine on node identity by construction; that
+    /// agreement is what lets the `backend-oracle` compare raw `pre`
+    /// sequences instead of serialized trees.
+    pub fn export_doc_rows(&self) -> Vec<jgi_sql::DocRow> {
+        jgi_sql::doc_rows(&self.store)
+    }
+
+    /// Full SQL load script for this session's documents in the given
+    /// dialect: `doc` DDL, chunked `INSERT`s inside one transaction, and
+    /// the Table 6 secondary indexes. Suitable for piping straight into
+    /// `sqlite3` (or any engine speaking the ANSI rendering); the
+    /// `backend-oracle` and the `SQL` wire command both build on it.
+    pub fn export_sql(&self, dialect: jgi_sql::Dialect) -> String {
+        jgi_sql::load_script(&self.export_doc_rows(), dialect)
+    }
+
     /// The relational database (builds the Table 6 index set on first use;
     /// shares the session's store, no copy).
     pub fn database(&mut self) -> &Database {

@@ -9,6 +9,9 @@
 //! EXEC [engine=<e>] [timeout_ms=<n>] [ctx=<doc>] <query…>
 //!                                    execute on a back-end (default joingraph)
 //! EXPLAIN [ctx=<doc>] <query…>       render the join-graph physical plan
+//! SQL [ctx=<doc>] [dialect=<d>] <query…>
+//!                                    emit the isolated join graph as SQL
+//!                                    (dialect ansi|sqlite, default sqlite)
 //! INSERT parent=<pre> pos=<k> <xml…> insert a subtree as child k of the
 //!                                    node at global pre rank <pre>
 //! DELETE pre=<n>                     delete the subtree rooted at <n>
@@ -23,6 +26,9 @@
 //! ```
 //!
 //! `engine=` accepts `joingraph`, `stacked`, `navwhole`, `navsegmented`.
+//! `SQL` surfaces the block a foreign RDBMS would execute (see SQL.md for
+//! the dialect spec and the `doc` table the block runs against) — paired
+//! with `Session::export_sql` it is everything an external backend needs.
 //! JSON replies always carry `"ok"`; failures add `"error"` (message) and
 //! `"code"` (stable short code, see [`ServeError::code`]). `METRICS` is
 //! the one non-JSON reply: raw exposition text whose final line is the
@@ -58,6 +64,8 @@ pub enum Command {
     Exec { engine: Engine, timeout_ms: Option<u64>, context_doc: Option<String>, query: String },
     /// `EXPLAIN [ctx=<doc>] <query…>`
     Explain { context_doc: Option<String>, query: String },
+    /// `SQL [ctx=<doc>] [dialect=<d>] <query…>`
+    Sql { context_doc: Option<String>, dialect: jgi_sql::Dialect, query: String },
     /// `INSERT parent=<pre> pos=<k> <xml…>`
     Insert {
         /// Global `pre` rank of the parent node.
@@ -118,6 +126,7 @@ struct Options {
     engine: Option<Engine>,
     timeout_ms: Option<u64>,
     ctx: Option<String>,
+    dialect: Option<jgi_sql::Dialect>,
     query: String,
 }
 
@@ -125,6 +134,7 @@ fn parse_options(rest: &str) -> Result<Options, ServeError> {
     let mut engine = None;
     let mut timeout_ms = None;
     let mut ctx = None;
+    let mut dialect = None;
     let mut tail = rest.trim_start();
     loop {
         let (head, after) = match tail.split_once(char::is_whitespace) {
@@ -143,6 +153,9 @@ fn parse_options(rest: &str) -> Result<Options, ServeError> {
                     Some(v.parse::<u64>().map_err(|_| protocol_err("bad timeout_ms"))?);
             }
             "ctx" => ctx = Some(v.to_string()),
+            "dialect" => {
+                dialect = Some(v.parse::<jgi_sql::Dialect>().map_err(protocol_err)?);
+            }
             _ => break,
         }
         tail = after;
@@ -153,7 +166,7 @@ fn parse_options(rest: &str) -> Result<Options, ServeError> {
     if tail.is_empty() {
         return Err(protocol_err("missing query text"));
     }
-    Ok(Options { engine, timeout_ms, ctx, query: tail.to_string() })
+    Ok(Options { engine, timeout_ms, ctx, dialect, query: tail.to_string() })
 }
 
 /// Parse one protocol line. Blank lines and `#` comments yield `None`.
@@ -207,13 +220,16 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
         }
         "PREPARE" => {
             let o = parse_options(rest)?;
-            if o.engine.is_some() || o.timeout_ms.is_some() {
+            if o.engine.is_some() || o.timeout_ms.is_some() || o.dialect.is_some() {
                 return Err(protocol_err("PREPARE takes only ctx="));
             }
             Command::Prepare { context_doc: o.ctx, query: o.query }
         }
         "EXEC" => {
             let o = parse_options(rest)?;
+            if o.dialect.is_some() {
+                return Err(protocol_err("EXEC does not take dialect= (use SQL)"));
+            }
             Command::Exec {
                 engine: o.engine.unwrap_or(Engine::JoinGraph),
                 timeout_ms: o.timeout_ms,
@@ -223,10 +239,21 @@ pub fn parse_command(line: &str) -> Result<Option<Command>, ServeError> {
         }
         "EXPLAIN" => {
             let o = parse_options(rest)?;
-            if o.engine.is_some() || o.timeout_ms.is_some() {
+            if o.engine.is_some() || o.timeout_ms.is_some() || o.dialect.is_some() {
                 return Err(protocol_err("EXPLAIN takes only ctx="));
             }
             Command::Explain { context_doc: o.ctx, query: o.query }
+        }
+        "SQL" => {
+            let o = parse_options(rest)?;
+            if o.engine.is_some() || o.timeout_ms.is_some() {
+                return Err(protocol_err("SQL takes only ctx= and dialect="));
+            }
+            Command::Sql {
+                context_doc: o.ctx,
+                dialect: o.dialect.unwrap_or_default(),
+                query: o.query,
+            }
         }
         "INSERT" => {
             // INSERT parent=<pre> pos=<k> <xml…>
@@ -382,6 +409,26 @@ fn run_command(server: &Server, cmd: &Command) -> Result<Reply, ServeError> {
                 ),
             ])
         }
+        Command::Sql { context_doc, dialect, query } => {
+            // Same prepare path (and plan cache) as EXEC; the reply is the
+            // block a foreign RDBMS would run against the exported `doc`
+            // table — SQL.md specifies the dialect, `Session::export_sql`
+            // produces the table.
+            let (plan, cached) = server.prepare(query, context_doc.as_deref())?;
+            let cq = plan.cq.as_ref().ok_or_else(|| {
+                protocol_err("plan is outside the extractable join-graph fragment")
+            })?;
+            let sql =
+                jgi_sql::emit_join_graph(cq, &jgi_sql::EmitOptions::for_dialect(*dialect));
+            server.registry().counter("sql.backend.emit", 1);
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("cached", Json::Bool(cached)),
+                ("dialect", Json::str(dialect.name())),
+                ("sql", Json::str(sql)),
+                ("generation", Json::UInt(server.snapshot().generation)),
+            ])
+        }
         Command::Insert { parent, pos, xml } => {
             let out = server.commit(&[Op::Insert {
                 parent: *parent,
@@ -509,6 +556,22 @@ mod tests {
             parse_command("replace pre=4 <item kind=\"new\">rug</item>").unwrap(),
             Some(Command::Replace { pre: 4, xml: "<item kind=\"new\">rug</item>".into() })
         );
+        assert_eq!(
+            parse_command(r#"SQL dialect=ansi doc("a.xml")//b"#).unwrap(),
+            Some(Command::Sql {
+                context_doc: None,
+                dialect: jgi_sql::Dialect::Ansi,
+                query: r#"doc("a.xml")//b"#.into()
+            })
+        );
+        assert_eq!(
+            parse_command(r#"SQL ctx=auction.xml //person"#).unwrap(),
+            Some(Command::Sql {
+                context_doc: Some("auction.xml".into()),
+                dialect: jgi_sql::Dialect::Sqlite,
+                query: "//person".into()
+            })
+        );
         assert_eq!(parse_command("STATS").unwrap(), Some(Command::Stats));
         assert_eq!(parse_command("METRICS").unwrap(), Some(Command::Metrics));
         assert_eq!(parse_command("TRACE").unwrap(), Some(Command::Trace { n: 16 }));
@@ -525,6 +588,10 @@ mod tests {
             "EXEC engine=warp9 //a",
             "EXEC timeout_ms=soon //a",
             "EXEC engine=stacked", // no query
+            "EXEC dialect=sqlite //a",     // dialect belongs to SQL
+            "SQL dialect=db2 //a",         // unknown dialect
+            "SQL engine=stacked //a",      // engine belongs to EXEC
+            "SQL dialect=ansi",            // no query
             "TRACE many",
             "TRACE -3",
             "FROBNICATE //a",
@@ -600,6 +667,35 @@ mod tests {
         ] {
             assert!(stats.contains(needle), "missing {needle} in {stats}");
         }
+    }
+
+    #[test]
+    fn sql_command_over_a_live_server() {
+        let server = crate::Server::new(crate::ServeConfig {
+            workers: 1,
+            ..crate::ServeConfig::default()
+        });
+        let run = |line: &str| {
+            handle_command(&server, &parse_command(line).unwrap().unwrap()).render()
+        };
+        run("LOAD XMARK 0.002 5");
+        let q = r#"doc("auction.xml")/descendant::open_auction[bidder]"#;
+        let sqlite = run(&format!("SQL {q}"));
+        assert!(sqlite.contains("\"ok\":true"), "{sqlite}");
+        assert!(sqlite.contains("\"dialect\":\"sqlite\""), "{sqlite}");
+        assert!(sqlite.contains("SELECT DISTINCT"), "{sqlite}");
+        assert!(sqlite.ends_with('\n') && !sqlite.trim_end().contains('\n'), "one line");
+        // Same query, ANSI rendering: reserved columns come back quoted
+        // (\" inside the JSON string).
+        let ansi = run(&format!("SQL dialect=ansi {q}"));
+        assert!(ansi.contains("\"dialect\":\"ansi\""), "{ansi}");
+        assert!(ansi.contains("\\\"size\\\""), "{ansi}");
+        // Second emit hits the plan cache.
+        let again = run(&format!("SQL {q}"));
+        assert!(again.contains("\"cached\":true"), "{again}");
+        // Outside the extractable fragment → stable protocol error.
+        let err = run("SQL 1 + 1");
+        assert!(err.contains("\"ok\":false"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! SQL dialects — per-backend deviations from the portable baseline.
+//!
+//! The paper's claim is portability: the isolated join graph is "a standard
+//! SQL block" any RDBMS can optimize. In practice *standard* still leaves a
+//! few degrees of freedom, and [`Dialect`] pins exactly the ones the emitted
+//! fragment touches:
+//!
+//! * **identifier quoting** — three of the `doc` columns (`value`, `size`,
+//!   `level`) collide with reserved words of the SQL standard; the ANSI
+//!   rendering double-quotes them, SQLite accepts them bare;
+//! * **type names** — the `doc` DDL maps the encoding's columns onto each
+//!   dialect's integer/floating/text types (see [`Dialect::int_type`] and
+//!   friends);
+//! * **row limits** — `LIMIT n` versus the standard's
+//!   `FETCH FIRST n ROWS ONLY`.
+//!
+//! Everything else — string literals with doubled `''` escapes, `BETWEEN`
+//! containment sugar, `SELECT DISTINCT`, `ORDER BY` — is identical across
+//! dialects and documented construct-by-construct in `SQL.md` at the
+//! repository root.
+
+use std::fmt;
+
+/// A SQL dialect the emitter can target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Dialect {
+    /// Portable ANSI baseline: reserved identifiers are double-quoted,
+    /// types are standard names (`DOUBLE PRECISION`, `VARCHAR`), row limits
+    /// use `FETCH FIRST n ROWS ONLY`. This is the rendering to hand an
+    /// unknown RDBMS.
+    Ansi,
+    /// SQLite: bare identifiers (none of the `doc` columns are reserved in
+    /// SQLite), storage-class type names (`INTEGER`, `REAL`, `TEXT`),
+    /// `LIMIT n`. Also the rendering used in the paper's figures — SQLite
+    /// needs no quoting, so it prints exactly the Fig. 8/9 text.
+    #[default]
+    Sqlite,
+}
+
+/// Identifiers that are reserved words somewhere in the SQL standard and
+/// therefore double-quoted by the ANSI rendering. (`value` is reserved
+/// since SQL:1999, `size` and `level` since SQL-92; the remaining `doc`
+/// columns are safe everywhere.)
+const ANSI_RESERVED: [&str; 3] = ["value", "size", "level"];
+
+impl Dialect {
+    /// All dialects, in fixture-directory order.
+    pub fn all() -> [Dialect; 2] {
+        [Dialect::Ansi, Dialect::Sqlite]
+    }
+
+    /// Lower-case dialect name (`ansi`, `sqlite`) — used for fixture
+    /// directories, the `dialect=` protocol option, and JSON fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dialect::Ansi => "ansi",
+            Dialect::Sqlite => "sqlite",
+        }
+    }
+
+    /// Render an identifier, quoting it if this dialect requires quotes
+    /// for that word. Quoted identifiers use the standard `"…"` form with
+    /// `""` escaping (never needed for the fixed `doc` schema, handled for
+    /// completeness).
+    pub fn ident(self, name: &str) -> String {
+        match self {
+            Dialect::Sqlite => name.to_string(),
+            Dialect::Ansi => {
+                if ANSI_RESERVED.contains(&name) {
+                    format!("\"{}\"", name.replace('"', "\"\""))
+                } else {
+                    name.to_string()
+                }
+            }
+        }
+    }
+
+    /// The row-limit clause for `n` rows, with its leading newline — the
+    /// one purely syntactic fork in the emitted block.
+    pub fn limit_clause(self, n: u64) -> String {
+        match self {
+            Dialect::Ansi => format!("\nFETCH FIRST {n} ROWS ONLY"),
+            Dialect::Sqlite => format!("\nLIMIT {n}"),
+        }
+    }
+
+    /// Type name for 32-bit integer columns (`pre`, `size`, `level`,
+    /// `parent`).
+    pub fn int_type(self) -> &'static str {
+        "INTEGER"
+    }
+
+    /// Type name for the typed-decimal `data` column.
+    pub fn real_type(self) -> &'static str {
+        match self {
+            Dialect::Ansi => "DOUBLE PRECISION",
+            Dialect::Sqlite => "REAL",
+        }
+    }
+
+    /// Type name for the string columns (`kind`, `name`, `value`).
+    pub fn text_type(self) -> &'static str {
+        match self {
+            Dialect::Ansi => "VARCHAR(32672)",
+            Dialect::Sqlite => "TEXT",
+        }
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for Dialect {
+    type Err = String;
+
+    /// Parse a dialect name (`ansi` | `sqlite`, case-insensitive).
+    fn from_str(s: &str) -> Result<Dialect, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "ansi" | "generic" => Ok(Dialect::Ansi),
+            "sqlite" | "sqlite3" => Ok(Dialect::Sqlite),
+            other => Err(format!("unknown SQL dialect `{other}` (want ansi|sqlite)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_words_quote_only_under_ansi() {
+        assert_eq!(Dialect::Ansi.ident("value"), "\"value\"");
+        assert_eq!(Dialect::Ansi.ident("size"), "\"size\"");
+        assert_eq!(Dialect::Ansi.ident("level"), "\"level\"");
+        assert_eq!(Dialect::Ansi.ident("pre"), "pre");
+        assert_eq!(Dialect::Ansi.ident("data"), "data");
+        for col in ["pre", "size", "level", "kind", "name", "value", "data", "parent"] {
+            assert_eq!(Dialect::Sqlite.ident(col), col);
+        }
+    }
+
+    #[test]
+    fn limit_forms() {
+        assert_eq!(Dialect::Sqlite.limit_clause(10), "\nLIMIT 10");
+        assert_eq!(Dialect::Ansi.limit_clause(10), "\nFETCH FIRST 10 ROWS ONLY");
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for d in Dialect::all() {
+            assert_eq!(d.name().parse::<Dialect>().unwrap(), d);
+        }
+        assert!("db2".parse::<Dialect>().is_err());
+    }
+}

@@ -1,11 +1,54 @@
-//! SQL emission.
+//! SQL emission — the join-graph block and the stacked CTE chain.
+//!
+//! Two printers live here, one per plan shape:
+//!
+//! * [`emit_join_graph`] (and its fixed-default wrapper [`join_graph_sql`])
+//!   prints an isolated [`ConjunctiveQuery`] as the single
+//!   `SELECT DISTINCT … FROM doc AS d1,… WHERE … ORDER BY …` block of paper
+//!   Figs. 8/9, parameterized by [`Dialect`] for identifier quoting and the
+//!   optional row-limit form;
+//! * [`stacked_sql`] prints the *unrewritten* compiler DAG as a `WITH …`
+//!   common-table-expression chain — one CTE per operator — which is the
+//!   "stacked" configuration paper §4 shows overwhelming the optimizer.
+//!
+//! The emitted text is not just documentation: `jgi_sql::parse` reads the
+//! join-graph block back, and `jgi_sql::backend` ships it to a real RDBMS
+//! and divergence-checks the row sets against `jgi-engine`. Every construct
+//! either printer can produce is specified in `SQL.md` at the repository
+//! root.
 
-use jgi_algebra::cq::{CqScalar, DocCol};
+use crate::dialect::Dialect;
+use jgi_algebra::cq::{ColRef, CqScalar, DocCol};
 use jgi_algebra::pred::{Atom, CmpOp, Scalar};
 use jgi_algebra::{Col, ConjunctiveQuery, NodeId, Op, Plan, Value};
 use std::fmt::Write as _;
 
-/// Print a constant as a SQL literal.
+/// Options controlling join-graph emission.
+///
+/// The default (`Dialect::Sqlite`, no limit) reproduces the paper's
+/// figure rendering byte-for-byte — SQLite needs no identifier quoting,
+/// so its output *is* the portable bare-identifier text.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmitOptions {
+    /// Target dialect (identifier quoting, limit syntax).
+    pub dialect: Dialect,
+    /// Optional row cap appended in the dialect's limit form
+    /// (`LIMIT n` / `FETCH FIRST n ROWS ONLY`). The cap is emission-only
+    /// sugar: it lies outside the restricted fragment
+    /// [`crate::parse_join_graph`] accepts.
+    pub limit: Option<u64>,
+}
+
+impl EmitOptions {
+    /// Options for a dialect with no row cap.
+    pub fn for_dialect(dialect: Dialect) -> EmitOptions {
+        EmitOptions { dialect, limit: None }
+    }
+}
+
+/// Print a constant as a SQL literal: strings single-quoted with `''`
+/// escaping, numbers bare, node-kind constants as their `'ELEM'`-style
+/// tags. Identical across dialects.
 fn sql_value(v: &Value) -> String {
     match v {
         Value::Kind(k) => format!("'{}'", k.tag()),
@@ -13,27 +56,50 @@ fn sql_value(v: &Value) -> String {
     }
 }
 
-fn sql_scalar(s: &CqScalar) -> String {
+/// Render a `dN.col` reference under the dialect's quoting rules.
+fn colref_sql(c: &ColRef, d: Dialect) -> String {
+    format!("d{}.{}", c.alias + 1, d.ident(c.col.sql()))
+}
+
+/// Render a conjunctive-query scalar term (`d3.pre`, `d3.pre + d3.size`,
+/// `d2.level + 1`, or a constant) under the dialect's quoting rules.
+fn sql_scalar(s: &CqScalar, d: Dialect) -> String {
     match s {
-        CqScalar::Col(c) => c.to_string(),
+        CqScalar::Col(c) => colref_sql(c, d),
         CqScalar::ColPlusInt(c, i) => {
             if *i >= 0 {
-                format!("{c} + {i}")
+                format!("{} + {i}", colref_sql(c, d))
             } else {
-                format!("{c} - {}", -i)
+                format!("{} - {}", colref_sql(c, d), -i)
             }
         }
-        CqScalar::ColPlusCol(a, b) => format!("{a} + {b}"),
+        CqScalar::ColPlusCol(a, b) => {
+            format!("{} + {}", colref_sql(a, d), colref_sql(b, d))
+        }
         CqScalar::Const(v) => sql_value(v),
     }
 }
 
-/// Emit the join-graph block (paper Figs. 8/9).
+/// Emit the join-graph block (paper Figs. 8/9) with the default options —
+/// bare identifiers, no row cap. This is the text the paper prints and the
+/// text [`crate::parse_join_graph`] round-trips.
 ///
 /// Containment pairs `dB.pre < dA.pre ∧ dA.pre <= dB.pre + dB.size` are
 /// printed with the paper's `BETWEEN` sugar:
 /// `dA.pre BETWEEN dB.pre + 1 AND dB.pre + dB.size`.
 pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
+    emit_join_graph(cq, &EmitOptions::default())
+}
+
+/// Emit the join-graph block for a specific dialect and optional row cap.
+///
+/// The block's *shape* is dialect-independent — `SELECT DISTINCT` list,
+/// flat `doc` self-join `FROM` clause, conjunctive `WHERE` with `BETWEEN`
+/// folding for containment pairs, `ORDER BY` — only identifier quoting and
+/// the limit clause fork on [`EmitOptions::dialect`]. See `SQL.md` for the
+/// full construct inventory with a worked Q2 example.
+pub fn emit_join_graph(cq: &ConjunctiveQuery, opts: &EmitOptions) -> String {
+    let d = opts.dialect;
     let mut out = String::new();
     // SELECT list.
     out.push_str("SELECT DISTINCT ");
@@ -43,9 +109,9 @@ pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
         .enumerate()
         .map(|(i, o)| {
             if i == cq.item_output {
-                format!("{} AS item", o.col)
+                format!("{} AS item", colref_sql(&o.col, d))
             } else {
-                format!("{}", o.col)
+                colref_sql(&o.col, d)
             }
         })
         .collect();
@@ -78,8 +144,11 @@ pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
                         printed[i] = true;
                         printed[j] = true;
                         clauses.push(format!(
-                            "{a} BETWEEN {b} + 1 AND {b} + d{}.size",
-                            b.alias + 1
+                            "{a} BETWEEN {b} + 1 AND {b} + d{n}.{size}",
+                            a = colref_sql(a, d),
+                            b = colref_sql(b, d),
+                            n = b.alias + 1,
+                            size = d.ident("size"),
                         ));
                         continue;
                     }
@@ -87,7 +156,12 @@ pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
             }
         }
         printed[i] = true;
-        clauses.push(format!("{} {} {}", sql_scalar(&p.lhs), p.op.sql(), sql_scalar(&p.rhs)));
+        clauses.push(format!(
+            "{} {} {}",
+            sql_scalar(&p.lhs, d),
+            p.op.sql(),
+            sql_scalar(&p.rhs, d)
+        ));
     }
     if !clauses.is_empty() {
         out.push_str("\nWHERE  ");
@@ -96,8 +170,11 @@ pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
     // ORDER BY.
     if !cq.order_by.is_empty() {
         out.push_str("\nORDER BY ");
-        let ord: Vec<String> = cq.order_by.iter().map(|c| c.to_string()).collect();
+        let ord: Vec<String> = cq.order_by.iter().map(|c| colref_sql(c, d)).collect();
         out.push_str(&ord.join(", "));
+    }
+    if let Some(n) = opts.limit {
+        out.push_str(&d.limit_clause(n));
     }
     out
 }
@@ -106,6 +183,12 @@ pub fn join_graph_sql(cq: &ConjunctiveQuery) -> String {
 /// unrewritten compiler output that paper §4 benchmarks as the "stacked"
 /// configuration. Every DAG node becomes one CTE; δ becomes `DISTINCT`, ϱ
 /// becomes `RANK() OVER (ORDER BY …)`, # becomes `ROW_NUMBER() OVER ()`.
+///
+/// The stacked rendering is informational: it exists so the tall operator
+/// stack the paper blames for optimizer blindness can be *seen* as SQL
+/// (`jgi-bench`'s `figures` binary prints it, the `SQL` wire command
+/// serves it). It is not divergence-checked against a live backend — that
+/// oracle runs on the join-graph block, which subsumes it (DESIGN.md §12).
 pub fn stacked_sql(plan: &Plan, root: NodeId) -> String {
     let topo = plan.topo_order(root);
     let mut out = String::new();
@@ -249,6 +332,8 @@ pub fn stacked_sql(plan: &Plan, root: NodeId) -> String {
     out
 }
 
+/// Render one stacked-plan predicate atom (`lhs op rhs`), qualifying
+/// columns with the `l`/`r` join sides when the atom sits on a join.
 fn atom_sql(plan: &Plan, a: &Atom, left: Option<NodeId>, right: Option<NodeId>) -> String {
     format!(
         "{} {} {}",
@@ -258,6 +343,8 @@ fn atom_sql(plan: &Plan, a: &Atom, left: Option<NodeId>, right: Option<NodeId>) 
     )
 }
 
+/// Render a stacked-plan scalar, resolving plan column names and deciding
+/// the `l.`/`r.` qualifier by which join input's schema holds the column.
 fn scalar_rec(plan: &Plan, s: &Scalar, left: Option<NodeId>, right: Option<NodeId>) -> String {
     match s {
         Scalar::Col(c) => {
@@ -311,6 +398,44 @@ mod tests {
         assert!(sql.contains("ORDER BY"), "{sql}");
         // The child step's level predicate.
         assert!(sql.contains(".level + 1 ="), "{sql}");
+    }
+
+    /// The default emission is the SQLite rendering: bare identifiers,
+    /// no limit clause.
+    #[test]
+    fn default_emission_is_sqlite() {
+        let cq = q1_cq();
+        assert_eq!(
+            join_graph_sql(&cq),
+            emit_join_graph(&cq, &EmitOptions::for_dialect(Dialect::Sqlite))
+        );
+    }
+
+    /// The ANSI rendering quotes exactly the reserved column names and
+    /// nothing else; the SQLite rendering never quotes.
+    #[test]
+    fn ansi_quotes_reserved_columns() {
+        let cq = q1_cq();
+        let ansi = emit_join_graph(&cq, &EmitOptions::for_dialect(Dialect::Ansi));
+        let sqlite = emit_join_graph(&cq, &EmitOptions::for_dialect(Dialect::Sqlite));
+        assert!(ansi.contains("\"size\""), "{ansi}");
+        assert!(ansi.contains("\"level\""), "{ansi}");
+        assert!(!ansi.contains(".size"), "bare `size` must not survive: {ansi}");
+        assert!(!sqlite.contains('"'), "{sqlite}");
+        // Quoting aside, both renderings are the same text.
+        assert_eq!(ansi.replace('"', ""), sqlite);
+    }
+
+    #[test]
+    fn limit_clause_forks_per_dialect() {
+        let cq = q1_cq();
+        let s = emit_join_graph(
+            &cq,
+            &EmitOptions { dialect: Dialect::Sqlite, limit: Some(5) },
+        );
+        assert!(s.ends_with("\nLIMIT 5"), "{s}");
+        let a = emit_join_graph(&cq, &EmitOptions { dialect: Dialect::Ansi, limit: Some(5) });
+        assert!(a.ends_with("\nFETCH FIRST 5 ROWS ONLY"), "{a}");
     }
 
     #[test]

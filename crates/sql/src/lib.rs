@@ -3,20 +3,46 @@
 //! The paper's punchline is that the isolated join graph travels to the
 //! back-end as a *standard SQL block* "in a declarative fashion barring any
 //! XQuery-specific annotations or similar clues" (§3.3). This crate
-//! provides that interchange surface:
+//! provides that interchange surface, in both directions and now against
+//! real backends:
 //!
 //! * [`emit::join_graph_sql`] prints a [`jgi_algebra::ConjunctiveQuery`] as
 //!   the `SELECT DISTINCT … FROM doc AS d1,… WHERE … ORDER BY` block of
 //!   paper Figs. 8/9 (with the `BETWEEN` sugar for containment ranges);
+//!   [`emit::emit_join_graph`] is the dialect-parameterized form
+//!   ([`EmitOptions`]: [`Dialect`] quoting/`LIMIT` forms, optional row
+//!   limit);
 //! * [`emit::stacked_sql`] prints the *unrewritten* compiler output as a
 //!   `WITH …` common-table-expression chain whose `RANK() OVER` /
 //!   `DISTINCT` clauses mirror the stacked plan — the shape §4 reports as
 //!   overwhelming the optimizer;
 //! * [`parse::parse_join_graph`] reads the restricted dialect back into a
-//!   `ConjunctiveQuery`, so the SQL text can literally drive the engine.
+//!   `ConjunctiveQuery`, so the SQL text can literally drive the engine;
+//! * [`backend`] defines the [`Backend`] trait plus the `doc`-table export
+//!   ([`backend::doc_rows`], DDL/`INSERT` generation) and the pre-rank
+//!   recovery ([`backend::recover_items`]) that makes backend row sets
+//!   comparable to engine node sequences;
+//! * [`sqlite`] is a live backend over the `sqlite3` CLI, [`fixture`] the
+//!   no-database golden-file tier. The `backend-oracle` binary
+//!   (`crates/bench`) wires these into the Q1–Q8 divergence oracle.
+//!
+//! The emitted dialect itself — schemas, type mapping, `DISTINCT`
+//! semantics, node-order recovery, per-dialect deviations — is specified
+//! construct-by-construct in `SQL.md` at the repository root.
 
+pub mod backend;
+pub mod dialect;
 pub mod emit;
+pub mod fixture;
 pub mod parse;
+pub mod sqlite;
 
-pub use emit::{join_graph_sql, stacked_sql};
+pub use backend::{
+    divergence, doc_rows, load_script, recover_items, Backend, BackendError, DocRow, Rows,
+    SqlValue,
+};
+pub use dialect::Dialect;
+pub use emit::{emit_join_graph, join_graph_sql, stacked_sql, EmitOptions};
+pub use fixture::{FixtureBackend, FixtureOutcome};
 pub use parse::{parse_join_graph, SqlParseError};
+pub use sqlite::SqliteBackend;

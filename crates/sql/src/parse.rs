@@ -5,6 +5,15 @@
 //! aggregation — is sufficiently simple" (paper §4); simple enough to parse
 //! back into a [`ConjunctiveQuery`], closing the loop: the engine is
 //! literally driven by the SQL text.
+//!
+//! The parser accepts every rendering [`crate::emit::emit_join_graph`]
+//! produces, in any dialect: identifiers may appear bare (`d1.size`) or
+//! ANSI-quoted (`d1."size"`, with `""` escaping), so the ANSI and SQLite
+//! renderings of the same join graph parse to the same query. The one
+//! emitter feature deliberately *outside* the parse fragment is the
+//! row-limit clause (`LIMIT` / `FETCH FIRST`): limits are a transport
+//! option, not part of the join graph, and SQL.md §7 documents them as
+//! such.
 
 use jgi_algebra::cq::{ColRef, CqAtom, CqScalar, DocCol, OutputCol};
 use jgi_algebra::pred::CmpOp;
@@ -49,6 +58,37 @@ fn lex(input: &str) -> Result<Vec<(usize, Tok)>, SqlParseError> {
         let c = b[i];
         match c {
             b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            // ANSI-quoted identifier: `"size"` lexes to the same Word token
+            // as bare `size`, so dialect renderings converge at the token
+            // stream.
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(SqlParseError {
+                                offset: start,
+                                message: "unterminated quoted identifier".into(),
+                            })
+                        }
+                        Some(b'"') if b.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((start, Tok::Word(s.to_uppercase())));
+            }
             b'\'' => {
                 let start = i;
                 i += 1;
@@ -422,6 +462,28 @@ mod tests {
         assert!(cq.distinct);
         assert_eq!(cq.predicates.len(), 5); // BETWEEN expands to two atoms
         assert_eq!(cq.select[cq.item_output].col.col, DocCol::Pre);
+    }
+
+    /// The ANSI rendering (quoted reserved identifiers) parses back to the
+    /// same query as the SQLite rendering.
+    #[test]
+    fn ansi_rendering_round_trips() {
+        use crate::dialect::Dialect;
+        use crate::emit::{emit_join_graph, EmitOptions};
+        let cq = cq_of(r#"doc("auction.xml")//open_auction[initial > 100]"#);
+        let sqlite = parse_join_graph(&join_graph_sql(&cq)).unwrap();
+        let ansi_sql = emit_join_graph(&cq, &EmitOptions::for_dialect(Dialect::Ansi));
+        let ansi = parse_join_graph(&ansi_sql).unwrap();
+        assert_eq!(ansi, sqlite);
+    }
+
+    #[test]
+    fn quoted_identifiers_lex_like_bare_ones() {
+        let sql = r#"SELECT d1.pre AS item FROM doc AS d1 WHERE d1."size" <= 1 AND d1."value" = 'x'"#;
+        let cq = parse_join_graph(sql).unwrap();
+        assert_eq!(cq.predicates.len(), 2);
+        assert_eq!(cq.predicates[0].lhs, CqScalar::Col(ColRef { alias: 0, col: DocCol::Size }));
+        assert!(parse_join_graph(r#"SELECT d1."pre FROM doc AS d1"#).is_err());
     }
 
     #[test]

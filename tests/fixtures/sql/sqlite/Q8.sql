@@ -1,0 +1,22 @@
+SELECT DISTINCT d1.pre AS item
+FROM   doc AS d1, doc AS d2, doc AS d3, doc AS d4, doc AS d5
+WHERE  d1.kind = 'ELEM'
+AND    d1.name = 'increase'
+AND    d2.kind = 'ELEM'
+AND    d2.name = 'bidder'
+AND    d3.kind = 'ELEM'
+AND    d3.name = 'increase'
+AND    d4.kind = 'ELEM'
+AND    d4.name = 'bidder'
+AND    d5.kind = 'DOC'
+AND    d5.name = 'auction.xml'
+AND    d4.pre BETWEEN d5.pre + 1 AND d5.pre + d5.size
+AND    d3.pre BETWEEN d4.pre + 1 AND d4.pre + d4.size
+AND    d4.level + 1 = d3.level
+AND    d3.data > 20
+AND    d4.parent = d2.parent
+AND    d2.pre < d4.pre
+AND    d4.kind <> 'ATTR'
+AND    d1.pre BETWEEN d2.pre + 1 AND d2.pre + d2.size
+AND    d2.level + 1 = d1.level
+ORDER BY d1.pre

@@ -1,0 +1,215 @@
+//! `join` — per-strategy execution of the Q1–Q8 corpus on the join-graph
+//! back-end: index nested-loop vs rank-id hash vs leapfrog intersection vs
+//! cost-based selection.
+//!
+//! ```sh
+//! cargo run --release -p jgi-bench --bin join -- \
+//!     [--xmark-scale F] [--dblp-pubs N] [--runs N] [--scalar] \
+//!     [--out BENCH_join.json]
+//! ```
+//!
+//! Every query runs once per strategy forcing (`nl`, `hash`, `leapfrog`,
+//! `auto`); the result sequences must be byte-identical across all four
+//! (any divergence makes the binary exit non-zero — CI smoke treats this
+//! as a hard failure). Timings are the minimum over `--runs` warm
+//! executions and *include the planning phase* — strategy selection rides
+//! the memoized DP, and Q2's historic wall was planning, not execution.
+//! The strategy the cost-based planner actually picks per query is
+//! recorded in the JSON (`auto_strategy`), so the row is self-describing
+//! evidence of what `auto` chose.
+
+use jgi_core::queries::paper_corpus;
+use jgi_core::{Engine, Parallelism, Session};
+use jgi_engine::optimizer::{self, JoinStrategy, PlanOptions};
+use jgi_obs::Json;
+use jgi_xml::generate::{generate_dblp, generate_xmark, DblpConfig, XmarkConfig};
+use std::time::Duration;
+
+const HELP: &str = "\
+join - BENCH_join.json: per-join-strategy execution of the paper corpus
+
+usage: cargo run --release -p jgi-bench --bin join -- [OPTIONS]
+
+options:
+  --xmark-scale F  XMark scale factor, seed 42 (default: 0.005)
+  --dblp-pubs N    DBLP publication count for Q5/Q6 (default: 3000)
+  --runs N         executions per (query, strategy); min is reported
+                   (default: 5)
+  --scalar         run the scalar executor instead of the vectorized
+                   pipeline (strategies are re-costed for it)
+  --out PATH       output path (default: BENCH_join.json)
+  -h, --help       print this help and exit";
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: join [--xmark-scale F] [--dblp-pubs N] [--runs N] [--scalar] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+/// Minimum wall-clock (plan + execute) over `runs` warm executions with
+/// the given strategy forced; also returns the result and the join
+/// counters of the last run.
+fn measure(
+    session: &mut Session,
+    prepared: &jgi_core::Prepared,
+    join: JoinStrategy,
+    runs: usize,
+) -> (Duration, Option<Vec<u32>>, [u64; 3]) {
+    session.budgets.join = join;
+    let mut best = Duration::MAX;
+    let mut nodes = None;
+    let mut counters = [0u64; 3];
+    for _ in 0..runs.max(1) {
+        let outcome = session.execute(prepared, Engine::JoinGraph).expect("corpus executes");
+        best = best.min(outcome.wall);
+        if let Some(e) = &outcome.report.exec {
+            counters = [e.join_build_rows, e.join_probe_batches, e.join_seeks];
+        }
+        nodes = outcome.nodes;
+    }
+    (best, nodes, counters)
+}
+
+/// Strategy summary of a plan: the distinct non-NL step strategies joined
+/// with `+`, or `"nl"` for a pure nested-loop plan.
+fn plan_strategy(plan: &jgi_engine::physical::PhysPlan) -> String {
+    let mut tags: Vec<&str> = Vec::new();
+    for s in &plan.steps {
+        let t = s.strategy();
+        if t != "nl" && !tags.contains(&t) {
+            tags.push(t);
+        }
+    }
+    if tags.is_empty() { "nl".to_string() } else { tags.join("+") }
+}
+
+fn main() {
+    let mut xmark_scale = 0.005f64;
+    let mut dblp_pubs = 3000usize;
+    let mut runs = 5usize;
+    let mut vectorized = true;
+    let mut out = String::from("BENCH_join.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--xmark-scale" => {
+                xmark_scale = val("--xmark-scale").parse().unwrap_or_else(|_| usage())
+            }
+            "--dblp-pubs" => dblp_pubs = val("--dblp-pubs").parse().unwrap_or_else(|_| usage()),
+            "--runs" => runs = val("--runs").parse().unwrap_or_else(|_| usage()),
+            "--scalar" => vectorized = false,
+            "--out" => out = val("--out"),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0)
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                usage()
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "join bench: nl vs hash vs leapfrog vs auto, XMark {xmark_scale} + DBLP {dblp_pubs}, \
+         {runs} run(s)/cell, {} executor, {cores} core(s) available",
+        if vectorized { "vectorized" } else { "scalar" }
+    );
+
+    let mut session = Session::new();
+    // Single-threaded: this bench isolates strategy selection; the morsel
+    // scheduler has its own benchmark.
+    session.budgets.parallelism = Parallelism::Fixed(1);
+    session.budgets.vectorized = vectorized;
+    session.add_tree(generate_xmark(XmarkConfig { scale: xmark_scale, seed: 42 }));
+    session.add_tree(generate_dblp(DblpConfig { publications: dblp_pubs, seed: 42 }));
+    // Index construction happens outside the measurement.
+    let _ = session.database();
+
+    eprintln!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12} {:>10} {:>14}",
+        "query", "nodes", "nl_us", "hash_us", "leapfrog_us", "auto_us", "auto_strategy"
+    );
+
+    let mut total_divergence = 0u64;
+    let mut rows: Vec<Json> = Vec::new();
+    for &(name, query, ctx) in &paper_corpus() {
+        let prepared = session.prepare(query, ctx).expect("corpus compiles");
+        let (nl_t, nl_nodes, _) = measure(&mut session, &prepared, JoinStrategy::Nl, runs);
+        let (hash_t, hash_nodes, _) = measure(&mut session, &prepared, JoinStrategy::Hash, runs);
+        let (leap_t, leap_nodes, _) =
+            measure(&mut session, &prepared, JoinStrategy::Leapfrog, runs);
+        let (auto_t, auto_nodes, counters) =
+            measure(&mut session, &prepared, JoinStrategy::Auto, runs);
+        let divergence =
+            hash_nodes != nl_nodes || leap_nodes != nl_nodes || auto_nodes != nl_nodes;
+        if divergence {
+            total_divergence += 1;
+        }
+        let auto_strategy = match &prepared.cq {
+            Some(cq) => {
+                let popts = PlanOptions { join: JoinStrategy::Auto, vectorized };
+                let db = session.database();
+                plan_strategy(&optimizer::plan_opts(db, cq, &popts))
+            }
+            None => "n/a".to_string(),
+        };
+        let result_nodes = nl_nodes.as_deref().map_or(0, |n| session.node_count(n));
+        let [build_rows, probe_batches, seeks] = counters;
+        eprintln!(
+            "{:<6} {:>10} {:>10} {:>10} {:>12} {:>10} {:>14}{}",
+            name,
+            result_nodes,
+            nl_t.as_micros(),
+            hash_t.as_micros(),
+            leap_t.as_micros(),
+            auto_t.as_micros(),
+            auto_strategy,
+            if divergence { "  DIVERGENT" } else { "" }
+        );
+        rows.push(Json::obj([
+            ("query", Json::str(name)),
+            ("nodes", Json::UInt(result_nodes)),
+            ("nl_us", Json::UInt(nl_t.as_micros() as u64)),
+            ("hash_us", Json::UInt(hash_t.as_micros() as u64)),
+            ("leapfrog_us", Json::UInt(leap_t.as_micros() as u64)),
+            ("auto_us", Json::UInt(auto_t.as_micros() as u64)),
+            ("auto_strategy", Json::str(auto_strategy)),
+            ("join_build_rows", Json::UInt(build_rows)),
+            ("join_probe_batches", Json::UInt(probe_batches)),
+            ("join_seeks", Json::UInt(seeks)),
+            ("divergence", Json::UInt(u64::from(divergence))),
+        ]));
+    }
+
+    let row = Json::obj([
+        ("bench", Json::str("join")),
+        ("cores", Json::UInt(cores as u64)),
+        ("runs", Json::UInt(runs as u64)),
+        ("engine", Json::str("join_graph")),
+        ("vectorized", Json::UInt(u64::from(vectorized))),
+        ("xmark_scale", Json::Num(xmark_scale)),
+        ("dblp_pubs", Json::UInt(dblp_pubs as u64)),
+        ("divergence", Json::UInt(total_divergence)),
+        ("queries", Json::Arr(rows)),
+    ]);
+    let rendered = row.render();
+    if let Err(e) = std::fs::write(&out, format!("{rendered}\n")) {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("{rendered}");
+    eprintln!("\nwrote {out}");
+    if total_divergence > 0 {
+        eprintln!("FAIL: {total_divergence} query cells diverged across join strategies");
+        std::process::exit(1);
+    }
+}

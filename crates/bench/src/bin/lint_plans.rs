@@ -6,11 +6,18 @@
 //! identity projections and stranded δ/ϱ operators; that is precisely what
 //! join graph isolation cleans up. The isolated plans must be lint-free.
 //!
+//! Queries that reach the join-graph back-end are additionally linted for
+//! join-strategy regressions: a value-join core executing as NLJOIN when
+//! the planner estimates a hash or leapfrog strategy materially cheaper
+//! is a finding (it means strategy selection is misconfigured or the cost
+//! model regressed).
+//!
 //! Exit status: 0 when every isolated plan is clean, 1 otherwise — CI runs
 //! this as a golden check. Usage: `lint-plans [xmark_scale] [dblp_pubs]`.
 
 use jgi_bench::Workload;
 use jgi_check::lint::{lint, lint_codes};
+use jgi_engine::optimizer::{self, PlanOptions};
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
@@ -49,6 +56,21 @@ fn main() -> ExitCode {
             isolated_dirty += 1;
             for d in &isolated {
                 eprintln!("  {name} isolated: {d}");
+            }
+        }
+
+        // Join-strategy lint over the physical plan the session would run.
+        if let Some(cq) = &prepared.cq {
+            let popts =
+                PlanOptions { join: session.budgets.join, vectorized: session.budgets.vectorized };
+            let db = session.database();
+            let plan = optimizer::plan_opts(db, cq, &popts);
+            let findings = optimizer::lint_join_strategies(db, cq, &plan, popts.vectorized);
+            if !findings.is_empty() {
+                isolated_dirty += 1;
+                for f in &findings {
+                    eprintln!("  {name} join-strategy: {f}");
+                }
             }
         }
     }

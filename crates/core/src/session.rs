@@ -445,6 +445,10 @@ pub struct Budgets {
     /// pipeline. Defaults to on unless the `JGI_SCALAR=1` escape hatch is
     /// set in the environment.
     pub vectorized: bool,
+    /// Physical join-strategy selection for the join-graph planner.
+    /// Defaults to cost-based (`auto`) unless the `JGI_JOIN` escape hatch
+    /// is set in the environment.
+    pub join: optimizer::JoinStrategy,
     /// Override for the morsel size used to partition the parallel
     /// frontier. `None` keeps [`physical::DEFAULT_MORSEL_SIZE`]. Validate
     /// user-supplied values with [`physical::validate_morsel_size`].
@@ -461,10 +465,17 @@ impl Default for Budgets {
             nav: 500_000_000,
             parallelism: Parallelism::Auto,
             vectorized: !physical::scalar_forced(),
+            join: optimizer::JoinStrategy::from_env(),
             morsel_size: None,
             batch_size: None,
         }
     }
+}
+
+/// Translate budgets into planner options: the plan must be costed for the
+/// executor mode it will actually run under, and honor strategy forcing.
+fn plan_options(budgets: &Budgets) -> optimizer::PlanOptions {
+    optimizer::PlanOptions { join: budgets.join, vectorized: budgets.vectorized }
 }
 
 /// Translate budgets into executor options: degree from the parallelism
@@ -626,7 +637,8 @@ pub fn execute_prepared(
                 };
                 let t0 = Instant::now();
                 let span = jgi_obs::span("plan");
-                let (plan, plan_stats) = optimizer::plan_with_stats(db, cq);
+                let (plan, plan_stats) =
+                    optimizer::plan_with_stats_opts(db, cq, &plan_options(&ctx.budgets));
                 drop(span);
                 report.record_phase("plan", t0.elapsed());
                 report.optimizer = Some(plan_stats);
@@ -851,8 +863,9 @@ impl Session {
             .as_ref()
             .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
             .clone();
+        let opts = plan_options(&self.budgets);
         let db = self.database();
-        let plan = optimizer::plan(db, &cq);
+        let plan = optimizer::plan_opts(db, &cq, &opts);
         Ok(jgi_engine::explain::render(db, &plan))
     }
 
@@ -866,8 +879,9 @@ impl Session {
             .ok_or(SessionError::Extract(ExtractError::NoSerializeRoot))?
             .clone();
         let opts = exec_options(&self.budgets);
+        let popts = plan_options(&self.budgets);
         let db = self.database();
-        let plan = optimizer::plan(db, &cq);
+        let plan = optimizer::plan_opts(db, &cq, &popts);
         let (_, stats) = physical::execute_with_stats_opts(db, &plan, &opts);
         Ok(jgi_engine::explain::render_analyze(db, &plan, &stats))
     }

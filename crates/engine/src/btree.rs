@@ -262,6 +262,26 @@ impl BTree {
         BatchCursor { tree: self, leaf: self.root, pos: 0, started: false, descents: 0, leaf_skips: 0 }
     }
 
+    /// Start a galloping seek pass: like [`BTree::batch_cursor`] the cursor
+    /// is advanced with non-decreasing lower bounds, but instead of walking
+    /// the leaf chain one leaf at a time it retains its root-to-leaf
+    /// descent path and re-descends from the lowest ancestor whose subtree
+    /// can contain the target — O(log distance) per seek, which is what
+    /// the leapfrog-style intersection join needs when successive probe
+    /// ranks are far apart in a large index.
+    pub fn seek_cursor(&self) -> SeekCursor<'_> {
+        SeekCursor {
+            tree: self,
+            path: Vec::new(),
+            leaf: self.root,
+            pos: 0,
+            started: false,
+            descents: 0,
+            seeks: 0,
+            node_hops: 0,
+        }
+    }
+
     /// All entries with key prefix exactly `prefix`.
     pub fn scan_prefix<'a>(&'a self, prefix: &'a [Value]) -> Scan<'a> {
         self.scan(prefix, false, prefix, false)
@@ -375,6 +395,141 @@ impl<'a> BatchCursor<'a> {
     /// overlapping ranges (nested containment intervals) still enumerate
     /// every qualifying entry. The bounds may be shorter-lived than the
     /// cursor (reused key buffers); the iterator lives as long as both.
+    pub fn scan_from<'b>(
+        &self,
+        lo: &'b [Value],
+        lo_strict: bool,
+        hi: &'b [Value],
+        hi_strict: bool,
+    ) -> Scan<'b>
+    where
+        'a: 'b,
+    {
+        Scan { tree: self.tree, leaf: self.leaf, pos: self.pos, lo, lo_strict, hi, hi_strict }
+    }
+}
+
+/// Galloping positioning cursor for sorted, possibly *sparse* probe
+/// sequences ([`BTree::seek_cursor`]).
+///
+/// Like [`BatchCursor`] the caller presents non-decreasing lower bounds,
+/// but the cursor keeps the root-to-leaf descent path alive: when the
+/// current leaf cannot contain the next target it climbs the recorded
+/// path only as far as the lowest ancestor whose subtree may hold the
+/// target and re-descends from there. A seek therefore costs
+/// O(log distance) node visits instead of one key check per intervening
+/// leaf — the difference between a merge and a gallop when probe ranks
+/// skip over large runs of the index. Positioning is conservative (never
+/// past the first qualifying entry); [`Scan`] re-checks the bound per
+/// entry, so landing early is slower but never wrong.
+pub struct SeekCursor<'a> {
+    tree: &'a BTree,
+    /// Descent path: `(internal node, child position taken)`, root first.
+    path: Vec<(usize, usize)>,
+    leaf: usize,
+    pos: usize,
+    started: bool,
+    /// Full descents from the root (1 after the first `position`, plus one
+    /// per climb that falls off the recorded path).
+    pub descents: u64,
+    /// `position` calls served.
+    pub seeks: u64,
+    /// Internal nodes climbed or re-descended while galloping.
+    pub node_hops: u64,
+}
+
+impl<'a> SeekCursor<'a> {
+    /// Move the cursor to the first entry not below `lo` (strictly above it
+    /// when `lo_strict`), under prefix comparison. Successive calls must
+    /// present non-decreasing `(lo, lo_strict)` bounds, exactly as for
+    /// [`BatchCursor::position`]; an empty `lo` keeps the cursor in place.
+    pub fn position(&mut self, lo: &[Value], lo_strict: bool) {
+        self.seeks += 1;
+        if !self.started {
+            self.started = true;
+            self.descents += 1;
+            self.descend_from(self.tree.root, lo);
+        } else if !lo.is_empty() {
+            let qualifies = |k: &Key| {
+                let c = cmp_prefix(lo, k);
+                c == Ordering::Less || (c == Ordering::Equal && !lo_strict)
+            };
+            let Node::Leaf { keys, .. } = &self.tree.nodes[self.leaf] else {
+                unreachable!("seek cursors sit on leaves")
+            };
+            if !keys.last().is_some_and(qualifies) {
+                // The current leaf is exhausted for this bound: climb the
+                // recorded path until an ancestor can route to the target.
+                loop {
+                    let Some((pnode, pc)) = self.path.pop() else {
+                        self.descents += 1;
+                        self.descend_from(self.tree.root, lo);
+                        break;
+                    };
+                    self.node_hops += 1;
+                    let Node::Internal { keys, children } = &self.tree.nodes[pnode] else {
+                        unreachable!("seek paths hold internal nodes")
+                    };
+                    let j =
+                        keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater);
+                    // Routed to the last child: `lo` is at/after that
+                    // subtree's start, but only an ancestor can prove it is
+                    // not beyond this node entirely — keep climbing (the
+                    // root routes regardless).
+                    if j == children.len() - 1 && !self.path.is_empty() {
+                        continue;
+                    }
+                    // Monotone bounds mean the target's child is never left
+                    // of the one we came through.
+                    let child = j.max(pc);
+                    self.path.push((pnode, child));
+                    self.descend_from(children[child], lo);
+                    break;
+                }
+            }
+        }
+        if lo.is_empty() {
+            return;
+        }
+        let Node::Leaf { keys, .. } = &self.tree.nodes[self.leaf] else {
+            unreachable!("seek cursors sit on leaves")
+        };
+        let pp = if lo_strict {
+            keys.partition_point(|k| cmp_prefix(lo, k) != Ordering::Less)
+        } else {
+            keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+        };
+        // Never move backward: entries before the cursor failed an earlier
+        // (≤ current) bound.
+        self.pos = self.pos.max(pp);
+    }
+
+    /// Descend from `start`, recording the path, and land on a leaf.
+    fn descend_from(&mut self, start: usize, lo: &[Value]) {
+        let mut cur = start;
+        loop {
+            match &self.tree.nodes[cur] {
+                Node::Internal { keys, children } => {
+                    let pos = if lo.is_empty() {
+                        0
+                    } else {
+                        keys.partition_point(|k| cmp_prefix(lo, k) == Ordering::Greater)
+                    };
+                    self.node_hops += 1;
+                    self.path.push((cur, pos));
+                    cur = children[pos];
+                }
+                Node::Leaf { .. } => {
+                    self.leaf = cur;
+                    self.pos = 0;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Range-scan forward from the current position without moving the
+    /// cursor (same contract as [`BatchCursor::scan_from`]).
     pub fn scan_from<'b>(
         &self,
         lo: &'b [Value],
@@ -582,6 +737,127 @@ mod tests {
         cur.position(&[], false);
         let all: Vec<u32> = cur.scan_from(&[], false, &[], false).map(|(_, v)| v).collect();
         assert_eq!(all, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn seek_cursor_matches_per_probe_scans() {
+        // Same shape as the batch-cursor test: duplicates, multi-leaf
+        // spread, sorted probes with repeats and past-the-end bounds.
+        let entries: Vec<(Key, u32)> = (0..2000).map(|i| (ik(i % 500), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        for strict in [false, true] {
+            let mut cur = t.seek_cursor();
+            for lo in [0i64, 3, 3, 120, 121, 300, 499, 600] {
+                let lo_k = ik(lo);
+                let hi_k = ik(lo + 4);
+                cur.position(&lo_k, strict);
+                let got: Vec<u32> =
+                    cur.scan_from(&lo_k, strict, &hi_k, strict).map(|(_, v)| v).collect();
+                let fresh: Vec<u32> =
+                    t.scan(&lo_k, strict, &hi_k, strict).map(|(_, v)| v).collect();
+                assert_eq!(got, fresh, "lo {lo} strict {strict}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_cursor_duplicate_heavy() {
+        // 40 leaves of the same key followed by sparse singletons: seeking
+        // into and then past the duplicate run must stay exact.
+        let mut entries: Vec<(Key, u32)> = (0..3000).map(|i| (ik(7), i)).collect();
+        entries.extend((0..50).map(|i| (ik(100 + i * 10), 10_000 + i as u32)));
+        let t = BTree::bulk_load(1, entries);
+        let mut cur = t.seek_cursor();
+        for lo in [7i64, 7, 90, 100, 330, 495, 496, 700] {
+            let lo_k = ik(lo);
+            cur.position(&lo_k, false);
+            let got: Vec<u32> = cur.scan_from(&lo_k, false, &lo_k, false).map(|(_, v)| v).collect();
+            let fresh: Vec<u32> = t.scan(&lo_k, false, &lo_k, false).map(|(_, v)| v).collect();
+            assert_eq!(got, fresh, "lo {lo}");
+        }
+    }
+
+    #[test]
+    fn seek_cursor_empty_intersections() {
+        // Every probe falls in a gap (or past the end): each must come back
+        // empty without disturbing later probes.
+        let entries: Vec<(Key, u32)> = (0..500).map(|i| (ik(i * 10), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        let mut cur = t.seek_cursor();
+        for lo in [5i64, 15, 1001, 2345] {
+            let lo_k = ik(lo);
+            cur.position(&lo_k, false);
+            assert!(
+                cur.scan_from(&lo_k, false, &lo_k, false).next().is_none(),
+                "gap probe {lo} must be empty"
+            );
+        }
+        // An on-key probe after the misses still lands (bounds stay monotone).
+        let k = ik(4990);
+        cur.position(&k, false);
+        assert_eq!(cur.scan_from(&k, false, &k, false).count(), 1);
+        for lo in [4995i64, 5001, 9999] {
+            let lo_k = ik(lo);
+            cur.position(&lo_k, false);
+            assert!(
+                cur.scan_from(&lo_k, false, &lo_k, false).next().is_none(),
+                "gap probe {lo} must be empty"
+            );
+        }
+        // Empty tree: all probes empty.
+        let t = BTree::new(1);
+        let mut cur = t.seek_cursor();
+        cur.position(&ik(5), false);
+        assert!(cur.scan_from(&ik(5), false, &ik(9), false).next().is_none());
+    }
+
+    #[test]
+    fn seek_cursor_gallops_past_leaf_runs() {
+        // Two sparse probes over a 64k-entry tree: a BatchCursor walks ~1000
+        // leaves between them; the seek cursor must stay logarithmic.
+        let entries: Vec<(Key, u32)> = (0..65_536).map(|i| (ik(i), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        let mut cur = t.seek_cursor();
+        for lo in [10i64, 65_000] {
+            let lo_k = ik(lo);
+            cur.position(&lo_k, false);
+            let got: Vec<u32> = cur.scan_from(&lo_k, false, &lo_k, false).map(|(_, v)| v).collect();
+            assert_eq!(got, vec![lo as u32]);
+        }
+        assert!(
+            cur.node_hops < 40,
+            "far seek must gallop, not crawl the leaf chain ({} hops)",
+            cur.node_hops
+        );
+        assert_eq!(cur.seeks, 2);
+    }
+
+    #[test]
+    fn seek_cursor_random_monotone_probes() {
+        // Deterministic pseudo-random monotone probe sequence cross-checked
+        // against fresh scans, with duplicates in both tree and probes.
+        let entries: Vec<(Key, u32)> = (0..4000).map(|i| (ik((i * 7) % 900), i as u32)).collect();
+        let t = BTree::bulk_load(1, entries);
+        let mut state = 0xDEADBEEFu64;
+        let mut probes: Vec<i64> = (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as i64 % 1000
+            })
+            .collect();
+        probes.sort_unstable();
+        for strict in [false, true] {
+            let mut cur = t.seek_cursor();
+            for &lo in &probes {
+                let lo_k = ik(lo);
+                let hi_k = ik(lo + 3);
+                cur.position(&lo_k, strict);
+                let got: Vec<u32> =
+                    cur.scan_from(&lo_k, strict, &hi_k, false).map(|(_, v)| v).collect();
+                let fresh: Vec<u32> = t.scan(&lo_k, strict, &hi_k, false).map(|(_, v)| v).collect();
+                assert_eq!(got, fresh, "lo {lo} strict {strict}");
+            }
+        }
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub fn render(db: &Database, plan: &PhysPlan) -> String {
                 let _ = writeln!(out, "{pad}HSJOIN (on {})", keys.join(","));
                 let _ = writeln!(out, "{pad} {}", describe_access(db, access));
             }
+            Step::HashRank { access, .. } => {
+                let flag = if access.early_out { " (early-out ⋉)" } else { "" };
+                let _ = writeln!(out, "{pad}HSJOIN-RANK (on value){flag}");
+                let _ = writeln!(out, "{pad} {}", describe_access(db, access));
+            }
+            Step::Leapfrog(a) => {
+                let flag = if a.early_out { " (early-out ⋉)" } else { "" };
+                let _ = writeln!(out, "{pad}LFJOIN{flag}");
+                let _ = writeln!(out, "{pad} {}", describe_access(db, a));
+            }
         }
     }
     let pad = " ".repeat(depth + 1);
@@ -105,6 +115,24 @@ pub fn render_analyze(db: &Database, plan: &PhysPlan, stats: &ExecStats) -> Stri
             stats.btree_skips
         );
     }
+    // Annotated only when the plan actually carries a non-NL join strategy,
+    // so pure-NLJOIN output (and its golden tests) is unchanged.
+    let mut strategies: Vec<&str> = Vec::new();
+    for s in plan.steps.iter().filter(|s| !matches!(s, Step::Nl(_))) {
+        if !strategies.contains(&s.strategy()) {
+            strategies.push(s.strategy());
+        }
+    }
+    if !strategies.is_empty() {
+        let _ = writeln!(
+            out,
+            " JOIN (strategy {}, build_rows {}, probe_batches {}, seeks {})",
+            strategies.join("+"),
+            stats.join_build_rows,
+            stats.join_probe_batches,
+            stats.join_seeks
+        );
+    }
     let mut depth = 1;
     for (i, step) in plan.steps.iter().enumerate().rev() {
         depth += 1;
@@ -125,6 +153,21 @@ pub fn render_analyze(db: &Database, plan: &PhysPlan, stats: &ExecStats) -> Stri
                     describe_access(db, access),
                     annotate(access, &op)
                 );
+            }
+            Step::HashRank { access, .. } => {
+                let flag = if access.early_out { " (early-out ⋉)" } else { "" };
+                let _ = writeln!(out, "{pad}HSJOIN-RANK (on value){flag}");
+                let _ = writeln!(
+                    out,
+                    "{pad} {}{}",
+                    describe_access(db, access),
+                    annotate(access, &op)
+                );
+            }
+            Step::Leapfrog(a) => {
+                let flag = if a.early_out { " (early-out ⋉)" } else { "" };
+                let _ = writeln!(out, "{pad}LFJOIN{flag}");
+                let _ = writeln!(out, "{pad} {}{}", describe_access(db, a), annotate(a, &op));
             }
         }
     }

@@ -20,11 +20,22 @@ use jgi_algebra::cq::{ColRef, CqAtom, CqScalar, DocCol};
 use jgi_algebra::pred::CmpOp;
 use jgi_algebra::{ConjunctiveQuery, Value};
 use jgi_xml::NodeKind;
+use std::collections::HashMap;
 
 /// Cost of touching one row in a scan (arbitrary unit).
 const ROW_COST: f64 = 1.0;
 /// Cost of one B-tree descent.
 const PROBE_COST: f64 = 12.0;
+/// Cost applied to the strategies a [`JoinStrategy`] forcing knob rules
+/// out where the forced strategy is applicable — large enough to dominate
+/// any honest estimate, finite so the DP still completes (and falls back
+/// naturally where the forced strategy cannot run).
+const FORCE_PENALTY: f64 = 1e12;
+/// Per-probe cost of a galloping leapfrog seek on the vectorized path:
+/// the sorted probe batch shares one cursor, so a probe costs a few node
+/// hops (O(log gap)) instead of a full root descent. Calibrated coarsely
+/// against `PROBE_COST`, like the rest of the unit system.
+pub const LEAP_SEEK_COST: f64 = 2.0;
 
 /// Minimum estimated plan cost (in the `ROW_COST`/`PROBE_COST` unit)
 /// before the executor is allowed to fan out across worker threads. Below
@@ -39,12 +50,19 @@ const PROBE_COST: f64 = 12.0;
 pub const PARALLEL_MIN_COST: f64 = 200.0;
 
 /// Decide the parallelism degree for executing `plan` when the caller
-/// requests `requested` worker threads: plans estimated cheaper than
-/// [`PARALLEL_MIN_COST`] stay sequential. The executor further caps the
-/// degree by the number of frontier morsels actually produced, so a high
-/// return value here is a permission, not an obligation.
-pub fn parallel_degree(plan: &PhysPlan, requested: usize) -> usize {
-    if requested <= 1 || plan.est_cost < PARALLEL_MIN_COST {
+/// requests `requested` worker threads: plans whose *mode-aware* cost
+/// (see [`batch_aware_cost`]) falls below [`PARALLEL_MIN_COST`] stay
+/// sequential — a plan whose rows are cheap to batch does not deserve
+/// thread fan-out just because its scalar estimate looks expensive. On
+/// the vectorized path both the cost and the bar are expressed in
+/// [`VECTOR_ROW_COST`] units, so the gate asks the same question in both
+/// modes: "is this ≥ 200 scalar-row-equivalents of work?". The executor
+/// further caps the degree by the number of frontier morsels actually
+/// produced, so a high return value here is a permission, not an
+/// obligation.
+pub fn parallel_degree(plan: &PhysPlan, requested: usize, vectorized: bool) -> usize {
+    let floor = if vectorized { PARALLEL_MIN_COST * VECTOR_ROW_COST } else { PARALLEL_MIN_COST };
+    if requested <= 1 || batch_aware_cost(plan, vectorized) < floor {
         1
     } else {
         requested
@@ -59,16 +77,97 @@ pub const VECTOR_ROW_COST: f64 = 0.25;
 
 /// Batch-aware plan cost: the vectorized executor touches the same rows
 /// and performs the same logical probes, just at the cheaper per-row
-/// rate. Deliberately *not* consulted by plan enumeration or by
-/// [`parallel_degree`]'s gate — plan choice and fan-out behaviour are
-/// mode-independent (a cheap plan stays sequential whether or not its
-/// rows would be cheap to batch); this figure feeds EXPLAIN and service
-/// admission heuristics.
+/// rate. Plans produced by the options-aware DP ([`plan_opts`] with
+/// `vectorized: true`) already bake the discount into `est_cost` (their
+/// [`PhysPlan::batch_costed`] flag is set) and are returned unchanged;
+/// plans costed at scalar rates are discounted here. The figure feeds the
+/// DP itself (through [`PlanOptions::vectorized`]), [`parallel_degree`]'s
+/// fan-out gate, EXPLAIN, and service admission heuristics.
 pub fn batch_aware_cost(plan: &PhysPlan, vectorized: bool) -> f64 {
-    if vectorized {
+    if vectorized && !plan.batch_costed {
         plan.est_cost * VECTOR_ROW_COST
     } else {
         plan.est_cost
+    }
+}
+
+/// Physical join-strategy selection: `auto` lets the DP cost-choose per
+/// join edge; the rest force one family wherever it is applicable (with a
+/// natural NL fallback where it is not). Plumbed from `Budgets::join`,
+/// the `JGI_JOIN` environment escape hatch, and the cross-strategy test
+/// matrices. Every strategy produces bit-identical results — this knob
+/// only moves work around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Cost-choose among NL, hash-family, and leapfrog per join edge.
+    #[default]
+    Auto,
+    /// Index nested-loop everywhere — the divergence baseline. Also
+    /// disables the generic hash join, so the plan is pure NLJOIN.
+    Nl,
+    /// Prefer hash-family steps (rank-id or string-keyed) wherever a
+    /// usable equality edge exists.
+    Hash,
+    /// Prefer leapfrog intersection steps wherever the access has a
+    /// variable probe. In scalar mode a leapfrog step executes exactly
+    /// like NL — the strategy only changes vectorized batching.
+    Leapfrog,
+}
+
+impl JoinStrategy {
+    /// All strategies, for forcing matrices in tests and benches.
+    pub const ALL: [JoinStrategy; 4] =
+        [JoinStrategy::Auto, JoinStrategy::Nl, JoinStrategy::Hash, JoinStrategy::Leapfrog];
+
+    /// Read the `JGI_JOIN=nl|hash|leapfrog|auto` escape hatch (read once
+    /// per options construction, like `JGI_SCALAR`).
+    pub fn from_env() -> JoinStrategy {
+        std::env::var("JGI_JOIN").ok().and_then(|v| v.parse().ok()).unwrap_or_default()
+    }
+}
+
+impl std::str::FromStr for JoinStrategy {
+    type Err = String;
+    fn from_str(s: &str) -> Result<JoinStrategy, String> {
+        match s {
+            "auto" => Ok(JoinStrategy::Auto),
+            "nl" => Ok(JoinStrategy::Nl),
+            "hash" => Ok(JoinStrategy::Hash),
+            "leapfrog" => Ok(JoinStrategy::Leapfrog),
+            other => Err(format!("unknown join strategy {other:?} (want nl|hash|leapfrog|auto)")),
+        }
+    }
+}
+
+impl std::fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            JoinStrategy::Auto => "auto",
+            JoinStrategy::Nl => "nl",
+            JoinStrategy::Hash => "hash",
+            JoinStrategy::Leapfrog => "leapfrog",
+        })
+    }
+}
+
+/// Planner options: join-strategy forcing plus the executor mode the plan
+/// will run under. `vectorized: true` costs candidate rows at
+/// [`VECTOR_ROW_COST`] and unlocks the leapfrog option — the promotion of
+/// [`batch_aware_cost`] from explain-only figure to real DP input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanOptions {
+    /// Strategy forcing (default: `JGI_JOIN`, else auto).
+    pub join: JoinStrategy,
+    /// Cost for the vectorized executor (default: unless `JGI_SCALAR=1`).
+    pub vectorized: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions {
+            join: JoinStrategy::from_env(),
+            vectorized: !crate::physical::scalar_forced(),
+        }
     }
 }
 
@@ -105,15 +204,42 @@ pub struct PlanStats {
 
 /// Plan a conjunctive query against the database's index set.
 pub fn plan(db: &Database, cq: &ConjunctiveQuery) -> PhysPlan {
-    plan_with_stats(db, cq).0
+    plan_with_stats_opts(db, cq, &PlanOptions::default()).0
 }
 
 /// Like [`plan`], additionally returning the DP's search-effort counters.
 pub fn plan_with_stats(db: &Database, cq: &ConjunctiveQuery) -> (PhysPlan, PlanStats) {
+    plan_with_stats_opts(db, cq, &PlanOptions::default())
+}
+
+/// [`plan`] with explicit [`PlanOptions`].
+pub fn plan_opts(db: &Database, cq: &ConjunctiveQuery, opts: &PlanOptions) -> PhysPlan {
+    plan_with_stats_opts(db, cq, opts).0
+}
+
+/// The dynamic program. Two structural choices keep it off the query's
+/// critical path (planning used to dominate Q2's end-to-end latency by
+/// two orders of magnitude):
+///
+/// * **Memoized step options.** Access paths and join alternatives for an
+///   alias depend only on *which of its join-graph neighbors* are bound —
+///   not on the rest of the mask. Options are memoized under
+///   `(alias, mask & rel_mask[alias])`, collapsing the O(n·2ⁿ) calls to
+///   `best_access` down to the handful of distinct neighbor subsets.
+/// * **Parent-pointer states.** A DP state is a `Copy` cost/cardinality
+///   record pointing at its predecessor mask; the winning plan is
+///   reconstructed once at the end from the memo, instead of cloning
+///   growing `Vec<Step>` plans on every extension.
+pub fn plan_with_stats_opts(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    opts: &PlanOptions,
+) -> (PhysPlan, PlanStats) {
     let mut stats = PlanStats::default();
     let n = cq.aliases;
     assert!(n >= 1, "query without relations");
     assert!(n <= 20, "join graphs beyond 20 aliases are out of scope");
+    let row_cost = if opts.vectorized { VECTOR_ROW_COST } else { ROW_COST };
 
     // Pre-split predicates.
     let locals: Vec<Vec<CqAtom>> = (0..n)
@@ -121,112 +247,179 @@ pub fn plan_with_stats(db: &Database, cq: &ConjunctiveQuery) -> (PhysPlan, PlanS
         .collect();
     let joins: Vec<CqAtom> = cq.predicates.iter().filter(|p| !p.is_local()).cloned().collect();
 
+    // Join-graph neighbor mask per alias — the memo key projection.
+    let mut rel_mask: Vec<u32> = vec![0; n];
+    for p in &joins {
+        let al = p.aliases();
+        for &a in &al {
+            for &b in &al {
+                if b != a {
+                    rel_mask[a] |= 1 << b;
+                }
+            }
+        }
+    }
+    let mut memo: HashMap<(usize, u32), StepOptions> = HashMap::new();
+    // Hash-family build sides are *independent* accesses (mask 0, local
+    // predicates only) — identical for every neighbor subset of an alias,
+    // so they are cached per alias rather than per memo key.
+    let mut builds: Vec<Option<BuildSide>> = vec![None; n];
+
     // DP over subsets (left-deep).
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
-    let mut best: Vec<Option<State>> = vec![None; (full as usize) + 1];
+    let mut best: Vec<Option<Node>> = vec![None; (full as usize) + 1];
 
     // Seed: single-alias drivers. The cardinality floor (≥ 1 row) matters:
     // without it a sub-1 driver estimate makes every subsequent step look
     // free and the DP loses all discrimination.
-    for (a, local) in locals.iter().enumerate() {
-        let access = best_access(db, cq, a, local, &joins, 0, &mut stats);
-        let card = access.1.max(1.0);
-        let state = State {
-            cost: access.2,
-            card,
-            driver: Some(access.0),
-            steps: Vec::new(),
-            order: vec![a],
+    for (a, alias_locals) in locals.iter().enumerate() {
+        let o = memo.entry((a, 0u32)).or_insert_with(|| {
+            compute_step_options(
+                db, cq, a, alias_locals, &joins, 0, row_cost, opts.join, &mut builds, &mut stats,
+            )
+        });
+        let node = Node {
+            cost: o.probe_cost,
+            card: o.per_probe.max(1.0),
+            prev: 0,
+            alias: a,
+            choice: Choice::Nl,
         };
-        consider(&mut best, 1 << a, state, &mut stats);
+        consider(&mut best, 1 << a, node, &mut stats);
     }
 
     // Expand.
-    for mask in 1..=full {
-        let Some(cur) = best[mask as usize].clone() else { continue };
-        if mask == full {
-            continue;
-        }
-        // Prefer connected extensions; fall back to Cartesian only if none.
-        let mut connected = Vec::new();
-        let mut others = Vec::new();
+    for mask in 1..full {
+        let Some(cur) = best[mask as usize] else { continue };
+        // Prefer connected extensions (a join-graph neighbor already
+        // bound, i.e. `rel_mask` intersects); fall back to Cartesian only
+        // if no unbound alias is connected.
+        let any_connected =
+            (0..n).any(|a| mask & (1 << a) == 0 && rel_mask[a] & mask != 0);
         for a in 0..n {
             if mask & (1 << a) != 0 {
                 continue;
             }
-            let is_conn = joins.iter().any(|p| {
-                let al = p.aliases();
-                al.contains(&a) && al.iter().any(|&x| x != a && mask & (1 << x) != 0)
-            });
-            if is_conn {
-                connected.push(a);
-            } else {
-                others.push(a);
+            if any_connected && rel_mask[a] & mask == 0 {
+                continue;
             }
-        }
-        let candidates = if connected.is_empty() { others } else { connected };
-        for a in candidates {
-            // Option A: index nested-loop.
-            let (access, per_probe, probe_cost) =
-                best_access(db, cq, a, &locals[a], &joins, mask, &mut stats);
-            let nl_cost = cur.cost + cur.card * probe_cost;
+            let key = (a, mask & rel_mask[a]);
+            let o = memo.entry(key).or_insert_with(|| {
+                compute_step_options(
+                    db, cq, a, &locals[a], &joins, key.1, row_cost, opts.join, &mut builds,
+                    &mut stats,
+                )
+            });
+            let next_mask = mask | (1 << a);
+            // Forcing: penalize the strategies the knob rules out, but only
+            // where the forced strategy is actually applicable — elsewhere
+            // the natural fallback (NL) stays penalty-free.
+            let hash_applicable = o.hash.is_some() || o.rank.is_some();
+            let penalize_non_hash = opts.join == JoinStrategy::Hash && hash_applicable;
+            let penalize_non_leap = opts.join == JoinStrategy::Leapfrog && o.has_var;
+            let penalty = |on: bool| if on { FORCE_PENALTY } else { 0.0 };
             // A plan always processes at least one outer row; flooring keeps
             // later steps from looking free and preserves candidate-index
             // differentiation for the advisor.
-            let nl_card = (cur.card * per_probe).max(1.0);
-            let mut next = State {
-                cost: nl_cost,
+            let nl_card = (cur.card * o.per_probe).max(1.0);
+            // Option A: index nested-loop.
+            let nl = Node {
+                cost: cur.cost
+                    + cur.card * o.probe_cost
+                    + penalty(penalize_non_hash || penalize_non_leap),
                 card: nl_card,
-                driver: cur.driver.clone(),
-                steps: {
-                    let mut s = cur.steps.clone();
-                    s.push(Step::Nl(access));
-                    s
-                },
-                order: {
-                    let mut o = cur.order.clone();
-                    o.push(a);
-                    o
-                },
+                prev: mask,
+                alias: a,
+                choice: Choice::Nl,
             };
-            // Option B: hash join on a value-equality edge.
-            if let Some(hash) = hash_option(db, cq, a, &locals[a], &joins, mask, &mut stats) {
-                let (step, build_cost, per_probe_h) = hash;
-                stats.hash_options_considered += 1;
-                let h_cost = cur.cost + build_cost + cur.card * ROW_COST;
-                if h_cost < next.cost {
-                    next = State {
-                        cost: h_cost,
-                        card: (cur.card * per_probe_h).max(1.0),
-                        driver: cur.driver.clone(),
-                        steps: {
-                            let mut s = cur.steps.clone();
-                            s.push(step);
-                            s
-                        },
-                        order: {
-                            let mut o = cur.order.clone();
-                            o.push(a);
-                        o
-                        },
-                    };
-                }
+            consider(&mut best, next_mask, nl, &mut stats);
+            // Option B: leapfrog intersection — same access path as NL, but
+            // the vectorized executor serves the whole sorted probe batch
+            // with one galloping cursor instead of per-probe root descents.
+            // Scalar auto skips it (it would only tie with NL); a scalar
+            // *forced* leapfrog still plans, executing via the NL delegate.
+            if o.has_var
+                && opts.join != JoinStrategy::Nl
+                && (opts.vectorized || opts.join == JoinStrategy::Leapfrog)
+            {
+                let per_probe_cost = if opts.vectorized {
+                    LEAP_SEEK_COST + (o.probe_cost - PROBE_COST).max(0.0)
+                } else {
+                    o.probe_cost
+                };
+                let leap = Node {
+                    cost: cur.cost + cur.card * per_probe_cost + penalty(penalize_non_hash),
+                    card: nl_card,
+                    prev: mask,
+                    alias: a,
+                    choice: Choice::Leapfrog,
+                };
+                consider(&mut best, next_mask, leap, &mut stats);
             }
-            consider(&mut best, mask | (1 << a), next, &mut stats);
+            // Option C: generic hash join on a value-equality edge.
+            if let Some(h) = &o.hash {
+                let hash = Node {
+                    cost: cur.cost + h.build_cost + cur.card * row_cost + penalty(penalize_non_leap),
+                    card: (cur.card * h.per_probe).max(1.0),
+                    prev: mask,
+                    alias: a,
+                    choice: Choice::Hash,
+                };
+                consider(&mut best, next_mask, hash, &mut stats);
+            }
+            // Option D: rank-id hash join — interned-id build/probe.
+            if let Some(r) = &o.rank {
+                let rank = Node {
+                    cost: cur.cost + r.build_cost + cur.card * r.probe_cost + penalty(penalize_non_leap),
+                    card: (cur.card * r.per_probe).max(1.0),
+                    prev: mask,
+                    alias: a,
+                    choice: Choice::HashRank,
+                };
+                consider(&mut best, next_mask, rank, &mut stats);
+            }
         }
     }
 
-    let final_state = best[full as usize].clone().expect("DP covers the full set");
+    // Reconstruct the winning left-deep chain from the parent pointers.
+    let final_node = best[full as usize].expect("DP covers the full set");
+    let mut chain: Vec<Node> = Vec::new();
+    let mut node = final_node;
+    loop {
+        chain.push(node);
+        if node.prev == 0 {
+            break;
+        }
+        node = best[node.prev as usize].expect("prefix state exists");
+    }
+    chain.reverse();
+    let driver = memo[&(chain[0].alias, 0u32)].access.clone();
+    let steps: Vec<Step> = chain[1..]
+        .iter()
+        .map(|nd| {
+            let o = &memo[&(nd.alias, nd.prev & rel_mask[nd.alias])];
+            match nd.choice {
+                Choice::Nl => Step::Nl(o.access.clone()),
+                Choice::Leapfrog => Step::Leapfrog(o.access.clone()),
+                Choice::Hash => o.hash.as_ref().expect("hash option chosen").step.clone(),
+                Choice::HashRank => {
+                    let r = o.rank.as_ref().expect("rank option chosen");
+                    Step::HashRank { access: r.access.clone(), probe: r.probe }
+                }
+            }
+        })
+        .collect();
     let mut phys = PhysPlan {
         n_aliases: n,
-        driver: final_state.driver.expect("driver set"),
-        steps: final_state.steps,
+        driver,
+        steps,
         select: cq.select.iter().map(|o| o.col).collect(),
         distinct: cq.distinct,
         order_by: cq.order_by.clone(),
         item_output: cq.item_output,
-        est_cost: final_state.cost,
-        est_rows: final_state.card,
+        est_cost: final_node.cost,
+        est_rows: final_node.card,
+        batch_costed: opts.vectorized,
     };
     mark_early_out(cq, &mut phys);
     if jgi_obs::is_active() {
@@ -238,27 +431,151 @@ pub fn plan_with_stats(db: &Database, cq: &ConjunctiveQuery) -> (PhysPlan, PlanS
     (phys, stats)
 }
 
-/// DP state: cost/cardinality plus the partial left-deep plan.
-#[derive(Clone)]
-struct State {
+/// DP state: cost/cardinality plus a parent pointer into the subset table.
+/// Deliberately `Copy` — extension must not clone partial plans.
+#[derive(Clone, Copy)]
+struct Node {
     cost: f64,
     card: f64,
-    driver: Option<Access>,
-    steps: Vec<Step>,
-    order: Vec<usize>,
+    /// Predecessor subset mask; 0 marks a single-alias seed.
+    prev: u32,
+    /// Alias this state added on top of `prev`.
+    alias: usize,
+    /// Which join alternative won for that alias.
+    choice: Choice,
 }
 
-fn consider(best: &mut [Option<State>], mask: u32, state: State, stats: &mut PlanStats) {
+/// Join alternative chosen by a [`Node`] (resolved against the memoized
+/// [`StepOptions`] during reconstruction).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Choice {
+    Nl,
+    Hash,
+    HashRank,
+    Leapfrog,
+}
+
+/// Memoized planning work for one `(alias, bound-neighbor set)` pair: the
+/// best NL access path plus the constructible hash-family alternatives.
+struct StepOptions {
+    /// Cheapest access path (shared by the NL and leapfrog options).
+    access: Access,
+    /// Estimated matches per outer row through `access`.
+    per_probe: f64,
+    /// Estimated cost per outer row through `access`.
+    probe_cost: f64,
+    /// Does `access` probe with bound-alias values (leapfrog applies)?
+    has_var: bool,
+    /// Generic string-keyed hash join, if a value-equality edge exists.
+    hash: Option<HashOpt>,
+    /// Rank-id hash join, if a bare `Value = Value` edge exists.
+    rank: Option<RankOpt>,
+}
+
+/// Generic hash-join alternative (string-keyed, [`Step::Hash`]).
+struct HashOpt {
+    step: Step,
+    build_cost: f64,
+    per_probe: f64,
+}
+
+/// Rank-id hash-join alternative ([`Step::HashRank`]): build/probe on
+/// interned value ids, no key materialization.
+struct RankOpt {
+    access: Access,
+    probe: ColRef,
+    build_cost: f64,
+    per_probe: f64,
+    probe_cost: f64,
+}
+
+/// Cached independent build-side access: `(access, est rows, est cost)`.
+type BuildSide = (Access, f64, f64);
+
+/// Fetch (computing at most once per alias) the hash-family build side:
+/// the best access for `alias` with *no* bound partners, local predicates
+/// only.
+fn build_side<'c>(
+    cache: &'c mut [Option<BuildSide>],
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    alias: usize,
+    locals: &[CqAtom],
+    row_cost: f64,
+    stats: &mut PlanStats,
+) -> &'c BuildSide {
+    if cache[alias].is_none() {
+        cache[alias] = Some(best_access(db, cq, alias, locals, &[], 0, row_cost, stats));
+    }
+    cache[alias].as_ref().expect("just filled")
+}
+
+/// Compute the full option set for extending a plan with `alias` when the
+/// bound set (projected to `alias`'s join-graph neighbors) is `mask`.
+#[allow(clippy::too_many_arguments)]
+fn compute_step_options(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    alias: usize,
+    locals: &[CqAtom],
+    joins: &[CqAtom],
+    mask: u32,
+    row_cost: f64,
+    join: JoinStrategy,
+    builds: &mut [Option<BuildSide>],
+    stats: &mut PlanStats,
+) -> StepOptions {
+    let (access, per_probe, probe_cost) =
+        best_access(db, cq, alias, locals, joins, mask, row_cost, stats);
+    let has_var = access_has_var(&access);
+    // Under NL forcing the hash family is not merely penalized — it is not
+    // even enumerated, so forced-NL planning stays the cheap baseline.
+    let (hash, rank) = if join == JoinStrategy::Nl {
+        (None, None)
+    } else {
+        (
+            hash_option(db, cq, alias, locals, joins, mask, row_cost, builds, stats)
+                .map(|(step, build_cost, per_probe)| HashOpt { step, build_cost, per_probe }),
+            rank_option(db, cq, alias, locals, joins, mask, row_cost, builds, stats),
+        )
+    };
+    StepOptions { access, per_probe, probe_cost, has_var, hash, rank }
+}
+
+/// Does this access probe with values of already-bound aliases (as opposed
+/// to constants only)? Variable probes are what the vectorized leapfrog
+/// path sorts and serves with a galloping cursor.
+fn access_has_var(a: &Access) -> bool {
+    let var = |p: &Probe| !matches!(p, Probe::Const(_));
+    match &a.method {
+        Method::IxScan { eq, range, .. } => {
+            eq.iter().any(var)
+                || range
+                    .as_ref()
+                    .map(|r| {
+                        r.lo.as_ref().map(|(p, _)| var(p)).unwrap_or(false)
+                            || r.hi.as_ref().map(|(p, _)| var(p)).unwrap_or(false)
+                    })
+                    .unwrap_or(false)
+        }
+        Method::TbScan => false,
+    }
+}
+
+fn consider(best: &mut [Option<Node>], mask: u32, node: Node, stats: &mut PlanStats) {
     stats.states_considered += 1;
     let slot = &mut best[mask as usize];
     match slot {
-        Some(s) if s.cost <= state.cost => stats.states_pruned += 1,
-        _ => *slot = Some(state),
+        Some(s) if s.cost <= node.cost => stats.states_pruned += 1,
+        _ => *slot = Some(node),
     }
 }
 
 /// Pick the best access path for `alias` given the bound alias set `mask`.
-/// Returns `(access, est matches per probe, est cost per probe)`.
+/// Returns `(access, est matches per probe, est cost per probe)`. Row
+/// touches are charged at `row_cost` — the scalar or vectorized per-row
+/// rate, depending on the executor the plan targets.
+#[allow(clippy::too_many_arguments)]
 fn best_access(
     db: &Database,
     cq: &ConjunctiveQuery,
@@ -266,6 +583,7 @@ fn best_access(
     locals: &[CqAtom],
     joins: &[CqAtom],
     mask: u32,
+    row_cost: f64,
     stats: &mut PlanStats,
 ) -> (Access, f64, f64) {
     let n_rows = db.stats.total.max(1) as f64;
@@ -298,7 +616,7 @@ fn best_access(
         early_out: false,
         est_rows: est_result,
     };
-    let mut best_cost = n_rows * ROW_COST;
+    let mut best_cost = n_rows * row_cost;
     stats.access_paths_considered += 1; // the table scan
 
     // Candidate: each index, matched by key prefix.
@@ -349,7 +667,7 @@ fn best_access(
             .map(|(_, p)| p.clone())
             .collect();
         let scanned = (n_rows * used_sel).max(1.0);
-        let cost = PROBE_COST + scanned * ROW_COST;
+        let cost = PROBE_COST + scanned * row_cost;
         if cost < best_cost {
             best_cost = cost;
             best_access = Access {
@@ -367,6 +685,7 @@ fn best_access(
 
 /// Hash-join option for `alias`: usable when a value-equality edge connects
 /// it to the bound set. Returns `(step, build cost, matches per probe)`.
+#[allow(clippy::too_many_arguments)]
 fn hash_option(
     db: &Database,
     cq: &ConjunctiveQuery,
@@ -374,6 +693,8 @@ fn hash_option(
     locals: &[CqAtom],
     joins: &[CqAtom],
     mask: u32,
+    row_cost: f64,
+    builds: &mut [Option<BuildSide>],
     stats: &mut PlanStats,
 ) -> Option<(Step, f64, f64)> {
     // Find equality atoms `alias.col = bound-expr` suitable as hash keys.
@@ -406,22 +727,91 @@ fn hash_option(
     if build_key.is_empty() {
         return None;
     }
+    stats.hash_options_considered += 1;
     // Build side: best *independent* access (local predicates only).
     let (mut access, build_rows, build_cost) =
-        best_access(db, cq, alias, locals, &[], 0, stats);
-    access.residual = {
-        let mut r = access.residual;
-        r.extend(residual);
-        r
-    };
+        build_side(builds, db, cq, alias, locals, row_cost, stats).clone();
+    access.residual.extend(residual);
     // Matches per probe ≈ build_rows / ndv(value).
     let ndv = db.stats.value_distinct.max(1) as f64;
     let per_probe = (build_rows / ndv).max(1e-6);
     Some((
         Step::Hash { access, build_key, probe_key },
-        build_cost + build_rows * ROW_COST,
+        build_cost + build_rows * row_cost,
         per_probe,
     ))
+}
+
+/// Rank-id hash-join option for `alias`: a specialization of the generic
+/// hash join for a single bare `Value = Value` equality edge. Both sides
+/// carry interned value ids, and the interner assigns ids such that equal
+/// ids ⇔ equal values — so the build side is a flat `head`/`next` chain
+/// table indexed by id and a probe is one O(1) integer load, with no
+/// hashing and no key materialization. The probed atom is enforced
+/// *exactly* by the id lookup and therefore dropped from the residual.
+#[allow(clippy::too_many_arguments)]
+fn rank_option(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    alias: usize,
+    locals: &[CqAtom],
+    joins: &[CqAtom],
+    mask: u32,
+    row_cost: f64,
+    builds: &mut [Option<BuildSide>],
+    stats: &mut PlanStats,
+) -> Option<RankOpt> {
+    let mut probe: Option<ColRef> = None;
+    let mut residual: Vec<CqAtom> = Vec::new();
+    for p in joins {
+        let al = p.aliases();
+        if !al.contains(&alias) || !al.iter().all(|&x| x == alias || mask & (1 << x) != 0) {
+            continue;
+        }
+        if probe.is_none() && p.op == CmpOp::Eq {
+            // Orient: both sides bare Value columns, one ours, one bound.
+            let pair = match (&p.lhs, &p.rhs) {
+                (CqScalar::Col(m), CqScalar::Col(o)) if m.alias == alias && o.alias != alias => {
+                    Some((m, o))
+                }
+                (CqScalar::Col(o), CqScalar::Col(m)) if m.alias == alias && o.alias != alias => {
+                    Some((m, o))
+                }
+                _ => None,
+            };
+            if let Some((m, o)) = pair {
+                if m.col == DocCol::Value && o.col == DocCol::Value {
+                    probe = Some(*o);
+                    continue;
+                }
+            }
+        }
+        residual.push(p.clone());
+    }
+    let probe = probe?;
+    stats.hash_options_considered += 1;
+    // Build side: best *independent* access (local predicates only).
+    let (mut access, build_rows, build_cost) =
+        build_side(builds, db, cq, alias, locals, row_cost, stats).clone();
+    access.residual.extend(residual);
+    // Matches per probe ≈ build_rows / ndv, using the per-(name, kind)
+    // distinct-value count when the alias pins both — this is what lets
+    // the DP see that probing e.g. an `@id` build side yields ~1 match
+    // while the global value NDV would wash that out.
+    let (name, kind) = alias_name(cq, alias);
+    let ndv = match (name, kind) {
+        (Some(nm), Some(k)) => db.stats.name_value_distinct(&nm, k),
+        _ => db.stats.value_distinct,
+    }
+    .max(1) as f64;
+    let per_probe = (build_rows / ndv).max(1e-6);
+    Some(RankOpt {
+        access,
+        probe,
+        build_cost: build_cost + build_rows * row_cost,
+        per_probe,
+        probe_cost: row_cost + per_probe * row_cost,
+    })
 }
 
 /// Can this atom drive an index probe for `alias` given `mask`?
@@ -804,7 +1194,7 @@ fn mark_early_out(cq: &ConjunctiveQuery, plan: &mut PhysPlan) {
             let a = s.access();
             let in_residual = a.residual.iter().any(|p| p.aliases().contains(&alias));
             let in_probe = match s {
-                Step::Nl(acc) => match &acc.method {
+                Step::Nl(acc) | Step::Leapfrog(acc) => match &acc.method {
                     Method::IxScan { eq, range, .. } => {
                         let probe_uses = |p: &Probe| match p {
                             Probe::Bound(c) | Probe::BoundPlusInt(c, _) => c.alias == alias,
@@ -832,16 +1222,79 @@ fn mark_early_out(cq: &ConjunctiveQuery, plan: &mut PhysPlan) {
                     Probe::BoundPlusBound(x, y) => x.alias == alias || y.alias == alias,
                     Probe::Const(_) => false,
                 }),
+                Step::HashRank { probe, .. } => probe.alias == alias,
             };
             in_residual || in_probe
         });
         if !needed[alias] && !used_later {
             match &mut plan.steps[i] {
-                Step::Nl(a) => a.early_out = true,
-                Step::Hash { access, .. } => access.early_out = true,
+                Step::Nl(a) | Step::Leapfrog(a) => a.early_out = true,
+                Step::Hash { access, .. } | Step::HashRank { access, .. } => {
+                    access.early_out = true
+                }
             }
         }
     }
+}
+
+/// Plan lint: flag a value-join core that executes as NLJOIN when the
+/// options-aware DP estimates a hash or leapfrog alternative materially
+/// cheaper (beyond a 5% noise margin). Returns human-readable findings,
+/// empty when clean; wired into the `lint-plans` bin.
+pub fn lint_join_strategies(
+    db: &Database,
+    cq: &ConjunctiveQuery,
+    plan: &PhysPlan,
+    vectorized: bool,
+) -> Vec<String> {
+    // Aliases wearing a bare Value = Value join edge — the cores the new
+    // strategies exist for.
+    let mut value_aliases: Vec<usize> = Vec::new();
+    for p in cq.predicates.iter().filter(|p| !p.is_local() && p.op == CmpOp::Eq) {
+        if let (CqScalar::Col(a), CqScalar::Col(b)) = (&p.lhs, &p.rhs) {
+            if a.col == DocCol::Value && b.col == DocCol::Value && a.alias != b.alias {
+                for al in [a.alias, b.alias] {
+                    if !value_aliases.contains(&al) {
+                        value_aliases.push(al);
+                    }
+                }
+            }
+        }
+    }
+    let nl_on_value: Vec<usize> = plan
+        .steps
+        .iter()
+        .filter_map(|s| match s {
+            Step::Nl(a) if value_aliases.contains(&a.alias) => Some(a.alias),
+            _ => None,
+        })
+        .collect();
+    if nl_on_value.is_empty() {
+        return Vec::new();
+    }
+    let auto = plan_opts(db, cq, &PlanOptions { join: JoinStrategy::Auto, vectorized });
+    let cur_cost = batch_aware_cost(plan, vectorized);
+    let auto_cost = batch_aware_cost(&auto, vectorized);
+    if auto_cost * 1.05 >= cur_cost {
+        return Vec::new();
+    }
+    nl_on_value
+        .iter()
+        .filter_map(|&alias| {
+            let picked = auto
+                .steps
+                .iter()
+                .find(|s| s.access().alias == alias)
+                .map(|s| s.strategy())?;
+            if picked == "nl" {
+                return None;
+            }
+            Some(format!(
+                "alias {alias}: value-join core runs as NLJOIN (plan est {cur_cost:.1}) \
+                 but auto strategy selection picks {picked} (est {auto_cost:.1})"
+            ))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -965,6 +1418,82 @@ mod tests {
         // pick them at this scale; soundness is what we assert).
         let _hashes =
             plan_full.steps.iter().filter(|s| matches!(s, Step::Hash { .. })).count();
+    }
+
+    /// Every forcing knob yields byte-identical results, and the forced
+    /// plans actually contain the forced step kinds.
+    #[test]
+    fn forced_strategies_agree() {
+        let db = db(0.005);
+        let cq = cq_of(
+            r#"for $i in doc("auction.xml")//itemref, $x in doc("auction.xml")//item
+               where $i/@item = $x/@id return $x"#,
+        );
+        let baseline = crate::physical::execute(
+            &db,
+            &plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Nl, vectorized: false }),
+        );
+        assert!(!baseline.is_empty());
+        for join in JoinStrategy::ALL {
+            for vectorized in [false, true] {
+                let p = plan_opts(&db, &cq, &PlanOptions { join, vectorized });
+                let out = crate::physical::execute(&db, &p);
+                assert_eq!(out, baseline, "{join} vectorized={vectorized} diverged");
+            }
+        }
+        let hashed =
+            plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Hash, vectorized: true });
+        assert!(
+            hashed.steps.iter().any(|s| matches!(s, Step::Hash { .. } | Step::HashRank { .. })),
+            "hash forcing must produce a hash-family step"
+        );
+        let leap =
+            plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Leapfrog, vectorized: true });
+        assert!(
+            leap.steps.iter().any(|s| matches!(s, Step::Leapfrog(_))),
+            "leapfrog forcing must produce a leapfrog step"
+        );
+    }
+
+    /// The Q2-style value-join core must cost-choose a hash-family or
+    /// leapfrog strategy under auto (the point of the promotion of
+    /// batch-aware costing into the DP).
+    #[test]
+    fn auto_picks_non_nl_for_value_join() {
+        let db = db(0.005);
+        let cq = cq_of(
+            r#"for $i in doc("auction.xml")//itemref, $x in doc("auction.xml")//item
+               where $i/@item = $x/@id return $x"#,
+        );
+        let p = plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Auto, vectorized: true });
+        assert!(
+            p.steps.iter().any(|s| !matches!(s, Step::Nl(_))),
+            "auto kept a pure-NL plan for a value join: {p:?}"
+        );
+        assert!(p.batch_costed, "vectorized planning must mark batch_costed");
+    }
+
+    /// The strategy lint fires on a forced-NL value join exactly when auto
+    /// would do better, and stays quiet on the auto plan itself.
+    #[test]
+    fn lint_flags_forced_nl_value_join() {
+        let db = db(0.005);
+        let cq = cq_of(
+            r#"for $i in doc("auction.xml")//itemref, $x in doc("auction.xml")//item
+               where $i/@item = $x/@id return $x"#,
+        );
+        let nl = plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Nl, vectorized: true });
+        let auto = plan_opts(&db, &cq, &PlanOptions { join: JoinStrategy::Auto, vectorized: true });
+        if auto.steps.iter().any(|s| !matches!(s, Step::Nl(_))) {
+            assert!(
+                !lint_join_strategies(&db, &cq, &nl, true).is_empty(),
+                "lint must flag the forced-NL plan"
+            );
+        }
+        assert!(
+            lint_join_strategies(&db, &cq, &auto, true).is_empty(),
+            "lint must not flag the auto plan"
+        );
     }
 
     /// The DP must never produce a Cartesian product when the graph is

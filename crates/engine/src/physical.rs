@@ -130,14 +130,43 @@ pub enum Step {
         /// Probe key: computed from bound aliases.
         probe_key: Vec<Probe>,
     },
+    /// Rank-id hash join for value-equality edges: the build side is keyed
+    /// on the *interned value id* of the step's alias (dense
+    /// struct-of-arrays chains, see `RankTable`), and each probe is an
+    /// O(1) integer lookup through the bound alias's `value` column — no
+    /// string materialization on either side.
+    HashRank {
+        /// Build-side access (independent of outer bindings).
+        access: Access,
+        /// Probe: the bound alias whose untyped value keys the lookup
+        /// (always a `value` column).
+        probe: ColRef,
+    },
+    /// Leapfrog-style intersection join: an NL access whose leading
+    /// variable probe targets a value-ordered index. Scalar execution is
+    /// identical to [`Step::Nl`]; the vectorized path sorts each probe
+    /// batch by interned value *rank* and serves all probes with one
+    /// galloping [`crate::btree::SeekCursor`] instead of per-probe
+    /// descents or linear leaf-chain hops.
+    Leapfrog(Access),
 }
 
 impl Step {
     /// The access inside the step.
     pub fn access(&self) -> &Access {
         match self {
-            Step::Nl(a) => a,
-            Step::Hash { access, .. } => access,
+            Step::Nl(a) | Step::Leapfrog(a) => a,
+            Step::Hash { access, .. } | Step::HashRank { access, .. } => access,
+        }
+    }
+
+    /// Short strategy tag for EXPLAIN / lints.
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            Step::Nl(_) => "nl",
+            Step::Hash { .. } => "hash",
+            Step::HashRank { .. } => "hash-rank",
+            Step::Leapfrog(_) => "leapfrog",
         }
     }
 }
@@ -163,6 +192,11 @@ pub struct PhysPlan {
     pub est_cost: f64,
     /// Optimizer's cardinality estimate.
     pub est_rows: f64,
+    /// Whether `est_cost` was already computed with the vectorized
+    /// per-row discount baked in (plans from the options-aware DP). When
+    /// set, [`crate::optimizer::batch_aware_cost`] must not discount
+    /// again.
+    pub batch_costed: bool,
 }
 
 /// Evaluate a scalar over the bindings; `None` for NULL.
@@ -278,6 +312,17 @@ pub struct ExecStats {
     /// Probes served without a root descent: leaf-chain hops of sorted
     /// batched cursors plus outer tuples sharing one constant-probe scan.
     pub btree_skips: u64,
+    /// Rows loaded into join build sides ([`Step::Hash`] string-keyed
+    /// tables and [`Step::HashRank`] rank tables). Charged once at build
+    /// time on the scheduling thread, so it is mode-*independent*.
+    pub join_build_rows: u64,
+    /// Batches pushed through a rank-hash or leapfrog probe (0 on the
+    /// scalar path — mode-dependent, like `vector_*`).
+    pub join_probe_batches: u64,
+    /// Galloping seeks performed by leapfrog intersection cursors
+    /// (mode-dependent; each seek replaces a root descent the batch
+    /// cursor would spend a linear leaf-chain walk to avoid).
+    pub join_seeks: u64,
 }
 
 impl ExecStats {
@@ -313,6 +358,9 @@ impl ExecStats {
         self.vector_fallbacks += w.vector_fallbacks;
         self.btree_descents += w.btree_descents;
         self.btree_skips += w.btree_skips;
+        self.join_build_rows += w.join_build_rows;
+        self.join_probe_batches += w.join_probe_batches;
+        self.join_seeks += w.join_seeks;
     }
 }
 
@@ -474,21 +522,22 @@ pub fn execute_rows_opts(
     let driver_fast = compile_atoms(db, &plan.driver.residual);
     let step_fast: Vec<Vec<FastAtom>> =
         plan.steps.iter().map(|s| compile_atoms(db, &s.access().residual)).collect();
-    // Pre-build hash tables (sequential: build cost is charged once and is
-    // usually dwarfed by the probe pipeline). Build-side residuals that
+    // Pre-build join build sides (sequential: build cost is charged once
+    // and is usually dwarfed by the probe pipeline; the tables are shared
+    // read-only with every morsel worker). Build-side residuals that
     // mention outer aliases cannot run yet; they are re-checked at probe
     // time.
-    let hash_tables = build_hash_tables(db, plan, &mut stats);
+    let tables = build_join_tables(db, plan, &mut stats);
 
-    let workers = crate::optimizer::parallel_degree(plan, opts.parallelism);
+    let workers = crate::optimizer::parallel_degree(plan, opts.parallelism, opts.vectorized);
     let rows = if workers <= 1 {
         if opts.vectorized {
-            execute_vectorized(db, plan, &driver_fast, &step_fast, &hash_tables, opts, &mut stats)
+            execute_vectorized(db, plan, &driver_fast, &step_fast, &tables, opts, &mut stats)
         } else {
-            execute_sequential(db, plan, &driver_fast, &step_fast, &hash_tables, &mut stats)
+            execute_sequential(db, plan, &driver_fast, &step_fast, &tables, &mut stats)
         }
     } else {
-        execute_parallel(db, plan, opts, workers, &driver_fast, &step_fast, &hash_tables, &mut stats)
+        execute_parallel(db, plan, opts, workers, &driver_fast, &step_fast, &tables, &mut stats)
     };
     if opts.vectorized {
         stats.vector_batch_size = opts.batch_size.max(1) as u64;
@@ -531,6 +580,9 @@ pub fn execute_rows_opts(
         jgi_obs::counter("exec.vector.fallbacks", stats.vector_fallbacks);
         jgi_obs::counter("btree.descents", stats.btree_descents);
         jgi_obs::counter("btree.skip", stats.btree_skips);
+        jgi_obs::counter("exec.join.build_rows", stats.join_build_rows);
+        jgi_obs::counter("exec.join.probe_batches", stats.join_probe_batches);
+        jgi_obs::counter("exec.join.seeks", stats.join_seeks);
     }
     // Always-on process totals: deposit the same per-execution summary into
     // the global registry, recording or not. One counter batch per query,
@@ -552,55 +604,137 @@ pub fn execute_rows_opts(
         reg.counter("exec.vector.batches", stats.vector_batches);
         reg.counter("btree.descents", stats.btree_descents);
         reg.counter("btree.skip", stats.btree_skips);
+        reg.counter("exec.join.build_rows", stats.join_build_rows);
+        reg.counter("exec.join.probe_batches", stats.join_probe_batches);
+        reg.counter("exec.join.seeks", stats.join_seeks);
     }
     (out, stats)
 }
 
-/// Pre-build the hash-join tables for every [`Step::Hash`] in the plan.
-fn build_hash_tables(
-    db: &Database,
-    plan: &PhysPlan,
-    stats: &mut ExecStats,
-) -> Vec<Option<HashMap<Vec<Value>, Vec<u32>>>> {
-    let mut hash_tables: Vec<Option<HashMap<Vec<Value>, Vec<u32>>>> =
-        vec![None; plan.steps.len()];
+/// Dense rank-keyed build side of a [`Step::HashRank`] join.
+///
+/// Struct-of-arrays chained layout over *interned value ids*: `head[id]`
+/// is the first entry for value `id` (or [`NO_ENTRY`]), `next[e]` chains
+/// to the following entry, and `pres[e]` is the build row. Chains are in
+/// build-scan order, so probe-side candidate enumeration matches the
+/// order a `HashMap<Vec<Value>, Vec<u32>>` bucket would produce — the
+/// early-out comparison counts stay identical across strategies.
+#[derive(Debug)]
+pub(crate) struct RankTable {
+    head: Vec<u32>,
+    next: Vec<u32>,
+    pres: Vec<u32>,
+}
+
+/// Chain terminator / empty-bucket marker of [`RankTable`].
+const NO_ENTRY: u32 = u32::MAX;
+
+impl RankTable {
+    /// First entry for the interned value id of `pre`'s value column, or
+    /// [`NO_ENTRY`] for NULL values (`jgi_xml::NO_VALUE` is `u32::MAX`,
+    /// out of range by construction) and never-seen ids.
+    #[inline]
+    fn first(&self, value_id: u32) -> u32 {
+        self.head.get(value_id as usize).copied().unwrap_or(NO_ENTRY)
+    }
+}
+
+/// Pre-built join build sides, one slot per pipeline step: string-keyed
+/// tables for [`Step::Hash`], rank tables for [`Step::HashRank`]. Built
+/// once on the scheduling thread and shared read-only with every worker.
+pub(crate) struct JoinTables {
+    hash: Vec<Option<HashMap<Vec<Value>, Vec<u32>>>>,
+    rank: Vec<Option<RankTable>>,
+}
+
+/// Pre-build the join tables for every hash-family step in the plan.
+fn build_join_tables(db: &Database, plan: &PhysPlan, stats: &mut ExecStats) -> JoinTables {
+    let mut tables = JoinTables {
+        hash: (0..plan.steps.len()).map(|_| None).collect(),
+        rank: (0..plan.steps.len()).map(|_| None).collect(),
+    };
+    let empty = vec![u32::MAX; plan.n_aliases];
     for (i, step) in plan.steps.iter().enumerate() {
-        if let Step::Hash { access, build_key, .. } = step {
-            let local_fast: Vec<FastAtom> = access
+        // Local-only atoms can run on the build side; the full residual
+        // set (join atoms included) is re-checked at probe time.
+        let local_fast = |access: &Access| -> Vec<FastAtom> {
+            access
                 .residual
                 .iter()
                 .filter(|p| p.aliases().iter().all(|&x| x == access.alias))
                 .map(|p| crate::fastpred::compile_atom(db, p))
-                .collect();
-            let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
-            let empty = vec![u32::MAX; plan.n_aliases];
-            let mut scratch = AccessScratch::default();
-            let counts = scan_access(db, access, &local_fast, &empty, &mut scratch, &mut |pre| {
-                let key: Option<Vec<Value>> = build_key
-                    .iter()
-                    .map(|&c| {
-                        let v = db.col_value(pre, IndexCol::Col(c));
-                        if v.is_null() {
-                            None
+                .collect()
+        };
+        match step {
+            Step::Hash { access, build_key, .. } => {
+                let mut table: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+                let mut scratch = AccessScratch::default();
+                let fast = local_fast(access);
+                let mut built = 0u64;
+                let counts = scan_access(db, access, &fast, &empty, &mut scratch, &mut |pre| {
+                    let key: Option<Vec<Value>> = build_key
+                        .iter()
+                        .map(|&c| {
+                            let v = db.col_value(pre, IndexCol::Col(c));
+                            if v.is_null() {
+                                None
+                            } else {
+                                Some(v)
+                            }
+                        })
+                        .collect();
+                    if let Some(key) = key {
+                        table.entry(key).or_default().push(pre);
+                        built += 1;
+                    }
+                    true
+                });
+                // Build-side work charges the step's operator.
+                let op = &mut stats.per_op[i + 1];
+                op.rows_in += counts.rows_in;
+                op.index_probes += counts.index_probes;
+                op.comparisons += counts.comparisons;
+                stats.join_build_rows += built;
+                tables.hash[i] = Some(table);
+            }
+            Step::HashRank { access, .. } => {
+                let n_ids = db.symbols.value_rank.len();
+                let mut table = RankTable {
+                    head: vec![NO_ENTRY; n_ids],
+                    next: Vec::new(),
+                    pres: Vec::new(),
+                };
+                // Tail pointers keep chains in forward scan order without
+                // a second pass.
+                let mut tails = vec![NO_ENTRY; n_ids];
+                let mut scratch = AccessScratch::default();
+                let fast = local_fast(access);
+                let counts = scan_access(db, access, &fast, &empty, &mut scratch, &mut |pre| {
+                    let id = db.store.value[pre as usize];
+                    if (id as usize) < n_ids {
+                        let e = table.pres.len() as u32;
+                        table.pres.push(pre);
+                        table.next.push(NO_ENTRY);
+                        if tails[id as usize] == NO_ENTRY {
+                            table.head[id as usize] = e;
                         } else {
-                            Some(v)
+                            table.next[tails[id as usize] as usize] = e;
                         }
-                    })
-                    .collect();
-                if let Some(key) = key {
-                    table.entry(key).or_default().push(pre);
-                }
-                true
-            });
-            // Build-side work charges the step's operator.
-            let op = &mut stats.per_op[i + 1];
-            op.rows_in += counts.rows_in;
-            op.index_probes += counts.index_probes;
-            op.comparisons += counts.comparisons;
-            hash_tables[i] = Some(table);
+                        tails[id as usize] = e;
+                    }
+                    true
+                });
+                let op = &mut stats.per_op[i + 1];
+                op.rows_in += counts.rows_in;
+                op.index_probes += counts.index_probes;
+                op.comparisons += counts.comparisons;
+                stats.join_build_rows += table.pres.len() as u64;
+                tables.rank[i] = Some(table);
+            }
+            Step::Nl(_) | Step::Leapfrog(_) => {}
         }
     }
-    hash_tables
+    tables
 }
 
 /// Per-step reusable buffers for the tuple-at-a-time path, so the hot
@@ -626,7 +760,7 @@ struct StepScratch {
 fn walk(
     db: &Database,
     plan: &PhysPlan,
-    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &JoinTables,
     step_fast: &[Vec<FastAtom>],
     depth: usize,
     bindings: &mut Vec<u32>,
@@ -646,7 +780,9 @@ fn walk(
     }
     let (mine, deeper) = scratch.split_first_mut().expect("scratch level per step");
     match &plan.steps[depth] {
-        Step::Nl(access) => {
+        // A leapfrog step is an NL access whose batching differs only on
+        // the vectorized path — tuple-at-a-time they are the same scan.
+        Step::Nl(access) | Step::Leapfrog(access) => {
             let StepScratch { access: scr, snapshot, .. } = mine;
             snapshot.clear();
             snapshot.extend_from_slice(bindings);
@@ -654,14 +790,14 @@ fn walk(
                 stats.rows_scanned[depth + 1] += 1;
                 stats.per_op[depth + 1].rows_out += 1;
                 bindings[access.alias] = pre;
-                walk(db, plan, hash_tables, step_fast, depth + 1, bindings, deeper, rows, stats);
+                walk(db, plan, tables, step_fast, depth + 1, bindings, deeper, rows, stats);
                 bindings[access.alias] = u32::MAX;
                 !access.early_out
             });
             stats.per_op[depth + 1].absorb(counts);
         }
         Step::Hash { access, probe_key, .. } => {
-            let table = hash_tables[depth].as_ref().expect("hash table built");
+            let table = tables.hash[depth].as_ref().expect("hash table built");
             stats.per_op[depth + 1].invocations += 1;
             mine.key.clear();
             for p in probe_key {
@@ -684,7 +820,7 @@ fn walk(
                     if ok {
                         stats.rows_scanned[depth + 1] += 1;
                         emitted += 1;
-                        walk(db, plan, hash_tables, step_fast, depth + 1, bindings, deeper, rows, stats);
+                        walk(db, plan, tables, step_fast, depth + 1, bindings, deeper, rows, stats);
                         if access.early_out {
                             bindings[access.alias] = u32::MAX;
                             break;
@@ -692,6 +828,35 @@ fn walk(
                     }
                     bindings[access.alias] = u32::MAX;
                 }
+            }
+            let op = &mut stats.per_op[depth + 1];
+            op.comparisons += comparisons;
+            op.rows_out += emitted;
+        }
+        Step::HashRank { access, probe } => {
+            let table = tables.rank[depth].as_ref().expect("rank table built");
+            stats.per_op[depth + 1].invocations += 1;
+            let mut comparisons = 0u64;
+            let mut emitted = 0u64;
+            let mut e = table.first(db.store.value[bindings[probe.alias] as usize]);
+            while e != NO_ENTRY {
+                let pre = table.pres[e as usize];
+                bindings[access.alias] = pre;
+                let ok = step_fast[depth].iter().all(|a| {
+                    comparisons += 1;
+                    a.eval(db, bindings)
+                });
+                if ok {
+                    stats.rows_scanned[depth + 1] += 1;
+                    emitted += 1;
+                    walk(db, plan, tables, step_fast, depth + 1, bindings, deeper, rows, stats);
+                    if access.early_out {
+                        bindings[access.alias] = u32::MAX;
+                        break;
+                    }
+                }
+                bindings[access.alias] = u32::MAX;
+                e = table.next[e as usize];
             }
             let op = &mut stats.per_op[depth + 1];
             op.comparisons += comparisons;
@@ -729,7 +894,7 @@ fn execute_sequential(
     plan: &PhysPlan,
     driver_fast: &[FastAtom],
     step_fast: &[Vec<FastAtom>],
-    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &JoinTables,
     stats: &mut ExecStats,
 ) -> Vec<Vec<Value>> {
     stats.parallel_workers = 1;
@@ -744,7 +909,7 @@ fn execute_sequential(
         stats.rows_scanned[0] += 1;
         stats.per_op[0].rows_out += 1;
         bindings[driver.alias] = pre;
-        walk(db, plan, hash_tables, step_fast, 0, &mut bindings, &mut scratch, &mut rows, stats);
+        walk(db, plan, tables, step_fast, 0, &mut bindings, &mut scratch, &mut rows, stats);
         bindings[driver.alias] = u32::MAX;
         true
     });
@@ -782,7 +947,7 @@ fn sort_tail(
 fn expand_level(
     db: &Database,
     plan: &PhysPlan,
-    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &JoinTables,
     step_fast: &[Vec<FastAtom>],
     depth: usize,
     frontier: Vec<Vec<u32>>,
@@ -792,7 +957,7 @@ fn expand_level(
     let mut next: Vec<Vec<u32>> = Vec::with_capacity(frontier.len());
     for bindings in &frontier {
         match &plan.steps[depth] {
-            Step::Nl(access) => {
+            Step::Nl(access) | Step::Leapfrog(access) => {
                 let scr = &mut scratch.access;
                 let counts = scan_access(db, access, &step_fast[depth], bindings, scr, &mut |pre| {
                     stats.rows_scanned[depth + 1] += 1;
@@ -805,7 +970,7 @@ fn expand_level(
                 stats.per_op[depth + 1].absorb(counts);
             }
             Step::Hash { access, probe_key, .. } => {
-                let table = hash_tables[depth].as_ref().expect("hash table built");
+                let table = tables.hash[depth].as_ref().expect("hash table built");
                 stats.per_op[depth + 1].invocations += 1;
                 scratch.key.clear();
                 let mut null_key = false;
@@ -845,6 +1010,35 @@ fn expand_level(
                 op.comparisons += comparisons;
                 op.rows_out += emitted;
             }
+            Step::HashRank { access, probe } => {
+                let table = tables.rank[depth].as_ref().expect("rank table built");
+                stats.per_op[depth + 1].invocations += 1;
+                let mut comparisons = 0u64;
+                let mut emitted = 0u64;
+                let mut e = table.first(db.store.value[bindings[probe.alias] as usize]);
+                if e != NO_ENTRY {
+                    let mut probe_b = bindings.clone();
+                    while e != NO_ENTRY {
+                        probe_b[access.alias] = table.pres[e as usize];
+                        let ok = step_fast[depth].iter().all(|a| {
+                            comparisons += 1;
+                            a.eval(db, &probe_b)
+                        });
+                        if ok {
+                            stats.rows_scanned[depth + 1] += 1;
+                            emitted += 1;
+                            next.push(probe_b.clone());
+                            if access.early_out {
+                                break;
+                            }
+                        }
+                        e = table.next[e as usize];
+                    }
+                }
+                let op = &mut stats.per_op[depth + 1];
+                op.comparisons += comparisons;
+                op.rows_out += emitted;
+            }
         }
     }
     next
@@ -871,7 +1065,7 @@ fn execute_parallel(
     workers: usize,
     driver_fast: &[FastAtom],
     step_fast: &[Vec<FastAtom>],
-    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &JoinTables,
     stats: &mut ExecStats,
 ) -> Vec<Vec<Value>> {
     // Materialize the driver into binding tuples. The scan performs
@@ -903,7 +1097,7 @@ fn execute_parallel(
         frontier = expand_level(
             db,
             plan,
-            hash_tables,
+            tables,
             step_fast,
             depth,
             frontier,
@@ -917,7 +1111,7 @@ fn execute_parallel(
     let cx = VecCtx {
         db,
         plan,
-        hash_tables,
+        tables,
         step_fast,
         bound_at: bound_aliases(plan),
         batch_size: opts.batch_size.max(1),
@@ -974,7 +1168,7 @@ fn execute_parallel(
                 walk(
                     db,
                     plan,
-                    hash_tables,
+                    tables,
                     step_fast,
                     depth,
                     &mut bindings,
@@ -1044,7 +1238,7 @@ fn execute_parallel(
                                 walk(
                                     db,
                                     plan,
-                                    hash_tables,
+                                    tables,
                                     step_fast,
                                     depth,
                                     &mut bindings,
@@ -1382,6 +1576,10 @@ struct VecLevel {
     order: Vec<u32>,
     /// Candidate rows of a shared constant-probe scan.
     cands: Vec<u32>,
+    /// Leapfrog probe ranks: interned lexicographic rank of each live
+    /// tuple's leading value key (drives the rank sort, avoiding string
+    /// comparisons).
+    ranks: Vec<u32>,
 }
 
 impl VecLevel {
@@ -1395,7 +1593,7 @@ impl VecLevel {
 struct VecCtx<'a> {
     db: &'a Database,
     plan: &'a PhysPlan,
-    hash_tables: &'a [Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &'a JoinTables,
     step_fast: &'a [Vec<FastAtom>],
     /// `bound_at[d]`: aliases bound on entry to step `d` (driver plus
     /// steps `0..d`), i.e. the columns a depth-`d` batch carries.
@@ -1499,12 +1697,13 @@ fn vec_step(
         live,
         order,
         cands,
+        ranks,
     } = lvl;
     let outer: &[usize] = &cx.bound_at[depth];
     let op_idx = depth + 1;
     let fast: &[FastAtom] = &cx.step_fast[depth];
     match &cx.plan.steps[depth] {
-        Step::Nl(access) if !access.early_out => {
+        Step::Nl(access) | Step::Leapfrog(access) if !access.early_out => {
             stats.per_op[op_idx].invocations += sel.len() as u64;
             scr.prepare(access);
             if scr.dead {
@@ -1621,52 +1820,116 @@ fn vec_step(
                             }
                             live.push(i);
                         }
+                        let gallop = matches!(&cx.plan.steps[depth], Step::Leapfrog(_));
+                        // A leapfrog step sorts by interned value *rank*
+                        // when the leading variable slot is a bound value
+                        // column: ranks order exactly like the strings
+                        // they intern, so the permutation is the key
+                        // sort's — integer comparisons instead of string
+                        // ones.
+                        ranks.clear();
+                        if gallop
+                            && scr.var_lo.first() == Some(&0)
+                            && matches!(eq.first(), Some(Probe::Bound(cr)) if cr.col == DocCol::Value)
+                        {
+                            let Some(Probe::Bound(cr)) = eq.first() else { unreachable!() };
+                            for &i in live.iter() {
+                                let id = db.store.value[batch.cols[cr.alias][i as usize] as usize];
+                                ranks.push(db.symbols.value_rank[id as usize]);
+                            }
+                        }
                         order.clear();
                         order.extend(0..live.len() as u32);
                         // Comparing the variable slots in slot order is the
                         // full-key lexicographic order: constant slots are
                         // equal across the batch and never discriminate.
+                        // (The rank prefix refines nothing — equal ranks
+                        // mean equal leading keys — so the permutation is
+                        // unchanged when it applies.)
                         order.sort_by(|&x, &y| {
+                            if !ranks.is_empty() {
+                                match ranks[x as usize].cmp(&ranks[y as usize]) {
+                                    std::cmp::Ordering::Equal => {}
+                                    other => return other,
+                                }
+                            }
                             let kx = &keys[x as usize * w..x as usize * w + nv_lo];
                             let ky = &keys[y as usize * w..y as usize * w + nv_lo];
                             kx.cmp(ky)
                         });
-                        let mut cursor = tree.batch_cursor();
                         let mut rows_in = 0u64;
-                        for &o in order.iter() {
-                            let j = o as usize;
-                            let i = live[j] as usize;
-                            let base = j * w;
-                            for (t, &s) in scr.var_lo.iter().enumerate() {
-                                scr.lo[s] = keys[base + t].clone();
-                            }
-                            for (t, &s) in scr.var_hi.iter().enumerate() {
-                                scr.hi[s] = keys[base + nv_lo + t].clone();
-                            }
-                            cursor.position(&scr.lo, scr.lo_strict);
-                            for (_, pre) in
-                                cursor.scan_from(&scr.lo, scr.lo_strict, &scr.hi, scr.hi_strict)
-                            {
-                                rows_in += 1;
-                                next.push_extended(batch, i, outer, access.alias, pre);
-                                if next.rows >= cx.batch_size {
-                                    flush_batch(
-                                        cx, fast, op_idx, true, next, sel_buf, fallback, deeper,
-                                        rows, stats,
-                                    );
+                        if gallop {
+                            // Galloping multi-way intersection: one
+                            // SeekCursor serves the whole sorted probe
+                            // batch, skipping non-matching key ranges in
+                            // O(log gap) node hops instead of walking the
+                            // leaf chain linearly between probes.
+                            stats.join_probe_batches += 1;
+                            let mut cursor = tree.seek_cursor();
+                            for &o in order.iter() {
+                                let j = o as usize;
+                                let i = live[j] as usize;
+                                let base = j * w;
+                                for (t, &s) in scr.var_lo.iter().enumerate() {
+                                    scr.lo[s] = keys[base + t].clone();
+                                }
+                                for (t, &s) in scr.var_hi.iter().enumerate() {
+                                    scr.hi[s] = keys[base + nv_lo + t].clone();
+                                }
+                                cursor.position(&scr.lo, scr.lo_strict);
+                                for (_, pre) in
+                                    cursor.scan_from(&scr.lo, scr.lo_strict, &scr.hi, scr.hi_strict)
+                                {
+                                    rows_in += 1;
+                                    next.push_extended(batch, i, outer, access.alias, pre);
+                                    if next.rows >= cx.batch_size {
+                                        flush_batch(
+                                            cx, fast, op_idx, true, next, sel_buf, fallback,
+                                            deeper, rows, stats,
+                                        );
+                                    }
                                 }
                             }
+                            stats.btree_descents += cursor.descents;
+                            stats.btree_skips += cursor.node_hops;
+                            stats.join_seeks += cursor.seeks;
+                        } else {
+                            let mut cursor = tree.batch_cursor();
+                            for &o in order.iter() {
+                                let j = o as usize;
+                                let i = live[j] as usize;
+                                let base = j * w;
+                                for (t, &s) in scr.var_lo.iter().enumerate() {
+                                    scr.lo[s] = keys[base + t].clone();
+                                }
+                                for (t, &s) in scr.var_hi.iter().enumerate() {
+                                    scr.hi[s] = keys[base + nv_lo + t].clone();
+                                }
+                                cursor.position(&scr.lo, scr.lo_strict);
+                                for (_, pre) in
+                                    cursor.scan_from(&scr.lo, scr.lo_strict, &scr.hi, scr.hi_strict)
+                                {
+                                    rows_in += 1;
+                                    next.push_extended(batch, i, outer, access.alias, pre);
+                                    if next.rows >= cx.batch_size {
+                                        flush_batch(
+                                            cx, fast, op_idx, true, next, sel_buf, fallback,
+                                            deeper, rows, stats,
+                                        );
+                                    }
+                                }
+                            }
+                            stats.btree_descents += cursor.descents;
+                            stats.btree_skips += cursor.leaf_skips;
                         }
                         stats.per_op[op_idx].rows_in += rows_in;
                         stats.per_op[op_idx].index_probes += live.len() as u64;
-                        stats.btree_descents += cursor.descents;
-                        stats.btree_skips += cursor.leaf_skips;
                     }
                 }
             }
             flush_batch(cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows, stats);
         }
-        Step::Nl(access) => {
+        Step::Nl(access) | Step::Leapfrog(access) => {
             // Early-out semijoin: candidate enumeration stops at the first
             // residual match, so batching the probes would change the
             // work. Run the scan tuple-at-a-time (identical counters);
@@ -1693,7 +1956,7 @@ fn vec_step(
             flush_batch(cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows, stats);
         }
         Step::Hash { access, probe_key, .. } if !access.early_out => {
-            let table = cx.hash_tables[depth].as_ref().expect("hash table built");
+            let table = cx.tables.hash[depth].as_ref().expect("hash table built");
             for &i in sel {
                 stats.per_op[op_idx].invocations += 1;
                 key.clear();
@@ -1727,7 +1990,7 @@ fn vec_step(
         Step::Hash { access, probe_key, .. } => {
             // Early-out hash semijoin: the scalar path stops at the first
             // match that passes the residuals — replicate it per tuple.
-            let table = cx.hash_tables[depth].as_ref().expect("hash table built");
+            let table = cx.tables.hash[depth].as_ref().expect("hash table built");
             let mut comparisons = 0u64;
             let mut emitted = 0u64;
             for &i in sel {
@@ -1770,6 +2033,74 @@ fn vec_step(
                         }
                         break;
                     }
+                }
+            }
+            let op = &mut stats.per_op[op_idx];
+            op.comparisons += comparisons;
+            op.rows_out += emitted;
+            flush_batch(cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows, stats);
+        }
+        Step::HashRank { access, probe } if !access.early_out => {
+            // Rank-hash probe kernel: one integer chase through the dense
+            // rank table per selected tuple, residuals deferred to the
+            // flush kernels — the vectorized mirror of the scalar
+            // `HashRank` walk arm.
+            let table = cx.tables.rank[depth].as_ref().expect("rank table built");
+            stats.join_probe_batches += 1;
+            for &i in sel {
+                stats.per_op[op_idx].invocations += 1;
+                let mut e = table.first(db.store.value[batch.cols[probe.alias][i as usize] as usize]);
+                while e != NO_ENTRY {
+                    next.push_extended(batch, i as usize, outer, access.alias, table.pres[e as usize]);
+                    if next.rows >= cx.batch_size {
+                        flush_batch(
+                            cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows, stats,
+                        );
+                    }
+                    e = table.next[e as usize];
+                }
+            }
+            flush_batch(cx, fast, op_idx, true, next, sel_buf, fallback, deeper, rows, stats);
+        }
+        Step::HashRank { access, probe } => {
+            // Early-out rank-hash semijoin: stop at the first chain entry
+            // passing the residuals, per tuple — same candidate order and
+            // comparison counts as the scalar arm.
+            let table = cx.tables.rank[depth].as_ref().expect("rank table built");
+            stats.join_probe_batches += 1;
+            let mut comparisons = 0u64;
+            let mut emitted = 0u64;
+            for &i in sel {
+                stats.per_op[op_idx].invocations += 1;
+                let mut e = table.first(db.store.value[batch.cols[probe.alias][i as usize] as usize]);
+                if e == NO_ENTRY {
+                    continue;
+                }
+                bindings.clear();
+                bindings.resize(cx.plan.n_aliases, u32::MAX);
+                for &a in outer {
+                    bindings[a] = batch.cols[a][i as usize];
+                }
+                while e != NO_ENTRY {
+                    let pre = table.pres[e as usize];
+                    bindings[access.alias] = pre;
+                    let ok = fast.iter().all(|a| {
+                        comparisons += 1;
+                        a.eval(db, bindings)
+                    });
+                    if ok {
+                        stats.rows_scanned[op_idx] += 1;
+                        emitted += 1;
+                        next.push_extended(batch, i as usize, outer, access.alias, pre);
+                        if next.rows >= cx.batch_size {
+                            flush_batch(
+                                cx, fast, op_idx, false, next, sel_buf, fallback, deeper, rows,
+                                stats,
+                            );
+                        }
+                        break;
+                    }
+                    e = table.next[e as usize];
                 }
             }
             let op = &mut stats.per_op[op_idx];
@@ -1820,7 +2151,7 @@ fn execute_vectorized(
     plan: &PhysPlan,
     driver_fast: &[FastAtom],
     step_fast: &[Vec<FastAtom>],
-    hash_tables: &[Option<HashMap<Vec<Value>, Vec<u32>>>],
+    tables: &JoinTables,
     opts: &ExecOptions,
     stats: &mut ExecStats,
 ) -> Vec<Vec<Value>> {
@@ -1828,7 +2159,7 @@ fn execute_vectorized(
     let cx = VecCtx {
         db,
         plan,
-        hash_tables,
+        tables,
         step_fast,
         bound_at: bound_aliases(plan),
         batch_size: opts.batch_size.max(1),
@@ -1900,6 +2231,7 @@ mod tests {
             item_output: 0,
             est_cost: 0.0,
             est_rows: 0.0,
+            batch_costed: false,
         };
         let result = execute(&db, &plan);
         let expected = db.stats.name_count("bidder", NodeKind::Elem);
@@ -1969,6 +2301,7 @@ mod tests {
             item_output: 1,
             est_cost: 0.0,
             est_rows: 0.0,
+            batch_costed: false,
         };
         let result = execute(&db, &plan);
         // Every bidder lies inside exactly one open_auction.
@@ -2031,6 +2364,7 @@ mod tests {
             item_output: 0,
             est_cost: 0.0,
             est_rows: 0.0,
+            batch_costed: false,
         };
         let with_early = mk(true);
         let without = mk(false);
@@ -2106,6 +2440,7 @@ mod tests {
             // Large enough that optimizer::parallel_degree lets it fan out.
             est_cost: 1e9,
             est_rows: 0.0,
+            batch_costed: false,
         };
         let (seq_rows, seq_stats) = execute_rows_opts(&db, &plan, &ExecOptions::default());
         for degree in [2usize, 3, 8] {
@@ -2187,6 +2522,7 @@ mod tests {
             item_output: 0,
             est_cost: 1e9,
             est_rows: 0.0,
+            batch_costed: false,
         };
         let (seq, s1) = execute_rows_opts(&db, &plan, &ExecOptions::default());
         let (par, s2) = execute_rows_opts(
@@ -2271,6 +2607,7 @@ mod tests {
             item_output: 1,
             est_cost: 0.0,
             est_rows: 0.0,
+            batch_costed: false,
         }
     }
 

@@ -4,6 +4,7 @@
 //! loadgen [--threads N] [--duration 2s|500ms] [--workers N]
 //!         [--engine joingraph] [--xmark-scale F] [--dblp-pubs N]
 //!         [--cache N] [--parallelism N|auto] [--morsel-size N]
+//!         [--join nl|hash|leapfrog|auto]
 //!         [--no-telemetry] [--out BENCH_serve.json]
 //!         [--obs-out BENCH_obs.json] [--obs-runs N]
 //!         [--mutate-mix F]... [--mutate-out BENCH_mutate.json]
@@ -49,6 +50,9 @@ options:
                         baseline sessions and the server alike (default: 1)
   --morsel-size N       tuples per parallel morsel; must be a power of two
                         and at least 16 (default: engine default)
+  --join STRATEGY       physical join strategy for the join-graph planner,
+                        applied to the baseline sessions and the server
+                        alike: nl, hash, leapfrog, or auto (default)
   --no-telemetry        disable the always-on service telemetry (registry
                         and flight recorder) for the load run
   --out PATH            where the BENCH_serve.json row is written
@@ -73,7 +77,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--threads N] [--duration 2s] [--workers N] [--engine E] \
          [--xmark-scale F] [--dblp-pubs N] [--cache N] [--parallelism N|auto] \
-         [--morsel-size N] [--no-telemetry] [--out PATH] [--obs-out PATH] \
+         [--morsel-size N] [--join nl|hash|leapfrog|auto] [--no-telemetry] \
+         [--out PATH] [--obs-out PATH] \
          [--obs-runs N] [--mutate-mix F]... [--mutate-out PATH] (--help for details)"
     );
     std::process::exit(2)
@@ -132,6 +137,12 @@ fn main() {
                         usage()
                     }
                 }
+            }
+            "--join" => {
+                cfg.join = val("--join").parse().unwrap_or_else(|e| {
+                    eprintln!("--join: {e}");
+                    usage()
+                })
             }
             "--no-telemetry" => cfg.telemetry = false,
             "--out" => out = val("--out"),

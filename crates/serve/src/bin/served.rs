@@ -3,6 +3,7 @@
 //! ```text
 //! jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N]
 //!            [--parallelism N|auto] [--morsel-size N] [--scalar]
+//!            [--join nl|hash|leapfrog|auto]
 //!            [--preload xmark:SCALE:SEED] [--preload dblp:PUBS:SEED]
 //! ```
 //!
@@ -43,6 +44,9 @@ options:
   --scalar              disable the vectorized batch pipeline (row-at-a-time
                         execution; JGI_SCALAR=1 in the environment does the
                         same)
+  --join STRATEGY       physical join strategy for the join-graph planner:
+                        nl, hash, leapfrog, or auto (cost-based; default).
+                        JGI_JOIN in the environment does the same
   --preload SPEC        load a synthetic document before serving; SPEC is
                         xmark:SCALE:SEED or dblp:PUBS:SEED (repeatable)
   -h, --help            print this help and exit
@@ -58,6 +62,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: jgi-served [--listen ADDR] [--workers N] [--queue N] [--cache N] \
          [--parallelism N|auto] [--morsel-size N] [--scalar] \
+         [--join nl|hash|leapfrog|auto] \
          [--preload xmark:SCALE:SEED|dblp:PUBS:SEED]... \
          (--help for details)"
     );
@@ -96,6 +101,12 @@ fn main() {
                 }
             }
             "--scalar" => config.budgets.vectorized = false,
+            "--join" => {
+                config.budgets.join = val("--join").parse().unwrap_or_else(|e| {
+                    eprintln!("--join: {e}");
+                    usage()
+                })
+            }
             "--preload" => preloads.push(val("--preload")),
             "--help" | "-h" => {
                 println!("{HELP}");

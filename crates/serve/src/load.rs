@@ -56,6 +56,9 @@ pub struct LoadConfig {
     /// Morsel-size override for the parallel partitioner (baseline and
     /// served alike); `None` keeps the engine default.
     pub morsel_size: Option<usize>,
+    /// Physical join strategy for the join-graph planner (baseline and
+    /// served alike). Defaults to cost-based selection.
+    pub join: jgi_engine::optimizer::JoinStrategy,
     /// Always-on service telemetry (registry + flight recorder). The
     /// overhead benchmark runs one leg with this off.
     pub telemetry: bool,
@@ -74,6 +77,7 @@ impl Default for LoadConfig {
             baseline_passes: 1,
             parallelism: Parallelism::Fixed(1),
             morsel_size: None,
+            join: jgi_engine::optimizer::JoinStrategy::from_env(),
             telemetry: true,
         }
     }
@@ -244,6 +248,7 @@ fn baseline(
             let mut session = Session::new();
             session.budgets.parallelism = cfg.parallelism;
             session.budgets.morsel_size = cfg.morsel_size;
+            session.budgets.join = cfg.join;
             session.add_tree(xmark.clone());
             session.add_tree(dblp.clone());
             let prepared = session.prepare(query, ctx).expect("corpus compiles");
@@ -273,6 +278,7 @@ pub fn run_load(cfg: &LoadConfig) -> LoadSummary {
         budgets: Budgets {
             parallelism: cfg.parallelism,
             morsel_size: cfg.morsel_size,
+            join: cfg.join,
             ..Budgets::default()
         },
         telemetry: cfg.telemetry,
@@ -777,6 +783,7 @@ fn run_mutate_leg(cfg: &LoadConfig, frac: f64) -> MutateLeg {
         budgets: Budgets {
             parallelism: cfg.parallelism,
             morsel_size: cfg.morsel_size,
+            join: cfg.join,
             ..Budgets::default()
         },
         telemetry: cfg.telemetry,
@@ -884,6 +891,7 @@ fn run_mutate_leg(cfg: &LoadConfig, frac: f64) -> MutateLeg {
     let mut session = Session::new();
     session.budgets.parallelism = cfg.parallelism;
     session.budgets.morsel_size = cfg.morsel_size;
+    session.budgets.join = cfg.join;
     session.add_tree(shadow);
     session.add_tree(dblp);
     let mut divergence = 0u64;

@@ -163,6 +163,9 @@ impl Server {
             "serve.admission.shed",
             "serve.deadline.missed",
             "serve.commits",
+            "exec.join.build_rows",
+            "exec.join.probe_batches",
+            "exec.join.seeks",
         ] {
             registry.counter(name, 0);
         }

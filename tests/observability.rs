@@ -114,11 +114,12 @@ fn explain_analyze_q1_shape() {
 RETURN (est_rows N, act_rows N)
  SORT (DISTINCT, ORDER BY dN.pre) (rows_in N, dedup_removed N, spills N)
  VECTORIZED (batch=N, batches=N, kernels=N, fallbacks=N, descents=N, skips=N)
-  HSJOIN (on level)
-   IXSCAN nksp [N eq-col(s)] (dN = ::bidder) (est_rows N, act_rows N, probes N, comparisons N)
-   NLJOIN
-    IXSCAN nksp [N eq-col(s)] (dN = ::open_auction; resume ⟨descendant of dN⟩) (est_rows N, act_rows N, probes N, comparisons N)
-    IXSCAN nksp [N eq-col(s)] (dN = ::auction.xml) (est_rows N, act_rows N, probes N, comparisons N)
+ JOIN (strategy hash+leapfrog, build_rows N, probe_batches N, seeks N)
+  LFJOIN (early-out ⋉)
+   IXSCAN nksp [N eq-col(s) + range] (dN = ::auction.xml; resume ⟨ancestor of dN⟩) (est_rows N, act_rows N, probes N, comparisons N)
+   HSJOIN (on level)
+    IXSCAN nksp [N eq-col(s)] (dN = ::bidder) (est_rows N, act_rows N, probes N, comparisons N)
+    IXSCAN nksp [N eq-col(s)] (dN = ::open_auction) (est_rows N, act_rows N, probes N, comparisons N)
 (estimated cost N)
 ";
     assert_eq!(normalize(&analyze), expected, "full output:\n{analyze}");

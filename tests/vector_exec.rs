@@ -1,12 +1,13 @@
 //! Scalar-equivalence suite for the vectorized batch executor.
 //!
-//! Vectorization must be invisible: with the batch pipeline on, the
-//! join-graph engine has to produce the byte-identical node sequence
-//! (order and duplicates included) *and* the identical row-count
-//! statistics at every parallelism degree. Only the mode-dependent
-//! counters — `vector_*`, `btree_descents`/`btree_skips`, `parallel_*` —
-//! may differ between a scalar and a vectorized run. Three layers of
-//! evidence:
+//! Vectorization must be invisible in results: with the batch pipeline
+//! on, the join-graph engine has to produce the byte-identical node
+//! sequence (order and duplicates included) at every parallelism degree.
+//! For a *fixed* plan, only the mode-dependent counters — `vector_*`,
+//! `btree_descents`/`btree_skips`, `parallel_*` — may differ between a
+//! scalar and a vectorized run; end-to-end the planner is mode-aware
+//! (DESIGN.md §13) and may pick a different plan shape per mode. Three
+//! layers of evidence:
 //!
 //! * the Q1–Q8 paper corpus × {scalar, vectorized} × degrees 1, 2, 8,
 //! * a vacuity guard: the vectorized corpus runs actually batch (and the
@@ -47,8 +48,13 @@ fn assert_invariant_stats(name: &str, mode: &str, base: &ExecStats, run: &ExecSt
     assert_eq!(base.per_op, run.per_op, "{name}: per-operator actuals changed ({mode})");
 }
 
-/// Q1–Q8 on the join-graph engine: identical nodes and identical
-/// row-count statistics across {scalar, vectorized} × degrees 1, 2, 8.
+/// Q1–Q8 on the join-graph engine: identical nodes across {scalar,
+/// vectorized} × degrees 1, 2, 8, and identical row-count statistics at
+/// every degree *within* a mode. The planner is mode-aware (the
+/// vectorized row cost and join-strategy selection, DESIGN.md §13, can
+/// legitimately pick a different plan shape per mode), so cross-mode
+/// statistics equivalence on a *fixed* plan is covered by the property
+/// tests below instead.
 #[test]
 fn corpus_identical_across_modes_and_degrees() {
     let mut session = corpus_session(0.005, 1000);
@@ -57,18 +63,29 @@ fn corpus_identical_across_modes_and_degrees() {
         session.budgets.vectorized = false;
         session.budgets.parallelism = Parallelism::Fixed(1);
         let base = session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
-        let base_exec = base.report.exec.clone().expect("join-graph reports exec stats");
-        assert_eq!(base_exec.vector_batch_size, 0, "{name}: scalar run reported a batch size");
+        {
+            let base_exec = base.report.exec.as_ref().expect("join-graph reports exec stats");
+            assert_eq!(
+                base_exec.vector_batch_size, 0,
+                "{name}: scalar run reported a batch size"
+            );
+        }
         for vectorized in [false, true] {
-            for degree in [1usize, 2, 8] {
-                session.budgets.vectorized = vectorized;
+            session.budgets.vectorized = vectorized;
+            session.budgets.parallelism = Parallelism::Fixed(1);
+            let mode_base =
+                session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
+            let mode = format!("vectorized={vectorized}, degree=1");
+            assert_eq!(mode_base.nodes, base.nodes, "{name}: result diverged ({mode})");
+            let mode_exec = mode_base.report.exec.clone().expect("exec stats");
+            for degree in [2usize, 8] {
                 session.budgets.parallelism = Parallelism::Fixed(degree);
                 let out =
                     session.execute(&prepared, Engine::JoinGraph).expect("corpus executes");
                 let mode = format!("vectorized={vectorized}, degree={degree}");
                 assert_eq!(out.nodes, base.nodes, "{name}: result diverged ({mode})");
                 let exec = out.report.exec.as_ref().expect("join-graph reports exec stats");
-                assert_invariant_stats(name, &mode, &base_exec, exec);
+                assert_invariant_stats(name, &mode, &mode_exec, exec);
             }
         }
     }
